@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sftbft/harness/scenario.hpp"
+#include "sftbft/harness/table.hpp"
+
+namespace sftbft::bench {
+
+/// The paper's geo calibration (see EXPERIMENTS.md): lean leader processing,
+/// per-replica heterogeneity, moderate per-message jitter. Absolute
+/// latencies are ~5x below the paper's Diem deployment; shapes match.
+inline harness::Scenario geo_scenario() {
+  harness::Scenario s;
+  s.n = 100;
+  s.leader_processing = millis(80);
+  s.jitter = millis(40);
+  s.jitter_frac = 0.25;
+  s.hetero_fast_max = millis(35);
+  s.hetero_medium_fraction = 0.25;
+  s.hetero_medium_lo = millis(40);
+  s.hetero_medium_hi = millis(60);
+  s.max_batch = 100;        // records; each block models ~450 KB
+  s.txn_size_bytes = 4500;
+  s.verify_signatures = false;  // crypto cost does not affect latency shape
+  s.duration = seconds(150);
+  s.warmup = seconds(5);
+  s.tail = seconds(45);
+  s.seed = 42;
+  return s;
+}
+
+/// Formats an x-strong level as a multiple of f ("1.3f").
+inline std::string level_label(std::uint32_t level, std::uint32_t f) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1ff",
+                static_cast<double>(level) / static_cast<double>(f));
+  return buf;
+}
+
+/// "not achieved" marker for levels with insufficient replica coverage
+/// (e.g. beyond the Fig. 7b 1.7f cap).
+inline std::string latency_cell(
+    const harness::StrengthLatencyTracker::LevelStats& stats) {
+  if (stats.coverage < 0.5) return "--";
+  return harness::Table::num(stats.mean_latency_s, 3);
+}
+
+}  // namespace sftbft::bench

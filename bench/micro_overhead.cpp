@@ -1,0 +1,178 @@
+// Micro-benchmarks for the Sec. 3.2 "marginal bookkeeping overhead" claim:
+// the per-vote cost of SFT (marker computation, interval computation,
+// endorser updates) against the baseline costs every BFT implementation
+// already pays (hashing, signing, QC digests).
+#include <benchmark/benchmark.h>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/common/interval_set.hpp"
+#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/consensus/vote_history.hpp"
+#include "sftbft/crypto/sha256.hpp"
+#include "sftbft/crypto/signature.hpp"
+
+namespace {
+
+using namespace sftbft;
+
+Bytes make_bytes(std::size_t size) {
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return data;
+}
+
+void BM_Sha256_64B(benchmark::State& state) {
+  const Bytes data = make_bytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_450KB(benchmark::State& state) {
+  const Bytes data = make_bytes(450 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          450 * 1024);
+}
+BENCHMARK(BM_Sha256_450KB);
+
+void BM_SignVote(benchmark::State& state) {
+  crypto::KeyRegistry registry(4, 1);
+  const crypto::Signer signer = registry.signer_for(0);
+  const Bytes msg = make_bytes(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.sign(msg));
+  }
+}
+BENCHMARK(BM_SignVote);
+
+void BM_VerifyVote(benchmark::State& state) {
+  crypto::KeyRegistry registry(4, 1);
+  const Bytes msg = make_bytes(96);
+  const crypto::Signature sig = registry.signer_for(0).sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.verify(sig, msg));
+  }
+}
+BENCHMARK(BM_VerifyVote);
+
+/// Builds a linear chain of `length` blocks on a tree.
+chain::BlockTree make_chain(std::size_t length,
+                            std::vector<types::BlockId>* ids = nullptr) {
+  chain::BlockTree tree;
+  types::BlockId parent = tree.genesis_id();
+  for (std::size_t i = 1; i <= length; ++i) {
+    types::Block block;
+    block.parent_id = parent;
+    block.round = i;
+    block.height = i;
+    block.proposer = static_cast<ReplicaId>(i % 4);
+    block.qc.block_id = parent;
+    block.qc.round = i - 1;
+    block.seal();
+    tree.insert(block);
+    if (ids) ids->push_back(block.id);
+    parent = block.id;
+  }
+  return tree;
+}
+
+/// The marker computation the paper adds to every vote (Fig. 4).
+void BM_MarkerComputation(benchmark::State& state) {
+  std::vector<types::BlockId> ids;
+  chain::BlockTree tree = make_chain(64, &ids);
+  consensus::VoteHistory history(tree);
+  const types::Block* tip = tree.get(ids.back());
+  // Vote along the chain so the frontier is realistic.
+  for (std::size_t i = 0; i + 1 < ids.size(); i += 2) {
+    history.record_vote(*tree.get(ids[i]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history.marker_for(*tip));
+  }
+}
+BENCHMARK(BM_MarkerComputation);
+
+/// The Sec. 3.4 interval-set computation (generalized strong-vote).
+void BM_IntervalComputation(benchmark::State& state) {
+  std::vector<types::BlockId> ids;
+  chain::BlockTree tree = make_chain(64, &ids);
+  consensus::VoteHistory history(tree);
+  const types::Block* tip = tree.get(ids.back());
+  for (std::size_t i = 0; i + 1 < ids.size(); i += 2) {
+    history.record_vote(*tree.get(ids[i]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history.intervals_for(*tip, 0));
+  }
+}
+BENCHMARK(BM_IntervalComputation);
+
+/// Endorser-set update for one strong-QC of 2f+1 votes (n = 100): the
+/// "whenever a replica receives a new strong-QC" bookkeeping.
+void BM_EndorsementProcessQc(benchmark::State& state) {
+  const std::uint32_t n = 100, f = 33;
+  crypto::KeyRegistry registry(n, 1);
+  std::vector<types::BlockId> ids;
+  chain::BlockTree tree = make_chain(16, &ids);
+
+  types::QuorumCert qc;
+  qc.block_id = ids.back();
+  qc.round = ids.size();
+  qc.parent_id = ids[ids.size() - 2];
+  qc.parent_round = ids.size() - 1;
+  for (ReplicaId voter = 0; voter < 2 * f + 1; ++voter) {
+    types::Vote vote;
+    vote.block_id = ids.back();
+    vote.round = ids.size();
+    vote.voter = voter;
+    vote.mode = types::VoteMode::Marker;
+    vote.marker = 0;
+    qc.votes.push_back(vote);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    consensus::EndorsementTracker tracker(tree, n, f);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tracker.process_qc(qc));
+  }
+}
+BENCHMARK(BM_EndorsementProcessQc);
+
+void BM_QcDigest(benchmark::State& state) {
+  std::vector<types::BlockId> ids;
+  chain::BlockTree tree = make_chain(4, &ids);
+  types::QuorumCert qc;
+  qc.block_id = ids.back();
+  qc.round = ids.size();
+  for (ReplicaId voter = 0; voter < 67; ++voter) {
+    types::Vote vote;
+    vote.block_id = ids.back();
+    vote.voter = voter;
+    qc.votes.push_back(vote);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc.digest());
+  }
+}
+BENCHMARK(BM_QcDigest);
+
+void BM_IntervalSetOps(benchmark::State& state) {
+  for (auto _ : state) {
+    IntervalSet set = IntervalSet::single(1, 1000);
+    for (Round r = 10; r < 1000; r += 50) {
+      set.subtract(r, r + 20);
+    }
+    benchmark::DoNotOptimize(set.contains(517));
+  }
+}
+BENCHMARK(BM_IntervalSetOps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Appendix D: SFT-Streamlet — strong commit latencies under the lock-step
+// pacemaker, plus the D.4 long-range-attack comparison against SFT-DiemBFT.
+//
+// Streamlet trades performance for simplicity: lock-step 2Δ rounds (not
+// responsive) and O(n^3) messages per round with the echo mechanism — both
+// measured below. D.4's point: to revert an x-strong committed block h
+// blocks deep, an adversary must corrupt > x replicas for ~h rounds in
+// SFT-Streamlet (honest replicas only vote for the longest certified chain,
+// so a competitive fork must be grown to a similar length), versus a single
+// round in SFT-DiemBFT (one higher-round certified block unlocks honest
+// replicas onto the fork).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sftbft/harness/metrics.hpp"
+#include "sftbft/streamlet/streamlet_cluster.hpp"
+
+using namespace sftbft;
+using namespace sftbft::bench;
+
+int main() {
+  std::printf("== Appendix D: SFT-Streamlet (n=16, f=5, lock-step 2-delta "
+              "rounds, echo on) ==\n\n");
+
+  const std::uint32_t n = 16;
+  const std::uint32_t f = (n - 1) / 3;
+
+  streamlet::StreamletClusterConfig config;
+  config.n = n;
+  config.core.n = n;
+  config.core.delta_bound = millis(50);
+  config.core.sft = true;
+  config.core.echo = true;
+  config.core.verify_signatures = false;
+  config.core.max_batch = 100;
+  config.topology = net::Topology::uniform(n, millis(20));
+  config.net.jitter = millis(10);
+  config.workload.txn_size_bytes = 4500;
+  config.workload.target_pool_size = 400;
+  config.seed = 42;
+
+  std::vector<std::uint32_t> levels;
+  for (std::uint32_t x = f; x <= 2 * f; ++x) levels.push_back(x);
+  harness::StrengthLatencyTracker tracker(n, levels);
+
+  streamlet::StreamletCluster cluster(
+      config, [&tracker](ReplicaId replica, const types::Block& block,
+                         std::uint32_t strength, SimTime now) {
+        tracker.on_commit(replica, block, strength, now);
+      });
+  cluster.start();
+  const SimDuration duration = seconds(60);
+  cluster.run_for(duration);
+  tracker.set_window(seconds(2), duration - seconds(15));
+
+  harness::Table table({"x-strong", "latency(s)", "coverage"});
+  for (const auto& stats : tracker.results()) {
+    table.add_row({level_label(stats.level, f), latency_cell(stats),
+                   harness::Table::num(stats.coverage, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& stats = cluster.network().stats();
+  const auto blocks = cluster.core(0).ledger().committed_blocks();
+  std::printf("committed blocks: %llu;  messages/block: %.0f "
+              "(echo makes this O(n^3) per round: measured %.1f x n^2)\n",
+              static_cast<unsigned long long>(blocks),
+              blocks ? static_cast<double>(stats.total_count()) /
+                           static_cast<double>(blocks)
+                     : 0.0,
+              blocks ? static_cast<double>(stats.total_count()) /
+                           static_cast<double>(blocks) / (n * n)
+                     : 0.0);
+
+  std::printf("\n== D.4: rounds of >x corruption needed to revert an "
+              "x-strong commit buried h blocks deep ==\n\n");
+  harness::Table attack({"depth h", "SFT-DiemBFT", "SFT-Streamlet"});
+  for (const int depth : {1, 10, 100}) {
+    // DiemBFT: one certified higher-round block on a fork unlocks honest
+    // replicas (their r_lock admits it) — 1 round of > x corruption.
+    // Streamlet: honest replicas vote only for the longest certified chain;
+    // the fork must reach a comparable length — ~h rounds of corruption.
+    attack.add_row({std::to_string(depth), "1 round",
+                    std::to_string(depth) +
+                        (depth == 1 ? " round" : " rounds")});
+  }
+  std::printf("%s\n", attack.render().c_str());
+  std::printf("(Derived from the protocols' voting rules — see Appendix D.4 "
+              "and tests/sft_streamlet_test.cpp for the mechanised "
+              "fork-resistance check.)\n");
+  return 0;
+}

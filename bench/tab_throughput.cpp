@@ -1,0 +1,60 @@
+// Throughput/overhead claim (paper Sec. 4, text): "Since strong-vote adds
+// very small overhead (one integer) to message size, as expected, we found
+// that the throughput of SFT-DiemBFT is almost identical to that of the
+// original DiemBFT protocol in all our experiments."
+//
+// The paper omits the numbers; this bench regenerates the comparison:
+// DiemBFT (plain) vs SFT-DiemBFT (marker) vs SFT-DiemBFT (interval votes,
+// Sec. 3.4) on the symmetric geo setup. Block payloads model the paper's
+// ~450 KB / ~1000-txn batches with 100 records of 4.5 KB.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sftbft;
+using namespace sftbft::bench;
+
+int main() {
+  std::printf("== Throughput & regular-commit latency: DiemBFT vs "
+              "SFT-DiemBFT (symmetric, d=100ms, n=100) ==\n\n");
+
+  struct Variant {
+    const char* name;
+    consensus::CoreMode mode;
+  };
+  const Variant variants[] = {
+      {"DiemBFT (plain)", consensus::CoreMode::Plain},
+      {"SFT-DiemBFT (marker)", consensus::CoreMode::SftMarker},
+      {"SFT-DiemBFT (intervals)", consensus::CoreMode::SftIntervals},
+  };
+
+  harness::Table table({"protocol", "blocks/s", "txn/s", "regular lat (s)",
+                        "wire MB/s", "msgs/block"});
+
+  for (const Variant& variant : variants) {
+    harness::Scenario s = geo_scenario();
+    s.name = "tab_throughput";
+    s.topo = harness::Scenario::Topo::Symmetric3;
+    s.delta = millis(100);
+    s.mode = variant.mode;
+    const harness::ScenarioResult r = run_scenario(s);
+
+    const double secs = to_seconds(s.duration - s.warmup - s.tail);
+    table.add_row(
+        {variant.name,
+         harness::Table::num(static_cast<double>(r.summary.committed_blocks) / secs, 2),
+         harness::Table::num(static_cast<double>(r.summary.committed_txns) / secs, 1),
+         harness::Table::num(r.summary.mean_regular_latency_s, 3),
+         harness::Table::num(static_cast<double>(r.total_message_bytes) /
+                                 to_seconds(s.duration) / 1e6,
+                             1),
+         harness::Table::num(r.messages_per_block, 1)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected: near-identical columns across the three rows — the "
+              "SFT machinery costs one marker (or a short interval list) per "
+              "vote.\nNote: each block carries 100 txn records of 4.5 KB "
+              "modelling the paper's ~1000-txn / ~450 KB batches.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Geo-distributed payments scenario (the paper's motivating use case):
+// a 100-replica permissioned blockchain across three regions, where a
+// *high-value* transaction wants more assurance than a coffee purchase.
+//
+// Demonstrates the Sec. 4.2 "dynamic tradeoff" strategy: when a block
+// carries high-value transactions, the next few leaders extend their round
+// latency (extra wait) to pack more strong-votes into their strong-QCs, so
+// exactly that block strengthens quickly — everyone else keeps the fast
+// regular path.
+#include <cstdio>
+#include <map>
+
+#include "sftbft/harness/metrics.hpp"
+#include "sftbft/replica/cluster.hpp"
+
+using namespace sftbft;
+
+namespace {
+
+replica::ClusterConfig geo_config(std::function<SimDuration(Round)> wait) {
+  replica::ClusterConfig config;
+  config.n = 100;
+  config.core.mode = consensus::CoreMode::SftMarker;
+  config.core.leader_processing = millis(80);
+  config.core.base_timeout = millis(900);
+  config.core.max_batch = 100;
+  config.core.extra_wait = std::move(wait);
+  config.core.verify_signatures = false;  // keep the demo snappy
+  config.topology = net::Topology::symmetric3(100, millis(100), millis(1));
+  // A handful of slow replicas, like any real deployment has.
+  for (ReplicaId id = 10; id < 100; id += 20) {
+    config.topology.set_extra_delay(id, millis(50));
+  }
+  config.net.jitter = millis(40);
+  config.net.jitter_frac = 0.25;
+  config.seed = 11;
+  return config;
+}
+
+/// Runs 60s and reports when the round-30 block reaches each strength level.
+void run_and_report(const char* label,
+                    std::function<SimDuration(Round)> wait) {
+  std::map<std::uint32_t, SimTime> reached;  // strength -> first time
+  SimTime created = 0;
+  Round target_round = 30;
+
+  replica::Cluster cluster(
+      geo_config(std::move(wait)),
+      [&](ReplicaId replica, const types::Block& block, std::uint32_t strength,
+          SimTime now) {
+        if (replica != 0 || block.round != target_round) return;
+        created = block.created_at;
+        reached.try_emplace(strength, now);
+      });
+  cluster.start();
+  cluster.run_for(seconds(60));
+
+  std::printf("%s\n", label);
+  if (reached.empty()) {
+    std::printf("  (target block not committed)\n");
+    return;
+  }
+  for (const auto& [strength, when] : reached) {
+    std::printf("  strength x=%2u (%.2ff) reached after %6.2fs\n", strength,
+                static_cast<double>(strength) / 33.0,
+                to_seconds(when - created));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario: the block proposed in round 30 carries a "
+              "high-value settlement.\nHow fast does it strengthen?\n\n");
+
+  // Baseline: no extra wait anywhere.
+  run_and_report("[baseline] no extra wait:", nullptr);
+
+  // Sec. 4.2 dynamic strategy: leaders of rounds 30..36 wait an extra
+  // 250 ms so their strong-QCs include straggler votes.
+  run_and_report(
+      "\n[boosted]  rounds 30-36 wait +250ms for QC diversity:",
+      [](Round round) -> SimDuration {
+        return (round >= 30 && round <= 36) ? millis(250) : 0;
+      });
+
+  std::printf(
+      "\nThe boosted run strengthens the high-value block several times\n"
+      "faster while leaving every other round's latency untouched — the\n"
+      "dynamic tradeoff of Sec. 4.2.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: run a 4-replica SFT-DiemBFT cluster on the simulated network,
+// submit transactions, and watch blocks commit with *increasing* fault
+// tolerance — the paper's core idea, at the smallest possible scale.
+//
+//   build/examples/quickstart
+//
+// What to look for in the output: every block first commits at the regular
+// level (x = f = 1, i.e. it tolerates 1 Byzantine replica), then — as the
+// chain grows and more strong-votes endorse it — is upgraded to x = 2
+// (= 2f): it now stays safe even if 2 of the 4 replicas later turn
+// Byzantine. This is the "strengthened fault tolerance" of the title.
+#include <cstdio>
+
+#include "sftbft/replica/cluster.hpp"
+
+using namespace sftbft;
+
+int main() {
+  replica::ClusterConfig config;
+  config.n = 4;
+  config.core.mode = consensus::CoreMode::SftMarker;
+  config.core.base_timeout = millis(500);
+  config.core.leader_processing = millis(10);
+  config.core.max_batch = 50;
+  config.topology = net::Topology::uniform(4, millis(10));
+  config.net.jitter = millis(2);
+  config.seed = 7;
+
+  std::printf("n = 4 replicas, f = 1. Strength x means: this commit stays\n"
+              "safe even if up to x replicas later become Byzantine.\n\n");
+
+  // Observe commits at replica 0 only (all honest replicas agree).
+  replica::Cluster cluster(
+      config, [](ReplicaId replica, const types::Block& block,
+                 std::uint32_t strength, SimTime now) {
+        if (replica != 0 || block.height > 8) return;
+        std::printf("  t=%-8s height %-2llu %s  -> committed at strength "
+                    "x=%u (%s)\n",
+                    format_time(now).c_str(),
+                    static_cast<unsigned long long>(block.height),
+                    block.id.short_hex().c_str(), strength,
+                    strength == 1 ? "regular, f-strong"
+                                  : "strengthened, 2f-strong");
+      });
+
+  cluster.start();
+  cluster.run_for(seconds(3));
+
+  const auto& ledger = cluster.replica(0).core().ledger();
+  std::printf("\ncommitted %llu blocks, %llu transactions in 3s of "
+              "simulated time\n",
+              static_cast<unsigned long long>(ledger.committed_blocks()),
+              static_cast<unsigned long long>(ledger.committed_txns()));
+
+  // Every old-enough block has been strengthened to 2f.
+  std::uint64_t strengthened = 0;
+  for (const auto& entry : ledger.snapshot()) {
+    if (entry.strength == 2) ++strengthened;
+  }
+  std::printf("blocks strengthened to 2f: %llu\n",
+              static_cast<unsigned long long>(strengthened));
+  return 0;
+}

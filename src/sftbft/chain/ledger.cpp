@@ -1,0 +1,59 @@
+#include "sftbft/chain/ledger.hpp"
+
+#include <cassert>
+
+namespace sftbft::chain {
+
+Ledger::CommitResult Ledger::commit(const types::Block& block,
+                                    std::uint32_t strength, SimTime now) {
+  if (block.height == 0) return CommitResult::NoChange;  // genesis implicit
+  if (entries_.size() <= block.height) entries_.resize(block.height + 1);
+
+  std::optional<Entry>& slot = entries_[block.height];
+  if (!slot) {
+    slot = Entry{.block_id = block.id,
+                 .round = block.round,
+                 .height = block.height,
+                 .strength = strength,
+                 .created_at = block.created_at,
+                 .first_committed_at = now,
+                 .last_strength_update_at = now,
+                 .txn_count = block.payload.txns.size()};
+    ++committed_count_;
+    committed_txns_ += block.payload.txns.size();
+    return CommitResult::New;
+  }
+  if (slot->block_id != block.id) {
+    throw LedgerConflict("conflicting commit at height " +
+                         std::to_string(block.height));
+  }
+  if (strength > slot->strength) {
+    slot->strength = strength;
+    slot->last_strength_update_at = now;
+    return CommitResult::Raised;
+  }
+  return CommitResult::NoChange;
+}
+
+const Ledger::Entry& Ledger::at(Height height) const {
+  assert(is_committed(height));
+  return *entries_[height];
+}
+
+std::optional<Height> Ledger::tip() const {
+  for (Height h = entries_.size(); h > 0; --h) {
+    if (entries_[h - 1].has_value()) return h - 1;
+  }
+  return std::nullopt;
+}
+
+std::vector<Ledger::Entry> Ledger::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(committed_count_);
+  for (const auto& slot : entries_) {
+    if (slot) out.push_back(*slot);
+  }
+  return out;
+}
+
+}  // namespace sftbft::chain

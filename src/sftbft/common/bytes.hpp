@@ -1,0 +1,29 @@
+// Byte-buffer utilities used by serialization, hashing and signatures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sftbft {
+
+/// Owned byte buffer. All wire messages and digests are carried as Bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes (for hashing / verification inputs).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Renders a byte buffer as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex into bytes. Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes from_hex(const std::string& hex);
+
+/// Constant-time byte-equality (avoids early exit on mismatch; the simulation
+/// does not need timing resistance, but the crypto substrate keeps the same
+/// contract a production implementation would have).
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace sftbft

@@ -1,0 +1,80 @@
+// Canonical binary codec.
+//
+// Every protocol message has a single canonical encoding (fixed-width
+// little-endian integers, length-prefixed containers). Signing and hashing
+// operate on these canonical bytes, so two structurally equal messages always
+// produce identical digests — a property several tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sftbft/common/bytes.hpp"
+
+namespace sftbft {
+
+/// Thrown by Decoder on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values to an owned buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v), 8); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(BytesView data);
+
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(const std::string& s);
+
+  /// Raw bytes with no length prefix (for fixed-size digests/signatures).
+  void raw(BytesView data);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  void put_le(std::uint64_t v, int width);
+
+  Bytes buf_;
+};
+
+/// Reads values back in the order they were encoded; bounds-checked.
+class Decoder {
+ public:
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+  /// Reads exactly `size` raw bytes (no length prefix).
+  Bytes raw(std::size_t size);
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::uint64_t get_le(int width);
+  void need(std::size_t count) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sftbft

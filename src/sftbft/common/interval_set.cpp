@@ -1,0 +1,136 @@
+#include "sftbft/common/interval_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sftbft {
+
+IntervalSet IntervalSet::single(Round lo, Round hi) {
+  IntervalSet s;
+  if (lo <= hi) s.intervals_.push_back({lo, hi});
+  return s;
+}
+
+void IntervalSet::add(Round lo, Round hi) {
+  if (lo > hi) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  bool placed = false;
+  for (const Interval& iv : intervals_) {
+    // iv entirely before the new interval (not even adjacent).
+    if (iv.hi + 1 < lo && iv.hi != std::numeric_limits<Round>::max()) {
+      out.push_back(iv);
+      continue;
+    }
+    // iv entirely after the new interval (not adjacent).
+    if (hi != std::numeric_limits<Round>::max() && hi + 1 < iv.lo) {
+      if (!placed) {
+        out.push_back({lo, hi});
+        placed = true;
+      }
+      out.push_back(iv);
+      continue;
+    }
+    // Overlapping or adjacent: absorb into [lo, hi].
+    lo = std::min(lo, iv.lo);
+    hi = std::max(hi, iv.hi);
+  }
+  if (!placed) out.push_back({lo, hi});
+  intervals_ = std::move(out);
+}
+
+void IntervalSet::subtract(Round lo, Round hi) {
+  if (lo > hi) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& iv : intervals_) {
+    if (iv.hi < lo || iv.lo > hi) {  // disjoint
+      out.push_back(iv);
+      continue;
+    }
+    if (iv.lo < lo) out.push_back({iv.lo, lo - 1});  // left remainder
+    if (iv.hi > hi) out.push_back({hi + 1, iv.hi});  // right remainder
+  }
+  intervals_ = std::move(out);
+}
+
+void IntervalSet::subtract(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) subtract(iv.lo, iv.hi);
+}
+
+void IntervalSet::clamp(Round lo, Round hi) {
+  if (lo > hi) {
+    intervals_.clear();
+    return;
+  }
+  if (lo > 0) subtract(0, lo - 1);
+  if (hi < std::numeric_limits<Round>::max()) {
+    subtract(hi + 1, std::numeric_limits<Round>::max());
+  }
+}
+
+bool IntervalSet::contains(Round x) const {
+  // First interval with lo > x; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](Round v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return x <= it->hi;
+}
+
+std::uint64_t IntervalSet::cardinality() const {
+  std::uint64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.hi - iv.lo + 1;
+  return total;
+}
+
+Round IntervalSet::min() const {
+  assert(!intervals_.empty());
+  return intervals_.front().lo;
+}
+
+Round IntervalSet::max() const {
+  assert(!intervals_.empty());
+  return intervals_.back().hi;
+}
+
+void IntervalSet::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(intervals_.size()));
+  for (const Interval& iv : intervals_) {
+    enc.u64(iv.lo);
+    enc.u64(iv.hi);
+  }
+}
+
+IntervalSet IntervalSet::decode(Decoder& dec) {
+  const std::uint32_t count = dec.u32();
+  IntervalSet s;
+  Round prev_hi = 0;
+  bool first = true;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Round lo = dec.u64();
+    const Round hi = dec.u64();
+    if (lo > hi) throw CodecError("IntervalSet: inverted interval");
+    if (!first && lo <= prev_hi + 1) {
+      throw CodecError("IntervalSet: unsorted or overlapping intervals");
+    }
+    s.intervals_.push_back({lo, hi});
+    prev_hi = hi;
+    first = false;
+  }
+  return s;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string out;
+  for (const Interval& iv : intervals_) {
+    if (!out.empty()) out += ' ';
+    out += '[' + std::to_string(iv.lo) + ',' + std::to_string(iv.hi) + ']';
+  }
+  if (out.empty()) out = "(empty)";
+  return out;
+}
+
+}  // namespace sftbft

@@ -1,0 +1,82 @@
+// Sorted disjoint closed-interval set over round numbers.
+//
+// Section 3.4 of the paper generalizes the strong-vote: instead of a single
+// `marker`, a vote carries a set of round-number intervals I that it endorses.
+// I is computed as [1, r] \ (∪_F D_F) where each fork F the voter ever voted
+// on contributes a "do not endorse" interval D_F = [r_l + 1, r_h]. This class
+// provides the algebra needed for that computation and for endorsement
+// checks, plus canonical serialization so interval votes can be signed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/types.hpp"
+
+namespace sftbft {
+
+/// Closed interval [lo, hi] of round numbers. Invariant: lo <= hi.
+struct Interval {
+  Round lo = 0;
+  Round hi = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A set of round numbers represented as sorted, disjoint, non-adjacent
+/// closed intervals. Adjacent intervals ([1,3] and [4,6]) are merged.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds the set containing the single interval [lo, hi]; empty if lo > hi.
+  static IntervalSet single(Round lo, Round hi);
+
+  /// Inserts [lo, hi], merging with any overlapping/adjacent intervals.
+  void add(Round lo, Round hi);
+
+  /// Removes [lo, hi] from the set (splitting intervals as needed).
+  void subtract(Round lo, Round hi);
+
+  /// Removes every round of `other` from this set.
+  void subtract(const IntervalSet& other);
+
+  /// Keeps only rounds within [lo, hi] (the Sec. 3.4 "last n rounds" window).
+  void clamp(Round lo, Round hi);
+
+  /// True iff round x is a member.
+  [[nodiscard]] bool contains(Round x) const;
+
+  /// True iff no rounds are members.
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+
+  /// Number of disjoint intervals (the wire size driver; the paper notes at
+  /// most t intervals are needed under synchrony with t actual faults).
+  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Total number of rounds covered.
+  [[nodiscard]] std::uint64_t cardinality() const;
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Smallest / largest member. Precondition: !empty().
+  [[nodiscard]] Round min() const;
+  [[nodiscard]] Round max() const;
+
+  void encode(Encoder& enc) const;
+  static IntervalSet decode(Decoder& dec);
+
+  /// Renders as "[1,4] [7,9]" for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by lo; disjoint; non-adjacent
+};
+
+}  // namespace sftbft

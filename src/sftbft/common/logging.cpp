@@ -1,0 +1,30 @@
+#include "sftbft/common/logging.hpp"
+
+namespace sftbft::log {
+
+namespace {
+Level g_level = Level::Warn;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+bool enabled(Level lvl) { return lvl >= g_level && g_level != Level::Off; }
+
+namespace detail {
+void emit(Level lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace sftbft::log

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger needs no synchronization.
+// Logging defaults to Warn so tests and benches stay quiet; examples turn it
+// up to show protocol progress.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace sftbft::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Off = 4 };
+
+/// Gets/sets the global log threshold.
+Level level();
+void set_level(Level level);
+
+/// True when `lvl` would be emitted.
+bool enabled(Level lvl);
+
+namespace detail {
+void emit(Level lvl, const std::string& msg);
+
+template <typename... Args>
+void logf(Level lvl, const char* fmt, Args&&... args) {
+  if (!enabled(lvl)) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+  emit(lvl, buf);
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(const char* fmt, Args&&... args) {
+  detail::logf(Level::Trace, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(const char* fmt, Args&&... args) {
+  detail::logf(Level::Debug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(const char* fmt, Args&&... args) {
+  detail::logf(Level::Info, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(const char* fmt, Args&&... args) {
+  detail::logf(Level::Warn, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace sftbft::log

@@ -1,0 +1,13 @@
+#include "sftbft/common/types.hpp"
+
+#include <cstdio>
+
+namespace sftbft {
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  return buf;
+}
+
+}  // namespace sftbft

@@ -1,0 +1,52 @@
+// Fundamental scalar types shared across the sftbft library.
+//
+// The paper (arXiv:2101.03715) indexes protocol state by round numbers and
+// chain heights and identifies the n = 3f + 1 replicas by small integers.
+// Simulated time is kept in integral microseconds so that the discrete-event
+// scheduler is exactly reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sftbft {
+
+/// Protocol round number (DiemBFT rounds, Streamlet epochs). Round 0 is the
+/// genesis round; real proposals start at round 1.
+using Round = std::uint64_t;
+
+/// Position of a block in the chain; genesis has height 0.
+using Height = std::uint64_t;
+
+/// Replica index in [0, n). Doubles as the index into the PKI registry.
+using ReplicaId = std::uint32_t;
+
+/// Sentinel for "no replica" (e.g. an unsigned placeholder vote).
+inline constexpr ReplicaId kNoReplica = std::numeric_limits<ReplicaId>::max();
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Simulated duration in microseconds.
+using SimDuration = std::int64_t;
+
+/// Convenience constructors for durations.
+constexpr SimDuration micros(std::int64_t v) { return v; }
+constexpr SimDuration millis(std::int64_t v) { return v * 1000; }
+constexpr SimDuration seconds(std::int64_t v) { return v * 1'000'000; }
+
+/// Converts a simulated duration to fractional seconds for reporting.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Converts a simulated duration to fractional milliseconds for reporting.
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / 1e3;
+}
+
+/// Formats a simulated time as "12.345s" for logs and tables.
+std::string format_time(SimTime t);
+
+}  // namespace sftbft

@@ -1,0 +1,462 @@
+#include "sftbft/consensus/diembft.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sftbft/common/logging.hpp"
+
+namespace sftbft::consensus {
+
+using types::Block;
+using types::BlockId;
+using types::Proposal;
+using types::QuorumCert;
+using types::TimeoutCert;
+using types::TimeoutMsg;
+using types::Vote;
+using types::VoteMode;
+
+DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
+                         std::shared_ptr<const crypto::KeyRegistry> registry,
+                         mempool::Mempool& pool, Hooks hooks)
+    : config_(config),
+      sched_(sched),
+      registry_(std::move(registry)),
+      signer_(registry_->signer_for(config.id)),
+      pool_(pool),
+      hooks_(std::move(hooks)),
+      election_(config.n),
+      tree_(),
+      history_(tree_),
+      pacemaker_(
+          sched,
+          PacemakerConfig{.base_timeout = config.base_timeout,
+                          .backoff = config.timeout_backoff},
+          Pacemaker::Callbacks{
+              .on_round_entered = [this](Round r) { on_round_entered(r); },
+              .on_local_timeout = [this](Round r) { on_local_timeout(r); }}) {
+  // Seed qc_high with the genesis QC so round-1 proposals extend genesis.
+  QuorumCert genesis_qc;
+  genesis_qc.block_id = tree_.genesis_id();
+  genesis_qc.round = 0;
+  genesis_qc.parent_id = BlockId{};
+  genesis_qc.parent_round = 0;
+  safety_.init_high_qc(genesis_qc);
+
+  if (config_.mode != CoreMode::Plain || config_.fbft_mode) {
+    tracker_ = std::make_unique<EndorsementTracker>(tree_, config_.n,
+                                                    config_.f(),
+                                                    config_.counting);
+  }
+}
+
+void DiemBftCore::start() { pacemaker_.start(); }
+
+void DiemBftCore::stop() {
+  stopped_ = true;
+  pacemaker_.stop();
+}
+
+// ---------------------------------------------------------------- proposing
+
+void DiemBftCore::on_round_entered(Round round) {
+  if (stopped_) return;
+  // Fig. 2 timeout rule: entering round r stops voting for rounds < r.
+  safety_.forbid_votes_below(round);
+  if (election_.leader_of(round) != config_.id) return;
+  // Model leader-side processing (execution/batching) before proposing.
+  sched_.schedule_after(config_.leader_processing, [this, round] {
+    if (!stopped_ && pacemaker_.current_round() == round) propose(round);
+  });
+}
+
+void DiemBftCore::propose(Round round) {
+  const QuorumCert& high_qc = safety_.high_qc();
+  const Block* parent = tree_.get(high_qc.block_id);
+  if (parent == nullptr) {
+    // qc_high references a block we never received (possible only under
+    // Byzantine schedules); without the parent we cannot extend it.
+    log::warn("replica %u: cannot propose in round %llu, parent missing",
+              config_.id, static_cast<unsigned long long>(round));
+    return;
+  }
+
+  Block block;
+  block.parent_id = parent->id;
+  block.round = round;
+  block.height = parent->height + 1;
+  block.proposer = config_.id;
+  block.qc = high_qc;
+  block.payload = pool_.make_batch(config_.max_batch);
+  block.created_at = sched_.now();
+  block.seal();
+
+  Proposal proposal;
+  proposal.block = block;
+  if (last_tc_ && last_tc_->round + 1 == round) proposal.tc = last_tc_;
+  if (config_.attach_commit_log && tracker_) {
+    auto it = qc_updates_.find(high_qc.digest());
+    if (it != qc_updates_.end()) {
+      for (const StrengthUpdate& update : it->second) {
+        proposal.commit_log.push_back(
+            {update.block_id, update.round, update.strength});
+      }
+    }
+  }
+  proposal.sig = signer_.sign(proposal.signing_bytes());
+
+  last_proposed_payload_ = {round, block.payload};
+  sent_proposals_.push_back(proposal);
+  hooks_.broadcast_proposal(proposal);
+}
+
+// ------------------------------------------------------------------- voting
+
+void DiemBftCore::on_proposal(const Proposal& proposal) {
+  if (stopped_) return;
+  if (!validate_proposal(proposal)) return;
+  const Block& block = proposal.block;
+
+  // Fig. 2: replicas act on proposals "during round r" — a proposal for a
+  // round we have already moved past is discarded outright, QC included.
+  // This is what keeps an outcast leader's late block (and the strong-votes
+  // inside its QC) out of every honest replica's bookkeeping, producing the
+  // paper's δ = 200 ms asymmetric behaviour: "any strong-QC in the
+  // blockchain never contains strong-votes from replicas in C" (Sec. 4.1).
+  if (block.round < pacemaker_.current_round()) return;
+
+  if (tree_.contains(block.id)) return;  // duplicate
+
+  const Block* parent = tree_.get(block.parent_id);
+  if (parent == nullptr) {
+    pending_proposals_[block.parent_id].push_back(proposal);
+    return;
+  }
+
+  // Structural checks against the parent: heights chain, rounds increase,
+  // and the embedded QC really certifies the parent.
+  if (block.height != parent->height + 1 || block.round <= parent->round ||
+      block.qc.block_id != block.parent_id ||
+      block.qc.round != parent->round ||
+      block.qc.parent_id != parent->parent_id ||
+      block.qc.parent_round != parent->qc.round) {
+    return;
+  }
+
+  const auto inserted = tree_.insert(block);
+  if (inserted != chain::BlockTree::InsertResult::Inserted) return;
+
+  // Locking rule + SFT endorsements + commit rules + Sec. 5 cache.
+  observe_qc(block.qc, /*canonical=*/true);
+
+  // A quorum of votes may have raced ahead of the proposal (we lead the
+  // next round): the QC can be finalized now that the block is known.
+  try_finalize_qc(block.round, block.id);
+
+  // TC justification (round sync after timeouts).
+  if (proposal.tc) {
+    observe_qc(proposal.tc->highest_qc(), /*canonical=*/false);
+    pacemaker_.advance_to(proposal.tc->round + 1);
+  }
+
+  // Synchronization rule: the embedded QC advances us into this round.
+  pacemaker_.advance_to(block.qc.round + 1);
+
+  // Sec. 5: refuse to vote for proposals overstating commit strengths.
+  if (!validate_commit_log(proposal)) {
+    log::warn("replica %u: rejecting proposal with overstated commit log",
+              config_.id);
+    return;
+  }
+
+  if (!proposal.commit_log.empty()) {
+    logged_proposals_.emplace(block.id, proposal);
+  }
+
+  maybe_vote(block);
+
+  process_pending_proposals(block.id);
+}
+
+void DiemBftCore::maybe_vote(const Block& block) {
+  if (block.round != pacemaker_.current_round() || pacemaker_.timed_out()) {
+    return;
+  }
+  if (!safety_.can_vote(block)) return;
+
+  const Vote vote = build_vote(block);
+  safety_.record_vote(block.round);
+  history_.record_vote(block);
+  hooks_.send_vote(election_.leader_of(block.round + 1), vote);
+}
+
+Vote DiemBftCore::build_vote(const Block& block) {
+  Vote vote;
+  vote.block_id = block.id;
+  vote.round = block.round;
+  vote.voter = config_.id;
+  switch (config_.mode) {
+    case CoreMode::Plain:
+      vote.mode = VoteMode::Plain;
+      break;
+    case CoreMode::SftMarker:
+      vote.mode = VoteMode::Marker;
+      vote.marker = history_.marker_for(block);
+      break;
+    case CoreMode::SftIntervals:
+      vote.mode = VoteMode::Intervals;
+      vote.endorsed = history_.intervals_for(block, config_.interval_window);
+      break;
+  }
+  vote.sig = signer_.sign(vote.signing_bytes());
+  return vote;
+}
+
+// ------------------------------------------------------------- QC handling
+
+void DiemBftCore::observe_qc(const QuorumCert& qc, bool canonical) {
+  safety_.observe_qc(qc);
+  if (canonical && tracker_) {
+    const auto updates = tracker_->process_qc(qc);
+    qc_updates_.emplace(qc.digest(), updates);  // keep first (non-reprocessed)
+    apply_strength_updates(updates);
+  }
+  check_regular_commit(qc);
+
+  // Our proposed block got certified: its payload is safely in flight.
+  if (last_proposed_payload_ && qc.round == last_proposed_payload_->first) {
+    last_proposed_payload_.reset();
+  }
+}
+
+void DiemBftCore::check_regular_commit(const QuorumCert& qc) {
+  // Fig. 2 commit rule, phrased on QC receipt (Fig. 3): a QC for B_{k+2}
+  // commits B_k when B_k, B_{k+1}, B_{k+2} have consecutive rounds.
+  const Block* top = tree_.get(qc.block_id);
+  if (top == nullptr) return;
+  const Block* mid = tree_.parent_of(top->id);
+  if (mid == nullptr || mid->round + 1 != top->round) return;
+  const Block* low = tree_.parent_of(mid->id);
+  if (low == nullptr || low->height == 0 || low->round + 1 != mid->round) {
+    return;
+  }
+  commit_chain(*low, config_.f());
+}
+
+void DiemBftCore::apply_strength_updates(
+    const std::vector<StrengthUpdate>& updates) {
+  for (const StrengthUpdate& update : updates) {
+    if (const Block* head = tree_.get(update.block_id)) {
+      commit_chain(*head, update.strength);
+    }
+  }
+}
+
+void DiemBftCore::commit_chain(const Block& head, std::uint32_t strength) {
+  // Commit `head` and all its ancestors at `strength` (strong commit rule:
+  // "x-strong commits a block B_k and all its ancestors"). Stop as soon as a
+  // block already has the strength — deeper ancestors then do too.
+  for (const Block* block = &head; block != nullptr && block->height > 0;
+       block = tree_.parent_of(block->id)) {
+    const auto result = ledger_.commit(*block, strength, sched_.now());
+    if (result == chain::Ledger::CommitResult::NoChange) break;
+    if (result == chain::Ledger::CommitResult::New) {
+      pool_.mark_committed(block->payload);
+    }
+    if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
+  }
+}
+
+// -------------------------------------------------------- vote aggregation
+
+void DiemBftCore::on_vote(const Vote& vote) {
+  if (stopped_) return;
+  if (config_.verify_signatures &&
+      (vote.voter != vote.sig.signer ||
+       !registry_->verify(vote.sig, vote.signing_bytes()))) {
+    return;
+  }
+  if (election_.leader_of(vote.round + 1) != config_.id) {
+    // Not the collector for this round. In the FBFT baseline this is an
+    // extra vote multicast by the round's leader: count it directly.
+    if (config_.fbft_mode) ingest_direct_vote(vote);
+    return;
+  }
+  if (vote.round <= last_sealed_round_) {
+    // Arrived after we sealed the QC for its round. SFT-DiemBFT drops it
+    // (Sec. 3.2); the FBFT baseline must multicast it (Appendix B).
+    if (config_.fbft_mode) fbft_handle_late_vote(vote);
+    return;
+  }
+  add_to_aggregator(vote);
+}
+
+void DiemBftCore::add_to_aggregator(const Vote& vote) {
+  PendingVotes& pending = votes_[vote.round][vote.block_id];
+  if (pending.finalized) {
+    // QC sealed but round not yet advanced (possible mid-event): same late-
+    // vote treatment as above.
+    if (config_.fbft_mode) fbft_handle_late_vote(vote);
+    return;
+  }
+  pending.by_voter.emplace(vote.voter, vote);
+  try_finalize_qc(vote.round, vote.block_id);
+}
+
+void DiemBftCore::ingest_direct_vote(const Vote& vote) {
+  if (!tracker_) return;
+  apply_strength_updates(tracker_->process_extra_vote(vote));
+}
+
+void DiemBftCore::fbft_handle_late_vote(const Vote& vote) {
+  if (hooks_.broadcast_extra_vote) hooks_.broadcast_extra_vote(vote);
+  ingest_direct_vote(vote);
+}
+
+void DiemBftCore::try_finalize_qc(Round round, const BlockId& block_id) {
+  auto round_it = votes_.find(round);
+  if (round_it == votes_.end()) return;
+  auto block_it = round_it->second.find(block_id);
+  if (block_it == round_it->second.end()) return;
+  PendingVotes& pending = block_it->second;
+
+  if (pending.finalized) return;
+  if (pending.by_voter.size() < config_.quorum()) return;
+  if (!tree_.contains(block_id)) return;  // wait for the proposal
+
+  const SimDuration wait =
+      config_.extra_wait ? config_.extra_wait(round) : SimDuration{0};
+  if (wait > 0) {
+    // Fig. 8: hold the QC open to fold in late votes (QC diversity).
+    if (pending.extra_wait_timer == sim::kInvalidTimer) {
+      pending.extra_wait_timer = sched_.schedule_after(
+          wait, [this, round, block_id] { finalize_qc(round, block_id); });
+    }
+    return;
+  }
+  finalize_qc(round, block_id);
+}
+
+void DiemBftCore::finalize_qc(Round round, const BlockId& block_id) {
+  PendingVotes& pending = votes_[round][block_id];
+  if (pending.finalized || stopped_) return;
+  pending.finalized = true;
+  if (round > last_sealed_round_) last_sealed_round_ = round;
+  sched_.cancel(pending.extra_wait_timer);
+  pending.extra_wait_timer = sim::kInvalidTimer;
+
+  const Block* block = tree_.get(block_id);
+  assert(block != nullptr);
+
+  QuorumCert qc;
+  qc.block_id = block_id;
+  qc.round = round;
+  qc.parent_id = block->parent_id;
+  qc.parent_round = block->qc.round;
+  qc.votes.reserve(pending.by_voter.size());
+  for (const auto& [voter, vote] : pending.by_voter) qc.votes.push_back(vote);
+  qc.canonicalize();
+
+  // The leader processes the QC it formed (it will embed it in its next
+  // proposal, so it is canonical) and advances into the led round.
+  observe_qc(qc, /*canonical=*/true);
+  votes_.erase(votes_.begin(), votes_.upper_bound(round));
+  pacemaker_.advance_to(round + 1);
+}
+
+// ----------------------------------------------------------------- timeouts
+
+void DiemBftCore::on_local_timeout(Round round) {
+  if (stopped_) return;
+  // Fig. 2: stop voting for round r, multicast ⟨timeout, r, qc_high⟩.
+  safety_.record_vote(round);
+  if (last_proposed_payload_ && last_proposed_payload_->first == round) {
+    pool_.requeue(last_proposed_payload_->second);
+    last_proposed_payload_.reset();
+  }
+  TimeoutMsg msg;
+  msg.round = round;
+  msg.sender = config_.id;
+  msg.high_qc = safety_.high_qc();
+  msg.sig = signer_.sign(msg.signing_bytes());
+  hooks_.broadcast_timeout(msg);
+}
+
+void DiemBftCore::on_timeout_msg(const TimeoutMsg& msg) {
+  if (stopped_) return;
+  if (config_.verify_signatures &&
+      (msg.sender != msg.sig.signer ||
+       !registry_->verify(msg.sig, msg.signing_bytes()))) {
+    return;
+  }
+  if (!msg.high_qc.is_genesis()) {
+    if (config_.verify_signatures &&
+        !msg.high_qc.verify(*registry_, config_.quorum())) {
+      return;
+    }
+    // Timeout-borne QCs update locking/qc_high/round but not endorsements
+    // (endorser sets must stay canonical across replicas, Sec. 5).
+    observe_qc(msg.high_qc, /*canonical=*/false);
+    pacemaker_.advance_to(msg.high_qc.round + 1);
+  }
+
+  add_timeout(msg);
+}
+
+void DiemBftCore::add_timeout(const TimeoutMsg& msg) {
+  if (msg.round + 1 < pacemaker_.current_round()) return;  // stale
+  auto& per_sender = timeouts_[msg.round];
+  per_sender.emplace(msg.sender, msg);
+  if (per_sender.size() == config_.quorum()) {
+    TimeoutCert tc;
+    tc.round = msg.round;
+    tc.timeouts.reserve(per_sender.size());
+    for (const auto& [sender, timeout] : per_sender) {
+      tc.timeouts.push_back(timeout);
+    }
+    last_tc_ = tc;
+    timeouts_.erase(timeouts_.begin(), timeouts_.upper_bound(msg.round));
+    pacemaker_.advance_to(msg.round + 1);
+  }
+}
+
+// --------------------------------------------------------------- validation
+
+bool DiemBftCore::validate_proposal(const Proposal& proposal) const {
+  const Block& block = proposal.block;
+  if (block.round == 0) return false;
+  if (block.proposer != election_.leader_of(block.round)) return false;
+  if (!block.id_is_valid()) return false;
+  if (config_.verify_signatures) {
+    if (proposal.sig.signer != block.proposer) return false;
+    if (!registry_->verify(proposal.sig, proposal.signing_bytes())) {
+      return false;
+    }
+    if (!block.qc.verify(*registry_, config_.quorum())) return false;
+    if (proposal.tc && !proposal.tc->verify(*registry_, config_.quorum())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DiemBftCore::validate_commit_log(const Proposal& proposal) {
+  if (!config_.verify_commit_log || !tracker_) return true;
+  // Lenient-but-sound rule: accept entries the local tracker can justify
+  // (the QC embedded in this proposal has already been processed). An entry
+  // claiming more strength than locally derivable is an overstatement.
+  for (const types::CommitLogEntry& entry : proposal.commit_log) {
+    if (tracker_->head_strength(entry.block_id) < entry.strength) return false;
+  }
+  return true;
+}
+
+void DiemBftCore::process_pending_proposals(const BlockId& parent_id) {
+  auto it = pending_proposals_.find(parent_id);
+  if (it == pending_proposals_.end()) return;
+  const std::vector<Proposal> waiting = std::move(it->second);
+  pending_proposals_.erase(it);
+  for (const Proposal& proposal : waiting) on_proposal(proposal);
+}
+
+}  // namespace sftbft::consensus

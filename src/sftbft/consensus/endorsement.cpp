@@ -1,0 +1,178 @@
+#include "sftbft/consensus/endorsement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sftbft::consensus {
+
+using types::Block;
+using types::BlockId;
+using types::QuorumCert;
+using types::Vote;
+
+EndorsementTracker::EndorsementTracker(const chain::BlockTree& tree,
+                                       std::uint32_t n, std::uint32_t f,
+                                       CountingRule rule)
+    : tree_(&tree), n_(n), f_(f), rule_(rule) {}
+
+std::vector<StrengthUpdate> EndorsementTracker::process_qc(
+    const QuorumCert& qc) {
+  std::vector<StrengthUpdate> updates;
+  if (qc.is_genesis()) return updates;
+  if (!seen_qcs_.insert(qc.digest()).second) return updates;  // idempotent
+
+  std::vector<BlockId> touched;
+  for (const Vote& vote : qc.votes) {
+    process_vote(vote, touched);
+  }
+
+  // Deduplicate before re-evaluating (votes often touch the same ancestors).
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const BlockId& id : touched) {
+    reevaluate(id, updates);
+  }
+  return updates;
+}
+
+std::vector<StrengthUpdate> EndorsementTracker::process_extra_vote(
+    const Vote& vote) {
+  std::vector<StrengthUpdate> updates;
+  std::vector<BlockId> touched;
+  process_vote(vote, touched);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const BlockId& id : touched) {
+    reevaluate(id, updates);
+  }
+  return updates;
+}
+
+void EndorsementTracker::process_vote(const Vote& vote,
+                                      std::vector<BlockId>& touched) {
+  const Block* block = tree_->get(vote.block_id);
+  // QCs are processed after their certified block is linked into the tree;
+  // an unknown block here means the caller violated that ordering, and the
+  // vote is conservatively ignored (under-counting never harms safety).
+  if (block == nullptr) return;
+
+  // Direct endorsement of the voted block itself.
+  if (endorsers_[block->id].insert(vote.voter).second) {
+    touched.push_back(block->id);
+  }
+
+  // Indirect endorsements down the ancestor chain.
+  for (const Block* ancestor = tree_->parent_of(block->id);
+       ancestor != nullptr && ancestor->height > 0;
+       ancestor = tree_->parent_of(ancestor->id)) {
+    bool endorses = false;
+    switch (rule_) {
+      case CountingRule::NaiveAllIndirect:
+        endorses = true;  // Appendix C strawman — provably unsafe
+        break;
+      case CountingRule::Sft:
+        endorses = vote.endorses_round(ancestor->round);
+        break;
+    }
+    if (endorses) {
+      if (!endorsers_[ancestor->id].insert(vote.voter).second) {
+        // The voter already endorsed this ancestor through an earlier vote.
+        // A voter's endorsement power only shrinks over time (markers grow,
+        // intervals narrow), so that earlier — at least as permissive —
+        // vote already covered everything reachable below here. Stopping
+        // keeps the walk O(new blocks) amortized: the paper's "marginal
+        // bookkeeping overhead" (Sec. 3.2).
+        break;
+      }
+      touched.push_back(ancestor->id);
+      continue;
+    }
+    // Marker mode: rounds strictly decrease toward genesis, so once
+    // ancestor.round <= marker every deeper ancestor fails too.
+    if (vote.mode == types::VoteMode::Marker) break;
+    // Interval mode: gaps are possible, but nothing below the smallest
+    // endorsed round can match.
+    if (vote.mode == types::VoteMode::Intervals &&
+        (vote.endorsed.empty() || ancestor->round < vote.endorsed.min())) {
+      break;
+    }
+    if (vote.mode == types::VoteMode::Plain) break;  // no indirect power
+  }
+}
+
+void EndorsementTracker::reevaluate(const BlockId& id,
+                                    std::vector<StrengthUpdate>& updates) {
+  // A count change at `id` can complete 3-chains headed at `id`, its parent,
+  // or its grandparent.
+  const Block* block = tree_->get(id);
+  if (block == nullptr) return;
+  evaluate_head(*block, updates);
+  if (const Block* parent = tree_->parent_of(id)) {
+    if (parent->height > 0) evaluate_head(*parent, updates);
+    if (const Block* grandparent = tree_->parent_of(parent->id)) {
+      if (grandparent->height > 0) evaluate_head(*grandparent, updates);
+    }
+  }
+}
+
+void EndorsementTracker::evaluate_head(const Block& head,
+                                       std::vector<StrengthUpdate>& updates) {
+  const std::uint32_t count_head = endorser_count(head.id);
+  if (count_head < 2 * f_ + 1) return;  // cannot reach even x = f
+
+  // Enumerate chains head -> c1 -> c2 with consecutive rounds; equivocation
+  // can create several, so take the best.
+  std::uint32_t best_min = 0;
+  for (const Block* c1 : tree_->children_of(head.id)) {
+    if (c1->round != head.round + 1) continue;
+    const std::uint32_t count1 = endorser_count(c1->id);
+    for (const Block* c2 : tree_->children_of(c1->id)) {
+      if (c2->round != c1->round + 1) continue;
+      const std::uint32_t count2 = endorser_count(c2->id);
+      best_min = std::max(best_min, std::min({count_head, count1, count2}));
+    }
+  }
+  if (best_min < f_ + 1) return;
+  const std::uint32_t x = std::min(best_min - f_ - 1, 2 * f_);
+  if (x < f_) return;  // strong commit rules start at the regular level
+
+  std::uint32_t& recorded = head_strength_[head.id];
+  if (x > recorded) {
+    recorded = x;
+    updates.push_back({head.id, head.round, x});
+  }
+}
+
+std::uint32_t EndorsementTracker::endorser_count(const BlockId& id) const {
+  auto it = endorsers_.find(id);
+  return it == endorsers_.end() ? 0
+                                : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::vector<ReplicaId> EndorsementTracker::endorsers(const BlockId& id) const {
+  std::vector<ReplicaId> out;
+  auto it = endorsers_.find(id);
+  if (it != endorsers_.end()) {
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::uint32_t EndorsementTracker::head_strength(const BlockId& id) const {
+  auto it = head_strength_.find(id);
+  return it == head_strength_.end() ? 0 : it->second;
+}
+
+std::uint32_t EndorsementTracker::effective_strength(const BlockId& id) const {
+  // Max head strength over the block itself and every descendant, found by
+  // DFS over children. Used for light-client log validation, where chains
+  // are short-lived frontiers; fine for simulation scale.
+  std::uint32_t best = head_strength(id);
+  for (const Block* child : tree_->children_of(id)) {
+    best = std::max(best, effective_strength(child->id));
+  }
+  return best;
+}
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,104 @@
+// Endorser tracking and the strong commit rule (paper Fig. 4 / Fig. 5).
+//
+// A strong-vote ⟨vote, B', r', marker⟩_i endorses a round-r block B iff
+// B = B', or B' extends B and marker < r (interval votes: r ∈ I). The
+// tracker consumes every strong-QC embedded in the chain, maintains the set
+// of endorsers per block, and evaluates the *strong 3-chain rule*: x-strong
+// commit B_k when three adjacent blocks B_k, B_k+1, B_k+2 with consecutive
+// rounds each have >= x + f + 1 endorsers.
+//
+// The walk per vote is the paper's "marginal bookkeeping": ancestors are
+// visited from the voted block downward and the marker prunes the walk —
+// once an ancestor's round drops to <= marker no deeper ancestor can be
+// endorsed either (rounds strictly decrease along the chain).
+//
+// CountingRule::NaiveAllIndirect implements the Appendix-C strawman (count
+// every indirect vote, ignore voting history). It exists only to demonstrate
+// the safety violation of Fig. 9 in tests/examples — never use it for real.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/types/quorum_cert.hpp"
+
+namespace sftbft::consensus {
+
+enum class CountingRule {
+  Sft,               ///< paper Fig. 4: markers/intervals gate endorsements
+  NaiveAllIndirect,  ///< Appendix C strawman: every indirect vote counts
+};
+
+/// "Block `block_id` (round `round`) is now x-strong committed" — emitted
+/// when a 3-chain head first reaches strength x (ancestors follow by rule).
+struct StrengthUpdate {
+  types::BlockId block_id{};
+  Round round = 0;
+  std::uint32_t strength = 0;
+
+  friend bool operator==(const StrengthUpdate&, const StrengthUpdate&) = default;
+};
+
+class EndorsementTracker {
+ public:
+  /// `tree` must outlive the tracker. n = 3f + 1.
+  EndorsementTracker(const chain::BlockTree& tree, std::uint32_t n,
+                     std::uint32_t f, CountingRule rule = CountingRule::Sft);
+
+  /// Ingests a strong-QC (idempotent per identical QC; unions vote sets of
+  /// different QCs for the same block). Every voted block must already be in
+  /// the tree. Returns the strong-commit levels newly reached, in discovery
+  /// order (3-chain heads only; callers propagate to ancestors).
+  std::vector<StrengthUpdate> process_qc(const types::QuorumCert& qc);
+
+  /// Ingests a single vote outside any QC — the Appendix-B FBFT baseline,
+  /// where leaders multicast votes arriving after the QC was sealed.
+  std::vector<StrengthUpdate> process_extra_vote(const types::Vote& vote);
+
+  /// Number of endorsers currently known for a block (0 if unknown).
+  [[nodiscard]] std::uint32_t endorser_count(const types::BlockId& id) const;
+
+  /// The endorser set itself (empty if unknown).
+  [[nodiscard]] std::vector<ReplicaId> endorsers(const types::BlockId& id) const;
+
+  /// Highest x such that the block was *directly* x-strong committed as a
+  /// 3-chain head; 0 if never. (Ancestors inherit the max over descendant
+  /// heads — tracked by the ledger, not here.)
+  [[nodiscard]] std::uint32_t head_strength(const types::BlockId& id) const;
+
+  /// Strength the block enjoys through itself or any descendant 3-chain head
+  /// (the Sec.-5 quantity light-client log entries are validated against).
+  [[nodiscard]] std::uint32_t effective_strength(const types::BlockId& id) const;
+
+  [[nodiscard]] CountingRule rule() const { return rule_; }
+
+ private:
+  /// Adds `voter`'s endorsements from a vote for `block_id`; records every
+  /// block whose endorser set actually grew into `touched`.
+  void process_vote(const types::Vote& vote,
+                    std::vector<types::BlockId>& touched);
+
+  /// Re-evaluates 3-chains around a block whose count changed.
+  void reevaluate(const types::BlockId& id,
+                  std::vector<StrengthUpdate>& updates);
+
+  /// Evaluates the 3-chain headed at `head` (if one exists) and records a
+  /// strength increase.
+  void evaluate_head(const types::Block& head,
+                     std::vector<StrengthUpdate>& updates);
+
+  const chain::BlockTree* tree_;
+  std::uint32_t n_;
+  std::uint32_t f_;
+  CountingRule rule_;
+
+  std::unordered_map<types::BlockId, std::unordered_set<ReplicaId>> endorsers_;
+  std::unordered_map<types::BlockId, std::uint32_t> head_strength_;
+  std::unordered_set<crypto::Sha256Digest> seen_qcs_;
+};
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,58 @@
+#include "sftbft/consensus/pacemaker.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sftbft::consensus {
+
+Pacemaker::Pacemaker(sim::Scheduler& sched, PacemakerConfig config,
+                     Callbacks callbacks)
+    : sched_(sched), config_(config), callbacks_(std::move(callbacks)) {
+  assert(config_.backoff >= 1.0);
+}
+
+void Pacemaker::start() {
+  assert(round_ == 0);
+  enter(1);
+}
+
+void Pacemaker::stop() {
+  stopped_ = true;
+  sched_.cancel(timer_);
+  timer_ = sim::kInvalidTimer;
+}
+
+bool Pacemaker::advance_to(Round round) {
+  if (stopped_ || round <= round_) return false;
+  enter(round);
+  return true;
+}
+
+void Pacemaker::enter(Round round) {
+  // Entering a round while the previous one never timed out means progress —
+  // reset the backoff; a timeout chain keeps growing the timer instead.
+  if (!timed_out_) consecutive_timeouts_ = 0;
+  round_ = round;
+  timed_out_ = false;
+  arm_timer();
+  if (callbacks_.on_round_entered) callbacks_.on_round_entered(round);
+}
+
+void Pacemaker::arm_timer() {
+  sched_.cancel(timer_);
+  const double scale = std::pow(
+      config_.backoff,
+      std::min(consecutive_timeouts_, config_.max_backoff_steps));
+  const auto duration = static_cast<SimDuration>(
+      static_cast<double>(config_.base_timeout) * scale);
+  timer_ = sched_.schedule_after(duration, [this] {
+    timer_ = sim::kInvalidTimer;
+    if (stopped_) return;
+    timed_out_ = true;
+    ++consecutive_timeouts_;
+    const Round expired = round_;
+    if (callbacks_.on_local_timeout) callbacks_.on_local_timeout(expired);
+  });
+}
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,69 @@
+// Pacemaker: round synchronization (paper Fig. 2, "Synchronization rule" and
+// "Timeout").
+//
+// The replica advances to round r after seeing the QC of a round-(r−1) block
+// or 2f + 1 timeout messages of round r−1 (the core observes those and calls
+// advance_to). On entering a round the pacemaker arms a timer; on expiry the
+// core stops voting in the round and multicasts ⟨timeout, r, qc_high⟩.
+// An optional backoff factor grows the timer across consecutive timeouts —
+// production pacemakers do this to re-synchronize before GST; the paper's
+// experiments use a fixed ("predefined") duration, backoff 1.0.
+#pragma once
+
+#include <functional>
+
+#include "sftbft/common/types.hpp"
+#include "sftbft/sim/scheduler.hpp"
+
+namespace sftbft::consensus {
+
+struct PacemakerConfig {
+  SimDuration base_timeout = millis(3000);
+  /// Timer multiplier per consecutive timed-out round (>= 1.0).
+  double backoff = 1.0;
+  /// Cap on the backoff exponent.
+  int max_backoff_steps = 6;
+};
+
+class Pacemaker {
+ public:
+  struct Callbacks {
+    /// New round entered (propose here if leader; timer is already armed).
+    std::function<void(Round)> on_round_entered;
+    /// The round timer expired (multicast a timeout message; the pacemaker
+    /// has already recorded the timeout for backoff purposes).
+    std::function<void(Round)> on_local_timeout;
+  };
+
+  Pacemaker(sim::Scheduler& sched, PacemakerConfig config, Callbacks callbacks);
+
+  /// Enters round 1.
+  void start();
+
+  /// Stops all timers (crash / end of experiment).
+  void stop();
+
+  [[nodiscard]] Round current_round() const { return round_; }
+
+  /// Round-sync rule: called with r = qc.round + 1 or tc.round + 1.
+  /// Advances (and re-arms the timer) only forward. Returns true on advance.
+  bool advance_to(Round round);
+
+  /// Whether the current round's timer already fired (replica stops voting).
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+
+ private:
+  void enter(Round round);
+  void arm_timer();
+
+  sim::Scheduler& sched_;
+  PacemakerConfig config_;
+  Callbacks callbacks_;
+  Round round_ = 0;
+  bool timed_out_ = false;
+  int consecutive_timeouts_ = 0;
+  sim::TimerId timer_ = sim::kInvalidTimer;
+  bool stopped_ = false;
+};
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,64 @@
+// DiemBFT safety rules (paper Fig. 2: voting rule + locking rule).
+//
+// State per replica: highest voted round r_vote, highest locked round r_lock,
+// highest quorum certificate qc_high. The voting rule — vote for the first
+// valid round-r proposal iff r > r_vote and parent.round >= r_lock — plus the
+// 2-chain locking rule are what the SFT layer's safety proof (Lemmas 1–2)
+// builds on; this class implements them verbatim and nothing else.
+#pragma once
+
+#include "sftbft/common/types.hpp"
+#include "sftbft/types/block.hpp"
+#include "sftbft/types/quorum_cert.hpp"
+
+namespace sftbft::consensus {
+
+class SafetyRules {
+ public:
+  SafetyRules() = default;
+
+  /// Fig. 2 voting rule: may this replica vote for `block` in round
+  /// `block.round` given the parent's round? (`parent_round` comes from the
+  /// validated QC embedded in the block.)
+  [[nodiscard]] bool can_vote(const types::Block& block) const {
+    // block.qc certifies the parent, so qc.round is the parent's round.
+    return block.round > voted_round_ &&   // (1) r > r_vote
+           block.round > block.qc.round && // structural: rounds increase
+           block.qc.round >= locked_round_;  // (2) parent.round >= r_lock
+  }
+
+  /// Records that the replica voted in `round` (updates r_vote).
+  void record_vote(Round round) {
+    if (round > voted_round_) voted_round_ = round;
+  }
+
+  /// Fig. 2 locking rule: on any valid QC, lock on the round of the parent
+  /// of the certified block, and track the highest QC.
+  void observe_qc(const types::QuorumCert& qc) {
+    if (qc.parent_round > locked_round_) locked_round_ = qc.parent_round;
+    if (qc.round > high_qc_.round) high_qc_ = qc;
+  }
+
+  /// Pacemaker hook: stop voting in rounds below `round` (on round entry /
+  /// local timeout, Fig. 2 "stops ... voting for round < r").
+  void forbid_votes_below(Round round) {
+    if (round > 0 && round - 1 > voted_round_) voted_round_ = round - 1;
+  }
+
+  /// Seeds qc_high with the genesis QC (round 0, certifying the genesis
+  /// block id) so the first leader has a parent to extend.
+  void init_high_qc(const types::QuorumCert& genesis_qc) {
+    high_qc_ = genesis_qc;
+  }
+
+  [[nodiscard]] Round voted_round() const { return voted_round_; }
+  [[nodiscard]] Round locked_round() const { return locked_round_; }
+  [[nodiscard]] const types::QuorumCert& high_qc() const { return high_qc_; }
+
+ private:
+  Round voted_round_ = 0;
+  Round locked_round_ = 0;
+  types::QuorumCert high_qc_{};  // genesis QC (round 0)
+};
+
+}  // namespace sftbft::consensus

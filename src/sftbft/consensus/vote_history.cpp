@@ -1,0 +1,46 @@
+#include "sftbft/consensus/vote_history.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sftbft::consensus {
+
+void VoteHistory::record_vote(const types::Block& block) {
+  assert(tree_->contains(block.id));
+  // Drop frontier entries on the same fork (ancestors of the new vote);
+  // what remains are the highest voted blocks of *other* forks.
+  std::erase_if(frontier_, [&](const FrontierEntry& entry) {
+    return tree_->extends(block.id, entry.block_id);
+  });
+  frontier_.push_back({block.id, block.round});
+}
+
+Round VoteHistory::marker_for(const types::Block& block) const {
+  Round marker = 0;
+  for (const FrontierEntry& entry : frontier_) {
+    // An entry conflicts with `block` iff `block` does not extend it (the
+    // entry cannot extend `block`: its round is lower than any new vote's).
+    if (entry.round > marker && !tree_->extends(block.id, entry.block_id)) {
+      marker = entry.round;
+    }
+  }
+  return marker;
+}
+
+IntervalSet VoteHistory::intervals_for(const types::Block& block,
+                                       Round window) const {
+  const Round r = block.round;
+  const Round lo = (window == 0 || r <= window) ? 1 : r - window;
+  IntervalSet endorsed = IntervalSet::single(lo, r);
+  for (const FrontierEntry& entry : frontier_) {
+    if (tree_->extends(block.id, entry.block_id)) continue;  // same fork
+    // D_F = [r_l + 1, r_h]: r_h = highest voted round on the fork, r_l =
+    // round of the common ancestor of `block` and that frontier block.
+    const types::Block& ancestor =
+        tree_->common_ancestor(block.id, entry.block_id);
+    endorsed.subtract(ancestor.round + 1, entry.round);
+  }
+  return endorsed;
+}
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,60 @@
+// Voting-history bookkeeping for strong-votes (paper Fig. 4 and Sec. 3.4).
+//
+// "For every fork in the blockchain, the replica additionally keeps the
+// highest voted block on that fork." This class maintains exactly that — the
+// *frontier* of voted blocks (voted blocks that are not ancestors of other
+// voted blocks; one per fork) — and derives from it:
+//
+//  * marker(B)   = max{B'.round | B' in frontier, B' conflicts with B}
+//                  (0 when the replica never voted on a conflicting fork);
+//  * intervals(B) = [lo, r] \ ∪_F D_F   with   D_F = [r_l + 1, r_h],
+//    where r_h is the highest voted round on fork F and r_l the round of the
+//    common ancestor of B and that fork's frontier block (Sec. 3.4). `lo` is
+//    1 for full history or r − window for the windowed variant the paper
+//    suggests ("the set of intervals for the last n rounds").
+//
+// Since the voting rule only allows strictly increasing vote rounds, a newly
+// voted block can never be an ancestor of a previously voted one, so frontier
+// maintenance is: drop entries the new block extends, then append it.
+#pragma once
+
+#include <vector>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/common/interval_set.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/types/block.hpp"
+
+namespace sftbft::consensus {
+
+class VoteHistory {
+ public:
+  explicit VoteHistory(const chain::BlockTree& tree) : tree_(&tree) {}
+
+  /// Records a vote for `block` (already inserted into the tree).
+  void record_vote(const types::Block& block);
+
+  /// Fig. 4 marker for a prospective vote on `block`.
+  [[nodiscard]] Round marker_for(const types::Block& block) const;
+
+  /// Sec. 3.4 endorsed intervals for a prospective vote on `block`.
+  /// `window == 0` means full history ([1, r]); otherwise the last `window`
+  /// rounds ([r − window, r], clipped at 1).
+  [[nodiscard]] IntervalSet intervals_for(const types::Block& block,
+                                          Round window) const;
+
+  struct FrontierEntry {
+    types::BlockId block_id{};
+    Round round = 0;
+  };
+
+  [[nodiscard]] const std::vector<FrontierEntry>& frontier() const {
+    return frontier_;
+  }
+
+ private:
+  const chain::BlockTree* tree_;
+  std::vector<FrontierEntry> frontier_;
+};
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,63 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The library is dependency-free: block digests, vote digests and the HMAC
+// signature substrate all run on this implementation. Verified against the
+// NIST/FIPS test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sftbft/common/bytes.hpp"
+
+namespace sftbft::crypto {
+
+/// A 32-byte SHA-256 digest. Ordered and hashable so it can key maps.
+struct Sha256Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  [[nodiscard]] std::string hex() const;
+  /// First 8 hex chars, for log readability.
+  [[nodiscard]] std::string short_hex() const;
+
+  friend auto operator<=>(const Sha256Digest&, const Sha256Digest&) = default;
+};
+
+/// Incremental SHA-256 context (init/update/final).
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  [[nodiscard]] Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// HMAC-SHA-256 (RFC 2104); verified against RFC 4231 vectors.
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace sftbft::crypto
+
+// Hash support so Sha256Digest can key unordered containers.
+template <>
+struct std::hash<sftbft::crypto::Sha256Digest> {
+  std::size_t operator()(const sftbft::crypto::Sha256Digest& d) const noexcept {
+    // The digest is uniformly distributed; fold the first 8 bytes.
+    std::size_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | d.bytes[static_cast<std::size_t>(i)];
+    }
+    return v;
+  }
+};

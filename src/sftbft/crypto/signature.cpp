@@ -1,0 +1,55 @@
+#include "sftbft/crypto/signature.hpp"
+
+#include <stdexcept>
+
+#include "sftbft/common/rng.hpp"
+
+namespace sftbft::crypto {
+
+void Signature::encode(Encoder& enc) const {
+  enc.u32(signer);
+  enc.raw(mac);
+}
+
+Signature Signature::decode(Decoder& dec) {
+  Signature sig;
+  sig.signer = dec.u32();
+  const Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), sig.mac.begin());
+  return sig;
+}
+
+Signature Signer::sign(BytesView message) const {
+  Signature sig;
+  sig.signer = id_;
+  sig.mac = hmac_sha256(secret_, message).bytes;
+  return sig;
+}
+
+KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x5f7bfad1c0ffee00ULL);
+  secrets_.resize(n);
+  for (auto& secret : secrets_) {
+    for (std::size_t i = 0; i < secret.size(); i += 8) {
+      const std::uint64_t word = rng.next();
+      for (std::size_t j = 0; j < 8; ++j) {
+        secret[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+      }
+    }
+  }
+}
+
+Signer KeyRegistry::signer_for(ReplicaId id) const {
+  if (id >= secrets_.size()) {
+    throw std::out_of_range("KeyRegistry::signer_for: unknown replica");
+  }
+  return Signer(id, secrets_[id]);
+}
+
+bool KeyRegistry::verify(const Signature& sig, BytesView message) const {
+  if (sig.signer >= secrets_.size()) return false;
+  const Sha256Digest expected = hmac_sha256(secrets_[sig.signer], message);
+  return ct_equal(expected.bytes, sig.mac);
+}
+
+}  // namespace sftbft::crypto

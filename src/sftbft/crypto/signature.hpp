@@ -1,0 +1,77 @@
+// Signature substrate: Signer / Verifier / KeyRegistry (the PKI).
+//
+// Substitution note (see DESIGN.md §2): the paper's implementation uses the
+// Diem production signature scheme. The protocol logic only requires that a
+// Byzantine replica cannot forge an honest replica's vote *within the run*.
+// We realize this with HMAC-SHA-256 over per-replica secrets: a replica can
+// sign only through its own Signer (which owns its secret), and the registry
+// verifies by recomputation. The interfaces mirror asymmetric signatures so a
+// production scheme (e.g. Ed25519) can be swapped in without touching
+// protocol code.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sftbft/common/bytes.hpp"
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/sha256.hpp"
+
+namespace sftbft::crypto {
+
+/// A signature over a message digest, tagged with the signer identity.
+struct Signature {
+  ReplicaId signer = kNoReplica;
+  std::array<std::uint8_t, 32> mac{};
+
+  void encode(Encoder& enc) const;
+  static Signature decode(Decoder& dec);
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class KeyRegistry;
+
+/// Signing capability of one replica. Only the replica's own actor holds its
+/// Signer, which is what makes honest votes unforgeable in the simulation.
+class Signer {
+ public:
+  [[nodiscard]] ReplicaId id() const { return id_; }
+
+  /// Signs an arbitrary message (protocol code signs canonical encodings).
+  [[nodiscard]] Signature sign(BytesView message) const;
+
+ private:
+  friend class KeyRegistry;
+  Signer(ReplicaId id, std::array<std::uint8_t, 32> secret)
+      : id_(id), secret_(secret) {}
+
+  ReplicaId id_;
+  std::array<std::uint8_t, 32> secret_;
+};
+
+/// The PKI: generates all replica keys from a seed and verifies signatures.
+/// Every replica (and the test harness) holds a shared_ptr to one registry.
+class KeyRegistry {
+ public:
+  /// Deterministically derives `n` replica keys from `seed`.
+  KeyRegistry(std::uint32_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(secrets_.size());
+  }
+
+  /// Hands out the signer for `id`. Call once per replica at setup; protocol
+  /// code never touches other replicas' signers.
+  [[nodiscard]] Signer signer_for(ReplicaId id) const;
+
+  /// True iff `sig` is a valid signature by `sig.signer` over `message`.
+  [[nodiscard]] bool verify(const Signature& sig, BytesView message) const;
+
+ private:
+  std::vector<std::array<std::uint8_t, 32>> secrets_;
+};
+
+}  // namespace sftbft::crypto

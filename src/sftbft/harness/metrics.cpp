@@ -1,0 +1,104 @@
+#include "sftbft/harness/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sftbft::harness {
+
+StrengthLatencyTracker::StrengthLatencyTracker(
+    std::uint32_t n, std::vector<std::uint32_t> levels)
+    : n_(n), levels_(std::move(levels)) {
+  assert(std::is_sorted(levels_.begin(), levels_.end()));
+}
+
+void StrengthLatencyTracker::on_commit(ReplicaId replica,
+                                       const types::Block& block,
+                                       std::uint32_t strength, SimTime now) {
+  auto [it, inserted] = blocks_.try_emplace(block.id);
+  PerBlock& entry = it->second;
+  if (inserted) {
+    entry.created = block.created_at;
+    entry.credited.assign(n_, 0);
+    entry.latency_sum.assign(levels_.size(), 0.0);
+    entry.sample_count.assign(levels_.size(), 0);
+  }
+  // Credit every level in (already-credited, strength] for this replica.
+  std::uint8_t& idx = entry.credited[replica];
+  while (idx < levels_.size() && levels_[idx] <= strength) {
+    entry.latency_sum[idx] += to_seconds(now - entry.created);
+    entry.sample_count[idx] += 1;
+    ++idx;
+  }
+}
+
+void StrengthLatencyTracker::set_window(SimTime min_created,
+                                        SimTime max_created) {
+  window_min_ = min_created;
+  window_max_ = max_created;
+}
+
+std::vector<StrengthLatencyTracker::LevelStats>
+StrengthLatencyTracker::results() const {
+  std::vector<LevelStats> out(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) out[i].level = levels_[i];
+
+  for (const auto& [id, entry] : blocks_) {
+    if (entry.created < window_min_ || entry.created > window_max_) continue;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (entry.sample_count[i] == 0) continue;
+      out[i].samples += entry.sample_count[i];
+      out[i].blocks += 1;
+      out[i].mean_latency_s += entry.latency_sum[i];
+    }
+  }
+  const std::uint64_t window = window_blocks();
+  for (LevelStats& stats : out) {
+    if (stats.samples > 0) {
+      stats.mean_latency_s /= static_cast<double>(stats.samples);
+    }
+    if (window > 0) {
+      stats.coverage = static_cast<double>(stats.samples) /
+                       (static_cast<double>(window) * n_);
+    }
+  }
+  return out;
+}
+
+std::uint64_t StrengthLatencyTracker::window_blocks() const {
+  std::uint64_t count = 0;
+  for (const auto& [id, entry] : blocks_) {
+    if (entry.created >= window_min_ && entry.created <= window_max_) ++count;
+  }
+  return count;
+}
+
+LedgerSummary summarize_ledger(const chain::Ledger& ledger,
+                               SimDuration duration, SimTime window_min,
+                               SimTime window_max) {
+  LedgerSummary summary;
+  double latency_total = 0;
+  double strength_total = 0;
+  std::uint64_t latency_samples = 0;
+  for (const chain::Ledger::Entry& entry : ledger.snapshot()) {
+    if (entry.created_at < window_min || entry.created_at > window_max) {
+      continue;
+    }
+    summary.committed_blocks += 1;
+    summary.committed_txns += entry.txn_count;
+    latency_total += to_seconds(entry.first_committed_at - entry.created_at);
+    strength_total += entry.strength;
+    ++latency_samples;
+  }
+  if (latency_samples > 0) {
+    summary.mean_regular_latency_s =
+        latency_total / static_cast<double>(latency_samples);
+    summary.mean_strength = strength_total / static_cast<double>(latency_samples);
+  }
+  if (duration > 0) {
+    summary.txns_per_sec = static_cast<double>(summary.committed_txns) /
+                           to_seconds(duration);
+  }
+  return summary;
+}
+
+}  // namespace sftbft::harness

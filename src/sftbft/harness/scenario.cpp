@@ -1,0 +1,158 @@
+#include "sftbft/harness/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace sftbft::harness {
+
+SimDuration Scenario::expected_round() const {
+  SimDuration widest = intra;
+  switch (topo) {
+    case Topo::Uniform:
+      widest = delta;
+      break;
+    case Topo::Symmetric3:
+      widest = delta;
+      break;
+    case Topo::Asymmetric3:
+      // The common case: leaders in A/B, quorum reachable via the A<->B
+      // link. Region-C rounds are *supposed* to overshoot this budget when
+      // δ is large (the paper's outcast effect).
+      widest = ab_delay;
+      break;
+  }
+  return leader_processing + 2 * widest;
+}
+
+SimDuration Scenario::default_timeout() const {
+  // Expected round + straggler/heterogeneity headroom (a straggler-led round
+  // adds up to 2x straggler_extra on each leg) + jitter headroom + a fixed
+  // synchrony margin. In the asymmetric topology (which the benches run with
+  // an explicitly tuned, tighter timeout) region-C leaders cannot meet the
+  // budget at δ = 200 ms while A/B-led rounds fit comfortably.
+  const SimDuration widest = expected_round() - leader_processing;
+  const auto prop_jitter = static_cast<SimDuration>(
+      jitter_frac * static_cast<double>(widest));
+  return expected_round() + prop_jitter +
+         4 * std::max(straggler_extra, hetero_medium_hi) + 4 * jitter +
+         millis(40);
+}
+
+net::Topology Scenario::build_topology() const {
+  net::Topology topology = [&] {
+    switch (topo) {
+      case Topo::Uniform:
+        return net::Topology::uniform(n, delta);
+      case Topo::Symmetric3:
+        return net::Topology::symmetric3(n, delta, intra);
+      case Topo::Asymmetric3:
+        assert(asym_a + asym_b + asym_c == n);
+        return net::Topology::asymmetric3(asym_a, asym_b, asym_c, ab_delay,
+                                          delta, intra);
+    }
+    return net::Topology::uniform(n, delta);
+  }();
+
+  // Persistent heterogeneity: deterministic per-replica extra delay, in two
+  // tiers (see the field comments in scenario.hpp).
+  if (hetero_fast_max > 0) {
+    Rng rng(seed ^ 0x48455445524fULL);  // independent of other streams
+    for (ReplicaId id = 0; id < n; ++id) {
+      const bool medium = rng.uniform01() < hetero_medium_fraction;
+      const SimDuration extra =
+          medium ? rng.uniform(hetero_medium_lo, hetero_medium_hi)
+                 : rng.uniform(0, hetero_fast_max);
+      topology.set_extra_delay(id, extra);
+    }
+  }
+
+  // Spread stragglers evenly over the id space so round-robin leadership
+  // reaches them periodically (Sec. 4.1's "one chance every n rounds").
+  if (straggler_count > 0) {
+    const std::uint32_t stride = std::max(1u, n / straggler_count);
+    for (std::uint32_t k = 0; k < straggler_count; ++k) {
+      const ReplicaId id = (k * stride + stride / 2) % n;
+      topology.set_extra_delay(id, straggler_extra);
+    }
+  }
+  return topology;
+}
+
+replica::ClusterConfig Scenario::to_cluster_config() const {
+  replica::ClusterConfig cluster;
+  cluster.n = n;
+  cluster.topology = build_topology();
+  cluster.net.jitter = jitter;
+  cluster.net.jitter_frac = jitter_frac;
+  cluster.net.gst = 0;
+  cluster.seed = seed;
+  cluster.faults = faults;
+
+  cluster.core.mode = fbft ? consensus::CoreMode::Plain : mode;
+  cluster.core.fbft_mode = fbft;
+  cluster.core.counting = counting;
+  cluster.core.base_timeout =
+      base_timeout > 0 ? base_timeout : default_timeout();
+  cluster.core.leader_processing = leader_processing;
+  if (extra_wait > 0) {
+    const SimDuration wait = extra_wait;
+    cluster.core.extra_wait = [wait](Round) { return wait; };
+  }
+  cluster.core.max_batch = max_batch;
+  cluster.core.interval_window = interval_window;
+  // The FBFT baseline's endorser sets depend on extra-vote arrival order,
+  // which differs per replica, so its proposals cannot carry a Log that
+  // every honest replica can validate — disable Sec. 5 there.
+  cluster.core.attach_commit_log = attach_commit_log && !fbft;
+  cluster.core.verify_commit_log = attach_commit_log && !fbft;
+  cluster.core.verify_signatures = verify_signatures;
+
+  cluster.workload.txn_size_bytes = txn_size_bytes;
+  cluster.workload.target_pool_size = max_batch * 4;
+  return cluster;
+}
+
+std::vector<std::uint32_t> Scenario::strength_levels() const {
+  std::vector<std::uint32_t> levels;
+  const double base = f();
+  for (int tenth = 10; tenth <= 20; ++tenth) {
+    const auto level = static_cast<std::uint32_t>(base * tenth / 10.0);
+    if (levels.empty() || levels.back() != level) levels.push_back(level);
+  }
+  return levels;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  StrengthLatencyTracker tracker(scenario.n, scenario.strength_levels());
+  replica::Cluster cluster(
+      scenario.to_cluster_config(),
+      [&tracker](ReplicaId replica, const types::Block& block,
+                 std::uint32_t strength, SimTime now) {
+        tracker.on_commit(replica, block, strength, now);
+      });
+  cluster.start();
+  cluster.run_for(scenario.duration);
+
+  tracker.set_window(scenario.warmup, scenario.duration - scenario.tail);
+
+  ScenarioResult result;
+  result.latency = tracker.results();
+  result.window_blocks = tracker.window_blocks();
+  result.summary =
+      summarize_ledger(cluster.replica(0).core().ledger(), scenario.duration,
+                       scenario.warmup, scenario.duration - scenario.tail);
+  const net::MessageStats& stats = cluster.network().stats();
+  result.total_messages = stats.total_count();
+  result.total_message_bytes = stats.total_bytes();
+  result.extra_vote_messages = stats.for_type("extra_vote").count;
+  const std::uint64_t blocks =
+      cluster.replica(0).core().ledger().committed_blocks();
+  if (blocks > 0) {
+    result.messages_per_block =
+        static_cast<double>(result.total_messages) / static_cast<double>(blocks);
+  }
+  return result;
+}
+
+}  // namespace sftbft::harness

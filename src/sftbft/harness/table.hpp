@@ -1,0 +1,32 @@
+// Plain-text table rendering for bench output.
+//
+// Benches print the same rows/series the paper's figures plot; this keeps
+// the formatting consistent (aligned columns + optional CSV for replotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sftbft::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with aligned columns.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (for replotting).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sftbft::harness

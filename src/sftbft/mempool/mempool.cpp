@@ -1,0 +1,69 @@
+#include "sftbft/mempool/mempool.hpp"
+
+namespace sftbft::mempool {
+
+void Mempool::submit(types::Transaction txn) {
+  queue_.push_back(std::move(txn));
+}
+
+types::Payload Mempool::make_batch(std::size_t max_txns) {
+  types::Payload payload;
+  payload.txns.reserve(std::min(max_txns, queue_.size()));
+  while (payload.txns.size() < max_txns && !queue_.empty()) {
+    types::Transaction txn = std::move(queue_.front());
+    queue_.pop_front();
+    if (in_flight_.contains(txn.id)) continue;
+    in_flight_.insert(txn.id);
+    payload.txns.push_back(std::move(txn));
+  }
+  return payload;
+}
+
+void Mempool::mark_committed(const types::Payload& payload) {
+  for (const types::Transaction& txn : payload.txns) {
+    in_flight_.erase(txn.id);
+  }
+}
+
+void Mempool::requeue(const types::Payload& payload) {
+  for (const types::Transaction& txn : payload.txns) {
+    if (in_flight_.erase(txn.id) > 0) {
+      queue_.push_back(txn);
+    }
+  }
+}
+
+WorkloadGenerator::WorkloadGenerator(sim::Scheduler& sched, Mempool& pool,
+                                     WorkloadConfig config, Rng rng)
+    : sched_(sched), pool_(pool), config_(config), rng_(rng) {}
+
+void WorkloadGenerator::start() {
+  if (config_.mean_interarrival > 0) schedule_next();
+}
+
+void WorkloadGenerator::schedule_next() {
+  const auto wait = static_cast<SimDuration>(
+      rng_.exponential(static_cast<double>(config_.mean_interarrival)));
+  sched_.schedule_after(std::max<SimDuration>(wait, 1), [this] {
+    if (pool_.pending() < config_.target_pool_size) {
+      pool_.submit(types::Transaction{
+          .id = (id_space_ << 40) | next_id_++,
+          .submitted_at = sched_.now(),
+          .size_bytes = config_.txn_size_bytes,
+      });
+    }
+    schedule_next();
+  });
+}
+
+void WorkloadGenerator::top_up() {
+  while (pool_.pending() < config_.target_pool_size) {
+    pool_.submit(types::Transaction{
+        .id = (id_space_ << 40) | next_id_++,
+        .submitted_at = sched_.now(),
+        .size_bytes = config_.txn_size_bytes,
+    });
+  }
+}
+
+}  // namespace sftbft::mempool

@@ -1,0 +1,156 @@
+// Simulated point-to-point network under partial synchrony.
+//
+// Substitution note (DESIGN.md §2): the paper runs 100 EC2 instances with
+// injected inter-region delays; we reproduce the same delay geometry on a
+// discrete-event scheduler. Delivery time for a message sent at `s` is
+//
+//     max(s, GST) + base_delay(from, to) + size/bandwidth + jitter
+//
+// which realizes the partial-synchrony contract: after the (configurable)
+// Global Stabilization Time every message arrives within Δ. Before GST the
+// adversary may additionally delay or drop messages via a link filter, and
+// partitions can be installed/healed at runtime.
+//
+// The class is a template over the message type so the DiemBFT and Streamlet
+// stacks each get a type-safe network without sharing message definitions.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sftbft/common/rng.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/net/stats.hpp"
+#include "sftbft/net/topology.hpp"
+#include "sftbft/sim/scheduler.hpp"
+
+namespace sftbft::net {
+
+struct NetConfig {
+  /// Uniform jitter in [0, jitter] added per message (models OS/queueing
+  /// noise; drives QC-membership diversity in the experiments).
+  SimDuration jitter = 0;
+  /// Distance-proportional jitter: an extra uniform [0, jitter_frac * base]
+  /// per message. Long WAN paths have proportionally larger delay variance
+  /// (more hops/queues); without this, large δ makes arrival order fully
+  /// deterministic by region and QC membership loses all diversity.
+  double jitter_frac = 0.0;
+  /// Link bandwidth in bytes per second; 0 means unlimited (pure latency).
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Global Stabilization Time; messages sent earlier arrive no earlier than
+  /// gst + base delay. 0 means the network is synchronous from the start.
+  SimTime gst = 0;
+};
+
+template <typename Message>
+class SimNetwork {
+ public:
+  /// Receives a message at a replica: (sender, message, wire size).
+  using Handler =
+      std::function<void(ReplicaId from, const Message& msg)>;
+
+  /// Test hook deciding per-link delivery. Return false to drop the message.
+  using LinkFilter = std::function<bool(ReplicaId from, ReplicaId to)>;
+
+  SimNetwork(sim::Scheduler& sched, Topology topology, NetConfig config,
+             std::uint64_t seed)
+      : sched_(sched),
+        topology_(std::move(topology)),
+        config_(config),
+        rng_(seed) {
+    handlers_.resize(topology_.size());
+  }
+
+  /// Registers the inbound handler for a replica. A replica with no handler
+  /// silently drops traffic (crash faults are modelled by clearing it).
+  void set_handler(ReplicaId id, Handler handler) {
+    handlers_[id] = std::move(handler);
+  }
+
+  /// Simulates a crash: the replica stops receiving (and the caller stops
+  /// its timers / sends).
+  void disconnect(ReplicaId id) { handlers_[id] = nullptr; }
+
+  [[nodiscard]] bool connected(ReplicaId id) const {
+    return static_cast<bool>(handlers_[id]);
+  }
+
+  /// Installs (or clears, if empty) an adversarial link filter.
+  void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// Sends `msg` from `from` to `to`. `type` labels the message for stats.
+  /// Self-sends deliver immediately (same event, no network hop) which is how
+  /// a leader counts its own vote without a round-trip.
+  void send(ReplicaId from, ReplicaId to, const std::string& type,
+            std::size_t wire_size, Message msg) {
+    send_shared(from, to, type, wire_size,
+                std::make_shared<const Message>(std::move(msg)));
+  }
+
+  /// Sends to every replica. DiemBFT proposals and timeout messages are
+  /// multicast; `include_self` controls whether the sender also handles its
+  /// own copy (it does for proposals — the leader votes on its own block).
+  /// The payload is shared, not copied per recipient.
+  void multicast(ReplicaId from, const std::string& type,
+                 std::size_t wire_size, Message msg,
+                 bool include_self = true) {
+    auto shared = std::make_shared<const Message>(std::move(msg));
+    for (ReplicaId to = 0; to < topology_.size(); ++to) {
+      if (to == from && !include_self) continue;
+      send_shared(from, to, type, wire_size, shared);
+    }
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] MessageStats& stats() { return stats_; }
+  [[nodiscard]] const MessageStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  void send_shared(ReplicaId from, ReplicaId to, const std::string& type,
+                   std::size_t wire_size,
+                   std::shared_ptr<const Message> msg) {
+    stats_.record(type, wire_size);
+    if (filter_ && !filter_(from, to)) return;
+    if (from == to) {
+      deliver(from, to, *msg);
+      return;
+    }
+    const SimTime start = std::max(sched_.now(), config_.gst);
+    const SimDuration base = topology_.base_delay(from, to);
+    SimDuration delay = base;
+    if (config_.bandwidth_bytes_per_sec > 0) {
+      delay += static_cast<SimDuration>(
+          (static_cast<double>(wire_size) /
+           static_cast<double>(config_.bandwidth_bytes_per_sec)) *
+          1e6);
+    }
+    if (config_.jitter > 0) delay += rng_.uniform(0, config_.jitter);
+    if (config_.jitter_frac > 0 && base > 0) {
+      delay += rng_.uniform(
+          0, static_cast<SimDuration>(config_.jitter_frac *
+                                      static_cast<double>(base)));
+    }
+    sched_.schedule_at(start + delay, [this, from, to, m = std::move(msg)] {
+      deliver(from, to, *m);
+    });
+  }
+
+  void deliver(ReplicaId from, ReplicaId to, const Message& msg) {
+    if (handlers_[to]) handlers_[to](from, msg);
+  }
+
+  sim::Scheduler& sched_;
+  Topology topology_;
+  NetConfig config_;
+  Rng rng_;
+  MessageStats stats_;
+  LinkFilter filter_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace sftbft::net

@@ -1,0 +1,57 @@
+// Message accounting.
+//
+// The paper's central efficiency claim (Sec. 3.2, App. B) is that
+// SFT-DiemBFT keeps *linear* amortized message complexity per block decision
+// while the FBFT adaptation is quadratic. MessageStats counts every protocol
+// message and its wire size so bench/tab_msg_complexity can measure
+// messages-per-committed-block directly instead of asserting the asymptotics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sftbft::net {
+
+class MessageStats {
+ public:
+  /// Records one message of `type` with `wire_size` payload bytes.
+  void record(const std::string& type, std::size_t wire_size) {
+    auto& entry = per_type_[type];
+    entry.count += 1;
+    entry.bytes += wire_size;
+    total_count_ += 1;
+    total_bytes_ += wire_size;
+  }
+
+  struct TypeStats {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] std::uint64_t total_count() const { return total_count_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  [[nodiscard]] TypeStats for_type(const std::string& type) const {
+    auto it = per_type_.find(type);
+    return it == per_type_.end() ? TypeStats{} : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, TypeStats>& by_type() const {
+    return per_type_;
+  }
+
+  void reset() {
+    per_type_.clear();
+    total_count_ = 0;
+    total_bytes_ = 0;
+  }
+
+ private:
+  std::map<std::string, TypeStats> per_type_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sftbft::net

@@ -1,0 +1,102 @@
+#include "sftbft/net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sftbft::net {
+
+Topology Topology::uniform(std::uint32_t n, SimDuration delay) {
+  return regions({n}, {{delay}});
+}
+
+Topology Topology::regions(
+    const std::vector<std::uint32_t>& region_sizes,
+    const std::vector<std::vector<SimDuration>>& region_delay) {
+  assert(region_sizes.size() == region_delay.size());
+  Topology topo;
+  topo.region_delay_ = region_delay;
+
+  // Interleave region membership across the id space (largest-remainder
+  // scheduling) instead of assigning contiguous id blocks. Round-robin
+  // leader election walks ids sequentially, so interleaving makes leadership
+  // alternate between regions the way a real deployment's arbitrary
+  // id<->region mapping does; contiguous blocks would give each region one
+  // long leadership burst per rotation and distort the Fig. 7 latencies.
+  const std::uint32_t total = [&] {
+    std::uint32_t sum = 0;
+    for (std::uint32_t s : region_sizes) sum += s;
+    return sum;
+  }();
+  std::vector<std::uint32_t> assigned(region_sizes.size(), 0);
+  for (std::uint32_t id = 0; id < total; ++id) {
+    // Pick the region currently most behind its proportional share.
+    std::uint32_t best = 0;
+    double best_deficit = -1e18;
+    for (std::uint32_t r = 0; r < region_sizes.size(); ++r) {
+      if (assigned[r] >= region_sizes[r]) continue;
+      const double share = static_cast<double>(region_sizes[r]) / total;
+      const double deficit = share * (id + 1) - assigned[r];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = r;
+      }
+    }
+    assert(region_delay[best].size() == region_sizes.size());
+    topo.region_of_.push_back(best);
+    ++assigned[best];
+  }
+  topo.extra_delay_.assign(topo.region_of_.size(), 0);
+  return topo;
+}
+
+Topology Topology::symmetric3(std::uint32_t n, SimDuration delta,
+                              SimDuration intra) {
+  // Split as evenly as possible, larger remainders first (34/33/33 at 100).
+  const std::uint32_t base = n / 3;
+  const std::uint32_t rem = n % 3;
+  std::vector<std::uint32_t> sizes = {base + (rem > 0 ? 1 : 0),
+                                      base + (rem > 1 ? 1 : 0), base};
+  const std::vector<std::vector<SimDuration>> delays = {
+      {intra, delta, delta}, {delta, intra, delta}, {delta, delta, intra}};
+  return regions(sizes, delays);
+}
+
+Topology Topology::asymmetric3(std::uint32_t a, std::uint32_t b,
+                               std::uint32_t c, SimDuration ab,
+                               SimDuration delta, SimDuration intra) {
+  const std::vector<std::vector<SimDuration>> delays = {
+      {intra, ab, delta}, {ab, intra, delta}, {delta, delta, intra}};
+  return regions({a, b, c}, delays);
+}
+
+SimDuration Topology::base_delay(ReplicaId from, ReplicaId to) const {
+  if (from == to) return 0;
+  const SimDuration region_part =
+      region_delay_[region_of_[from]][region_of_[to]];
+  return region_part + extra_delay_[from] + extra_delay_[to];
+}
+
+void Topology::set_extra_delay(ReplicaId id, SimDuration extra) {
+  assert(id < extra_delay_.size());
+  extra_delay_[id] = extra;
+}
+
+SimDuration Topology::max_base_delay() const {
+  SimDuration max_region = 0;
+  for (const auto& row : region_delay_) {
+    for (SimDuration d : row) max_region = std::max(max_region, d);
+  }
+  // Two largest straggler surcharges can combine on one link.
+  std::vector<SimDuration> extras = extra_delay_;
+  std::partial_sort(extras.begin(),
+                    extras.begin() + std::min<std::size_t>(2, extras.size()),
+                    extras.end(), std::greater<>());
+  SimDuration extra_sum = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, extras.size()); ++i) {
+    extra_sum += extras[i];
+  }
+  return max_region + extra_sum;
+}
+
+}  // namespace sftbft::net

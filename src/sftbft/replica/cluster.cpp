@@ -1,0 +1,41 @@
+#include "sftbft/replica/cluster.hpp"
+
+#include <cassert>
+
+namespace sftbft::replica {
+
+Cluster::Cluster(ClusterConfig config, CommitObserver observer)
+    : config_(std::move(config)) {
+  assert(config_.topology.size() == config_.n);
+  registry_ = std::make_shared<crypto::KeyRegistry>(config_.n, config_.seed);
+  network_ = std::make_unique<DiemNetwork>(sched_, config_.topology,
+                                           config_.net, config_.seed ^ 0xabcd);
+
+  Rng workload_seed_rng(config_.seed ^ 0x77aa);
+  for (ReplicaId id = 0; id < config_.n; ++id) {
+    consensus::CoreConfig core = config_.core;
+    core.id = id;
+    core.n = config_.n;
+    const FaultSpec fault =
+        id < config_.faults.size() ? config_.faults[id] : FaultSpec::honest();
+    replicas_.push_back(std::make_unique<Replica>(
+        core, *network_, registry_, config_.workload, workload_seed_rng.fork(),
+        fault, observer));
+  }
+}
+
+void Cluster::start() {
+  for (auto& rep : replicas_) rep->start();
+}
+
+void Cluster::run_for(SimDuration duration) { sched_.run_for(duration); }
+
+std::uint32_t Cluster::honest_count() const {
+  std::uint32_t honest = 0;
+  for (const auto& rep : replicas_) {
+    if (rep->fault().kind == FaultSpec::Kind::Honest) ++honest;
+  }
+  return honest;
+}
+
+}  // namespace sftbft::replica

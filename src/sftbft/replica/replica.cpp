@@ -1,0 +1,78 @@
+#include "sftbft/replica/replica.hpp"
+
+namespace sftbft::replica {
+
+using consensus::DiemBftCore;
+using types::Message;
+using types::Proposal;
+using types::TimeoutMsg;
+using types::Vote;
+
+Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
+                 std::shared_ptr<const crypto::KeyRegistry> registry,
+                 mempool::WorkloadConfig workload, Rng workload_rng,
+                 FaultSpec fault, CommitObserver observer)
+    : id_(config.id),
+      network_(network),
+      fault_(fault),
+      workload_(network.scheduler(), pool_, workload, workload_rng),
+      observer_(std::move(observer)) {
+  workload_.set_id_space(id_);
+
+  const bool silent = fault_.kind == FaultSpec::Kind::Silent;
+  DiemBftCore::Hooks hooks;
+  hooks.send_vote = [this, silent](ReplicaId to, const Vote& vote) {
+    if (silent) return;
+    network_.send(id_, to, "vote", vote.wire_size(), Message{vote});
+  };
+  hooks.broadcast_proposal = [this, silent](const Proposal& proposal) {
+    if (silent) return;
+    network_.multicast(id_, "proposal", proposal.wire_size(),
+                       Message{proposal}, /*include_self=*/true);
+  };
+  hooks.broadcast_timeout = [this, silent](const TimeoutMsg& msg) {
+    if (silent) return;
+    network_.multicast(id_, "timeout", msg.wire_size(), Message{msg},
+                       /*include_self=*/true);
+  };
+  hooks.broadcast_extra_vote = [this, silent](const Vote& vote) {
+    if (silent) return;
+    network_.multicast(id_, "extra_vote", vote.wire_size(), Message{vote},
+                       /*include_self=*/false);
+  };
+  hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
+                           SimTime now) {
+    if (observer_) observer_(id_, block, strength, now);
+  };
+
+  core_ = std::make_unique<DiemBftCore>(config, network.scheduler(), registry,
+                                        pool_, std::move(hooks));
+}
+
+void Replica::start() {
+  network_.set_handler(
+      id_, [this](ReplicaId /*from*/, const Message& msg) { on_message(msg); });
+  workload_.top_up();
+  workload_.start();
+  if (fault_.kind == FaultSpec::Kind::Crash) {
+    network_.scheduler().schedule_at(fault_.crash_at, [this] { crash(); });
+  }
+  core_->start();
+}
+
+void Replica::on_message(const Message& msg) {
+  if (std::holds_alternative<Proposal>(msg)) {
+    core_->on_proposal(std::get<Proposal>(msg));
+  } else if (std::holds_alternative<Vote>(msg)) {
+    core_->on_vote(std::get<Vote>(msg));
+  } else {
+    core_->on_timeout_msg(std::get<TimeoutMsg>(msg));
+  }
+}
+
+void Replica::crash() {
+  core_->stop();
+  network_.disconnect(id_);
+}
+
+}  // namespace sftbft::replica

@@ -1,0 +1,75 @@
+// A full replica: consensus core + network wiring + mempool + fault model.
+//
+// Fault behaviours available to experiments and tests:
+//  * Honest    — follows the protocol;
+//  * Crash     — benign fault (Theorem 2): stops entirely at `crash_at`;
+//  * Silent    — Byzantine fault for liveness experiments (Theorem 3): stays
+//                synced but never sends any message (no votes, proposals, or
+//                timeouts), so its leadership rounds time out;
+//  * stragglers are modelled in the network topology (extra per-replica
+//    delay), not here — see net::Topology::set_extra_delay.
+// Actively equivocating adversaries (Appendix C) are scripted directly in
+// tests/examples against the type layer; they need message-level control a
+// well-formed replica cannot express.
+#pragma once
+
+#include <memory>
+
+#include "sftbft/consensus/diembft.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/net/sim_network.hpp"
+#include "sftbft/types/proposal.hpp"
+
+namespace sftbft::replica {
+
+using DiemNetwork = net::SimNetwork<types::Message>;
+
+struct FaultSpec {
+  enum class Kind { Honest, Crash, Silent };
+  Kind kind = Kind::Honest;
+  /// Crash time (Kind::Crash only).
+  SimTime crash_at = 0;
+
+  static FaultSpec honest() { return {}; }
+  static FaultSpec crash_at_time(SimTime at) {
+    return {.kind = Kind::Crash, .crash_at = at};
+  }
+  static FaultSpec silent() { return {.kind = Kind::Silent}; }
+};
+
+class Replica {
+ public:
+  /// Commit observer: (replica, block, strength, time). Fired once per
+  /// strength level first reached per block.
+  using CommitObserver = std::function<void(
+      ReplicaId, const types::Block&, std::uint32_t, SimTime)>;
+
+  Replica(consensus::CoreConfig config, DiemNetwork& network,
+          std::shared_ptr<const crypto::KeyRegistry> registry,
+          mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
+          CommitObserver observer);
+
+  /// Registers the network handler, fills the mempool, arms the crash timer,
+  /// and enters round 1.
+  void start();
+
+  [[nodiscard]] consensus::DiemBftCore& core() { return *core_; }
+  [[nodiscard]] const consensus::DiemBftCore& core() const { return *core_; }
+  [[nodiscard]] mempool::Mempool& pool() { return pool_; }
+  [[nodiscard]] ReplicaId id() const { return id_; }
+  [[nodiscard]] const FaultSpec& fault() const { return fault_; }
+
+ private:
+  void on_message(const types::Message& msg);
+  void crash();
+
+  ReplicaId id_;
+  DiemNetwork& network_;
+  FaultSpec fault_;
+  mempool::Mempool pool_;
+  mempool::WorkloadGenerator workload_;
+  std::unique_ptr<consensus::DiemBftCore> core_;
+  CommitObserver observer_;
+};
+
+}  // namespace sftbft::replica

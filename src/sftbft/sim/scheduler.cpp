@@ -1,0 +1,69 @@
+#include "sftbft/sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sftbft::sim {
+
+TimerId Scheduler::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const TimerId id = next_seq_++;
+  heap_.push(Event{.time = t < now_ ? now_ : t, .seq = id, .id = id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+TimerId Scheduler::schedule_after(SimDuration delay, Callback cb) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Scheduler::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  if (callbacks_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+void Scheduler::dispatch(const Event& ev) {
+  now_ = ev.time;
+  auto it = callbacks_.find(ev.id);
+  assert(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  ++processed_;
+  cb();
+}
+
+bool Scheduler::run_one() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled
+    dispatch(ev);
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    const Event ev = heap_.top();
+    if (ev.time > deadline) break;
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    dispatch(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_for(SimDuration duration) { run_until(now_ + duration); }
+
+void Scheduler::run_until_idle(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (count < max_events && !stop_requested_ && run_one()) ++count;
+}
+
+}  // namespace sftbft::sim

@@ -1,0 +1,281 @@
+#include "sftbft/streamlet/streamlet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sftbft/common/codec.hpp"
+
+namespace sftbft::streamlet {
+
+using types::Block;
+using types::BlockId;
+
+Bytes SProposal::signing_bytes() const {
+  Encoder enc;
+  enc.str("sftbft/streamlet/proposal");
+  enc.raw(block.id.bytes);
+  enc.u64(block.round);
+  return enc.take();
+}
+
+std::size_t SProposal::wire_size() const {
+  Encoder enc;
+  block.encode(enc);
+  sig.encode(enc);
+  return enc.data().size() + block.payload.total_bytes();
+}
+
+Bytes SVote::signing_bytes() const {
+  Encoder enc;
+  enc.str("sftbft/streamlet/vote");
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u64(height);
+  enc.u32(voter);
+  enc.u64(marker);
+  return enc.take();
+}
+
+std::size_t SVote::wire_size() const {
+  // block id + round + height + voter + marker + signature.
+  return 32 + 8 + 8 + 4 + 8 + 36;
+}
+
+StreamletCore::StreamletCore(
+    StreamletConfig config, sim::Scheduler& sched,
+    std::shared_ptr<const crypto::KeyRegistry> registry,
+    mempool::Mempool& pool, Hooks hooks)
+    : config_(config),
+      sched_(sched),
+      registry_(std::move(registry)),
+      signer_(registry_->signer_for(config.id)),
+      pool_(pool),
+      hooks_(std::move(hooks)) {
+  // Genesis is certified by definition and roots the longest chain.
+  certified_.insert(tree_.genesis_id());
+  longest_tip_ = tree_.genesis_id();
+  longest_height_ = 0;
+}
+
+void StreamletCore::start() { on_round_tick(); }
+
+void StreamletCore::stop() { stopped_ = true; }
+
+void StreamletCore::on_round_tick() {
+  if (stopped_) return;
+  ++round_;
+  voted_this_round_ = false;
+  if (round_ % config_.n == config_.id) propose();
+  sched_.schedule_after(2 * config_.delta_bound, [this] { on_round_tick(); });
+}
+
+const Block& StreamletCore::longest_certified_tip() const {
+  const Block* tip = tree_.get(longest_tip_);
+  assert(tip != nullptr);
+  return *tip;
+}
+
+void StreamletCore::propose() {
+  const Block& parent = longest_certified_tip();
+  Block block;
+  block.parent_id = parent.id;
+  block.round = round_;
+  block.height = parent.height + 1;
+  block.proposer = config_.id;
+  // Chaining metadata only: Streamlet certification is tracked from the
+  // multicast votes, so the embedded QC is a stub naming the parent.
+  block.qc.block_id = parent.id;
+  block.qc.round = parent.round;
+  block.qc.parent_id = parent.parent_id;
+  block.payload = pool_.make_batch(config_.max_batch);
+  block.created_at = sched_.now();
+  block.seal();
+
+  SProposal proposal;
+  proposal.block = block;
+  proposal.sig = signer_.sign(proposal.signing_bytes());
+  hooks_.broadcast_proposal(proposal);
+}
+
+void StreamletCore::on_proposal(const SProposal& proposal) {
+  if (stopped_) return;
+  const Block& block = proposal.block;
+  if (block.round == 0 || block.round % config_.n != block.proposer) return;
+  if (!block.id_is_valid()) return;
+  if (config_.verify_signatures &&
+      (proposal.sig.signer != block.proposer ||
+       !registry_->verify(proposal.sig, proposal.signing_bytes()))) {
+    return;
+  }
+  const bool unseen = !tree_.contains(block.id);
+  const auto inserted = tree_.insert(block);
+  if (inserted == chain::BlockTree::InsertResult::Rejected) return;
+  if (unseen && config_.echo && hooks_.echo) hooks_.echo(SMessage{proposal});
+  if (inserted == chain::BlockTree::InsertResult::Inserted) {
+    // Votes may have arrived (via echo) before the proposal.
+    try_certify(block.id);
+    maybe_vote(block);
+  }
+}
+
+void StreamletCore::maybe_vote(const Block& block) {
+  if (block.round != round_ || voted_this_round_) return;
+  // Voting rule: the proposal must extend one of the longest certified
+  // chains known to the replica.
+  const Block* parent = tree_.get(block.parent_id);
+  if (parent == nullptr) return;
+  if (!certified_.contains(parent->id) || parent->height != longest_height_) {
+    return;
+  }
+  voted_this_round_ = true;
+
+  SVote vote;
+  vote.block_id = block.id;
+  vote.round = block.round;
+  vote.height = block.height;
+  vote.voter = config_.id;
+  vote.marker = config_.sft ? marker_for(block) : 0;
+  vote.sig = signer_.sign(vote.signing_bytes());
+
+  // Update the voted frontier (one entry per fork).
+  std::erase_if(voted_frontier_, [&](const BlockId& entry) {
+    return tree_.extends(block.id, entry);
+  });
+  voted_frontier_.push_back(block.id);
+
+  hooks_.broadcast_vote(vote);
+}
+
+Height StreamletCore::marker_for(const Block& block) const {
+  Height marker = 0;
+  for (const BlockId& entry : voted_frontier_) {
+    if (tree_.extends(block.id, entry)) continue;  // same fork
+    const Block* voted = tree_.get(entry);
+    if (voted != nullptr && voted->height > marker) marker = voted->height;
+  }
+  return marker;
+}
+
+void StreamletCore::on_vote(const SVote& vote) {
+  if (stopped_) return;
+  if (config_.verify_signatures &&
+      (vote.voter != vote.sig.signer ||
+       !registry_->verify(vote.sig, vote.signing_bytes()))) {
+    return;
+  }
+  auto& per_voter = votes_[vote.block_id];
+  if (!per_voter.emplace(vote.voter, vote).second) return;  // duplicate
+  if (config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
+  if (config_.sft) record_endorsement(vote);
+  try_certify(vote.block_id);
+  // New endorsements can raise strengths of already-certified triples.
+  if (config_.sft && tree_.contains(vote.block_id)) {
+    check_commits(vote.block_id);
+  }
+}
+
+void StreamletCore::try_certify(const BlockId& id) {
+  if (certified_.contains(id)) return;
+  auto it = votes_.find(id);
+  if (it == votes_.end() || it->second.size() < config_.quorum()) return;
+  const Block* block = tree_.get(id);
+  if (block == nullptr) return;  // wait for the proposal
+
+  certified_.insert(id);
+  if (block->height > longest_height_) {
+    longest_height_ = block->height;
+    longest_tip_ = id;
+  }
+  check_commits(id);
+}
+
+void StreamletCore::record_endorsement(const SVote& vote) {
+  const Block* block = tree_.get(vote.block_id);
+  if (block == nullptr) return;
+  // Direct votes always endorse their own block (the B = B' case): record
+  // marker 0 so every k > 0 counts it.
+  auto& own = min_marker_[block->id];
+  auto [it, inserted] = own.try_emplace(vote.voter, 0);
+  if (!inserted) it->second = 0;
+
+  for (const Block* ancestor = tree_.parent_of(block->id);
+       ancestor != nullptr && ancestor->height > 0;
+       ancestor = tree_.parent_of(ancestor->id)) {
+    auto& markers = min_marker_[ancestor->id];
+    auto [mit, fresh] = markers.try_emplace(vote.voter, vote.marker);
+    if (!fresh) {
+      if (mit->second <= vote.marker) break;  // older vote was as permissive
+      mit->second = vote.marker;
+    }
+  }
+}
+
+std::uint32_t StreamletCore::k_endorser_count(const BlockId& id,
+                                              Height k) const {
+  auto it = min_marker_.find(id);
+  if (it == min_marker_.end()) return 0;
+  std::uint32_t count = 0;
+  for (const auto& [voter, marker] : it->second) {
+    if (marker < k) ++count;
+  }
+  return count;
+}
+
+void StreamletCore::check_commits(const BlockId& id) {
+  const Block* block = tree_.get(id);
+  if (block == nullptr) return;
+  // `id` can sit in a (parent, middle, child) triple in three positions.
+  evaluate_triple(*block);
+  if (const Block* parent = tree_.parent_of(id)) evaluate_triple(*parent);
+  for (const Block* child : tree_.children_of(id)) evaluate_triple(*child);
+}
+
+void StreamletCore::evaluate_triple(const Block& middle) {
+  if (middle.height == 0) return;
+  const Block* parent = tree_.parent_of(middle.id);
+  if (parent == nullptr) return;
+  if (parent->round + 1 != middle.round) return;
+  if (!certified_.contains(middle.id)) return;
+  if (parent->height > 0 && !certified_.contains(parent->id)) return;
+
+  for (const Block* child : tree_.children_of(middle.id)) {
+    if (child->round != middle.round + 1) continue;
+    if (!certified_.contains(child->id)) continue;
+
+    // Plain Streamlet commit (strength f).
+    std::uint32_t strength = config_.f();
+    if (config_.sft) {
+      // Strong commit rule: x + f + 1 k-endorsers on all three blocks,
+      // with k the height of the committed (middle) block.
+      const Height k = middle.height;
+      const std::uint32_t count =
+          std::min({parent->height == 0 ? config_.n
+                                        : k_endorser_count(parent->id, k),
+                    k_endorser_count(middle.id, k),
+                    k_endorser_count(child->id, k)});
+      if (count >= config_.f() + 1) {
+        strength = std::max(
+            strength, std::min(count - config_.f() - 1, 2 * config_.f()));
+      }
+    }
+    std::uint32_t& recorded = triple_strength_[middle.id];
+    if (strength > recorded || recorded == 0) {
+      recorded = std::max(recorded, strength);
+      commit_chain(middle, strength);
+    }
+  }
+}
+
+void StreamletCore::commit_chain(const Block& head, std::uint32_t strength) {
+  for (const Block* block = &head; block != nullptr && block->height > 0;
+       block = tree_.parent_of(block->id)) {
+    const auto result = ledger_.commit(*block, strength, sched_.now());
+    if (result == chain::Ledger::CommitResult::NoChange) break;
+    if (result == chain::Ledger::CommitResult::New) {
+      pool_.mark_committed(block->payload);
+    }
+    if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
+  }
+}
+
+}  // namespace sftbft::streamlet

@@ -1,0 +1,166 @@
+// Streamlet and SFT-Streamlet (paper Appendix D).
+//
+// Streamlet (Chan-Shi) trades performance for simplicity:
+//  * lock-step rounds of duration 2Δ (no responsiveness);
+//  * the leader proposes extending the longest certified chain it knows;
+//  * replicas vote (multicast to everyone) iff the proposal extends one of
+//    the longest certified chains they have seen;
+//  * a block is certified once 2f + 1 votes are seen; commit the middle
+//    block of three adjacent certified blocks with consecutive rounds;
+//  * an echo mechanism forwards previously-unseen messages to all (O(n^3)
+//    messages per round — measured, not hidden, by the benches).
+//
+// SFT-Streamlet (Fig. 11) strengthens votes with a *height* marker:
+// marker = max{height(B') | B' conflicts B, replica voted for B'}. A
+// strong-vote for B' k-endorses B iff B = B', or B' extends B and
+// marker < k. The strong commit rule x-strong commits a height-k block B_k
+// iff the three adjacent certified blocks B_{k-1}, B_k, B_{k+1} (consecutive
+// rounds) each have >= x + f + 1 k-endorsers.
+//
+// D.4: because honest replicas vote only for the longest certified chain,
+// reverting an x-strong committed block h blocks deep requires > x
+// corruptions for ~h rounds (vs a single round in SFT-DiemBFT).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/chain/ledger.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/signature.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/sim/scheduler.hpp"
+#include "sftbft/types/block.hpp"
+
+namespace sftbft::streamlet {
+
+struct StreamletConfig {
+  ReplicaId id = 0;
+  std::uint32_t n = 4;
+  /// The assumed maximum network delay Δ; rounds last 2Δ.
+  SimDuration delta_bound = millis(50);
+  /// Strong-votes + strong commit rule (Fig. 11); false = plain Streamlet.
+  bool sft = true;
+  /// Forward unseen messages to all (the protocol's echo; expensive).
+  bool echo = true;
+  std::size_t max_batch = 100;
+  bool verify_signatures = true;
+
+  [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+  [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }
+};
+
+/// Streamlet messages: a proposal is just a signed block; votes carry a
+/// height marker in SFT mode.
+struct SProposal {
+  types::Block block;
+  crypto::Signature sig{};
+
+  [[nodiscard]] Bytes signing_bytes() const;
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+struct SVote {
+  types::BlockId block_id{};
+  Round round = 0;
+  Height height = 0;
+  ReplicaId voter = kNoReplica;
+  /// SFT: max height of any conflicting voted block (Fig. 11), else 0.
+  Height marker = 0;
+  crypto::Signature sig{};
+
+  [[nodiscard]] Bytes signing_bytes() const;
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+using SMessage = std::variant<SProposal, SVote>;
+
+class StreamletCore {
+ public:
+  struct Hooks {
+    std::function<void(const SProposal&)> broadcast_proposal;
+    std::function<void(const SVote&)> broadcast_vote;
+    /// Echo of a previously-unseen message (original sender attributed).
+    std::function<void(const SMessage&)> echo;
+    std::function<void(const types::Block&, std::uint32_t strength,
+                       SimTime now)>
+        on_commit;
+  };
+
+  StreamletCore(StreamletConfig config, sim::Scheduler& sched,
+                std::shared_ptr<const crypto::KeyRegistry> registry,
+                mempool::Mempool& pool, Hooks hooks);
+
+  /// Starts the lock-step round ticks (round r spans [2Δ(r-1), 2Δr)).
+  void start();
+  void stop();
+
+  void on_proposal(const SProposal& proposal);
+  void on_vote(const SVote& vote);
+
+  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] const chain::BlockTree& tree() const { return tree_; }
+  [[nodiscard]] const chain::Ledger& ledger() const { return ledger_; }
+  [[nodiscard]] bool is_certified(const types::BlockId& id) const {
+    return certified_.contains(id);
+  }
+  /// Tip (highest block) of the longest certified chain known.
+  [[nodiscard]] const types::Block& longest_certified_tip() const;
+
+  /// Number of voters whose strong-vote k-endorses `id` (SFT mode).
+  [[nodiscard]] std::uint32_t k_endorser_count(const types::BlockId& id,
+                                               Height k) const;
+
+ private:
+  void on_round_tick();
+  void propose();
+  void maybe_vote(const types::Block& block);
+  void try_certify(const types::BlockId& id);
+  void record_endorsement(const SVote& vote);
+  void check_commits(const types::BlockId& id);
+  void evaluate_triple(const types::Block& middle);
+  void commit_chain(const types::Block& head, std::uint32_t strength);
+  [[nodiscard]] Height marker_for(const types::Block& block) const;
+
+  StreamletConfig config_;
+  sim::Scheduler& sched_;
+  std::shared_ptr<const crypto::KeyRegistry> registry_;
+  crypto::Signer signer_;
+  mempool::Mempool& pool_;
+  Hooks hooks_;
+
+  chain::BlockTree tree_;
+  chain::Ledger ledger_;
+  Round round_ = 0;
+  bool stopped_ = false;
+  bool voted_this_round_ = false;
+
+  /// votes per block (by voter), and the certified set.
+  std::unordered_map<types::BlockId, std::map<ReplicaId, SVote>> votes_;
+  std::unordered_set<types::BlockId> certified_;
+
+  /// SFT bookkeeping: per block, each voter's minimum marker over votes for
+  /// the block or its descendants ("can k-endorse for any k > marker").
+  std::unordered_map<types::BlockId, std::unordered_map<ReplicaId, Height>>
+      min_marker_;
+
+  /// Voted-block frontier (one entry per fork), for marker computation.
+  std::vector<types::BlockId> voted_frontier_;
+
+  /// Longest certified tip (ties broken by lower id for determinism).
+  types::BlockId longest_tip_{};
+  Height longest_height_ = 0;
+
+  /// committed strength already reached per middle block (ratchet).
+  std::unordered_map<types::BlockId, std::uint32_t> triple_strength_;
+};
+
+}  // namespace sftbft::streamlet

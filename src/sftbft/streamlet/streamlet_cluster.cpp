@@ -1,0 +1,78 @@
+#include "sftbft/streamlet/streamlet_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sftbft::streamlet {
+
+StreamletCluster::StreamletCluster(StreamletClusterConfig config,
+                                   CommitObserver observer)
+    : config_(std::move(config)) {
+  assert(config_.topology.size() == config_.n);
+  registry_ = std::make_shared<crypto::KeyRegistry>(config_.n, config_.seed);
+  network_ = std::make_unique<StreamletNetwork>(
+      sched_, config_.topology, config_.net, config_.seed ^ 0x51ee7);
+
+  Rng workload_rng(config_.seed ^ 0x77aa);
+  for (ReplicaId id = 0; id < config_.n; ++id) {
+    const bool silent =
+        std::find(config_.silent.begin(), config_.silent.end(), id) !=
+        config_.silent.end();
+
+    pools_.push_back(std::make_unique<mempool::Mempool>());
+    workloads_.push_back(std::make_unique<mempool::WorkloadGenerator>(
+        sched_, *pools_.back(), config_.workload, workload_rng.fork()));
+    workloads_.back()->set_id_space(id);
+
+    StreamletConfig core_config = config_.core;
+    core_config.id = id;
+    core_config.n = config_.n;
+
+    StreamletCore::Hooks hooks;
+    hooks.broadcast_proposal = [this, id, silent](const SProposal& proposal) {
+      if (silent) return;
+      network_->multicast(id, "proposal", proposal.wire_size(),
+                          SMessage{proposal}, /*include_self=*/true);
+    };
+    hooks.broadcast_vote = [this, id, silent](const SVote& vote) {
+      if (silent) return;
+      network_->multicast(id, "vote", vote.wire_size(), SMessage{vote},
+                          /*include_self=*/true);
+    };
+    hooks.echo = [this, id, silent](const SMessage& msg) {
+      if (silent) return;
+      const std::size_t size = std::visit(
+          [](const auto& m) { return m.wire_size(); }, msg);
+      network_->multicast(id, "echo", size, msg, /*include_self=*/false);
+    };
+    hooks.on_commit = [this, id, observer](const types::Block& block,
+                                           std::uint32_t strength,
+                                           SimTime now) {
+      if (observer) observer(id, block, strength, now);
+    };
+
+    cores_.push_back(std::make_unique<StreamletCore>(
+        core_config, sched_, registry_, *pools_.back(), std::move(hooks)));
+  }
+}
+
+void StreamletCluster::start() {
+  for (ReplicaId id = 0; id < config_.n; ++id) {
+    workloads_[id]->top_up();
+    StreamletCore* core = cores_[id].get();
+    network_->set_handler(id, [core](ReplicaId, const SMessage& msg) {
+      if (std::holds_alternative<SProposal>(msg)) {
+        core->on_proposal(std::get<SProposal>(msg));
+      } else {
+        core->on_vote(std::get<SVote>(msg));
+      }
+    });
+    core->start();
+  }
+}
+
+void StreamletCluster::run_for(SimDuration duration) {
+  sched_.run_for(duration);
+}
+
+}  // namespace sftbft::streamlet

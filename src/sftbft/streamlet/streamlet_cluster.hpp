@@ -1,0 +1,56 @@
+// A full Streamlet / SFT-Streamlet deployment on the simulated network,
+// mirroring replica::Cluster for the DiemBFT stack (Appendix D benches and
+// tests drive this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sftbft/net/sim_network.hpp"
+#include "sftbft/sim/scheduler.hpp"
+#include "sftbft/streamlet/streamlet.hpp"
+
+namespace sftbft::streamlet {
+
+using StreamletNetwork = net::SimNetwork<SMessage>;
+
+struct StreamletClusterConfig {
+  std::uint32_t n = 4;
+  StreamletConfig core;  ///< template; id is filled per replica
+  net::Topology topology = net::Topology::uniform(4, millis(1));
+  net::NetConfig net;
+  mempool::WorkloadConfig workload;
+  std::uint64_t seed = 1;
+  /// Replicas that never send anything (Byzantine-silent / crashed from t=0).
+  std::vector<ReplicaId> silent;
+};
+
+class StreamletCluster {
+ public:
+  using CommitObserver = std::function<void(
+      ReplicaId, const types::Block&, std::uint32_t, SimTime)>;
+
+  explicit StreamletCluster(StreamletClusterConfig config,
+                            CommitObserver observer = nullptr);
+
+  void start();
+  void run_for(SimDuration duration);
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] StreamletNetwork& network() { return *network_; }
+  [[nodiscard]] StreamletCore& core(ReplicaId id) { return *cores_[id]; }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+ private:
+  StreamletClusterConfig config_;
+  sim::Scheduler sched_;
+  std::shared_ptr<const crypto::KeyRegistry> registry_;
+  std::unique_ptr<StreamletNetwork> network_;
+  std::vector<std::unique_ptr<mempool::Mempool>> pools_;
+  std::vector<std::unique_ptr<mempool::WorkloadGenerator>> workloads_;
+  std::vector<std::unique_ptr<StreamletCore>> cores_;
+};
+
+}  // namespace sftbft::streamlet

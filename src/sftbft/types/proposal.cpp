@@ -1,0 +1,74 @@
+#include "sftbft/types/proposal.hpp"
+
+namespace sftbft::types {
+
+void CommitLogEntry::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u32(strength);
+}
+
+CommitLogEntry CommitLogEntry::decode(Decoder& dec) {
+  CommitLogEntry entry;
+  const Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), entry.block_id.bytes.begin());
+  entry.round = dec.u64();
+  entry.strength = dec.u32();
+  return entry;
+}
+
+Bytes Proposal::signing_bytes() const {
+  Encoder enc;
+  enc.str("sftbft/proposal");
+  enc.raw(block.id.bytes);
+  enc.u64(block.round);
+  // The commit log is covered by the signature so a light client can trust
+  // a certified proposal's log entries (Sec. 5).
+  enc.u32(static_cast<std::uint32_t>(commit_log.size()));
+  for (const CommitLogEntry& entry : commit_log) entry.encode(enc);
+  return enc.take();
+}
+
+void Proposal::encode(Encoder& enc) const {
+  block.encode(enc);
+  enc.boolean(tc.has_value());
+  if (tc) tc->encode(enc);
+  enc.u32(static_cast<std::uint32_t>(commit_log.size()));
+  for (const CommitLogEntry& entry : commit_log) entry.encode(enc);
+  sig.encode(enc);
+}
+
+Proposal Proposal::decode(Decoder& dec) {
+  Proposal proposal;
+  proposal.block = Block::decode(dec);
+  if (dec.boolean()) proposal.tc = TimeoutCert::decode(dec);
+  const std::uint32_t count = dec.u32();
+  proposal.commit_log.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    proposal.commit_log.push_back(CommitLogEntry::decode(dec));
+  }
+  proposal.sig = crypto::Signature::decode(dec);
+  return proposal;
+}
+
+std::size_t Proposal::wire_size() const {
+  Encoder enc;
+  enc.boolean(tc.has_value());
+  if (tc) tc->encode(enc);
+  enc.u32(static_cast<std::uint32_t>(commit_log.size()));
+  for (const CommitLogEntry& entry : commit_log) entry.encode(enc);
+  sig.encode(enc);
+  return enc.data().size() + block.wire_size();
+}
+
+const char* message_type_name(const Message& msg) {
+  if (std::holds_alternative<Proposal>(msg)) return "proposal";
+  if (std::holds_alternative<Vote>(msg)) return "vote";
+  return "timeout";
+}
+
+std::size_t message_wire_size(const Message& msg) {
+  return std::visit([](const auto& m) { return m.wire_size(); }, msg);
+}
+
+}  // namespace sftbft::types

@@ -1,0 +1,62 @@
+// Proposals and the top-level message variant.
+//
+// ⟨propose, B_k, r⟩_{L_r}: the round leader multicasts its block, optionally
+// justified by a TC when the previous round timed out, plus the Sec. 5 commit
+// Log — strong-commit level updates that, once the block is certified, a
+// light client can trust (at least one honest replica among any 2f + 1
+// signers vouches for them when faults ≤ 2f).
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/signature.hpp"
+#include "sftbft/types/block.hpp"
+#include "sftbft/types/timeout.hpp"
+
+namespace sftbft::types {
+
+/// One Sec.-5 Log record: "block `block_id` (round r) reached strength x".
+struct CommitLogEntry {
+  BlockId block_id{};
+  Round round = 0;
+  /// Strength as the number of tolerated faults x (f <= x <= 2f).
+  std::uint32_t strength = 0;
+
+  void encode(Encoder& enc) const;
+  static CommitLogEntry decode(Decoder& dec);
+
+  friend bool operator==(const CommitLogEntry&, const CommitLogEntry&) = default;
+};
+
+struct Proposal {
+  Block block;
+  /// Present when the proposal follows a timed-out round.
+  std::optional<TimeoutCert> tc;
+  /// Strong-commit level updates since the parent proposal (Sec. 5).
+  std::vector<CommitLogEntry> commit_log;
+  crypto::Signature sig{};
+
+  [[nodiscard]] Round round() const { return block.round; }
+  [[nodiscard]] Bytes signing_bytes() const;
+
+  void encode(Encoder& enc) const;
+  static Proposal decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const Proposal&, const Proposal&) = default;
+};
+
+/// Everything a DiemBFT replica can receive.
+using Message = std::variant<Proposal, Vote, TimeoutMsg>;
+
+/// Stats label for a message ("proposal" / "vote" / "timeout").
+[[nodiscard]] const char* message_type_name(const Message& msg);
+
+/// Wire size of whichever alternative is held.
+[[nodiscard]] std::size_t message_wire_size(const Message& msg);
+
+}  // namespace sftbft::types

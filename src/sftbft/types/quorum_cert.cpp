@@ -1,0 +1,85 @@
+#include "sftbft/types/quorum_cert.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sftbft/crypto/signature.hpp"
+
+namespace sftbft::types {
+
+void QuorumCert::canonicalize() {
+  std::sort(votes.begin(), votes.end(),
+            [](const Vote& a, const Vote& b) { return a.voter < b.voter; });
+}
+
+bool QuorumCert::verify(const crypto::KeyRegistry& registry,
+                        std::size_t quorum) const {
+  if (is_genesis()) return votes.empty();
+  if (votes.size() < quorum) return false;
+  std::unordered_set<ReplicaId> voters;
+  for (const Vote& vote : votes) {
+    if (vote.block_id != block_id || vote.round != round) return false;
+    if (vote.voter != vote.sig.signer) return false;
+    if (!voters.insert(vote.voter).second) return false;  // duplicate voter
+    if (!registry.verify(vote.sig, vote.signing_bytes())) return false;
+  }
+  return true;
+}
+
+crypto::Sha256Digest QuorumCert::digest() const {
+  // Identity digest: binds the certified block, the parent linkage, and the
+  // voter set with per-vote markers. The votes' full contents (interval
+  // sets, signatures) are individually attested by the vote signatures that
+  // verify() checks, so they do not need to be re-hashed here — this keeps
+  // the digest O(votes) cheap (it is computed on every QC observation).
+  Encoder enc;
+  enc.str("sftbft/qc");
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.raw(parent_id.bytes);
+  enc.u64(parent_round);
+  enc.u32(static_cast<std::uint32_t>(votes.size()));
+  for (const Vote& vote : votes) {
+    enc.u32(vote.voter);
+    enc.u8(static_cast<std::uint8_t>(vote.mode));
+    enc.u64(vote.marker);
+  }
+  return crypto::Sha256::hash(enc.data());
+}
+
+void QuorumCert::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.raw(parent_id.bytes);
+  enc.u64(parent_round);
+  enc.u32(static_cast<std::uint32_t>(votes.size()));
+  for (const Vote& vote : votes) vote.encode(enc);
+}
+
+QuorumCert QuorumCert::decode(Decoder& dec) {
+  QuorumCert qc;
+  Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), qc.block_id.bytes.begin());
+  qc.round = dec.u64();
+  raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), qc.parent_id.bytes.begin());
+  qc.parent_round = dec.u64();
+  const std::uint32_t count = dec.u32();
+  qc.votes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    qc.votes.push_back(Vote::decode(dec));
+  }
+  return qc;
+}
+
+std::size_t QuorumCert::wire_size() const {
+  Encoder enc;
+  encode(enc);
+  return enc.data().size();
+}
+
+bool ranks_higher(const QuorumCert& a, const QuorumCert& b) {
+  return a.round > b.round;
+}
+
+}  // namespace sftbft::types

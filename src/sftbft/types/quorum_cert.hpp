@@ -1,0 +1,57 @@
+// Quorum certificates / strong-QCs (paper Sec. 2, Fig. 4).
+//
+// A QC is a set of 2f + 1 distinct signed votes for one block. A strong-QC
+// is the same object whose votes are strong-votes — the SFT layer reads the
+// markers/intervals out of them to maintain endorser sets. With the Fig. 8
+// extra-wait policy a leader may pack *more* than 2f + 1 votes into a QC
+// (up to n), which is what accelerates strong commits.
+#pragma once
+
+#include <vector>
+
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/signature.hpp"
+#include "sftbft/types/vote.hpp"
+
+namespace sftbft::crypto {
+class KeyRegistry;
+}
+
+namespace sftbft::types {
+
+struct QuorumCert {
+  BlockId block_id{};       ///< the certified block
+  Round round = 0;          ///< its round number
+  BlockId parent_id{};      ///< parent of the certified block
+  Round parent_round = 0;   ///< parent's round (drives the locking rule)
+  /// The signed (strong-)votes, canonically sorted by voter id.
+  std::vector<Vote> votes;
+
+  /// The genesis QC certifies the genesis block at round 0 with no votes.
+  [[nodiscard]] bool is_genesis() const { return round == 0; }
+
+  /// Sorts votes by voter id — call after assembly so equal QCs encode
+  /// identically regardless of vote arrival order.
+  void canonicalize();
+
+  /// Structural + cryptographic validity: >= quorum distinct voters, every
+  /// vote matches (block_id, round), every signature verifies. The genesis
+  /// QC is valid by definition.
+  [[nodiscard]] bool verify(const crypto::KeyRegistry& registry,
+                            std::size_t quorum) const;
+
+  /// Digest binding the QC content (used inside block ids).
+  [[nodiscard]] crypto::Sha256Digest digest() const;
+
+  void encode(Encoder& enc) const;
+  static QuorumCert decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const QuorumCert&, const QuorumCert&) = default;
+};
+
+/// QCs (certified blocks) are ranked by round number (paper Sec. 2).
+[[nodiscard]] bool ranks_higher(const QuorumCert& a, const QuorumCert& b);
+
+}  // namespace sftbft::types

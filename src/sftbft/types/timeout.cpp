@@ -1,0 +1,87 @@
+#include "sftbft/types/timeout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "sftbft/crypto/signature.hpp"
+
+namespace sftbft::types {
+
+Bytes TimeoutMsg::signing_bytes() const {
+  Encoder enc;
+  enc.str("sftbft/timeout");
+  enc.u64(round);
+  enc.u32(sender);
+  enc.raw(high_qc.digest().bytes);
+  return enc.take();
+}
+
+void TimeoutMsg::encode(Encoder& enc) const {
+  enc.u64(round);
+  enc.u32(sender);
+  high_qc.encode(enc);
+  sig.encode(enc);
+}
+
+TimeoutMsg TimeoutMsg::decode(Decoder& dec) {
+  TimeoutMsg msg;
+  msg.round = dec.u64();
+  msg.sender = dec.u32();
+  msg.high_qc = QuorumCert::decode(dec);
+  msg.sig = crypto::Signature::decode(dec);
+  return msg;
+}
+
+std::size_t TimeoutMsg::wire_size() const {
+  Encoder enc;
+  encode(enc);
+  return enc.data().size();
+}
+
+const QuorumCert& TimeoutCert::highest_qc() const {
+  assert(!timeouts.empty());
+  const TimeoutMsg* best = &timeouts.front();
+  for (const TimeoutMsg& msg : timeouts) {
+    if (msg.high_qc.round > best->high_qc.round) best = &msg;
+  }
+  return best->high_qc;
+}
+
+bool TimeoutCert::verify(const crypto::KeyRegistry& registry,
+                         std::size_t quorum) const {
+  if (timeouts.size() < quorum) return false;
+  std::unordered_set<ReplicaId> senders;
+  for (const TimeoutMsg& msg : timeouts) {
+    if (msg.round != round) return false;
+    if (msg.sender != msg.sig.signer) return false;
+    if (!senders.insert(msg.sender).second) return false;
+    if (!registry.verify(msg.sig, msg.signing_bytes())) return false;
+  }
+  return true;
+}
+
+void TimeoutCert::encode(Encoder& enc) const {
+  enc.u64(round);
+  enc.u32(static_cast<std::uint32_t>(timeouts.size()));
+  for (const TimeoutMsg& msg : timeouts) msg.encode(enc);
+}
+
+TimeoutCert TimeoutCert::decode(Decoder& dec) {
+  TimeoutCert tc;
+  tc.round = dec.u64();
+  const std::uint32_t count = dec.u32();
+  tc.timeouts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    tc.timeouts.push_back(TimeoutMsg::decode(dec));
+  }
+  return tc;
+}
+
+std::size_t TimeoutCert::wire_size() const {
+  Encoder enc;
+  encode(enc);
+  return enc.data().size();
+}
+
+}  // namespace sftbft::types

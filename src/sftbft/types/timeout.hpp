@@ -1,0 +1,55 @@
+// Timeout messages and timeout certificates (paper Fig. 2, "Timeout").
+//
+// When a round timer expires the replica multicasts ⟨timeout, r, qc_high⟩_i.
+// 2f + 1 distinct timeout messages for round r form a timeout certificate
+// (TC) which advances the pacemaker to round r + 1 and lets the next leader
+// justify proposing on top of the highest QC seen by the quorum.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/signature.hpp"
+#include "sftbft/types/quorum_cert.hpp"
+
+namespace sftbft::crypto {
+class KeyRegistry;
+}
+
+namespace sftbft::types {
+
+struct TimeoutMsg {
+  Round round = 0;
+  ReplicaId sender = kNoReplica;
+  QuorumCert high_qc;  ///< highest QC known to the sender
+  crypto::Signature sig{};
+
+  [[nodiscard]] Bytes signing_bytes() const;
+
+  void encode(Encoder& enc) const;
+  static TimeoutMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const TimeoutMsg&, const TimeoutMsg&) = default;
+};
+
+struct TimeoutCert {
+  Round round = 0;
+  std::vector<TimeoutMsg> timeouts;  ///< >= 2f+1 distinct senders
+
+  /// Highest QC carried by any member timeout — the next leader extends it.
+  [[nodiscard]] const QuorumCert& highest_qc() const;
+
+  [[nodiscard]] bool verify(const crypto::KeyRegistry& registry,
+                            std::size_t quorum) const;
+
+  void encode(Encoder& enc) const;
+  static TimeoutCert decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const TimeoutCert&, const TimeoutCert&) = default;
+};
+
+}  // namespace sftbft::types

@@ -1,0 +1,40 @@
+#include "sftbft/types/transaction.hpp"
+
+namespace sftbft::types {
+
+void Transaction::encode(Encoder& enc) const {
+  enc.u64(id);
+  enc.i64(submitted_at);
+  enc.u32(size_bytes);
+}
+
+Transaction Transaction::decode(Decoder& dec) {
+  Transaction txn;
+  txn.id = dec.u64();
+  txn.submitted_at = dec.i64();
+  txn.size_bytes = dec.u32();
+  return txn;
+}
+
+std::uint64_t Payload::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Transaction& txn : txns) total += txn.size_bytes;
+  return total;
+}
+
+void Payload::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const Transaction& txn : txns) txn.encode(enc);
+}
+
+Payload Payload::decode(Decoder& dec) {
+  Payload payload;
+  const std::uint32_t count = dec.u32();
+  payload.txns.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    payload.txns.push_back(Transaction::decode(dec));
+  }
+  return payload;
+}
+
+}  // namespace sftbft::types

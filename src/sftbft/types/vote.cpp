@@ -1,0 +1,63 @@
+#include "sftbft/types/vote.hpp"
+
+namespace sftbft::types {
+
+Bytes Vote::signing_bytes() const {
+  Encoder enc;
+  enc.str("sftbft/vote");
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u32(voter);
+  enc.u8(static_cast<std::uint8_t>(mode));
+  enc.u64(marker);
+  endorsed.encode(enc);
+  return enc.take();
+}
+
+bool Vote::endorses_round(Round ancestor_round) const {
+  if (ancestor_round == round) return true;  // direct vote for the block
+  switch (mode) {
+    case VoteMode::Plain:
+      // Plain votes carry no history; only the direct vote counts, which is
+      // exactly the regular (f-strong) commit rule.
+      return false;
+    case VoteMode::Marker:
+      return marker < ancestor_round;
+    case VoteMode::Intervals:
+      return endorsed.contains(ancestor_round);
+  }
+  return false;
+}
+
+void Vote::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u32(voter);
+  enc.u8(static_cast<std::uint8_t>(mode));
+  enc.u64(marker);
+  endorsed.encode(enc);
+  sig.encode(enc);
+}
+
+Vote Vote::decode(Decoder& dec) {
+  Vote vote;
+  const Bytes id_raw = dec.raw(32);
+  std::copy(id_raw.begin(), id_raw.end(), vote.block_id.bytes.begin());
+  vote.round = dec.u64();
+  vote.voter = dec.u32();
+  const std::uint8_t mode_raw = dec.u8();
+  if (mode_raw > 2) throw CodecError("Vote: invalid mode");
+  vote.mode = static_cast<VoteMode>(mode_raw);
+  vote.marker = dec.u64();
+  vote.endorsed = IntervalSet::decode(dec);
+  vote.sig = crypto::Signature::decode(dec);
+  return vote;
+}
+
+std::size_t Vote::wire_size() const {
+  Encoder enc;
+  encode(enc);
+  return enc.data().size();
+}
+
+}  // namespace sftbft::types

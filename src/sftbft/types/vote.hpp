@@ -1,0 +1,60 @@
+// Votes and strong-votes (paper Sec. 2.2, Fig. 4, Sec. 3.4).
+//
+// A plain DiemBFT vote is ⟨vote, B, r⟩_i. The SFT strong-vote additionally
+// carries either
+//   * a `marker` — the largest round of any block the voter ever voted for
+//     that conflicts with B (Fig. 4), or
+//   * an interval set `I` of round numbers the vote endorses (Sec. 3.4's
+//     generalization, which buys liveness under Byzantine faults).
+// The endorsement predicate implemented by `endorses_round()` is the paper's:
+// a strong-vote for B' endorses a round-r block B iff B = B', or B' extends B
+// and (marker < r | r ∈ I).
+#pragma once
+
+#include <cstdint>
+
+#include "sftbft/common/codec.hpp"
+#include "sftbft/common/interval_set.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/crypto/sha256.hpp"
+#include "sftbft/crypto/signature.hpp"
+
+namespace sftbft::types {
+
+/// Block identity is the SHA-256 digest of the block's canonical header.
+using BlockId = crypto::Sha256Digest;
+
+/// How much voting-history information a vote carries.
+enum class VoteMode : std::uint8_t {
+  Plain = 0,        ///< original DiemBFT: no history
+  Marker = 1,       ///< SFT with one marker (Fig. 4)
+  Intervals = 2,    ///< SFT with an endorsed-interval set (Sec. 3.4)
+};
+
+struct Vote {
+  BlockId block_id{};
+  Round round = 0;
+  ReplicaId voter = kNoReplica;
+  VoteMode mode = VoteMode::Plain;
+  /// Largest conflicting voted round (Marker mode); 0 if none.
+  Round marker = 0;
+  /// Endorsed rounds (Intervals mode); empty otherwise.
+  IntervalSet endorsed;
+  crypto::Signature sig{};
+
+  /// Canonical bytes covered by the signature (everything except `sig`).
+  [[nodiscard]] Bytes signing_bytes() const;
+
+  /// Whether this vote endorses an ancestor block at `ancestor_round`.
+  /// Precondition: the caller has established that the voted block extends
+  /// the ancestor (or equals it — a vote always endorses its own block).
+  [[nodiscard]] bool endorses_round(Round ancestor_round) const;
+
+  void encode(Encoder& enc) const;
+  static Vote decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const Vote&, const Vote&) = default;
+};
+
+}  // namespace sftbft::types

@@ -1,0 +1,101 @@
+// Canonical binary codec: round-trips, bounds checking, canonical-bytes
+// stability (signatures and digests depend on it).
+#include <gtest/gtest.h>
+
+#include "sftbft/common/codec.hpp"
+
+namespace sftbft {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  Encoder enc;
+  enc.u8(0xab);
+  enc.u16(0xbeef);
+  enc.u32(0xdeadbeef);
+  enc.u64(0x0123456789abcdefULL);
+  enc.i64(-42);
+  enc.boolean(true);
+  enc.boolean(false);
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.u8(), 0xab);
+  EXPECT_EQ(dec.u16(), 0xbeef);
+  EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.i64(), -42);
+  EXPECT_TRUE(dec.boolean());
+  EXPECT_FALSE(dec.boolean());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Codec, BytesAndStrings) {
+  Encoder enc;
+  enc.bytes(Bytes{1, 2, 3});
+  enc.str("hello");
+  enc.bytes({});  // empty is legal
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(dec.str(), "hello");
+  EXPECT_TRUE(dec.bytes().empty());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Codec, RawHasNoLengthPrefix) {
+  Encoder enc;
+  enc.raw(Bytes{9, 8, 7});
+  EXPECT_EQ(enc.data().size(), 3u);
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.raw(3), (Bytes{9, 8, 7}));
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Encoder enc;
+  enc.u64(7);
+  Decoder dec(enc.data());
+  dec.u32();
+  EXPECT_THROW(dec.u64(), CodecError);
+}
+
+TEST(Codec, TruncatedBytesThrows) {
+  Encoder enc;
+  enc.u32(100);  // claims 100 bytes follow
+  enc.u8(1);
+  Decoder dec(enc.data());
+  EXPECT_THROW(dec.bytes(), CodecError);
+}
+
+TEST(Codec, InvalidBooleanThrows) {
+  const Bytes raw = {2};
+  Decoder dec(raw);
+  EXPECT_THROW(dec.boolean(), CodecError);
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Encoder enc;
+  enc.u32(0x01020304);
+  EXPECT_EQ(enc.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Codec, CanonicalBytesAreDeterministic) {
+  auto encode = [] {
+    Encoder enc;
+    enc.u64(12345);
+    enc.str("block");
+    return enc.take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  Encoder enc;
+  enc.u64(1);
+  enc.u64(2);
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.remaining(), 16u);
+  dec.u64();
+  EXPECT_EQ(dec.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace sftbft

@@ -1,0 +1,177 @@
+// Crypto substrate tests: SHA-256 against FIPS 180-4 vectors, HMAC-SHA-256
+// against RFC 4231 vectors, and signature/PKI behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sftbft/common/bytes.hpp"
+#include "sftbft/crypto/sha256.hpp"
+#include "sftbft/crypto/signature.hpp"
+
+namespace sftbft::crypto {
+namespace {
+
+Bytes ascii(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(ascii("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hash(ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: forces padding into a second block.
+  const std::string block(64, 'a');
+  EXPECT_EQ(Sha256::hash(ascii(block)).hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes fits length in the same block; 56 does not.
+  EXPECT_EQ(Sha256::hash(ascii(std::string(55, 'a'))).hex(),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(Sha256::hash(ascii(std::string(56, 'a'))).hex(),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(ascii(chunk));
+  EXPECT_EQ(ctx.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = ascii("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(data.data(), split));
+    ctx.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(ctx.finalize(), Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ShortHexPrefix) {
+  const Sha256Digest d = Sha256::hash(ascii("abc"));
+  EXPECT_EQ(d.short_hex(), d.hex().substr(0, 8));
+}
+
+TEST(Sha256, DigestOrdering) {
+  const Sha256Digest a = Sha256::hash(ascii("a"));
+  const Sha256Digest b = Sha256::hash(ascii("b"));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) || (b < a));
+}
+
+// ------------------------------------------------------------ HMAC-SHA-256
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, ascii("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_sha256(ascii("Jefe"), ascii("what do ya want for nothing?")).hex(),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, data).hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);  // key longer than the block size gets hashed
+  EXPECT_EQ(hmac_sha256(key, ascii("Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First"))
+                .hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_sha256(ascii("k1"), ascii("msg")),
+            hmac_sha256(ascii("k2"), ascii("msg")));
+}
+
+// -------------------------------------------------------------- signatures
+
+TEST(Signature, SignVerifyRoundTrip) {
+  KeyRegistry registry(4, 7);
+  const Signer signer = registry.signer_for(2);
+  const Bytes msg = ascii("vote for block 42");
+  const Signature sig = signer.sign(msg);
+  EXPECT_EQ(sig.signer, 2u);
+  EXPECT_TRUE(registry.verify(sig, msg));
+}
+
+TEST(Signature, WrongMessageRejected) {
+  KeyRegistry registry(4, 7);
+  const Signature sig = registry.signer_for(0).sign(ascii("message A"));
+  EXPECT_FALSE(registry.verify(sig, ascii("message B")));
+}
+
+TEST(Signature, ImpersonationRejected) {
+  KeyRegistry registry(4, 7);
+  const Bytes msg = ascii("msg");
+  Signature sig = registry.signer_for(1).sign(msg);
+  sig.signer = 3;  // claim to be replica 3 with replica 1's MAC
+  EXPECT_FALSE(registry.verify(sig, msg));
+}
+
+TEST(Signature, TamperedMacRejected) {
+  KeyRegistry registry(4, 7);
+  const Bytes msg = ascii("msg");
+  Signature sig = registry.signer_for(1).sign(msg);
+  sig.mac[0] ^= 0x01;
+  EXPECT_FALSE(registry.verify(sig, msg));
+}
+
+TEST(Signature, UnknownSignerRejected) {
+  KeyRegistry registry(4, 7);
+  Signature sig = registry.signer_for(1).sign(ascii("m"));
+  sig.signer = 99;
+  EXPECT_FALSE(registry.verify(sig, ascii("m")));
+}
+
+TEST(Signature, DeterministicAcrossRegistries) {
+  // Two registries with the same (n, seed) must agree — replicas and the
+  // test harness construct their own handles.
+  KeyRegistry a(4, 123), b(4, 123);
+  const Bytes msg = ascii("deterministic");
+  EXPECT_EQ(a.signer_for(0).sign(msg), b.signer_for(0).sign(msg));
+  EXPECT_TRUE(b.verify(a.signer_for(3).sign(msg), msg));
+}
+
+TEST(Signature, DistinctSeedsDistinctKeys) {
+  KeyRegistry a(4, 1), b(4, 2);
+  const Bytes msg = ascii("x");
+  EXPECT_FALSE(b.verify(a.signer_for(0).sign(msg), msg));
+}
+
+TEST(Signature, SignerForOutOfRangeThrows) {
+  KeyRegistry registry(4, 1);
+  EXPECT_THROW((void)registry.signer_for(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sftbft::crypto

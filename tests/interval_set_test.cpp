@@ -1,0 +1,165 @@
+// Interval-set algebra (Sec. 3.4 substrate): unit cases plus a randomized
+// property sweep against a reference std::set<Round> implementation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sftbft/common/interval_set.hpp"
+#include "sftbft/common/rng.hpp"
+
+namespace sftbft {
+namespace {
+
+TEST(IntervalSet, SingleAndContains) {
+  const IntervalSet s = IntervalSet::single(3, 7);
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_EQ(s.cardinality(), 5u);
+}
+
+TEST(IntervalSet, EmptyWhenInverted) {
+  EXPECT_TRUE(IntervalSet::single(5, 3).empty());
+}
+
+TEST(IntervalSet, AddMergesOverlapping) {
+  IntervalSet s;
+  s.add(1, 5);
+  s.add(4, 9);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.min(), 1u);
+  EXPECT_EQ(s.max(), 9u);
+}
+
+TEST(IntervalSet, AddMergesAdjacent) {
+  IntervalSet s;
+  s.add(1, 3);
+  s.add(4, 6);  // adjacent: [1,3] + [4,6] = [1,6]
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.cardinality(), 6u);
+}
+
+TEST(IntervalSet, AddKeepsDisjoint) {
+  IntervalSet s;
+  s.add(1, 3);
+  s.add(10, 12);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(IntervalSet, SubtractSplits) {
+  IntervalSet s = IntervalSet::single(1, 10);
+  s.subtract(4, 6);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(IntervalSet, SubtractEdges) {
+  IntervalSet s = IntervalSet::single(1, 10);
+  s.subtract(1, 3);
+  s.subtract(9, 12);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.min(), 4u);
+  EXPECT_EQ(s.max(), 8u);
+}
+
+TEST(IntervalSet, SubtractSet) {
+  IntervalSet s = IntervalSet::single(1, 20);
+  IntervalSet holes;
+  holes.add(3, 4);
+  holes.add(10, 15);
+  s.subtract(holes);
+  EXPECT_EQ(s.cardinality(), 20u - 2 - 6);
+  EXPECT_FALSE(s.contains(12));
+  EXPECT_TRUE(s.contains(16));
+}
+
+TEST(IntervalSet, ClampWindow) {
+  IntervalSet s = IntervalSet::single(1, 100);
+  s.clamp(40, 60);
+  EXPECT_EQ(s.min(), 40u);
+  EXPECT_EQ(s.max(), 60u);
+}
+
+TEST(IntervalSet, SerializationRoundTrip) {
+  IntervalSet s;
+  s.add(1, 5);
+  s.add(9, 9);
+  s.add(20, 31);
+  Encoder enc;
+  s.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(IntervalSet::decode(dec), s);
+}
+
+TEST(IntervalSet, DecodeRejectsOverlap) {
+  Encoder enc;
+  enc.u32(2);
+  enc.u64(1);
+  enc.u64(5);
+  enc.u64(4);  // overlaps previous
+  enc.u64(9);
+  Decoder dec(enc.data());
+  EXPECT_THROW(IntervalSet::decode(dec), CodecError);
+}
+
+TEST(IntervalSet, DecodeRejectsInverted) {
+  Encoder enc;
+  enc.u32(1);
+  enc.u64(7);
+  enc.u64(3);
+  Decoder dec(enc.data());
+  EXPECT_THROW(IntervalSet::decode(dec), CodecError);
+}
+
+TEST(IntervalSet, ToStringReadable) {
+  IntervalSet s;
+  EXPECT_EQ(s.to_string(), "(empty)");
+  s.add(1, 4);
+  s.add(7, 9);
+  EXPECT_EQ(s.to_string(), "[1,4] [7,9]");
+}
+
+// ---- property sweep: random add/subtract sequences vs a reference model --
+
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IntervalSet set;
+  std::set<Round> model;
+  constexpr Round kDomain = 200;
+
+  for (int op = 0; op < 400; ++op) {
+    const Round lo = static_cast<Round>(rng.uniform(0, kDomain));
+    const Round hi = lo + static_cast<Round>(rng.uniform(0, 20));
+    if (rng.chance(0.6)) {
+      set.add(lo, hi);
+      for (Round r = lo; r <= hi; ++r) model.insert(r);
+    } else {
+      set.subtract(lo, hi);
+      for (Round r = lo; r <= hi; ++r) model.erase(r);
+    }
+  }
+
+  ASSERT_EQ(set.cardinality(), model.size());
+  for (Round r = 0; r <= kDomain + 25; ++r) {
+    ASSERT_EQ(set.contains(r), model.contains(r)) << "round " << r;
+  }
+  // Invariant: intervals sorted, disjoint, non-adjacent.
+  const auto& ivs = set.intervals();
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    ASSERT_LT(ivs[i - 1].hi + 1, ivs[i].lo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace sftbft

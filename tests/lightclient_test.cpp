@@ -1,0 +1,154 @@
+// Sec. 5 light-client proofs: build from a live replica, verify with only
+// the PKI, and reject every class of tampering.
+#include <gtest/gtest.h>
+
+#include "sftbft/lightclient/light_client.hpp"
+#include "sftbft/replica/cluster.hpp"
+
+namespace sftbft {
+namespace {
+
+using replica::Cluster;
+using replica::ClusterConfig;
+
+class LightClientTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 7;
+  static constexpr std::uint32_t kF = 2;
+
+  void SetUp() override {
+    ClusterConfig config;
+    config.n = kN;
+    config.core.mode = consensus::CoreMode::SftMarker;
+    config.core.base_timeout = millis(500);
+    config.core.leader_processing = millis(5);
+    config.core.max_batch = 10;
+    config.topology = net::Topology::uniform(kN, millis(10));
+    config.net.jitter = millis(2);
+    config.seed = 9;
+    cluster_ = std::make_unique<Cluster>(std::move(config));
+    cluster_->start();
+    cluster_->run_for(seconds(8));
+  }
+
+  /// A 2f-strong committed block id from replica 0's ledger.
+  types::BlockId strong_block() {
+    for (const auto& entry : cluster_->replica(0).core().ledger().snapshot()) {
+      if (entry.strength >= 2 * kF) return entry.block_id;
+    }
+    ADD_FAILURE() << "no 2f-strong block";
+    return {};
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(LightClientTest, BuildAndVerify) {
+  const auto target = strong_block();
+  const auto proof =
+      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+  EXPECT_TRUE(client.verify(*proof));
+}
+
+TEST_F(LightClientTest, ProofsPortableAcrossReplicas) {
+  // A proof built by one full node verifies for a client that has never
+  // talked to it; and other replicas can build equivalent proofs.
+  const auto target = strong_block();
+  lightclient::LightClient client(cluster_->registry(), kN);
+  int provers = 0;
+  for (ReplicaId id = 0; id < kN; ++id) {
+    const auto proof =
+        lightclient::build_proof(cluster_->replica(id).core(), target, 2 * kF);
+    if (proof.has_value()) {
+      EXPECT_TRUE(client.verify(*proof)) << "prover " << id;
+      ++provers;
+    }
+  }
+  EXPECT_GE(provers, static_cast<int>(2 * kF + 1));
+}
+
+TEST_F(LightClientTest, RejectsInflatedStrength) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  forged.strength = 2 * kF + 1;  // above the 2f ceiling
+  EXPECT_FALSE(client.verify(forged));
+
+  forged = *proof;
+  forged.entry.strength += 1;  // entry no longer matches the signed log
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsTamperedCarrier) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  forged.carrier.commit_log.push_back(
+      {.block_id = target, .round = 1, .strength = 2 * kF});
+  EXPECT_FALSE(client.verify(forged));  // signature no longer covers the log
+
+  forged = *proof;
+  forged.carrier.block.round += 1;  // block id no longer matches content
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsThinOrForeignQc) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  forged.carrier_qc.votes.resize(2 * kF);  // below quorum
+  EXPECT_FALSE(client.verify(forged));
+
+  forged = *proof;
+  forged.carrier_qc.round += 1;  // certifies a different round
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsBrokenAncestryPath) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  forged.target.bytes[5] ^= 0x01;  // proof is not about this block
+  EXPECT_FALSE(client.verify(forged));
+
+  if (!proof->path.empty()) {
+    forged = *proof;
+    forged.path.pop_back();  // path no longer reaches the logged head
+    EXPECT_FALSE(client.verify(forged));
+  }
+}
+
+TEST_F(LightClientTest, BuildFailsForUnprovableClaims) {
+  const auto target = strong_block();
+  // Nobody can prove strength above 2f.
+  EXPECT_FALSE(lightclient::build_proof(cluster_->replica(0).core(), target,
+                                        2 * kF + 1)
+                   .has_value());
+  // Unknown block.
+  types::BlockId unknown{};
+  unknown.bytes[1] = 0xee;
+  EXPECT_FALSE(
+      lightclient::build_proof(cluster_->replica(0).core(), unknown, kF)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace sftbft

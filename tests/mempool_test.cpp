@@ -1,0 +1,99 @@
+// Mempool + workload generation: batching, in-flight tracking, requeue.
+#include <gtest/gtest.h>
+
+#include "sftbft/mempool/mempool.hpp"
+
+namespace sftbft::mempool {
+namespace {
+
+types::Transaction txn(std::uint64_t id) {
+  return {.id = id, .submitted_at = 0, .size_bytes = 450};
+}
+
+TEST(Mempool, BatchTakesOldestFirst) {
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 10; ++i) pool.submit(txn(i));
+  const types::Payload batch = pool.make_batch(4);
+  ASSERT_EQ(batch.txns.size(), 4u);
+  EXPECT_EQ(batch.txns[0].id, 0u);
+  EXPECT_EQ(batch.txns[3].id, 3u);
+  EXPECT_EQ(pool.pending(), 6u);
+  EXPECT_EQ(pool.in_flight(), 4u);
+}
+
+TEST(Mempool, BatchSmallerWhenPoolLow) {
+  Mempool pool;
+  pool.submit(txn(1));
+  EXPECT_EQ(pool.make_batch(100).txns.size(), 1u);
+  EXPECT_TRUE(pool.make_batch(100).txns.empty());
+}
+
+TEST(Mempool, CommittedBatchLeavesInFlight) {
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 5; ++i) pool.submit(txn(i));
+  const types::Payload batch = pool.make_batch(5);
+  pool.mark_committed(batch);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Mempool, RequeueReturnsTxns) {
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 5; ++i) pool.submit(txn(i));
+  const types::Payload batch = pool.make_batch(3);
+  pool.requeue(batch);
+  EXPECT_EQ(pool.pending(), 5u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  // Requeued txns can be batched again.
+  EXPECT_EQ(pool.make_batch(5).txns.size(), 5u);
+}
+
+TEST(Mempool, RequeueAfterCommitIsNoop) {
+  Mempool pool;
+  pool.submit(txn(1));
+  const types::Payload batch = pool.make_batch(1);
+  pool.mark_committed(batch);
+  pool.requeue(batch);  // already committed: nothing to return
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Workload, TopUpFillsToTarget) {
+  sim::Scheduler sched;
+  Mempool pool;
+  WorkloadGenerator gen(sched, pool,
+                        {.mean_interarrival = 0, .target_pool_size = 50},
+                        Rng(1));
+  gen.top_up();
+  EXPECT_EQ(pool.pending(), 50u);
+}
+
+TEST(Workload, PoissonArrivalsRespectTarget) {
+  sim::Scheduler sched;
+  Mempool pool;
+  WorkloadGenerator gen(
+      sched, pool,
+      {.mean_interarrival = millis(1), .target_pool_size = 20}, Rng(2));
+  gen.start();
+  sched.run_for(seconds(1));
+  EXPECT_LE(pool.pending(), 20u);
+  EXPECT_GT(pool.pending(), 0u);
+}
+
+TEST(Workload, IdSpacesDisjoint) {
+  sim::Scheduler sched;
+  Mempool pool_a, pool_b;
+  WorkloadGenerator gen_a(sched, pool_a, {.target_pool_size = 10}, Rng(1));
+  WorkloadGenerator gen_b(sched, pool_b, {.target_pool_size = 10}, Rng(1));
+  gen_a.set_id_space(1);
+  gen_b.set_id_space(2);
+  gen_a.top_up();
+  gen_b.top_up();
+  const auto batch_a = pool_a.make_batch(10);
+  const auto batch_b = pool_b.make_batch(10);
+  for (const auto& ta : batch_a.txns) {
+    for (const auto& tb : batch_b.txns) EXPECT_NE(ta.id, tb.id);
+  }
+}
+
+}  // namespace
+}  // namespace sftbft::mempool

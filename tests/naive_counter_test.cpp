@@ -1,0 +1,137 @@
+// Appendix C regression: the naive all-indirect-votes counter reports a
+// false (f+1)-strong commit on the Figure 9 fork; the SFT marker rule does
+// not. This is the counter-example that motivates the whole marker design —
+// keep it green forever.
+#include <gtest/gtest.h>
+
+#include "sftbft/consensus/endorsement.hpp"
+
+namespace sftbft::consensus {
+namespace {
+
+using types::Block;
+using types::QuorumCert;
+using types::Vote;
+using types::VoteMode;
+
+constexpr std::uint32_t kF = 2;
+constexpr std::uint32_t kN = 3 * kF + 1;
+
+// Cast: honest h1..h_{2f} = ids 0..2f-1, Byzantine b1..b_{f+1} = ids 2f..3f.
+constexpr ReplicaId h(std::uint32_t i) { return i - 1; }
+constexpr ReplicaId b(std::uint32_t i) { return 2 * kF + i - 1; }
+
+Block child_of(const Block& parent, Round round) {
+  Block block;
+  block.parent_id = parent.id;
+  block.round = round;
+  block.height = parent.height + 1;
+  block.qc.block_id = parent.id;
+  block.qc.round = parent.round;
+  block.seal();
+  return block;
+}
+
+Vote vote_for(const Block& block, ReplicaId voter, Round marker) {
+  Vote vote;
+  vote.block_id = block.id;
+  vote.round = block.round;
+  vote.voter = voter;
+  vote.mode = VoteMode::Marker;
+  vote.marker = marker;
+  return vote;
+}
+
+QuorumCert qc_for(const Block& block, std::vector<Vote> votes) {
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = block.round;
+  qc.parent_id = block.parent_id;
+  qc.parent_round = block.qc.round;
+  qc.votes = std::move(votes);
+  qc.canonicalize();
+  return qc;
+}
+
+class Figure9 : public ::testing::Test {
+ protected:
+  chain::BlockTree tree_;
+  Block genesis_ = tree_.genesis();
+  Block b_rm1_ = child_of(genesis_, 1);  // B_{r-1}
+  Block b_r_ = child_of(b_rm1_, 2);      // B_r
+  Block b_r1_ = child_of(b_r_, 3);       // B_{r+1}
+  Block b_r1p_ = child_of(b_rm1_, 3);    // B'_{r+1}: the Byzantine fork
+  Block b_r2_ = child_of(b_r1_, 4);      // B_{r+2}
+
+  void SetUp() override {
+    for (const Block* blk : {&b_rm1_, &b_r_, &b_r1_, &b_r1p_, &b_r2_}) {
+      ASSERT_EQ(tree_.insert(*blk), chain::BlockTree::InsertResult::Inserted);
+    }
+  }
+
+  /// Runs the Figure 9 vote schedule through a tracker with `rule`.
+  std::uint32_t run_figure9(CountingRule rule) {
+    EndorsementTracker tracker(tree_, kN, kF, rule);
+
+    // Rounds r, r+1: h1..hf and b1..b_{f+1} vote the main branch.
+    std::vector<Vote> votes_r, votes_r1;
+    for (std::uint32_t i = 1; i <= kF; ++i) {
+      votes_r.push_back(vote_for(b_r_, h(i), 0));
+      votes_r1.push_back(vote_for(b_r1_, h(i), 0));
+    }
+    for (std::uint32_t i = 1; i <= kF + 1; ++i) {
+      votes_r.push_back(vote_for(b_r_, b(i), 0));
+      votes_r1.push_back(vote_for(b_r1_, b(i), 0));
+    }
+    // The fork B'_{r+1}: the other f honest replicas + all Byzantine.
+    std::vector<Vote> votes_fork;
+    for (std::uint32_t i = kF + 1; i <= 2 * kF; ++i) {
+      votes_fork.push_back(vote_for(b_r1p_, h(i), 0));
+    }
+    for (std::uint32_t i = 1; i <= kF + 1; ++i) {
+      votes_fork.push_back(vote_for(b_r1p_, b(i), 0));
+    }
+    // Round r+2 on the main branch: h1..hf, all Byzantine (lying marker 0),
+    // and crucially h_{f+1}, whose honest marker is the fork round 3.
+    std::vector<Vote> votes_r2;
+    for (std::uint32_t i = 1; i <= kF; ++i) {
+      votes_r2.push_back(vote_for(b_r2_, h(i), 0));
+    }
+    for (std::uint32_t i = 1; i <= kF + 1; ++i) {
+      votes_r2.push_back(vote_for(b_r2_, b(i), 0));
+    }
+    votes_r2.push_back(vote_for(b_r2_, h(kF + 1), /*truthful marker=*/3));
+
+    tracker.process_qc(qc_for(b_r_, std::move(votes_r)));
+    tracker.process_qc(qc_for(b_r1_, std::move(votes_r1)));
+    tracker.process_qc(qc_for(b_r1p_, std::move(votes_fork)));
+    tracker.process_qc(qc_for(b_r2_, std::move(votes_r2)));
+    return tracker.head_strength(b_r_.id);
+  }
+};
+
+TEST_F(Figure9, NaiveCountingClaimsUnsafeStrength) {
+  // The naive rule counts h_{f+1}'s indirect vote toward B_r, reporting
+  // (f+1)-strong — but the adversary can build a conflicting (f+1)-strong
+  // commit on the B'_{r+1} fork (Appendix C): a safety violation.
+  EXPECT_EQ(run_figure9(CountingRule::NaiveAllIndirect), kF + 1);
+}
+
+TEST_F(Figure9, SftMarkerStaysAtRegularStrength) {
+  // The marker (= 3, the conflicting vote's round) blocks the false credit:
+  // B_r keeps exactly the regular f-strong guarantee.
+  EXPECT_EQ(run_figure9(CountingRule::Sft), kF);
+}
+
+TEST_F(Figure9, ForkCanMatchNaiveStrengthLater) {
+  // Sanity for the second half of Appendix C: with f+1 corruptions the
+  // adversary CAN certify blocks extending the fork (honest replicas'
+  // r_lock <= r+1 admits B'_{r+4}), so a conflicting "(f+1)-strong" claim
+  // is reachable — which is why the naive answer above is fatal.
+  const Block b_r4p = child_of(b_r1p_, 5);
+  ASSERT_EQ(tree_.insert(b_r4p), chain::BlockTree::InsertResult::Inserted);
+  EXPECT_TRUE(tree_.conflicts(b_r4p.id, b_r_.id));
+}
+
+}  // namespace
+}  // namespace sftbft::consensus

@@ -1,0 +1,98 @@
+// Pacemaker: round entry, timers, timeout signalling, backoff.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sftbft/consensus/pacemaker.hpp"
+
+namespace sftbft::consensus {
+namespace {
+
+struct Harness {
+  sim::Scheduler sched;
+  std::vector<Round> entered;
+  std::vector<Round> timeouts;
+  Pacemaker pacemaker;
+
+  explicit Harness(PacemakerConfig config = {.base_timeout = millis(100)})
+      : pacemaker(sched, config,
+                  {.on_round_entered = [this](Round r) { entered.push_back(r); },
+                   .on_local_timeout =
+                       [this](Round r) { timeouts.push_back(r); }}) {}
+};
+
+TEST(Pacemaker, StartEntersRoundOne) {
+  Harness h;
+  h.pacemaker.start();
+  EXPECT_EQ(h.pacemaker.current_round(), 1u);
+  EXPECT_EQ(h.entered, (std::vector<Round>{1}));
+}
+
+TEST(Pacemaker, AdvanceOnlyForward) {
+  Harness h;
+  h.pacemaker.start();
+  EXPECT_TRUE(h.pacemaker.advance_to(4));
+  EXPECT_FALSE(h.pacemaker.advance_to(4));
+  EXPECT_FALSE(h.pacemaker.advance_to(2));
+  EXPECT_EQ(h.pacemaker.current_round(), 4u);
+  EXPECT_EQ(h.entered, (std::vector<Round>{1, 4}));
+}
+
+TEST(Pacemaker, TimerFiresWithoutProgress) {
+  Harness h;
+  h.pacemaker.start();
+  h.sched.run_for(millis(150));
+  EXPECT_EQ(h.timeouts, (std::vector<Round>{1}));
+  EXPECT_TRUE(h.pacemaker.timed_out());
+  // The pacemaker stays in the round until a QC/TC advances it.
+  EXPECT_EQ(h.pacemaker.current_round(), 1u);
+}
+
+TEST(Pacemaker, ProgressCancelsTimer) {
+  Harness h;
+  h.pacemaker.start();
+  h.sched.run_for(millis(50));
+  h.pacemaker.advance_to(2);  // fresh timer from t=50ms
+  h.sched.run_for(millis(80));  // t=130: round-1 timer (would be 100) is dead
+  EXPECT_TRUE(h.timeouts.empty());
+  h.sched.run_for(millis(30));  // t=160: round-2 timer fires (50+100=150)
+  EXPECT_EQ(h.timeouts, (std::vector<Round>{2}));
+}
+
+TEST(Pacemaker, BackoffGrowsTimerAcrossTimeouts) {
+  Harness h({.base_timeout = millis(100), .backoff = 2.0});
+  h.pacemaker.start();
+  h.sched.run_for(millis(110));  // round 1 times out at 100
+  ASSERT_EQ(h.timeouts.size(), 1u);
+  h.pacemaker.advance_to(2);  // entered via TC after a timeout chain
+  // Round 2's timer is doubled: fires at 110 + 200.
+  h.sched.run_for(millis(150));
+  EXPECT_EQ(h.timeouts.size(), 1u);
+  h.sched.run_for(millis(100));
+  EXPECT_EQ(h.timeouts.size(), 2u);
+}
+
+TEST(Pacemaker, ProgressResetsBackoff) {
+  Harness h({.base_timeout = millis(100), .backoff = 2.0});
+  h.pacemaker.start();
+  h.sched.run_for(millis(110));  // timeout round 1
+  h.pacemaker.advance_to(2);     // timeout-chain entry (backoff x2)
+  h.sched.run_for(millis(50));
+  h.pacemaker.advance_to(3);  // round 2 progressed without timing out: reset
+  const SimTime entered_at = h.sched.now();
+  h.sched.run_for(millis(120));
+  ASSERT_EQ(h.timeouts.size(), 2u);  // round 3 timer back at base 100ms
+  (void)entered_at;
+}
+
+TEST(Pacemaker, StopSilencesTimers) {
+  Harness h;
+  h.pacemaker.start();
+  h.pacemaker.stop();
+  h.sched.run_for(millis(500));
+  EXPECT_TRUE(h.timeouts.empty());
+  EXPECT_FALSE(h.pacemaker.advance_to(5));
+}
+
+}  // namespace
+}  // namespace sftbft::consensus

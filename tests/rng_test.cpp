@@ -1,0 +1,96 @@
+// Deterministic RNG: reproducibility (the whole simulator depends on it),
+// range correctness, and basic distribution sanity.
+#include <gtest/gtest.h>
+
+#include "sftbft/common/rng.hpp"
+
+namespace sftbft {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng rng(0);
+  EXPECT_NE(rng.next(), 0u);  // splitmix seeding avoids the all-zero state
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(9, 9), 9);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform(0, 9)] = true;
+  for (bool hit : seen) EXPECT_TRUE(hit);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / kSamples, 250.0, 12.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99);
+  Rng fork1 = a.fork();
+  Rng b(99);
+  Rng fork2 = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork1.next(), fork2.next());
+  // Parent and child streams differ.
+  Rng c(99);
+  Rng child = c.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace sftbft

@@ -1,0 +1,116 @@
+// DiemBFT safety rules (Fig. 2): the voting rule as a parameterized truth
+// table, locking-rule updates, and pacemaker interactions.
+#include <gtest/gtest.h>
+
+#include "sftbft/consensus/safety.hpp"
+
+namespace sftbft::consensus {
+namespace {
+
+types::Block proposal(Round round, Round parent_round) {
+  types::Block block;
+  block.round = round;
+  block.height = 1;
+  block.qc.round = parent_round;  // the QC certifies the parent
+  return block;
+}
+
+types::QuorumCert qc(Round round, Round parent_round) {
+  types::QuorumCert cert;
+  cert.round = round;
+  cert.parent_round = parent_round;
+  return cert;
+}
+
+// Truth table for Fig. 2's voting rule: vote iff round > r_vote AND
+// parent.round >= r_lock (plus rounds strictly increase along the chain).
+struct VoteCase {
+  Round voted_round;
+  Round locked_round;
+  Round proposal_round;
+  Round parent_round;
+  bool expect_vote;
+};
+
+class VotingRule : public ::testing::TestWithParam<VoteCase> {};
+
+TEST_P(VotingRule, TruthTable) {
+  const VoteCase& c = GetParam();
+  SafetyRules rules;
+  rules.record_vote(c.voted_round);
+  rules.observe_qc(qc(/*round=*/c.locked_round + 1, c.locked_round));
+  ASSERT_EQ(rules.locked_round(), c.locked_round);
+  EXPECT_EQ(rules.can_vote(proposal(c.proposal_round, c.parent_round)),
+            c.expect_vote);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, VotingRule,
+    ::testing::Values(
+        // Fresh round, parent at lock: vote.
+        VoteCase{.voted_round = 4, .locked_round = 3, .proposal_round = 5,
+                 .parent_round = 4, .expect_vote = true},
+        // Already voted this round: no double vote.
+        VoteCase{.voted_round = 5, .locked_round = 3, .proposal_round = 5,
+                 .parent_round = 4, .expect_vote = false},
+        // Proposal from the past: never.
+        VoteCase{.voted_round = 5, .locked_round = 3, .proposal_round = 4,
+                 .parent_round = 3, .expect_vote = false},
+        // Parent below the lock: refuse (the 2-chain lock protects commits).
+        VoteCase{.voted_round = 4, .locked_round = 3, .proposal_round = 5,
+                 .parent_round = 2, .expect_vote = false},
+        // Parent exactly at the lock: allowed (>=, not >).
+        VoteCase{.voted_round = 4, .locked_round = 3, .proposal_round = 5,
+                 .parent_round = 3, .expect_vote = true},
+        // Rounds must strictly increase along the chain.
+        VoteCase{.voted_round = 0, .locked_round = 0, .proposal_round = 3,
+                 .parent_round = 3, .expect_vote = false},
+        // Jumping several rounds forward after timeouts is fine.
+        VoteCase{.voted_round = 4, .locked_round = 2, .proposal_round = 9,
+                 .parent_round = 2, .expect_vote = true},
+        // Initial state: everything at 0, vote for round 1 on genesis.
+        VoteCase{.voted_round = 0, .locked_round = 0, .proposal_round = 1,
+                 .parent_round = 0, .expect_vote = true}));
+
+TEST(SafetyRules, LockingRuleTakesParentRound) {
+  SafetyRules rules;
+  rules.observe_qc(qc(7, 6));
+  EXPECT_EQ(rules.locked_round(), 6u);  // lock on parent of certified block
+  rules.observe_qc(qc(5, 4));           // older QC cannot lower the lock
+  EXPECT_EQ(rules.locked_round(), 6u);
+}
+
+TEST(SafetyRules, HighQcTracksHighestRound) {
+  SafetyRules rules;
+  rules.observe_qc(qc(3, 2));
+  rules.observe_qc(qc(9, 8));
+  rules.observe_qc(qc(5, 4));
+  EXPECT_EQ(rules.high_qc().round, 9u);
+}
+
+TEST(SafetyRules, RecordVoteMonotone) {
+  SafetyRules rules;
+  rules.record_vote(5);
+  rules.record_vote(3);  // lower: ignored
+  EXPECT_EQ(rules.voted_round(), 5u);
+}
+
+TEST(SafetyRules, ForbidVotesBelowRound) {
+  SafetyRules rules;
+  rules.forbid_votes_below(10);  // entered round 10
+  EXPECT_FALSE(rules.can_vote(proposal(9, 8)));
+  EXPECT_TRUE(rules.can_vote(proposal(10, 9)));
+  rules.forbid_votes_below(5);  // never lowers
+  EXPECT_EQ(rules.voted_round(), 9u);
+}
+
+TEST(SafetyRules, InitHighQcSeedsGenesis) {
+  SafetyRules rules;
+  types::QuorumCert genesis;
+  genesis.block_id.bytes[0] = 0x42;
+  rules.init_high_qc(genesis);
+  EXPECT_EQ(rules.high_qc().block_id.bytes[0], 0x42);
+}
+
+}  // namespace
+}  // namespace sftbft::consensus

@@ -1,0 +1,208 @@
+// Liveness theorems on full clusters.
+//
+// Theorem 2 (crash faults, marker votes): after GST, with c <= f benign
+// faults and honest leaders in rounds r..r+2, the round-r block is
+// (2f−c)-strong committed within n + 2 rounds.
+//
+// Theorem 3 (Byzantine faults, interval votes): with t <= f Byzantine
+// faults, blocks reach (2f−t)-strong within n + 2 rounds — the Sec. 3.4
+// generalization exists precisely because single-marker votes cannot
+// guarantee this.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sftbft/replica/cluster.hpp"
+
+namespace sftbft {
+namespace {
+
+using consensus::CoreMode;
+using replica::Cluster;
+using replica::ClusterConfig;
+using replica::FaultSpec;
+
+ClusterConfig base_config(std::uint32_t n, CoreMode mode) {
+  ClusterConfig config;
+  config.n = n;
+  config.core.mode = mode;
+  config.core.base_timeout = millis(400);
+  config.core.leader_processing = millis(5);
+  config.core.max_batch = 10;
+  config.topology = net::Topology::uniform(n, millis(10));
+  config.net.jitter = millis(2);
+  config.seed = 5;
+  return config;
+}
+
+/// Records, per block round, the first time replica 0 reached each strength.
+struct StrengthLog {
+  std::map<Round, std::map<std::uint32_t, SimTime>> by_round;
+  std::map<Round, Round> committed_during_round;  // block round -> strength
+
+  Cluster::CommitObserver observer() {
+    return [this](ReplicaId replica, const types::Block& block,
+                  std::uint32_t strength, SimTime now) {
+      if (replica != 0) return;
+      by_round[block.round].try_emplace(strength, now);
+    };
+  }
+
+  /// Strongest level the round-r block ever reached.
+  [[nodiscard]] std::uint32_t max_strength(Round round) const {
+    auto it = by_round.find(round);
+    if (it == by_round.end()) return 0;
+    std::uint32_t best = 0;
+    for (const auto& [strength, when] : it->second) {
+      best = std::max(best, strength);
+    }
+    return best;
+  }
+};
+
+// --- Theorem 2: crash faults, marker votes -------------------------------
+
+TEST(Theorem2, TwoFStrongWithNoFaults) {
+  // c = 0: every old-enough block must reach 2f-strong.
+  const std::uint32_t n = 7, f = 2;
+  StrengthLog log;
+  Cluster cluster(base_config(n, CoreMode::SftMarker), log.observer());
+  cluster.start();
+  cluster.run_for(seconds(10));
+
+  // Pick a mid-run block and check it reached 2f.
+  EXPECT_EQ(log.max_strength(20), 2 * f);
+}
+
+TEST(Theorem2, TwoFMinusCStrongUnderCrashes) {
+  // c = 2 = f crashes (adjacent rotation slots keep certifiable triples).
+  const std::uint32_t n = 7, f = 2, c = 2;
+  auto config = base_config(n, CoreMode::SftMarker);
+  config.faults.resize(n);
+  config.faults[1] = FaultSpec::crash_at_time(millis(500));
+  config.faults[2] = FaultSpec::crash_at_time(millis(500));
+  StrengthLog log;
+  Cluster cluster(config, log.observer());
+  cluster.start();
+  cluster.run_for(seconds(30));
+
+  // Find a block proposed well after the crashes and committed; Theorem 2
+  // promises (2f - c)-strong for it. With c = f = 2 that is exactly the
+  // regular f-strong level — and crucially NOT more: the crashed replicas
+  // can never endorse.
+  const auto& ledger = cluster.replica(0).core().ledger();
+  ASSERT_GT(ledger.committed_blocks(), 10u);
+  bool checked = false;
+  for (const auto& entry : ledger.snapshot()) {
+    if (entry.created_at > seconds(2) && entry.created_at < seconds(20)) {
+      EXPECT_GE(entry.strength, 2 * f - c) << "height " << entry.height;
+      EXPECT_LE(entry.strength, n - c - f - 1);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Theorem2, StrengthReachedWithinNPlusTwoRounds) {
+  // The bound is "within n + 2 rounds": with rounds ~35ms here, measure the
+  // time from block creation to 2f-strong and convert via observed round
+  // rate. We assert the loose-but-meaningful sim-time version: every
+  // measured block strengthens within (n + 2) x (max observed round time).
+  const std::uint32_t n = 7, f = 2;
+  StrengthLog log;
+  Cluster cluster(base_config(n, CoreMode::SftMarker), log.observer());
+  cluster.start();
+  cluster.run_for(seconds(10));
+
+  // Round duration bound: timeout config (no timeouts fire in this run, so
+  // every round is faster than base_timeout).
+  const SimDuration round_bound = millis(400);
+  for (Round round = 10; round <= 30; ++round) {
+    auto it = log.by_round.find(round);
+    if (it == log.by_round.end()) continue;  // not proposed (rotation gap)
+    auto strong = it->second.find(2 * f);
+    ASSERT_NE(strong, it->second.end()) << "round " << round;
+    const SimTime regular = it->second.begin()->second;
+    EXPECT_LE(strong->second - regular,
+              static_cast<SimDuration>(n + 2) * round_bound);
+  }
+}
+
+// --- Theorem 3: Byzantine (silent) faults, interval votes ----------------
+
+TEST(Theorem3, IntervalVotesReachTwoFMinusT) {
+  const std::uint32_t n = 10, f = 3, t = 2;
+  auto config = base_config(n, CoreMode::SftIntervals);
+  config.faults.resize(n);
+  config.faults[4] = FaultSpec::silent();
+  config.faults[5] = FaultSpec::silent();
+  StrengthLog log;
+  Cluster cluster(config, log.observer());
+  cluster.start();
+  cluster.run_for(seconds(40));
+
+  const auto& ledger = cluster.replica(0).core().ledger();
+  ASSERT_GT(ledger.committed_blocks(), 15u);
+  bool checked = false;
+  for (const auto& entry : ledger.snapshot()) {
+    if (entry.created_at > seconds(3) && entry.created_at < seconds(25)) {
+      // (2f - t)-strong = 4-strong must be reached (silent replicas never
+      // vote, so n - t = 8 endorsers max -> x <= 8 - f - 1 = 4 exactly).
+      EXPECT_GE(entry.strength, 2 * f - t) << "height " << entry.height;
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Theorem3, SilentFaultsCapStrengthAtTwoFMinusT) {
+  // Upper bound sanity: with t silent replicas the endorser ceiling is
+  // n - t, so no block can exceed (n - t - f - 1)-strong.
+  const std::uint32_t n = 10, f = 3, t = 2;
+  auto config = base_config(n, CoreMode::SftIntervals);
+  config.faults.resize(n);
+  config.faults[4] = FaultSpec::silent();
+  config.faults[5] = FaultSpec::silent();
+  Cluster cluster(config);
+  cluster.start();
+  cluster.run_for(seconds(20));
+  for (const auto& entry : cluster.replica(0).core().ledger().snapshot()) {
+    EXPECT_LE(entry.strength, n - t - f - 1);
+  }
+}
+
+TEST(Theorem3, MarkerModeAlsoLiveUnderForklessByzantine) {
+  // With silent (non-equivocating) Byzantine replicas no forks arise, so
+  // markers stay 0 and even the single-marker solution strengthens — the
+  // Sec. 3.4 liveness gap needs forks. This documents that distinction.
+  const std::uint32_t n = 10, f = 3, t = 2;
+  auto config = base_config(n, CoreMode::SftMarker);
+  config.faults.resize(n);
+  config.faults[4] = FaultSpec::silent();
+  config.faults[5] = FaultSpec::silent();
+  StrengthLog log;
+  Cluster cluster(config, log.observer());
+  cluster.start();
+  cluster.run_for(seconds(40));
+  EXPECT_GE(log.max_strength(12), 2 * f - t);
+}
+
+TEST(Theorem3, ForkedHistoryMarkerVsIntervals) {
+  // After voting on a fork, a marker vote endorses nothing below the fork
+  // round, while an interval vote still endorses the common prefix — the
+  // liveness difference Sec. 3.4 buys. Checked at the vote level in
+  // vote_history_test; here we check end-to-end that interval clusters
+  // sustain strengthening through timeout-induced forks.
+  const std::uint32_t n = 7, f = 2;
+  auto config = base_config(n, CoreMode::SftIntervals);
+  config.faults.resize(n);
+  config.faults[3] = FaultSpec::silent();  // its leadership rounds fork/skip
+  StrengthLog log;
+  Cluster cluster(config, log.observer());
+  cluster.start();
+  cluster.run_for(seconds(30));
+  EXPECT_GE(log.max_strength(15), 2 * f - 1);
+}
+
+}  // namespace
+}  // namespace sftbft

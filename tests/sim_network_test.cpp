@@ -1,0 +1,163 @@
+// SimNetwork: delivery timing, jitter bounds, GST semantics, partitions,
+// stats — the partial-synchrony substrate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sftbft/net/sim_network.hpp"
+
+namespace sftbft::net {
+namespace {
+
+using TestNetwork = SimNetwork<std::string>;
+
+struct Delivery {
+  ReplicaId from;
+  std::string msg;
+  SimTime at;
+};
+
+struct Harness {
+  sim::Scheduler sched;
+  std::vector<Delivery> deliveries;
+
+  TestNetwork make(Topology topo, NetConfig config) {
+    TestNetwork net(sched, std::move(topo), config, /*seed=*/1);
+    for (ReplicaId id = 0; id < net.topology().size(); ++id) {
+      net.set_handler(id, [this, id](ReplicaId from, const std::string& msg) {
+        deliveries.push_back({from, msg + "@" + std::to_string(id),
+                              sched.now()});
+      });
+    }
+    return net;
+  }
+};
+
+TEST(SimNetwork, DeliversAtBaseDelay) {
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.send(0, 1, "test", 10, "hello");
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].at, millis(10));
+  EXPECT_EQ(h.deliveries[0].msg, "hello@1");
+}
+
+TEST(SimNetwork, SelfSendIsImmediate) {
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.send(2, 2, "test", 10, "self");
+  // Delivered synchronously, no event needed.
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].at, 0);
+}
+
+TEST(SimNetwork, JitterStaysWithinBound) {
+  Harness h;
+  auto net = h.make(Topology::uniform(2, millis(10)), {.jitter = millis(5)});
+  for (int i = 0; i < 50; ++i) net.send(0, 1, "test", 10, "m");
+  h.sched.run_until_idle();
+  for (const Delivery& d : h.deliveries) {
+    EXPECT_GE(d.at, millis(10));
+    EXPECT_LE(d.at, millis(15));
+  }
+}
+
+TEST(SimNetwork, ProportionalJitterScalesWithDistance) {
+  Harness h;
+  auto net = h.make(Topology::uniform(2, millis(100)),
+                    {.jitter = 0, .jitter_frac = 0.5});
+  for (int i = 0; i < 50; ++i) net.send(0, 1, "test", 10, "m");
+  h.sched.run_until_idle();
+  SimTime max_seen = 0;
+  for (const Delivery& d : h.deliveries) {
+    EXPECT_GE(d.at, millis(100));
+    EXPECT_LE(d.at, millis(150));
+    max_seen = std::max(max_seen, d.at);
+  }
+  EXPECT_GT(max_seen, millis(110));  // jitter actually applied
+}
+
+TEST(SimNetwork, BandwidthAddsTransferTime) {
+  Harness h;
+  auto net = h.make(Topology::uniform(2, millis(10)),
+                    {.bandwidth_bytes_per_sec = 1'000'000});
+  net.send(0, 1, "blk", 500'000, "big");  // 0.5s at 1 MB/s
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].at, millis(10) + millis(500));
+}
+
+TEST(SimNetwork, GstDelaysEarlyMessages) {
+  Harness h;
+  auto net = h.make(Topology::uniform(2, millis(10)), {.gst = millis(100)});
+  net.send(0, 1, "test", 10, "early");  // sent at t=0, before GST
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  // Arrives no earlier than GST + base delay.
+  EXPECT_EQ(h.deliveries[0].at, millis(110));
+}
+
+TEST(SimNetwork, MulticastReachesAll) {
+  Harness h;
+  auto net = h.make(Topology::uniform(4, millis(10)), {});
+  net.multicast(1, "prop", 10, "block", /*include_self=*/true);
+  h.sched.run_until_idle();
+  EXPECT_EQ(h.deliveries.size(), 4u);
+  net.multicast(1, "prop", 10, "block2", /*include_self=*/false);
+  h.sched.run_until_idle();
+  EXPECT_EQ(h.deliveries.size(), 7u);
+}
+
+TEST(SimNetwork, DisconnectDropsInbound) {
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.disconnect(1);
+  EXPECT_FALSE(net.connected(1));
+  net.multicast(0, "prop", 10, "block");
+  h.sched.run_until_idle();
+  EXPECT_EQ(h.deliveries.size(), 2u);  // replicas 0 and 2 only
+}
+
+TEST(SimNetwork, LinkFilterDropsSelectively) {
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.set_link_filter([](ReplicaId from, ReplicaId to) {
+    return !(from == 0 && to == 2);  // partition one direction
+  });
+  net.multicast(0, "prop", 10, "block", /*include_self=*/false);
+  net.send(2, 0, "vote", 10, "reply");  // reverse direction still works
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].msg, "block@1");
+  EXPECT_EQ(h.deliveries[1].msg, "reply@0");
+}
+
+TEST(SimNetwork, StatsCountEverything) {
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.multicast(0, "proposal", 450'000, "b");
+  net.send(1, 0, "vote", 120, "v");
+  EXPECT_EQ(net.stats().total_count(), 4u);
+  EXPECT_EQ(net.stats().for_type("proposal").count, 3u);
+  EXPECT_EQ(net.stats().for_type("proposal").bytes, 3u * 450'000);
+  EXPECT_EQ(net.stats().for_type("vote").count, 1u);
+  EXPECT_EQ(net.stats().for_type("nothing").count, 0u);
+}
+
+TEST(SimNetwork, StragglerDelaysApply) {
+  Harness h;
+  Topology topo = Topology::uniform(3, millis(10));
+  topo.set_extra_delay(1, millis(20));
+  auto net = h.make(std::move(topo), {});
+  net.send(0, 1, "test", 10, "to-straggler");
+  net.send(0, 2, "test", 10, "to-normal");
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].at, millis(10));  // normal first
+  EXPECT_EQ(h.deliveries[0].msg, "to-normal@2");
+  EXPECT_EQ(h.deliveries[1].at, millis(30));
+}
+
+}  // namespace
+}  // namespace sftbft::net

@@ -1,0 +1,96 @@
+// Topology: the Fig. 6 geometries, interleaved region assignment,
+// straggler surcharges, and Δ derivation.
+#include <gtest/gtest.h>
+
+#include "sftbft/net/topology.hpp"
+
+namespace sftbft::net {
+namespace {
+
+TEST(Topology, UniformDelays) {
+  const Topology topo = Topology::uniform(4, millis(10));
+  EXPECT_EQ(topo.size(), 4u);
+  EXPECT_EQ(topo.base_delay(0, 1), millis(10));
+  EXPECT_EQ(topo.base_delay(3, 2), millis(10));
+  EXPECT_EQ(topo.base_delay(2, 2), 0);  // self
+}
+
+TEST(Topology, Symmetric3SizesAt100) {
+  const Topology topo = Topology::symmetric3(100, millis(100), millis(1));
+  EXPECT_EQ(topo.size(), 100u);
+  std::uint32_t sizes[3] = {};
+  for (ReplicaId id = 0; id < 100; ++id) sizes[topo.region_of(id)]++;
+  // Paper: 34/33/33.
+  EXPECT_EQ(sizes[0], 34u);
+  EXPECT_EQ(sizes[1], 33u);
+  EXPECT_EQ(sizes[2], 33u);
+}
+
+TEST(Topology, Symmetric3DelayStructure) {
+  const Topology topo = Topology::symmetric3(9, millis(100), millis(1));
+  ReplicaId same_region_peer = kNoReplica;
+  ReplicaId other_region_peer = kNoReplica;
+  for (ReplicaId id = 1; id < 9; ++id) {
+    if (topo.region_of(id) == topo.region_of(0)) same_region_peer = id;
+    if (topo.region_of(id) != topo.region_of(0)) other_region_peer = id;
+  }
+  ASSERT_NE(same_region_peer, kNoReplica);
+  ASSERT_NE(other_region_peer, kNoReplica);
+  EXPECT_EQ(topo.base_delay(0, same_region_peer), millis(1));
+  EXPECT_EQ(topo.base_delay(0, other_region_peer), millis(100));
+}
+
+TEST(Topology, RegionsAreInterleaved) {
+  // Round-robin leadership must alternate regions: no long same-region runs.
+  const Topology topo = Topology::symmetric3(99, millis(100), millis(1));
+  std::uint32_t longest_run = 1, run = 1;
+  for (ReplicaId id = 1; id < 99; ++id) {
+    if (topo.region_of(id) == topo.region_of(id - 1)) {
+      longest_run = std::max(longest_run, ++run);
+    } else {
+      run = 1;
+    }
+  }
+  EXPECT_LE(longest_run, 2u);
+}
+
+TEST(Topology, Asymmetric3Structure) {
+  const Topology topo =
+      Topology::asymmetric3(45, 45, 10, millis(20), millis(100), millis(1));
+  EXPECT_EQ(topo.size(), 100u);
+  std::uint32_t sizes[3] = {};
+  for (ReplicaId id = 0; id < 100; ++id) sizes[topo.region_of(id)]++;
+  EXPECT_EQ(sizes[0], 45u);
+  EXPECT_EQ(sizes[1], 45u);
+  EXPECT_EQ(sizes[2], 10u);
+
+  ReplicaId a = kNoReplica, b = kNoReplica, c = kNoReplica;
+  for (ReplicaId id = 0; id < 100; ++id) {
+    if (topo.region_of(id) == 0 && a == kNoReplica) a = id;
+    if (topo.region_of(id) == 1 && b == kNoReplica) b = id;
+    if (topo.region_of(id) == 2 && c == kNoReplica) c = id;
+  }
+  EXPECT_EQ(topo.base_delay(a, b), millis(20));
+  EXPECT_EQ(topo.base_delay(a, c), millis(100));
+  EXPECT_EQ(topo.base_delay(c, b), millis(100));
+}
+
+TEST(Topology, StragglerSurchargeBothEnds) {
+  Topology topo = Topology::uniform(4, millis(10));
+  topo.set_extra_delay(1, millis(30));
+  EXPECT_EQ(topo.base_delay(1, 2), millis(40));  // sender surcharge
+  EXPECT_EQ(topo.base_delay(2, 1), millis(40));  // receiver surcharge
+  EXPECT_EQ(topo.base_delay(2, 3), millis(10));  // untouched pair
+  topo.set_extra_delay(2, millis(5));
+  EXPECT_EQ(topo.base_delay(1, 2), millis(45));  // both ends combine
+}
+
+TEST(Topology, MaxBaseDelayIncludesTwoWorstStragglers) {
+  Topology topo = Topology::uniform(5, millis(10));
+  topo.set_extra_delay(0, millis(100));
+  topo.set_extra_delay(3, millis(40));
+  EXPECT_EQ(topo.max_base_delay(), millis(10 + 100 + 40));
+}
+
+}  // namespace
+}  // namespace sftbft::net

@@ -1,0 +1,340 @@
+// Protocol types: canonical serialization round-trips (parameterized over
+// vote modes and randomized contents), digest stability, QC/TC validation.
+#include <gtest/gtest.h>
+
+#include "sftbft/common/rng.hpp"
+#include "sftbft/crypto/signature.hpp"
+#include "sftbft/types/proposal.hpp"
+
+namespace sftbft::types {
+namespace {
+
+crypto::KeyRegistry& registry() {
+  static crypto::KeyRegistry reg(7, 5);
+  return reg;
+}
+
+Vote make_signed_vote(ReplicaId voter, const BlockId& block_id, Round round,
+                      VoteMode mode, Round marker = 0) {
+  Vote vote;
+  vote.block_id = block_id;
+  vote.round = round;
+  vote.voter = voter;
+  vote.mode = mode;
+  vote.marker = marker;
+  if (mode == VoteMode::Intervals) {
+    vote.endorsed = IntervalSet::single(marker + 1, round);
+  }
+  vote.sig = registry().signer_for(voter).sign(vote.signing_bytes());
+  return vote;
+}
+
+Block make_block(const Block& parent, Round round) {
+  Block block;
+  block.parent_id = parent.id;
+  block.round = round;
+  block.height = parent.height + 1;
+  block.proposer = static_cast<ReplicaId>(round % 7);
+  block.qc.block_id = parent.id;
+  block.qc.round = parent.round;
+  block.payload.txns.push_back({.id = round, .submitted_at = 1, .size_bytes = 450});
+  block.seal();
+  return block;
+}
+
+// ------------------------------------------------------------------ votes
+
+class VoteModeRoundTrip : public ::testing::TestWithParam<VoteMode> {};
+
+TEST_P(VoteModeRoundTrip, EncodeDecodeIdentity) {
+  const Block genesis = Block::genesis();
+  const Vote vote = make_signed_vote(3, genesis.id, 9, GetParam(), 4);
+  Encoder enc;
+  vote.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(Vote::decode(dec), vote);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST_P(VoteModeRoundTrip, SigningBytesCoverMode) {
+  const Block genesis = Block::genesis();
+  Vote vote = make_signed_vote(3, genesis.id, 9, GetParam(), 4);
+  const Bytes original = vote.signing_bytes();
+  vote.marker += 1;
+  EXPECT_NE(vote.signing_bytes(), original);  // marker is signed
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, VoteModeRoundTrip,
+                         ::testing::Values(VoteMode::Plain, VoteMode::Marker,
+                                           VoteMode::Intervals));
+
+TEST(Vote, EndorsementSemantics) {
+  Vote vote;
+  vote.round = 10;
+  vote.mode = VoteMode::Marker;
+  vote.marker = 6;
+  EXPECT_TRUE(vote.endorses_round(10));  // own block, always
+  EXPECT_TRUE(vote.endorses_round(7));   // 7 > marker
+  EXPECT_FALSE(vote.endorses_round(6));  // 6 == marker: blocked
+  EXPECT_FALSE(vote.endorses_round(2));
+
+  vote.mode = VoteMode::Plain;
+  EXPECT_TRUE(vote.endorses_round(10));
+  EXPECT_FALSE(vote.endorses_round(9));  // plain votes are direct-only
+
+  vote.mode = VoteMode::Intervals;
+  vote.endorsed = IntervalSet::single(4, 10);
+  vote.endorsed.subtract(6, 7);
+  EXPECT_TRUE(vote.endorses_round(5));
+  EXPECT_FALSE(vote.endorses_round(6));  // hole
+  EXPECT_TRUE(vote.endorses_round(8));
+  EXPECT_FALSE(vote.endorses_round(3));
+}
+
+TEST(Vote, DecodeRejectsBadMode) {
+  const Block genesis = Block::genesis();
+  Vote vote = make_signed_vote(0, genesis.id, 1, VoteMode::Plain);
+  Encoder enc;
+  vote.encode(enc);
+  Bytes raw = enc.take();
+  raw[32 + 8 + 4] = 9;  // mode byte
+  Decoder dec(raw);
+  EXPECT_THROW(Vote::decode(dec), CodecError);
+}
+
+// -------------------------------------------------------------------- QCs
+
+TEST(QuorumCert, VerifyAcceptsValidQuorum) {
+  const Block genesis = Block::genesis();
+  const Block block = make_block(genesis, 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  qc.parent_id = genesis.id;
+  qc.parent_round = 0;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+  }
+  qc.canonicalize();
+  EXPECT_TRUE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, VerifyRejectsBelowQuorum) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 4; ++voter) {
+    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+  }
+  EXPECT_FALSE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, VerifyRejectsDuplicateVoter) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (int i = 0; i < 5; ++i) {
+    qc.votes.push_back(make_signed_vote(2, block.id, 1, VoteMode::Marker));
+  }
+  EXPECT_FALSE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, VerifyRejectsWrongBlock) {
+  const Block block = make_block(Block::genesis(), 1);
+  const Block other = make_block(Block::genesis(), 2);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 4; ++voter) {
+    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+  }
+  qc.votes.push_back(make_signed_vote(4, other.id, 1, VoteMode::Marker));
+  EXPECT_FALSE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, VerifyRejectsTamperedMarker) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    qc.votes.push_back(
+        make_signed_vote(voter, block.id, 1, VoteMode::Marker, 2));
+  }
+  qc.votes[3].marker = 0;  // lie about history without re-signing
+  EXPECT_FALSE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, GenesisQcIsValid) {
+  QuorumCert qc;  // round 0, no votes
+  EXPECT_TRUE(qc.is_genesis());
+  EXPECT_TRUE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, CanonicalizeSortsByVoter) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  for (ReplicaId voter : {4u, 1u, 3u}) {
+    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Plain));
+  }
+  qc.canonicalize();
+  EXPECT_EQ(qc.votes[0].voter, 1u);
+  EXPECT_EQ(qc.votes[1].voter, 3u);
+  EXPECT_EQ(qc.votes[2].voter, 4u);
+}
+
+TEST(QuorumCert, DigestBindsVoterSet) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+  }
+  const auto base = qc.digest();
+  QuorumCert more = qc;
+  more.votes.push_back(make_signed_vote(5, block.id, 1, VoteMode::Marker));
+  EXPECT_NE(more.digest(), base);
+  QuorumCert tampered = qc;
+  tampered.votes[0].marker = 7;
+  EXPECT_NE(tampered.digest(), base);
+}
+
+// ------------------------------------------------------------------ blocks
+
+TEST(Block, SealedIdDetectsTampering) {
+  Block block = make_block(Block::genesis(), 3);
+  EXPECT_TRUE(block.id_is_valid());
+  block.round = 4;
+  EXPECT_FALSE(block.id_is_valid());
+  block.seal();
+  EXPECT_TRUE(block.id_is_valid());
+}
+
+TEST(Block, RoundTrip) {
+  const Block block = make_block(Block::genesis(), 3);
+  Encoder enc;
+  block.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(Block::decode(dec), block);
+}
+
+TEST(Block, WireSizeIncludesModelledPayload) {
+  Block block = make_block(Block::genesis(), 1);
+  const std::size_t base = block.wire_size();
+  block.payload.txns.push_back({.id = 99, .submitted_at = 0, .size_bytes = 4500});
+  block.seal();
+  EXPECT_GE(block.wire_size(), base + 4500);
+}
+
+TEST(Block, GenesisIsStable) {
+  EXPECT_EQ(Block::genesis().id, Block::genesis().id);
+  EXPECT_EQ(Block::genesis().height, 0u);
+  EXPECT_EQ(Block::genesis().round, 0u);
+}
+
+// --------------------------------------------------------------- timeouts
+
+TEST(TimeoutCert, VerifyAndHighestQc) {
+  TimeoutCert tc;
+  tc.round = 5;
+  for (ReplicaId sender = 0; sender < 5; ++sender) {
+    TimeoutMsg msg;
+    msg.round = 5;
+    msg.sender = sender;
+    msg.high_qc.round = sender;  // varied high QCs
+    msg.sig = registry().signer_for(sender).sign(msg.signing_bytes());
+    tc.timeouts.push_back(msg);
+  }
+  EXPECT_TRUE(tc.verify(registry(), 5));
+  EXPECT_EQ(tc.highest_qc().round, 4u);
+
+  tc.timeouts[2].round = 6;  // mismatched round
+  EXPECT_FALSE(tc.verify(registry(), 5));
+}
+
+TEST(TimeoutMsg, RoundTrip) {
+  TimeoutMsg msg;
+  msg.round = 9;
+  msg.sender = 2;
+  msg.high_qc.round = 7;
+  msg.sig = registry().signer_for(2).sign(msg.signing_bytes());
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(TimeoutMsg::decode(dec), msg);
+}
+
+// --------------------------------------------------------------- proposals
+
+TEST(Proposal, RoundTripWithTcAndLog) {
+  Proposal proposal;
+  proposal.block = make_block(Block::genesis(), 2);
+  TimeoutCert tc;
+  tc.round = 1;
+  TimeoutMsg msg;
+  msg.round = 1;
+  msg.sender = 0;
+  msg.sig = registry().signer_for(0).sign(msg.signing_bytes());
+  tc.timeouts.push_back(msg);
+  proposal.tc = tc;
+  proposal.commit_log.push_back(
+      {.block_id = proposal.block.parent_id, .round = 1, .strength = 3});
+  proposal.sig = registry().signer_for(2).sign(proposal.signing_bytes());
+
+  Encoder enc;
+  proposal.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(Proposal::decode(dec), proposal);
+}
+
+TEST(Proposal, SignatureCoversCommitLog) {
+  Proposal proposal;
+  proposal.block = make_block(Block::genesis(), 2);
+  proposal.commit_log.push_back({.block_id = {}, .round = 1, .strength = 2});
+  const Bytes before = proposal.signing_bytes();
+  proposal.commit_log[0].strength = 5;
+  EXPECT_NE(proposal.signing_bytes(), before);
+}
+
+TEST(MessageHelpers, TypeNamesAndSizes) {
+  const Message prop = Proposal{.block = make_block(Block::genesis(), 1)};
+  const Message vote = make_signed_vote(0, Block::genesis().id, 1, VoteMode::Plain);
+  const Message timeout = TimeoutMsg{};
+  EXPECT_STREQ(message_type_name(prop), "proposal");
+  EXPECT_STREQ(message_type_name(vote), "vote");
+  EXPECT_STREQ(message_type_name(timeout), "timeout");
+  EXPECT_GT(message_wire_size(prop), message_wire_size(vote));
+}
+
+// Randomized round-trip sweep: arbitrary vote/QC contents survive encoding.
+class RandomizedRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedRoundTrip, QuorumCert) {
+  Rng rng(GetParam());
+  const Block block = make_block(Block::genesis(), 1 + rng.uniform(0, 50));
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = block.round;
+  qc.parent_id = block.parent_id;
+  const auto voters = 1 + rng.uniform(0, 6);
+  for (std::int64_t i = 0; i < voters; ++i) {
+    const auto mode = static_cast<VoteMode>(rng.uniform(0, 2));
+    qc.votes.push_back(make_signed_vote(static_cast<ReplicaId>(i), block.id,
+                                        block.round, mode,
+                                        rng.uniform(0, block.round - 1)));
+  }
+  qc.canonicalize();
+  Encoder enc;
+  qc.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(QuorumCert::decode(dec), qc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace sftbft::types

@@ -1,0 +1,151 @@
+// VoteHistory: per-fork frontier maintenance, marker computation (Fig. 4)
+// and interval computation (Sec. 3.4) on constructed fork trees.
+#include <gtest/gtest.h>
+
+#include "sftbft/consensus/vote_history.hpp"
+
+namespace sftbft::consensus {
+namespace {
+
+using types::Block;
+
+Block child_of(const Block& parent, Round round) {
+  Block block;
+  block.parent_id = parent.id;
+  block.round = round;
+  block.height = parent.height + 1;
+  block.qc.block_id = parent.id;
+  block.qc.round = parent.round;
+  block.seal();
+  return block;
+}
+
+class VoteHistoryTest : public ::testing::Test {
+ protected:
+  chain::BlockTree tree_;
+  VoteHistory history_{tree_};
+  Block genesis_ = tree_.genesis();
+
+  const Block& add(const Block& parent, Round round) {
+    const Block block = child_of(parent, round);
+    tree_.insert(block);
+    return *tree_.get(block.id);
+  }
+};
+
+TEST_F(VoteHistoryTest, NoConflictsMeansMarkerZero) {
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  history_.record_vote(b1);
+  EXPECT_EQ(history_.marker_for(b2), 0u);
+}
+
+TEST_F(VoteHistoryTest, FrontierKeepsOneEntryPerFork) {
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& b3 = add(b2, 3);
+  history_.record_vote(b1);
+  history_.record_vote(b2);
+  history_.record_vote(b3);
+  // All on one fork: frontier collapses to the latest vote.
+  ASSERT_EQ(history_.frontier().size(), 1u);
+  EXPECT_EQ(history_.frontier()[0].block_id, b3.id);
+}
+
+TEST_F(VoteHistoryTest, MarkerIsMaxConflictingVotedRound) {
+  //        g - b1 - b2 - b5(main)
+  //              \- f3 - f4(fork)
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& f3 = add(b1, 3);
+  const Block& f4 = add(f3, 4);
+  const Block& b5 = add(b2, 5);
+
+  history_.record_vote(b2);
+  history_.record_vote(f3);
+  history_.record_vote(f4);
+
+  // Voting for b5 on the main fork: conflicting voted blocks are f3, f4;
+  // the marker is the max conflicting round = 4.
+  EXPECT_EQ(history_.marker_for(b5), 4u);
+  ASSERT_EQ(history_.frontier().size(), 2u);
+}
+
+TEST_F(VoteHistoryTest, MarkerIgnoresOwnForkVotes) {
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& b3 = add(b2, 3);
+  history_.record_vote(b1);
+  history_.record_vote(b2);
+  EXPECT_EQ(history_.marker_for(b3), 0u);  // ancestors don't conflict
+}
+
+TEST_F(VoteHistoryTest, IntervalsFullHistoryNoForks) {
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& b5 = add(b2, 5);
+  history_.record_vote(b1);
+  history_.record_vote(b2);
+  const IntervalSet intervals = history_.intervals_for(b5, 0);
+  EXPECT_EQ(intervals, IntervalSet::single(1, 5));  // endorse everything
+}
+
+TEST_F(VoteHistoryTest, IntervalsSubtractForkWindows) {
+  //   g - b1 - b2 --------- b7(main, about to vote)
+  //         \- f3 - f5(fork, voted)
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& f3 = add(b1, 3);
+  const Block& f5 = add(f3, 5);
+  const Block& b7 = add(b2, 7);
+
+  history_.record_vote(b2);
+  history_.record_vote(f3);
+  history_.record_vote(f5);
+
+  // Fork F's D_F = [r_l + 1, r_h] with r_l = round(common ancestor b7, f5)
+  // = round(b1) = 1 and r_h = 5. I = [1,7] \ [2,5] = [1,1] ∪ [6,7].
+  const IntervalSet intervals = history_.intervals_for(b7, 0);
+  IntervalSet expected = IntervalSet::single(1, 7);
+  expected.subtract(2, 5);
+  EXPECT_EQ(intervals, expected);
+
+  // Note the marker solution would be coarser: marker = 5 endorses only
+  // [6, 7] — intervals additionally recover round 1 (better liveness).
+  EXPECT_EQ(history_.marker_for(b7), 5u);
+  EXPECT_TRUE(intervals.contains(1));
+}
+
+TEST_F(VoteHistoryTest, IntervalsWindowed) {
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& b9 = add(b2, 9);
+  history_.record_vote(b1);
+  history_.record_vote(b2);
+  // Window of 3 rounds: I = [9-3, 9] = [6, 9].
+  const IntervalSet intervals = history_.intervals_for(b9, 3);
+  EXPECT_EQ(intervals, IntervalSet::single(6, 9));
+}
+
+TEST_F(VoteHistoryTest, MultipleForksAllSubtracted) {
+  //   g - b1 - b6(main)
+  //    \- f2 - f3 (fork 1, voted f3)
+  //    \- f4 (fork 2, voted f4)
+  const Block& b1 = add(genesis_, 1);
+  const Block& f2 = add(genesis_, 2);
+  const Block& f3 = add(f2, 3);
+  const Block& f4 = add(genesis_, 4);
+  const Block& b6 = add(b1, 6);
+
+  history_.record_vote(b1);
+  history_.record_vote(f3);
+  history_.record_vote(f4);
+
+  // D_fork1 = [0+1, 3] = [1,3]; D_fork2 = [1, 4]; I = [1,6] \ [1,4] = [5,6].
+  const IntervalSet intervals = history_.intervals_for(b6, 0);
+  EXPECT_EQ(intervals, IntervalSet::single(5, 6));
+  EXPECT_EQ(history_.marker_for(b6), 4u);
+}
+
+}  // namespace
+}  // namespace sftbft::consensus
