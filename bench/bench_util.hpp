@@ -10,7 +10,7 @@
 
 namespace sftbft::bench {
 
-/// The paper's geo calibration (see EXPERIMENTS.md): lean leader processing,
+/// The paper's geo calibration (see README.md "Calibration"): lean leader processing,
 /// per-replica heterogeneity, moderate per-message jitter. Absolute
 /// latencies are ~5x below the paper's Diem deployment; shapes match.
 inline harness::Scenario geo_scenario() {

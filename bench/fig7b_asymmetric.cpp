@@ -28,7 +28,7 @@ harness::Scenario asym_scenario(SimDuration delta) {
   // The asymmetric experiment is about *regional* exclusion; keep
   // per-replica noise mild so the region mechanism stays legible, and pin
   // the pacemaker to the calibrated budget that region-C leaders miss at
-  // δ = 200 ms but meet at δ = 100 ms (EXPERIMENTS.md).
+  // δ = 200 ms but meet at δ = 100 ms (README.md "Calibration").
   s.jitter = millis(15);
   s.jitter_frac = 0.1;
   s.hetero_fast_max = millis(8);

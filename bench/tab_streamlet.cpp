@@ -13,7 +13,6 @@
 
 #include "bench_util.hpp"
 #include "sftbft/harness/metrics.hpp"
-#include "sftbft/streamlet/streamlet_cluster.hpp"
 
 using namespace sftbft;
 using namespace sftbft::bench;
@@ -25,52 +24,42 @@ int main() {
   const std::uint32_t n = 16;
   const std::uint32_t f = (n - 1) / 3;
 
-  streamlet::StreamletClusterConfig config;
-  config.n = n;
-  config.core.n = n;
-  config.core.delta_bound = millis(50);
-  config.core.sft = true;
-  config.core.echo = true;
-  config.core.verify_signatures = false;
-  config.core.max_batch = 100;
-  config.topology = net::Topology::uniform(n, millis(20));
-  config.net.jitter = millis(10);
-  config.workload.txn_size_bytes = 4500;
-  config.workload.target_pool_size = 400;
-  config.seed = 42;
+  // The same Scenario machinery as every DiemBFT bench — only the engine
+  // selector differs (the unified-deployment API at work).
+  harness::Scenario s;
+  s.name = "tab_streamlet";
+  s.protocol = engine::Protocol::Streamlet;
+  s.n = n;
+  s.mode = consensus::CoreMode::SftMarker;  // any SFT mode = SFT-Streamlet
+  s.topo = harness::Scenario::Topo::Uniform;
+  s.delta = millis(20);
+  s.jitter = millis(10);
+  s.jitter_frac = 0;
+  s.streamlet_delta_bound = millis(50);
+  s.streamlet_echo = true;
+  s.verify_signatures = false;
+  s.max_batch = 100;
+  s.txn_size_bytes = 4500;
+  s.duration = seconds(60);
+  s.warmup = seconds(2);
+  s.tail = seconds(15);
+  s.seed = 42;
 
-  std::vector<std::uint32_t> levels;
-  for (std::uint32_t x = f; x <= 2 * f; ++x) levels.push_back(x);
-  harness::StrengthLatencyTracker tracker(n, levels);
-
-  streamlet::StreamletCluster cluster(
-      config, [&tracker](ReplicaId replica, const types::Block& block,
-                         std::uint32_t strength, SimTime now) {
-        tracker.on_commit(replica, block, strength, now);
-      });
-  cluster.start();
-  const SimDuration duration = seconds(60);
-  cluster.run_for(duration);
-  tracker.set_window(seconds(2), duration - seconds(15));
+  const harness::ScenarioResult result = run_scenario(s);
 
   harness::Table table({"x-strong", "latency(s)", "coverage"});
-  for (const auto& stats : tracker.results()) {
+  for (const auto& stats : result.latency) {
     table.add_row({level_label(stats.level, f), latency_cell(stats),
                    harness::Table::num(stats.coverage, 2)});
   }
   std::printf("%s\n", table.render().c_str());
 
-  const auto& stats = cluster.network().stats();
-  const auto blocks = cluster.core(0).ledger().committed_blocks();
-  std::printf("committed blocks: %llu;  messages/block: %.0f "
+  std::printf("committed blocks in measurement window: %llu;  "
+              "messages/block over the whole run: %.0f "
               "(echo makes this O(n^3) per round: measured %.1f x n^2)\n",
-              static_cast<unsigned long long>(blocks),
-              blocks ? static_cast<double>(stats.total_count()) /
-                           static_cast<double>(blocks)
-                     : 0.0,
-              blocks ? static_cast<double>(stats.total_count()) /
-                           static_cast<double>(blocks) / (n * n)
-                     : 0.0);
+              static_cast<unsigned long long>(result.summary.committed_blocks),
+              result.messages_per_block,
+              result.messages_per_block / (n * n));
 
   std::printf("\n== D.4: rounds of >x corruption needed to revert an "
               "x-strong commit buried h blocks deep ==\n\n");

@@ -11,21 +11,21 @@
 #include <map>
 
 #include "sftbft/harness/metrics.hpp"
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 using namespace sftbft;
 
 namespace {
 
-replica::ClusterConfig geo_config(std::function<SimDuration(Round)> wait) {
-  replica::ClusterConfig config;
+engine::DeploymentConfig geo_config(std::function<SimDuration(Round)> wait) {
+  engine::DeploymentConfig config;
   config.n = 100;
-  config.core.mode = consensus::CoreMode::SftMarker;
-  config.core.leader_processing = millis(80);
-  config.core.base_timeout = millis(900);
-  config.core.max_batch = 100;
-  config.core.extra_wait = std::move(wait);
-  config.core.verify_signatures = false;  // keep the demo snappy
+  config.diem.mode = consensus::CoreMode::SftMarker;
+  config.diem.leader_processing = millis(80);
+  config.diem.base_timeout = millis(900);
+  config.diem.max_batch = 100;
+  config.diem.extra_wait = std::move(wait);
+  config.diem.verify_signatures = false;  // keep the demo snappy
   config.topology = net::Topology::symmetric3(100, millis(100), millis(1));
   // A handful of slow replicas, like any real deployment has.
   for (ReplicaId id = 10; id < 100; id += 20) {
@@ -44,7 +44,7 @@ void run_and_report(const char* label,
   SimTime created = 0;
   Round target_round = 30;
 
-  replica::Cluster cluster(
+  engine::Deployment cluster(
       geo_config(std::move(wait)),
       [&](ReplicaId replica, const types::Block& block, std::uint32_t strength,
           SimTime now) {

@@ -9,26 +9,26 @@
 #include <cstdio>
 
 #include "sftbft/lightclient/light_client.hpp"
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 using namespace sftbft;
 
 int main() {
-  replica::ClusterConfig config;
+  engine::DeploymentConfig config;
   config.n = 7;
-  config.core.mode = consensus::CoreMode::SftMarker;
-  config.core.base_timeout = millis(500);
-  config.core.leader_processing = millis(5);
-  config.core.max_batch = 20;
+  config.diem.mode = consensus::CoreMode::SftMarker;
+  config.diem.base_timeout = millis(500);
+  config.diem.leader_processing = millis(5);
+  config.diem.max_batch = 20;
   config.topology = net::Topology::uniform(7, millis(10));
   config.net.jitter = millis(2);
   config.seed = 3;
 
-  replica::Cluster cluster(config);
+  engine::Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(8));
 
-  const auto& core = cluster.replica(0).core();
+  const auto& core = cluster.diem_core(0);
   const auto& ledger = core.ledger();
   std::printf("full node: %llu blocks committed\n",
               static_cast<unsigned long long>(ledger.committed_blocks()));

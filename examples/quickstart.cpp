@@ -11,17 +11,17 @@
 // Byzantine. This is the "strengthened fault tolerance" of the title.
 #include <cstdio>
 
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 using namespace sftbft;
 
 int main() {
-  replica::ClusterConfig config;
+  engine::DeploymentConfig config;
   config.n = 4;
-  config.core.mode = consensus::CoreMode::SftMarker;
-  config.core.base_timeout = millis(500);
-  config.core.leader_processing = millis(10);
-  config.core.max_batch = 50;
+  config.diem.mode = consensus::CoreMode::SftMarker;
+  config.diem.base_timeout = millis(500);
+  config.diem.leader_processing = millis(10);
+  config.diem.max_batch = 50;
   config.topology = net::Topology::uniform(4, millis(10));
   config.net.jitter = millis(2);
   config.seed = 7;
@@ -30,7 +30,7 @@ int main() {
               "safe even if up to x replicas later become Byzantine.\n\n");
 
   // Observe commits at replica 0 only (all honest replicas agree).
-  replica::Cluster cluster(
+  engine::Deployment cluster(
       config, [](ReplicaId replica, const types::Block& block,
                  std::uint32_t strength, SimTime now) {
         if (replica != 0 || block.height > 8) return;
@@ -46,7 +46,7 @@ int main() {
   cluster.start();
   cluster.run_for(seconds(3));
 
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   std::printf("\ncommitted %llu blocks, %llu transactions in 3s of "
               "simulated time\n",
               static_cast<unsigned long long>(ledger.committed_blocks()),

@@ -8,26 +8,26 @@
 // blocks of a consecutive-round triple.
 #include <cstdio>
 
-#include "sftbft/streamlet/streamlet_cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 using namespace sftbft;
-using namespace sftbft::streamlet;
+using namespace sftbft::engine;
 
 int main() {
-  StreamletClusterConfig config;
+  DeploymentConfig config;
+  config.protocol = Protocol::Streamlet;
   config.n = 7;
-  config.core.n = 7;
-  config.core.delta_bound = millis(50);  // rounds tick every 100 ms
-  config.core.sft = true;
-  config.core.echo = true;
-  config.core.max_batch = 20;
+  config.streamlet.delta_bound = millis(50);  // rounds tick every 100 ms
+  config.streamlet.sft = true;
+  config.streamlet.echo = true;
+  config.streamlet.max_batch = 20;
   config.topology = net::Topology::uniform(7, millis(15));
   config.net.jitter = millis(5);
   config.seed = 21;
 
   std::printf("SFT-Streamlet, n=7 (f=2), lock-step rounds of 2*50ms\n\n");
 
-  StreamletCluster cluster(
+  Deployment cluster(
       config, [](ReplicaId replica, const types::Block& block,
                  std::uint32_t strength, SimTime now) {
         if (replica != 0 || block.height > 6) return;
@@ -41,12 +41,12 @@ int main() {
   cluster.start();
   cluster.run_for(seconds(5));
 
-  const auto& ledger = cluster.core(0).ledger();
+  const auto& ledger = cluster.ledger(0);
   std::printf("\ncommitted %llu blocks in 5s of simulated time "
               "(lock-step pacing, ~1 block per 100ms round)\n",
               static_cast<unsigned long long>(ledger.committed_blocks()));
 
-  const auto& stats = cluster.network().stats();
+  const auto& stats = cluster.net_stats();
   std::printf("messages: %llu total — proposals %llu, votes %llu, echoes "
               "%llu (the echo is Streamlet's O(n^3) simplicity tax)\n",
               static_cast<unsigned long long>(stats.total_count()),

@@ -58,7 +58,7 @@ struct CoreConfig {
   /// Modelled leader-side processing (block execution, batching, signature
   /// checks) between QC availability and the proposal broadcast. This is the
   /// calibration constant that puts absolute latencies in the paper's range
-  /// (see EXPERIMENTS.md); shapes do not depend on it.
+  /// (see README.md "Calibration"); shapes do not depend on it.
   SimDuration leader_processing = 0;
 
   /// Fig. 8 knob: after reaching 2f + 1 votes the leader waits this long,

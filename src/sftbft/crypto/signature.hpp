@@ -1,6 +1,6 @@
 // Signature substrate: Signer / Verifier / KeyRegistry (the PKI).
 //
-// Substitution note (see DESIGN.md §2): the paper's implementation uses the
+// Substitution note (see README.md "Simulation substitutions"): the paper's implementation uses the
 // Diem production signature scheme. The protocol logic only requires that a
 // Byzantine replica cannot forge an honest replica's vote *within the run*.
 // We realize this with HMAC-SHA-256 over per-replica secrets: a replica can

@@ -1,0 +1,154 @@
+#include "sftbft/engine/deployment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sftbft::engine {
+
+namespace {
+
+[[noreturn]] void wrong_protocol(Protocol want, Protocol have) {
+  throw std::logic_error(std::string("deployment runs ") +
+                         protocol_name(have) + ", not " +
+                         protocol_name(want));
+}
+
+}  // namespace
+
+Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
+    : config_(std::move(config)) {
+  if (config_.topology.size() != config_.n) {
+    throw std::invalid_argument(
+        "Deployment: topology size (" +
+        std::to_string(config_.topology.size()) + ") != n (" +
+        std::to_string(config_.n) + ")");
+  }
+  registry_ = std::make_shared<crypto::KeyRegistry>(config_.n, config_.seed);
+
+  auto fault_for = [this](ReplicaId id) {
+    return id < config_.faults.size() ? config_.faults[id]
+                                      : FaultSpec::honest();
+  };
+
+  // Seed derivations are kept per protocol (0xabcd / 0x51ee7 network
+  // streams) so existing seeded experiments replay bit-identically to the
+  // pre-engine-layer stacks.
+  switch (config_.protocol) {
+    case Protocol::DiemBft: {
+      diem_network_ = std::make_unique<replica::DiemNetwork>(
+          sched_, config_.topology, config_.net, config_.seed ^ 0xabcd);
+      Rng workload_rng(config_.seed ^ 0x77aa);
+      for (ReplicaId id = 0; id < config_.n; ++id) {
+        consensus::CoreConfig core = config_.diem;
+        core.id = id;
+        core.n = config_.n;
+        engines_.push_back(std::make_unique<DiemEngine>(
+            core, *diem_network_, registry_, config_.workload,
+            workload_rng.fork(), fault_for(id), observer));
+      }
+      break;
+    }
+    case Protocol::Streamlet: {
+      streamlet_network_ = std::make_unique<StreamletNetwork>(
+          sched_, config_.topology, config_.net, config_.seed ^ 0x51ee7);
+      Rng workload_rng(config_.seed ^ 0x77aa);
+      for (ReplicaId id = 0; id < config_.n; ++id) {
+        streamlet::StreamletConfig core = config_.streamlet;
+        core.id = id;
+        core.n = config_.n;
+        engines_.push_back(std::make_unique<StreamletEngine>(
+            core, *streamlet_network_, registry_, config_.workload,
+            workload_rng.fork(), fault_for(id), observer));
+      }
+      break;
+    }
+  }
+}
+
+Deployment::~Deployment() = default;
+
+void Deployment::start() {
+  for (auto& engine : engines_) engine->start();
+}
+
+void Deployment::run_for(SimDuration duration) { sched_.run_for(duration); }
+
+ConsensusEngine& Deployment::engine(ReplicaId id) { return *engines_[id]; }
+
+const ConsensusEngine& Deployment::engine(ReplicaId id) const {
+  return *engines_[id];
+}
+
+net::MessageStats& Deployment::net_stats() {
+  return diem_network_ ? diem_network_->stats() : streamlet_network_->stats();
+}
+
+const net::MessageStats& Deployment::net_stats() const {
+  return diem_network_ ? diem_network_->stats() : streamlet_network_->stats();
+}
+
+void Deployment::set_link_filter(net::LinkFilter filter) {
+  if (diem_network_) {
+    diem_network_->set_link_filter(std::move(filter));
+  } else {
+    streamlet_network_->set_link_filter(std::move(filter));
+  }
+}
+
+std::uint32_t Deployment::honest_count() const {
+  std::uint32_t honest = 0;
+  for (const auto& engine : engines_) {
+    if (engine->fault().kind == FaultSpec::Kind::Honest) ++honest;
+  }
+  return honest;
+}
+
+replica::Replica& Deployment::diem_replica(ReplicaId id) {
+  if (config_.protocol != Protocol::DiemBft) {
+    wrong_protocol(Protocol::DiemBft, config_.protocol);
+  }
+  return static_cast<DiemEngine&>(*engines_[id]).replica();
+}
+
+consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) {
+  if (config_.protocol != Protocol::DiemBft) {
+    wrong_protocol(Protocol::DiemBft, config_.protocol);
+  }
+  return static_cast<DiemEngine&>(*engines_[id]).core();
+}
+
+const consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) const {
+  if (config_.protocol != Protocol::DiemBft) {
+    wrong_protocol(Protocol::DiemBft, config_.protocol);
+  }
+  return static_cast<const DiemEngine&>(*engines_[id]).core();
+}
+
+replica::DiemNetwork& Deployment::diem_network() {
+  if (!diem_network_) wrong_protocol(Protocol::DiemBft, config_.protocol);
+  return *diem_network_;
+}
+
+streamlet::StreamletCore& Deployment::streamlet_core(ReplicaId id) {
+  if (config_.protocol != Protocol::Streamlet) {
+    wrong_protocol(Protocol::Streamlet, config_.protocol);
+  }
+  return static_cast<StreamletEngine&>(*engines_[id]).core();
+}
+
+const streamlet::StreamletCore& Deployment::streamlet_core(
+    ReplicaId id) const {
+  if (config_.protocol != Protocol::Streamlet) {
+    wrong_protocol(Protocol::Streamlet, config_.protocol);
+  }
+  return static_cast<const StreamletEngine&>(*engines_[id]).core();
+}
+
+StreamletNetwork& Deployment::streamlet_network() {
+  if (!streamlet_network_) {
+    wrong_protocol(Protocol::Streamlet, config_.protocol);
+  }
+  return *streamlet_network_;
+}
+
+}  // namespace sftbft::engine

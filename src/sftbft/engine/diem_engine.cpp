@@ -1,0 +1,14 @@
+#include "sftbft/engine/diem_engine.hpp"
+
+namespace sftbft::engine {
+
+DiemEngine::DiemEngine(consensus::CoreConfig config,
+                       replica::DiemNetwork& network,
+                       std::shared_ptr<const crypto::KeyRegistry> registry,
+                       mempool::WorkloadConfig workload, Rng workload_rng,
+                       FaultSpec fault, CommitObserver observer)
+    : replica_(std::make_unique<replica::Replica>(
+          config, network, std::move(registry), workload,
+          std::move(workload_rng), fault, std::move(observer))) {}
+
+}  // namespace sftbft::engine

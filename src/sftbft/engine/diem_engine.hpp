@@ -1,0 +1,50 @@
+// ConsensusEngine adapter over the (SFT-)DiemBFT replica stack.
+#pragma once
+
+#include <memory>
+
+#include "sftbft/engine/engine.hpp"
+#include "sftbft/replica/replica.hpp"
+
+namespace sftbft::engine {
+
+class DiemEngine final : public ConsensusEngine {
+ public:
+  /// Wires one DiemBFT replica onto `network`. `config.id` must be set;
+  /// the observer may be null.
+  DiemEngine(consensus::CoreConfig config, replica::DiemNetwork& network,
+             std::shared_ptr<const crypto::KeyRegistry> registry,
+             mempool::WorkloadConfig workload, Rng workload_rng,
+             FaultSpec fault, CommitObserver observer);
+
+  [[nodiscard]] Protocol protocol() const override { return Protocol::DiemBft; }
+  [[nodiscard]] ReplicaId id() const override { return replica_->id(); }
+  void start() override { replica_->start(); }
+  void stop() override { replica_->crash(); }
+  [[nodiscard]] const chain::Ledger& ledger() const override {
+    return replica_->core().ledger();
+  }
+  [[nodiscard]] Round current_round() const override {
+    return replica_->core().current_round();
+  }
+  [[nodiscard]] const FaultSpec& fault() const override {
+    return replica_->fault();
+  }
+  [[nodiscard]] std::uint64_t inbound_messages() const override {
+    return replica_->inbound_messages();
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const override {
+    return replica_->inbound_bytes();
+  }
+
+  [[nodiscard]] replica::Replica& replica() { return *replica_; }
+  [[nodiscard]] consensus::DiemBftCore& core() { return replica_->core(); }
+  [[nodiscard]] const consensus::DiemBftCore& core() const {
+    return replica_->core();
+  }
+
+ private:
+  std::unique_ptr<replica::Replica> replica_;
+};
+
+}  // namespace sftbft::engine

@@ -1,0 +1,66 @@
+// ConsensusEngine: the protocol-agnostic per-replica interface every
+// chained-BFT backend implements (paper claim: SFT applies *generically*
+// across chained-BFT protocols — Secs. 3.2-3.4 for DiemBFT, Appendix D for
+// Streamlet).
+//
+// An engine owns one replica's full stack (consensus core + mempool +
+// workload + fault model) and is wired to a simulated network by a
+// Deployment. The interface covers what the harness, benches, and tests
+// need uniformly: lifecycle (start/stop), commit notifications (via the
+// Deployment's CommitObserver), ledger access, and inbound-bandwidth
+// metrics. Protocol-specific internals stay reachable through the
+// Deployment's typed escape hatches (diem_core / streamlet_core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sftbft/chain/ledger.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/engine/fault.hpp"
+#include "sftbft/types/block.hpp"
+
+namespace sftbft::engine {
+
+enum class Protocol {
+  DiemBft,    ///< (SFT-)DiemBFT — responsive, round-locked (Secs. 2-3)
+  Streamlet,  ///< (SFT-)Streamlet — lock-step, longest-chain (Appendix D)
+};
+
+[[nodiscard]] constexpr const char* protocol_name(Protocol protocol) {
+  return protocol == Protocol::DiemBft ? "diembft" : "streamlet";
+}
+
+/// Commit observer: (replica, block, strength, time). Fired once per
+/// strength level first reached per block; the regular commit surfaces as
+/// strength = f.
+using CommitObserver = std::function<void(ReplicaId, const types::Block&,
+                                          std::uint32_t, SimTime)>;
+
+class ConsensusEngine {
+ public:
+  virtual ~ConsensusEngine() = default;
+
+  [[nodiscard]] virtual Protocol protocol() const = 0;
+  [[nodiscard]] virtual ReplicaId id() const = 0;
+
+  /// Registers the network handler, fills the mempool, arms fault timers,
+  /// and enters the first round.
+  virtual void start() = 0;
+
+  /// Halts the engine (crash semantics: timers stop, inbound traffic is
+  /// dropped). Crash faults call this at `FaultSpec::crash_at`.
+  virtual void stop() = 0;
+
+  [[nodiscard]] virtual const chain::Ledger& ledger() const = 0;
+  [[nodiscard]] virtual Round current_round() const = 0;
+  [[nodiscard]] virtual const FaultSpec& fault() const = 0;
+
+  /// Inbound traffic actually delivered to this engine (wire bytes as
+  /// passed by SimNetwork to its handler) — the receive-side complement of
+  /// the network's send-side MessageStats.
+  [[nodiscard]] virtual std::uint64_t inbound_messages() const = 0;
+  [[nodiscard]] virtual std::uint64_t inbound_bytes() const = 0;
+};
+
+}  // namespace sftbft::engine

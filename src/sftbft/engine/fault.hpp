@@ -1,0 +1,35 @@
+// Protocol-agnostic replica fault model, shared by every ConsensusEngine
+// backend (the DiemBFT and Streamlet adapters interpret it identically):
+//
+//  * Honest — follows the protocol;
+//  * Crash  — benign fault (Theorem 2): stops entirely at `crash_at`;
+//  * Silent — Byzantine fault for liveness experiments (Theorem 3): stays
+//             synced but never sends any message (no votes, proposals,
+//             echoes, or timeouts), so its leadership rounds produce
+//             nothing;
+//  * stragglers are modelled in the network topology (extra per-replica
+//    delay), not here — see net::Topology::set_extra_delay.
+//
+// Actively equivocating adversaries (Appendix C) are scripted directly in
+// tests/examples against the type layer; they need message-level control a
+// well-formed replica cannot express.
+#pragma once
+
+#include "sftbft/common/types.hpp"
+
+namespace sftbft::engine {
+
+struct FaultSpec {
+  enum class Kind { Honest, Crash, Silent };
+  Kind kind = Kind::Honest;
+  /// Crash time (Kind::Crash only).
+  SimTime crash_at = 0;
+
+  static FaultSpec honest() { return {}; }
+  static FaultSpec crash_at_time(SimTime at) {
+    return {.kind = Kind::Crash, .crash_at = at};
+  }
+  static FaultSpec silent() { return {.kind = Kind::Silent}; }
+};
+
+}  // namespace sftbft::engine

@@ -1,0 +1,75 @@
+#include "sftbft/engine/streamlet_engine.hpp"
+
+#include <variant>
+
+namespace sftbft::engine {
+
+using streamlet::SMessage;
+using streamlet::SProposal;
+using streamlet::StreamletCore;
+using streamlet::SVote;
+
+StreamletEngine::StreamletEngine(
+    streamlet::StreamletConfig config, StreamletNetwork& network,
+    std::shared_ptr<const crypto::KeyRegistry> registry,
+    mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
+    CommitObserver observer)
+    : id_(config.id),
+      network_(network),
+      fault_(fault),
+      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)),
+      observer_(std::move(observer)) {
+  workload_.set_id_space(id_);
+
+  const bool silent = fault_.kind == FaultSpec::Kind::Silent;
+  StreamletCore::Hooks hooks;
+  hooks.broadcast_proposal = [this, silent](const SProposal& proposal) {
+    if (silent) return;
+    network_.multicast(id_, "proposal", proposal.wire_size(),
+                       SMessage{proposal}, /*include_self=*/true);
+  };
+  hooks.broadcast_vote = [this, silent](const SVote& vote) {
+    if (silent) return;
+    network_.multicast(id_, "vote", vote.wire_size(), SMessage{vote},
+                       /*include_self=*/true);
+  };
+  hooks.echo = [this, silent](const SMessage& msg) {
+    if (silent) return;
+    const std::size_t size =
+        std::visit([](const auto& m) { return m.wire_size(); }, msg);
+    network_.multicast(id_, "echo", size, msg, /*include_self=*/false);
+  };
+  hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
+                           SimTime now) {
+    if (observer_) observer_(id_, block, strength, now);
+  };
+
+  core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
+                                          std::move(registry), pool_,
+                                          std::move(hooks));
+}
+
+void StreamletEngine::start() {
+  network_.set_handler(id_, [this](ReplicaId, const SMessage& msg,
+                                   std::size_t wire_size) {
+    ++inbound_messages_;
+    inbound_bytes_ += wire_size;
+    if (std::holds_alternative<SProposal>(msg)) {
+      core_->on_proposal(std::get<SProposal>(msg));
+    } else {
+      core_->on_vote(std::get<SVote>(msg));
+    }
+  });
+  workload_.top_up();
+  if (fault_.kind == FaultSpec::Kind::Crash) {
+    network_.scheduler().schedule_at(fault_.crash_at, [this] { stop(); });
+  }
+  core_->start();
+}
+
+void StreamletEngine::stop() {
+  core_->stop();
+  network_.disconnect(id_);
+}
+
+}  // namespace sftbft::engine

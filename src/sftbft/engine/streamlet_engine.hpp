@@ -1,0 +1,64 @@
+// ConsensusEngine adapter over the (SFT-)Streamlet stack (Appendix D).
+//
+// This is where Streamlet gets the full shared fault model: Silent replicas
+// stay synced but suppress every outbound message (proposals, votes, and
+// echoes), and Crash replicas stop entirely at `crash_at` — identical
+// semantics to the DiemBFT stack, so the same FaultSpec list drives both.
+#pragma once
+
+#include <memory>
+
+#include "sftbft/engine/engine.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/net/sim_network.hpp"
+#include "sftbft/streamlet/streamlet.hpp"
+
+namespace sftbft::engine {
+
+using StreamletNetwork = net::SimNetwork<streamlet::SMessage>;
+
+class StreamletEngine final : public ConsensusEngine {
+ public:
+  /// Wires one Streamlet replica onto `network`. `config.id` must be set;
+  /// the observer may be null.
+  StreamletEngine(streamlet::StreamletConfig config, StreamletNetwork& network,
+                  std::shared_ptr<const crypto::KeyRegistry> registry,
+                  mempool::WorkloadConfig workload, Rng workload_rng,
+                  FaultSpec fault, CommitObserver observer);
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::Streamlet;
+  }
+  [[nodiscard]] ReplicaId id() const override { return id_; }
+  void start() override;
+  void stop() override;
+  [[nodiscard]] const chain::Ledger& ledger() const override {
+    return core_->ledger();
+  }
+  [[nodiscard]] Round current_round() const override {
+    return core_->current_round();
+  }
+  [[nodiscard]] const FaultSpec& fault() const override { return fault_; }
+  [[nodiscard]] std::uint64_t inbound_messages() const override {
+    return inbound_messages_;
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const override {
+    return inbound_bytes_;
+  }
+
+  [[nodiscard]] streamlet::StreamletCore& core() { return *core_; }
+  [[nodiscard]] const streamlet::StreamletCore& core() const { return *core_; }
+
+ private:
+  ReplicaId id_;
+  StreamletNetwork& network_;
+  FaultSpec fault_;
+  std::uint64_t inbound_messages_ = 0;
+  std::uint64_t inbound_bytes_ = 0;
+  mempool::Mempool pool_;
+  mempool::WorkloadGenerator workload_;
+  std::unique_ptr<streamlet::StreamletCore> core_;
+  CommitObserver observer_;
+};
+
+}  // namespace sftbft::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 
 namespace sftbft::harness {
 
@@ -79,38 +80,51 @@ net::Topology Scenario::build_topology() const {
   return topology;
 }
 
-replica::ClusterConfig Scenario::to_cluster_config() const {
-  replica::ClusterConfig cluster;
-  cluster.n = n;
-  cluster.topology = build_topology();
-  cluster.net.jitter = jitter;
-  cluster.net.jitter_frac = jitter_frac;
-  cluster.net.gst = 0;
-  cluster.seed = seed;
-  cluster.faults = faults;
+engine::DeploymentConfig Scenario::to_deployment_config() const {
+  if (fbft && protocol != engine::Protocol::DiemBft) {
+    // The Appendix-B FBFT baseline is a DiemBFT adaptation; silently running
+    // SFT-Streamlet instead would skew any cross-protocol baseline sweep.
+    throw std::invalid_argument(
+        "Scenario: fbft baseline only exists for the DiemBFT engine");
+  }
+  engine::DeploymentConfig deployment;
+  deployment.protocol = protocol;
+  deployment.n = n;
+  deployment.topology = build_topology();
+  deployment.net.jitter = jitter;
+  deployment.net.jitter_frac = jitter_frac;
+  deployment.net.gst = 0;
+  deployment.seed = seed;
+  deployment.faults = faults;
 
-  cluster.core.mode = fbft ? consensus::CoreMode::Plain : mode;
-  cluster.core.fbft_mode = fbft;
-  cluster.core.counting = counting;
-  cluster.core.base_timeout =
+  deployment.diem.mode = fbft ? consensus::CoreMode::Plain : mode;
+  deployment.diem.fbft_mode = fbft;
+  deployment.diem.counting = counting;
+  deployment.diem.base_timeout =
       base_timeout > 0 ? base_timeout : default_timeout();
-  cluster.core.leader_processing = leader_processing;
+  deployment.diem.leader_processing = leader_processing;
   if (extra_wait > 0) {
     const SimDuration wait = extra_wait;
-    cluster.core.extra_wait = [wait](Round) { return wait; };
+    deployment.diem.extra_wait = [wait](Round) { return wait; };
   }
-  cluster.core.max_batch = max_batch;
-  cluster.core.interval_window = interval_window;
+  deployment.diem.max_batch = max_batch;
+  deployment.diem.interval_window = interval_window;
   // The FBFT baseline's endorser sets depend on extra-vote arrival order,
   // which differs per replica, so its proposals cannot carry a Log that
   // every honest replica can validate — disable Sec. 5 there.
-  cluster.core.attach_commit_log = attach_commit_log && !fbft;
-  cluster.core.verify_commit_log = attach_commit_log && !fbft;
-  cluster.core.verify_signatures = verify_signatures;
+  deployment.diem.attach_commit_log = attach_commit_log && !fbft;
+  deployment.diem.verify_commit_log = attach_commit_log && !fbft;
+  deployment.diem.verify_signatures = verify_signatures;
 
-  cluster.workload.txn_size_bytes = txn_size_bytes;
-  cluster.workload.target_pool_size = max_batch * 4;
-  return cluster;
+  deployment.streamlet.delta_bound = streamlet_delta_bound;
+  deployment.streamlet.sft = mode != consensus::CoreMode::Plain;
+  deployment.streamlet.echo = streamlet_echo;
+  deployment.streamlet.max_batch = max_batch;
+  deployment.streamlet.verify_signatures = verify_signatures;
+
+  deployment.workload.txn_size_bytes = txn_size_bytes;
+  deployment.workload.target_pool_size = max_batch * 4;
+  return deployment;
 }
 
 std::vector<std::uint32_t> Scenario::strength_levels() const {
@@ -125,14 +139,14 @@ std::vector<std::uint32_t> Scenario::strength_levels() const {
 
 ScenarioResult run_scenario(const Scenario& scenario) {
   StrengthLatencyTracker tracker(scenario.n, scenario.strength_levels());
-  replica::Cluster cluster(
-      scenario.to_cluster_config(),
+  engine::Deployment deployment(
+      scenario.to_deployment_config(),
       [&tracker](ReplicaId replica, const types::Block& block,
                  std::uint32_t strength, SimTime now) {
         tracker.on_commit(replica, block, strength, now);
       });
-  cluster.start();
-  cluster.run_for(scenario.duration);
+  deployment.start();
+  deployment.run_for(scenario.duration);
 
   tracker.set_window(scenario.warmup, scenario.duration - scenario.tail);
 
@@ -140,14 +154,13 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.latency = tracker.results();
   result.window_blocks = tracker.window_blocks();
   result.summary =
-      summarize_ledger(cluster.replica(0).core().ledger(), scenario.duration,
+      summarize_ledger(deployment.ledger(0), scenario.duration,
                        scenario.warmup, scenario.duration - scenario.tail);
-  const net::MessageStats& stats = cluster.network().stats();
+  const net::MessageStats& stats = deployment.net_stats();
   result.total_messages = stats.total_count();
   result.total_message_bytes = stats.total_bytes();
   result.extra_vote_messages = stats.for_type("extra_vote").count;
-  const std::uint64_t blocks =
-      cluster.replica(0).core().ledger().committed_blocks();
+  const std::uint64_t blocks = deployment.ledger(0).committed_blocks();
   if (blocks > 0) {
     result.messages_per_block =
         static_cast<double>(result.total_messages) / static_cast<double>(blocks);

@@ -1,6 +1,6 @@
 // Simulated point-to-point network under partial synchrony.
 //
-// Substitution note (DESIGN.md §2): the paper runs 100 EC2 instances with
+// Substitution note (README.md "Simulation substitutions"): the paper runs 100 EC2 instances with
 // injected inter-region delays; we reproduce the same delay geometry on a
 // discrete-event scheduler. Delivery time for a message sent at `s` is
 //
@@ -30,6 +30,10 @@
 
 namespace sftbft::net {
 
+/// Test hook deciding per-link delivery. Return false to drop the message.
+/// Shared across all SimNetwork instantiations (it never sees the payload).
+using LinkFilter = std::function<bool(ReplicaId from, ReplicaId to)>;
+
 struct NetConfig {
   /// Uniform jitter in [0, jitter] added per message (models OS/queueing
   /// noise; drives QC-membership diversity in the experiments).
@@ -49,12 +53,13 @@ struct NetConfig {
 template <typename Message>
 class SimNetwork {
  public:
-  /// Receives a message at a replica: (sender, message, wire size).
-  using Handler =
-      std::function<void(ReplicaId from, const Message& msg)>;
+  /// Receives a message at a replica: (sender, message, wire size). The
+  /// wire size is the sender-declared serialized size, so receivers can
+  /// account inbound bandwidth (see engine::ConsensusEngine::inbound_bytes).
+  using Handler = std::function<void(ReplicaId from, const Message& msg,
+                                     std::size_t wire_size)>;
 
-  /// Test hook deciding per-link delivery. Return false to drop the message.
-  using LinkFilter = std::function<bool(ReplicaId from, ReplicaId to)>;
+  using LinkFilter = net::LinkFilter;
 
   SimNetwork(sim::Scheduler& sched, Topology topology, NetConfig config,
              std::uint64_t seed)
@@ -117,7 +122,7 @@ class SimNetwork {
     stats_.record(type, wire_size);
     if (filter_ && !filter_(from, to)) return;
     if (from == to) {
-      deliver(from, to, *msg);
+      deliver(from, to, *msg, wire_size);
       return;
     }
     const SimTime start = std::max(sched_.now(), config_.gst);
@@ -135,13 +140,15 @@ class SimNetwork {
           0, static_cast<SimDuration>(config_.jitter_frac *
                                       static_cast<double>(base)));
     }
-    sched_.schedule_at(start + delay, [this, from, to, m = std::move(msg)] {
-      deliver(from, to, *m);
-    });
+    sched_.schedule_at(start + delay,
+                       [this, from, to, wire_size, m = std::move(msg)] {
+                         deliver(from, to, *m, wire_size);
+                       });
   }
 
-  void deliver(ReplicaId from, ReplicaId to, const Message& msg) {
-    if (handlers_[to]) handlers_[to](from, msg);
+  void deliver(ReplicaId from, ReplicaId to, const Message& msg,
+               std::size_t wire_size) {
+    if (handlers_[to]) handlers_[to](from, msg, wire_size);
   }
 
   sim::Scheduler& sched_;

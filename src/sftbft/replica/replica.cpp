@@ -50,8 +50,12 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
 }
 
 void Replica::start() {
-  network_.set_handler(
-      id_, [this](ReplicaId /*from*/, const Message& msg) { on_message(msg); });
+  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
+                                   std::size_t wire_size) {
+    ++inbound_messages_;
+    inbound_bytes_ += wire_size;
+    on_message(msg);
+  });
   workload_.top_up();
   workload_.start();
   if (fault_.kind == FaultSpec::Kind::Crash) {

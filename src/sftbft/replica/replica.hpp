@@ -1,21 +1,13 @@
-// A full replica: consensus core + network wiring + mempool + fault model.
-//
-// Fault behaviours available to experiments and tests:
-//  * Honest    — follows the protocol;
-//  * Crash     — benign fault (Theorem 2): stops entirely at `crash_at`;
-//  * Silent    — Byzantine fault for liveness experiments (Theorem 3): stays
-//                synced but never sends any message (no votes, proposals, or
-//                timeouts), so its leadership rounds time out;
-//  * stragglers are modelled in the network topology (extra per-replica
-//    delay), not here — see net::Topology::set_extra_delay.
-// Actively equivocating adversaries (Appendix C) are scripted directly in
-// tests/examples against the type layer; they need message-level control a
-// well-formed replica cannot express.
+// A full DiemBFT replica: consensus core + network wiring + mempool + fault
+// model. The fault behaviours (Honest / Crash / Silent) come from the shared
+// engine::FaultSpec — see sftbft/engine/fault.hpp — so the same fault list
+// drives both the DiemBFT and Streamlet stacks.
 #pragma once
 
 #include <memory>
 
 #include "sftbft/consensus/diembft.hpp"
+#include "sftbft/engine/fault.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/sim_network.hpp"
 #include "sftbft/types/proposal.hpp"
@@ -24,18 +16,8 @@ namespace sftbft::replica {
 
 using DiemNetwork = net::SimNetwork<types::Message>;
 
-struct FaultSpec {
-  enum class Kind { Honest, Crash, Silent };
-  Kind kind = Kind::Honest;
-  /// Crash time (Kind::Crash only).
-  SimTime crash_at = 0;
-
-  static FaultSpec honest() { return {}; }
-  static FaultSpec crash_at_time(SimTime at) {
-    return {.kind = Kind::Crash, .crash_at = at};
-  }
-  static FaultSpec silent() { return {.kind = Kind::Silent}; }
-};
+/// Back-compat alias: the fault model is protocol-agnostic now.
+using FaultSpec = engine::FaultSpec;
 
 class Replica {
  public:
@@ -59,13 +41,23 @@ class Replica {
   [[nodiscard]] ReplicaId id() const { return id_; }
   [[nodiscard]] const FaultSpec& fault() const { return fault_; }
 
+  /// Simulates a crash now: stops the core and drops off the network.
+  void crash();
+
+  /// Inbound traffic delivered to this replica (wire bytes).
+  [[nodiscard]] std::uint64_t inbound_messages() const {
+    return inbound_messages_;
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const { return inbound_bytes_; }
+
  private:
   void on_message(const types::Message& msg);
-  void crash();
 
   ReplicaId id_;
   DiemNetwork& network_;
   FaultSpec fault_;
+  std::uint64_t inbound_messages_ = 0;
+  std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;
   mempool::WorkloadGenerator workload_;
   std::unique_ptr<consensus::DiemBftCore> core_;

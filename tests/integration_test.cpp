@@ -5,25 +5,25 @@
 // faulty schedules, and check the paper's headline guarantees at small n.
 #include <gtest/gtest.h>
 
+#include "sftbft/engine/deployment.hpp"
 #include "sftbft/harness/metrics.hpp"
-#include "sftbft/replica/cluster.hpp"
 
 namespace sftbft {
 namespace {
 
 using consensus::CoreMode;
-using replica::Cluster;
-using replica::ClusterConfig;
-using replica::FaultSpec;
+using engine::Deployment;
+using engine::DeploymentConfig;
+using engine::FaultSpec;
 
-ClusterConfig small_cluster(std::uint32_t n, CoreMode mode,
-                            std::uint64_t seed = 1) {
-  ClusterConfig config;
+DeploymentConfig small_cluster(std::uint32_t n, CoreMode mode,
+                               std::uint64_t seed = 1) {
+  DeploymentConfig config;
   config.n = n;
-  config.core.mode = mode;
-  config.core.base_timeout = millis(500);
-  config.core.leader_processing = millis(5);
-  config.core.max_batch = 10;
+  config.diem.mode = mode;
+  config.diem.base_timeout = millis(500);
+  config.diem.leader_processing = millis(5);
+  config.diem.max_batch = 10;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(2);
   config.workload.target_pool_size = 100;
@@ -32,25 +32,25 @@ ClusterConfig small_cluster(std::uint32_t n, CoreMode mode,
 }
 
 TEST(Integration, FourReplicasCommitBlocks) {
-  Cluster cluster(small_cluster(4, CoreMode::SftMarker));
+  Deployment cluster(small_cluster(4, CoreMode::SftMarker));
   cluster.start();
   cluster.run_for(seconds(10));
 
   for (ReplicaId id = 0; id < 4; ++id) {
-    const auto& ledger = cluster.replica(id).core().ledger();
+    const auto& ledger = cluster.ledger(id);
     EXPECT_GT(ledger.committed_blocks(), 20u) << "replica " << id;
     EXPECT_GT(ledger.committed_txns(), 0u);
   }
 }
 
 TEST(Integration, AllReplicasAgreeOnCommittedPrefix) {
-  Cluster cluster(small_cluster(4, CoreMode::SftMarker));
+  Deployment cluster(small_cluster(4, CoreMode::SftMarker));
   cluster.start();
   cluster.run_for(seconds(10));
 
-  const auto& ledger0 = cluster.replica(0).core().ledger();
+  const auto& ledger0 = cluster.ledger(0);
   for (ReplicaId id = 1; id < 4; ++id) {
-    const auto& ledger = cluster.replica(id).core().ledger();
+    const auto& ledger = cluster.ledger(id);
     const Height common =
         std::min(ledger0.tip().value_or(0), ledger.tip().value_or(0));
     ASSERT_GT(common, 0u);
@@ -64,10 +64,10 @@ TEST(Integration, AllReplicasAgreeOnCommittedPrefix) {
 }
 
 TEST(Integration, PlainModeMatchesDiemBftCommits) {
-  Cluster cluster(small_cluster(4, CoreMode::Plain));
+  Deployment cluster(small_cluster(4, CoreMode::Plain));
   cluster.start();
   cluster.run_for(seconds(10));
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   EXPECT_GT(ledger.committed_blocks(), 20u);
   // Plain DiemBFT commits are exactly f-strong.
   for (const auto& entry : ledger.snapshot()) {
@@ -76,10 +76,10 @@ TEST(Integration, PlainModeMatchesDiemBftCommits) {
 }
 
 TEST(Integration, StrengthRatchetsUpToTwoF) {
-  Cluster cluster(small_cluster(4, CoreMode::SftMarker));
+  Deployment cluster(small_cluster(4, CoreMode::SftMarker));
   cluster.start();
   cluster.run_for(seconds(10));
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   // With no faults every replica endorses every block within n rounds, so
   // old-enough blocks reach 2f-strong (Theorem 2 with c = 0).
   const auto snapshot = ledger.snapshot();
@@ -88,10 +88,10 @@ TEST(Integration, StrengthRatchetsUpToTwoF) {
 }
 
 TEST(Integration, SevenReplicasIntervalMode) {
-  Cluster cluster(small_cluster(7, CoreMode::SftIntervals));
+  Deployment cluster(small_cluster(7, CoreMode::SftIntervals));
   cluster.start();
   cluster.run_for(seconds(10));
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   EXPECT_GT(ledger.committed_blocks(), 20u);
   EXPECT_EQ(ledger.snapshot()[2].strength, 4u);  // 2f = 4 at n = 7
 }
@@ -106,11 +106,11 @@ TEST(Integration, SurvivesLeaderCrashes) {
   config.faults.resize(7);
   config.faults[1] = FaultSpec::crash_at_time(seconds(2));
   config.faults[2] = FaultSpec::crash_at_time(seconds(3));
-  Cluster cluster(config);
+  Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(20));
 
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   EXPECT_GT(ledger.committed_blocks(), 10u);
   // Commits keep happening well after the crashes.
   const auto snapshot = ledger.snapshot();
@@ -122,19 +122,19 @@ TEST(Integration, SilentByzantineDoesNotBlockProgress) {
   config.faults.resize(7);
   config.faults[2] = FaultSpec::silent();
   config.faults[3] = FaultSpec::silent();  // adjacent — see crash test note
-  Cluster cluster(config);
+  Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(20));
-  EXPECT_GT(cluster.replica(0).core().ledger().committed_blocks(), 10u);
+  EXPECT_GT(cluster.ledger(0).committed_blocks(), 10u);
 }
 
 TEST(Integration, DeterministicReplay) {
   auto run = [](std::uint64_t seed) {
-    Cluster cluster(small_cluster(4, CoreMode::SftMarker, seed));
+    Deployment cluster(small_cluster(4, CoreMode::SftMarker, seed));
     cluster.start();
     cluster.run_for(seconds(5));
     std::vector<std::pair<Height, std::uint32_t>> out;
-    for (const auto& entry : cluster.replica(0).core().ledger().snapshot()) {
+    for (const auto& entry : cluster.ledger(0).snapshot()) {
       out.emplace_back(entry.height, entry.strength);
     }
     return out;
@@ -144,11 +144,11 @@ TEST(Integration, DeterministicReplay) {
 }
 
 TEST(Integration, MessageComplexityIsLinearPerBlock) {
-  Cluster cluster(small_cluster(7, CoreMode::SftMarker));
+  Deployment cluster(small_cluster(7, CoreMode::SftMarker));
   cluster.start();
   cluster.run_for(seconds(10));
-  const auto& stats = cluster.network().stats();
-  const auto blocks = cluster.replica(0).core().ledger().committed_blocks();
+  const auto& stats = cluster.net_stats();
+  const auto blocks = cluster.ledger(0).committed_blocks();
   ASSERT_GT(blocks, 0u);
   const double per_block =
       static_cast<double>(stats.total_count()) / static_cast<double>(blocks);

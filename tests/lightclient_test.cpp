@@ -3,13 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "sftbft/lightclient/light_client.hpp"
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 namespace sftbft {
 namespace {
 
-using replica::Cluster;
-using replica::ClusterConfig;
+using engine::Deployment;
+using engine::DeploymentConfig;
 
 class LightClientTest : public ::testing::Test {
  protected:
@@ -17,36 +17,36 @@ class LightClientTest : public ::testing::Test {
   static constexpr std::uint32_t kF = 2;
 
   void SetUp() override {
-    ClusterConfig config;
+    DeploymentConfig config;
     config.n = kN;
-    config.core.mode = consensus::CoreMode::SftMarker;
-    config.core.base_timeout = millis(500);
-    config.core.leader_processing = millis(5);
-    config.core.max_batch = 10;
+    config.diem.mode = consensus::CoreMode::SftMarker;
+    config.diem.base_timeout = millis(500);
+    config.diem.leader_processing = millis(5);
+    config.diem.max_batch = 10;
     config.topology = net::Topology::uniform(kN, millis(10));
     config.net.jitter = millis(2);
     config.seed = 9;
-    cluster_ = std::make_unique<Cluster>(std::move(config));
+    cluster_ = std::make_unique<Deployment>(std::move(config));
     cluster_->start();
     cluster_->run_for(seconds(8));
   }
 
   /// A 2f-strong committed block id from replica 0's ledger.
   types::BlockId strong_block() {
-    for (const auto& entry : cluster_->replica(0).core().ledger().snapshot()) {
+    for (const auto& entry : cluster_->diem_core(0).ledger().snapshot()) {
       if (entry.strength >= 2 * kF) return entry.block_id;
     }
     ADD_FAILURE() << "no 2f-strong block";
     return {};
   }
 
-  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Deployment> cluster_;
 };
 
 TEST_F(LightClientTest, BuildAndVerify) {
   const auto target = strong_block();
   const auto proof =
-      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
   ASSERT_TRUE(proof.has_value());
   lightclient::LightClient client(cluster_->registry(), kN);
   EXPECT_TRUE(client.verify(*proof));
@@ -60,7 +60,7 @@ TEST_F(LightClientTest, ProofsPortableAcrossReplicas) {
   int provers = 0;
   for (ReplicaId id = 0; id < kN; ++id) {
     const auto proof =
-        lightclient::build_proof(cluster_->replica(id).core(), target, 2 * kF);
+        lightclient::build_proof(cluster_->diem_core(id), target, 2 * kF);
     if (proof.has_value()) {
       EXPECT_TRUE(client.verify(*proof)) << "prover " << id;
       ++provers;
@@ -72,7 +72,7 @@ TEST_F(LightClientTest, ProofsPortableAcrossReplicas) {
 TEST_F(LightClientTest, RejectsInflatedStrength) {
   const auto target = strong_block();
   auto proof =
-      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
   ASSERT_TRUE(proof.has_value());
   lightclient::LightClient client(cluster_->registry(), kN);
 
@@ -88,7 +88,7 @@ TEST_F(LightClientTest, RejectsInflatedStrength) {
 TEST_F(LightClientTest, RejectsTamperedCarrier) {
   const auto target = strong_block();
   auto proof =
-      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
   ASSERT_TRUE(proof.has_value());
   lightclient::LightClient client(cluster_->registry(), kN);
 
@@ -105,7 +105,7 @@ TEST_F(LightClientTest, RejectsTamperedCarrier) {
 TEST_F(LightClientTest, RejectsThinOrForeignQc) {
   const auto target = strong_block();
   auto proof =
-      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
   ASSERT_TRUE(proof.has_value());
   lightclient::LightClient client(cluster_->registry(), kN);
 
@@ -121,7 +121,7 @@ TEST_F(LightClientTest, RejectsThinOrForeignQc) {
 TEST_F(LightClientTest, RejectsBrokenAncestryPath) {
   const auto target = strong_block();
   auto proof =
-      lightclient::build_proof(cluster_->replica(0).core(), target, 2 * kF);
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
   ASSERT_TRUE(proof.has_value());
   lightclient::LightClient client(cluster_->registry(), kN);
 
@@ -139,14 +139,14 @@ TEST_F(LightClientTest, RejectsBrokenAncestryPath) {
 TEST_F(LightClientTest, BuildFailsForUnprovableClaims) {
   const auto target = strong_block();
   // Nobody can prove strength above 2f.
-  EXPECT_FALSE(lightclient::build_proof(cluster_->replica(0).core(), target,
+  EXPECT_FALSE(lightclient::build_proof(cluster_->diem_core(0), target,
                                         2 * kF + 1)
                    .has_value());
   // Unknown block.
   types::BlockId unknown{};
   unknown.bytes[1] = 0xee;
   EXPECT_FALSE(
-      lightclient::build_proof(cluster_->replica(0).core(), unknown, kF)
+      lightclient::build_proof(cluster_->diem_core(0), unknown, kF)
           .has_value());
 }
 

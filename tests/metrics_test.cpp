@@ -109,21 +109,37 @@ TEST(Scenario, DefaultTimeoutCoversExpectedRound) {
   EXPECT_GT(s.default_timeout(), s.expected_round());
 }
 
-TEST(Scenario, ClusterConfigReflectsFields) {
+TEST(Scenario, DeploymentConfigReflectsFields) {
   Scenario s;
   s.n = 10;
   s.topo = Scenario::Topo::Uniform;
   s.delta = millis(5);
   s.extra_wait = millis(30);
   s.fbft = true;
-  const auto config = s.to_cluster_config();
+  const auto config = s.to_deployment_config();
+  EXPECT_EQ(config.protocol, engine::Protocol::DiemBft);
   EXPECT_EQ(config.n, 10u);
   EXPECT_EQ(config.topology.size(), 10u);
-  EXPECT_TRUE(config.core.fbft_mode);
-  EXPECT_EQ(config.core.mode, consensus::CoreMode::Plain);  // forced
-  ASSERT_TRUE(config.core.extra_wait);
-  EXPECT_EQ(config.core.extra_wait(1), millis(30));
-  EXPECT_FALSE(config.core.attach_commit_log);  // disabled under FBFT
+  EXPECT_TRUE(config.diem.fbft_mode);
+  EXPECT_EQ(config.diem.mode, consensus::CoreMode::Plain);  // forced
+  ASSERT_TRUE(config.diem.extra_wait);
+  EXPECT_EQ(config.diem.extra_wait(1), millis(30));
+  EXPECT_FALSE(config.diem.attach_commit_log);  // disabled under FBFT
+}
+
+TEST(Scenario, DeploymentConfigCarriesStreamletFields) {
+  Scenario s;
+  s.n = 7;
+  s.topo = Scenario::Topo::Uniform;
+  s.protocol = engine::Protocol::Streamlet;
+  s.mode = consensus::CoreMode::SftMarker;
+  s.streamlet_delta_bound = millis(25);
+  s.streamlet_echo = false;
+  const auto config = s.to_deployment_config();
+  EXPECT_EQ(config.protocol, engine::Protocol::Streamlet);
+  EXPECT_TRUE(config.streamlet.sft);
+  EXPECT_FALSE(config.streamlet.echo);
+  EXPECT_EQ(config.streamlet.delta_bound, millis(25));
 }
 
 TEST(Scenario, StragglersGetExtraDelay) {

@@ -12,23 +12,23 @@
 
 #include <map>
 
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 namespace sftbft {
 namespace {
 
 using consensus::CoreMode;
-using replica::Cluster;
-using replica::ClusterConfig;
-using replica::FaultSpec;
+using engine::Deployment;
+using engine::DeploymentConfig;
+using engine::FaultSpec;
 
-ClusterConfig base_config(std::uint32_t n, CoreMode mode) {
-  ClusterConfig config;
+DeploymentConfig base_config(std::uint32_t n, CoreMode mode) {
+  DeploymentConfig config;
   config.n = n;
-  config.core.mode = mode;
-  config.core.base_timeout = millis(400);
-  config.core.leader_processing = millis(5);
-  config.core.max_batch = 10;
+  config.diem.mode = mode;
+  config.diem.base_timeout = millis(400);
+  config.diem.leader_processing = millis(5);
+  config.diem.max_batch = 10;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(2);
   config.seed = 5;
@@ -40,7 +40,7 @@ struct StrengthLog {
   std::map<Round, std::map<std::uint32_t, SimTime>> by_round;
   std::map<Round, Round> committed_during_round;  // block round -> strength
 
-  Cluster::CommitObserver observer() {
+  Deployment::CommitObserver observer() {
     return [this](ReplicaId replica, const types::Block& block,
                   std::uint32_t strength, SimTime now) {
       if (replica != 0) return;
@@ -66,7 +66,7 @@ TEST(Theorem2, TwoFStrongWithNoFaults) {
   // c = 0: every old-enough block must reach 2f-strong.
   const std::uint32_t n = 7, f = 2;
   StrengthLog log;
-  Cluster cluster(base_config(n, CoreMode::SftMarker), log.observer());
+  Deployment cluster(base_config(n, CoreMode::SftMarker), log.observer());
   cluster.start();
   cluster.run_for(seconds(10));
 
@@ -82,7 +82,7 @@ TEST(Theorem2, TwoFMinusCStrongUnderCrashes) {
   config.faults[1] = FaultSpec::crash_at_time(millis(500));
   config.faults[2] = FaultSpec::crash_at_time(millis(500));
   StrengthLog log;
-  Cluster cluster(config, log.observer());
+  Deployment cluster(config, log.observer());
   cluster.start();
   cluster.run_for(seconds(30));
 
@@ -90,7 +90,7 @@ TEST(Theorem2, TwoFMinusCStrongUnderCrashes) {
   // promises (2f - c)-strong for it. With c = f = 2 that is exactly the
   // regular f-strong level — and crucially NOT more: the crashed replicas
   // can never endorse.
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   ASSERT_GT(ledger.committed_blocks(), 10u);
   bool checked = false;
   for (const auto& entry : ledger.snapshot()) {
@@ -110,7 +110,7 @@ TEST(Theorem2, StrengthReachedWithinNPlusTwoRounds) {
   // measured block strengthens within (n + 2) x (max observed round time).
   const std::uint32_t n = 7, f = 2;
   StrengthLog log;
-  Cluster cluster(base_config(n, CoreMode::SftMarker), log.observer());
+  Deployment cluster(base_config(n, CoreMode::SftMarker), log.observer());
   cluster.start();
   cluster.run_for(seconds(10));
 
@@ -137,11 +137,11 @@ TEST(Theorem3, IntervalVotesReachTwoFMinusT) {
   config.faults[4] = FaultSpec::silent();
   config.faults[5] = FaultSpec::silent();
   StrengthLog log;
-  Cluster cluster(config, log.observer());
+  Deployment cluster(config, log.observer());
   cluster.start();
   cluster.run_for(seconds(40));
 
-  const auto& ledger = cluster.replica(0).core().ledger();
+  const auto& ledger = cluster.ledger(0);
   ASSERT_GT(ledger.committed_blocks(), 15u);
   bool checked = false;
   for (const auto& entry : ledger.snapshot()) {
@@ -163,10 +163,10 @@ TEST(Theorem3, SilentFaultsCapStrengthAtTwoFMinusT) {
   config.faults.resize(n);
   config.faults[4] = FaultSpec::silent();
   config.faults[5] = FaultSpec::silent();
-  Cluster cluster(config);
+  Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(20));
-  for (const auto& entry : cluster.replica(0).core().ledger().snapshot()) {
+  for (const auto& entry : cluster.ledger(0).snapshot()) {
     EXPECT_LE(entry.strength, n - t - f - 1);
   }
 }
@@ -181,7 +181,7 @@ TEST(Theorem3, MarkerModeAlsoLiveUnderForklessByzantine) {
   config.faults[4] = FaultSpec::silent();
   config.faults[5] = FaultSpec::silent();
   StrengthLog log;
-  Cluster cluster(config, log.observer());
+  Deployment cluster(config, log.observer());
   cluster.start();
   cluster.run_for(seconds(40));
   EXPECT_GE(log.max_strength(12), 2 * f - t);
@@ -198,7 +198,7 @@ TEST(Theorem3, ForkedHistoryMarkerVsIntervals) {
   config.faults.resize(n);
   config.faults[3] = FaultSpec::silent();  // its leadership rounds fork/skip
   StrengthLog log;
-  Cluster cluster(config, log.observer());
+  Deployment cluster(config, log.observer());
   cluster.start();
   cluster.run_for(seconds(30));
   EXPECT_GE(log.max_strength(15), 2 * f - 1);

@@ -8,15 +8,15 @@
 
 #include <map>
 
-#include "sftbft/replica/cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 namespace sftbft {
 namespace {
 
 using consensus::CoreMode;
-using replica::Cluster;
-using replica::ClusterConfig;
-using replica::FaultSpec;
+using engine::Deployment;
+using engine::DeploymentConfig;
+using engine::FaultSpec;
 
 /// Cross-replica commit auditor: one committed id per height, ever.
 struct SafetyAuditor {
@@ -24,7 +24,7 @@ struct SafetyAuditor {
   std::uint64_t violations = 0;
   std::uint64_t commits = 0;
 
-  Cluster::CommitObserver observer() {
+  Deployment::CommitObserver observer() {
     return [this](ReplicaId, const types::Block& block, std::uint32_t,
                   SimTime) {
       ++commits;
@@ -34,16 +34,16 @@ struct SafetyAuditor {
   }
 };
 
-ClusterConfig stress_config(std::uint32_t n, CoreMode mode,
+DeploymentConfig stress_config(std::uint32_t n, CoreMode mode,
                             std::uint64_t seed) {
-  ClusterConfig config;
+  DeploymentConfig config;
   config.n = n;
-  config.core.mode = mode;
+  config.diem.mode = mode;
   // Deliberately tight timeout: rounds race the timer, forks and timeouts
   // are common — the adversarial-scheduling regime for safety.
-  config.core.base_timeout = millis(45);
-  config.core.leader_processing = millis(3);
-  config.core.max_batch = 5;
+  config.diem.base_timeout = millis(45);
+  config.diem.leader_processing = millis(3);
+  config.diem.max_batch = 5;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(8);
   config.seed = seed;
@@ -56,7 +56,7 @@ class SafetySweep
 TEST_P(SafetySweep, NoConflictingCommitsUnderStress) {
   const auto [mode, seed] = GetParam();
   SafetyAuditor auditor;
-  Cluster cluster(stress_config(7, mode, seed), auditor.observer());
+  Deployment cluster(stress_config(7, mode, seed), auditor.observer());
   cluster.start();
   // LedgerConflict (same-replica conflict) would throw out of run_for.
   cluster.run_for(seconds(20));
@@ -76,7 +76,7 @@ TEST(Safety, HoldsWithCrashFaults) {
   config.faults.resize(7);
   config.faults[1] = FaultSpec::crash_at_time(seconds(2));
   config.faults[2] = FaultSpec::crash_at_time(seconds(4));
-  Cluster cluster(config, auditor.observer());
+  Deployment cluster(config, auditor.observer());
   cluster.start();
   cluster.run_for(seconds(15));
   EXPECT_EQ(auditor.violations, 0u);
@@ -89,7 +89,7 @@ TEST(Safety, HoldsWithSilentByzantine) {
   config.faults[4] = FaultSpec::silent();
   config.faults[5] = FaultSpec::silent();
   config.faults[6] = FaultSpec::silent();  // t = f = 3
-  Cluster cluster(config, auditor.observer());
+  Deployment cluster(config, auditor.observer());
   cluster.start();
   cluster.run_for(seconds(15));
   EXPECT_EQ(auditor.violations, 0u);
@@ -99,10 +99,10 @@ TEST(Safety, HoldsUnderMessageLoss) {
   // Drop 5% of all messages (pre-GST-style chaos): liveness degrades but
   // commits must stay consistent.
   SafetyAuditor auditor;
-  Cluster cluster(stress_config(7, CoreMode::SftMarker, 5),
+  Deployment cluster(stress_config(7, CoreMode::SftMarker, 5),
                   auditor.observer());
   Rng drop_rng(77);
-  cluster.network().set_link_filter(
+  cluster.set_link_filter(
       [&drop_rng](ReplicaId from, ReplicaId to) {
         return from == to || !drop_rng.chance(0.05);
       });
@@ -115,7 +115,7 @@ TEST(Safety, StrengthMonotoneAndBounded) {
   // Per-replica: strength never exceeds 2f and ratchets monotonically.
   const std::uint32_t f = 2;
   std::map<std::pair<ReplicaId, Height>, std::uint32_t> last;
-  Cluster cluster(
+  Deployment cluster(
       stress_config(7, CoreMode::SftMarker, 11),
       [&last, f](ReplicaId replica, const types::Block& block,
                  std::uint32_t strength, SimTime) {
@@ -137,12 +137,12 @@ TEST(Safety, CommitLogOverstatementsBlockVotes) {
   // never trigger the rejection (logs are consistent), via progress.
   SafetyAuditor auditor;
   auto config = stress_config(7, CoreMode::SftMarker, 13);
-  config.core.attach_commit_log = true;
-  config.core.verify_commit_log = true;
-  Cluster cluster(config, auditor.observer());
+  config.diem.attach_commit_log = true;
+  config.diem.verify_commit_log = true;
+  Deployment cluster(config, auditor.observer());
   cluster.start();
   cluster.run_for(seconds(10));
-  EXPECT_GT(cluster.replica(0).core().ledger().committed_blocks(), 20u);
+  EXPECT_GT(cluster.ledger(0).committed_blocks(), 20u);
   EXPECT_EQ(auditor.violations, 0u);
 }
 

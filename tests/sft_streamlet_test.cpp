@@ -3,7 +3,7 @@
 // Lemma 3 counting argument.
 #include <gtest/gtest.h>
 
-#include "sftbft/streamlet/streamlet_cluster.hpp"
+#include "sftbft/streamlet/streamlet.hpp"
 
 namespace sftbft::streamlet {
 namespace {

@@ -15,6 +15,7 @@ struct Delivery {
   ReplicaId from;
   std::string msg;
   SimTime at;
+  std::size_t wire_size;
 };
 
 struct Harness {
@@ -24,9 +25,10 @@ struct Harness {
   TestNetwork make(Topology topo, NetConfig config) {
     TestNetwork net(sched, std::move(topo), config, /*seed=*/1);
     for (ReplicaId id = 0; id < net.topology().size(); ++id) {
-      net.set_handler(id, [this, id](ReplicaId from, const std::string& msg) {
+      net.set_handler(id, [this, id](ReplicaId from, const std::string& msg,
+                                     std::size_t wire_size) {
         deliveries.push_back({from, msg + "@" + std::to_string(id),
-                              sched.now()});
+                              sched.now(), wire_size});
       });
     }
     return net;
@@ -41,6 +43,19 @@ TEST(SimNetwork, DeliversAtBaseDelay) {
   ASSERT_EQ(h.deliveries.size(), 1u);
   EXPECT_EQ(h.deliveries[0].at, millis(10));
   EXPECT_EQ(h.deliveries[0].msg, "hello@1");
+}
+
+TEST(SimNetwork, HandlersReceiveWireSize) {
+  // Receivers see the sender-declared wire size (inbound bandwidth
+  // accounting for the engine layer), on both network and self deliveries.
+  Harness h;
+  auto net = h.make(Topology::uniform(3, millis(10)), {});
+  net.send(0, 1, "blk", 450'000, "big");
+  net.send(2, 2, "vote", 120, "self");
+  h.sched.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].wire_size, 120u);  // self-send, immediate
+  EXPECT_EQ(h.deliveries[1].wire_size, 450'000u);
 }
 
 TEST(SimNetwork, SelfSendIsImmediate) {

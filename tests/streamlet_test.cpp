@@ -3,20 +3,20 @@
 // agreement.
 #include <gtest/gtest.h>
 
-#include "sftbft/streamlet/streamlet_cluster.hpp"
+#include "sftbft/engine/deployment.hpp"
 
 namespace sftbft::streamlet {
 namespace {
 
-StreamletClusterConfig small_config(std::uint32_t n, bool sft,
-                                    std::uint64_t seed = 1) {
-  StreamletClusterConfig config;
+engine::DeploymentConfig small_config(std::uint32_t n, bool sft,
+                                      std::uint64_t seed = 1) {
+  engine::DeploymentConfig config;
+  config.protocol = engine::Protocol::Streamlet;
   config.n = n;
-  config.core.n = n;
-  config.core.delta_bound = millis(30);
-  config.core.sft = sft;
-  config.core.echo = true;
-  config.core.max_batch = 5;
+  config.streamlet.delta_bound = millis(30);
+  config.streamlet.sft = sft;
+  config.streamlet.echo = true;
+  config.streamlet.max_batch = 5;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(3);
   config.seed = seed;
@@ -24,21 +24,21 @@ StreamletClusterConfig small_config(std::uint32_t n, bool sft,
 }
 
 TEST(Streamlet, CommitsInLockstep) {
-  StreamletCluster cluster(small_config(4, /*sft=*/false));
+  engine::Deployment cluster(small_config(4, /*sft=*/false));
   cluster.start();
   cluster.run_for(seconds(6));
   // Rounds tick every 60ms; with honest leaders nearly every round commits
   // (one round of lag for the triple to complete).
-  EXPECT_GT(cluster.core(0).ledger().committed_blocks(), 60u);
+  EXPECT_GT(cluster.streamlet_core(0).ledger().committed_blocks(), 60u);
 }
 
 TEST(Streamlet, AllReplicasAgree) {
-  StreamletCluster cluster(small_config(4, /*sft=*/true));
+  engine::Deployment cluster(small_config(4, /*sft=*/true));
   cluster.start();
   cluster.run_for(seconds(5));
-  const auto& ledger0 = cluster.core(0).ledger();
+  const auto& ledger0 = cluster.streamlet_core(0).ledger();
   for (ReplicaId id = 1; id < 4; ++id) {
-    const auto& ledger = cluster.core(id).ledger();
+    const auto& ledger = cluster.streamlet_core(id).ledger();
     const Height common =
         std::min(ledger0.tip().value_or(0), ledger.tip().value_or(0));
     ASSERT_GT(common, 10u);
@@ -50,50 +50,53 @@ TEST(Streamlet, AllReplicasAgree) {
 }
 
 TEST(Streamlet, PlainModeStrengthIsF) {
-  StreamletCluster cluster(small_config(4, /*sft=*/false));
+  engine::Deployment cluster(small_config(4, /*sft=*/false));
   cluster.start();
   cluster.run_for(seconds(4));
-  for (const auto& entry : cluster.core(0).ledger().snapshot()) {
+  for (const auto& entry : cluster.streamlet_core(0).ledger().snapshot()) {
     EXPECT_EQ(entry.strength, 1u);  // f = 1 at n = 4
   }
 }
 
 TEST(Streamlet, SftModeReachesTwoF) {
-  StreamletCluster cluster(small_config(4, /*sft=*/true));
+  engine::Deployment cluster(small_config(4, /*sft=*/true));
   cluster.start();
   cluster.run_for(seconds(4));
-  const auto snapshot = cluster.core(0).ledger().snapshot();
+  const auto snapshot = cluster.streamlet_core(0).ledger().snapshot();
   ASSERT_GT(snapshot.size(), 10u);
   EXPECT_EQ(snapshot[3].strength, 2u);  // 2f = 2 at n = 4
 }
 
 TEST(Streamlet, SurvivesSilentReplica) {
   auto config = small_config(7, /*sft=*/true);
-  config.silent = {2};  // its leadership rounds produce no block
-  StreamletCluster cluster(config);
+  config.faults.resize(7);
+  config.faults[2] = engine::FaultSpec::silent();  // its leadership rounds produce no block
+  engine::Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(6));
   // Streamlet skips dead rounds natively (lock-step): chain keeps growing.
-  EXPECT_GT(cluster.core(0).ledger().committed_blocks(), 30u);
+  EXPECT_GT(cluster.streamlet_core(0).ledger().committed_blocks(), 30u);
 }
 
 TEST(Streamlet, SilentReplicaCapsEndorsers) {
   auto config = small_config(7, /*sft=*/true);
-  config.silent = {2, 3};  // t = 2 = f
-  StreamletCluster cluster(config);
+  config.faults.resize(7);
+  config.faults[2] = engine::FaultSpec::silent();
+  config.faults[3] = engine::FaultSpec::silent();  // t = 2 = f
+  engine::Deployment cluster(config);
   cluster.start();
   cluster.run_for(seconds(6));
   const std::uint32_t n = 7, f = 2, t = 2;
-  for (const auto& entry : cluster.core(0).ledger().snapshot()) {
+  for (const auto& entry : cluster.streamlet_core(0).ledger().snapshot()) {
     EXPECT_LE(entry.strength, n - t - f - 1);  // = 2f - t
   }
 }
 
 TEST(Streamlet, EchoTrafficIsCubic) {
-  StreamletCluster cluster(small_config(4, /*sft=*/true));
+  engine::Deployment cluster(small_config(4, /*sft=*/true));
   cluster.start();
   cluster.run_for(seconds(3));
-  const auto& stats = cluster.network().stats();
+  const auto& stats = cluster.net_stats();
   // Votes are multicast (n per vote, n voters) and each unseen vote echoes
   // to n-1 more replicas: echo messages dominate.
   EXPECT_GT(stats.for_type("echo").count, stats.for_type("vote").count);
@@ -101,11 +104,11 @@ TEST(Streamlet, EchoTrafficIsCubic) {
 
 TEST(Streamlet, DeterministicReplay) {
   auto run = [](std::uint64_t seed) {
-    StreamletCluster cluster(small_config(4, true, seed));
+    engine::Deployment cluster(small_config(4, true, seed));
     cluster.start();
     cluster.run_for(seconds(3));
     std::vector<std::pair<Height, std::uint32_t>> out;
-    for (const auto& entry : cluster.core(0).ledger().snapshot()) {
+    for (const auto& entry : cluster.streamlet_core(0).ledger().snapshot()) {
       out.emplace_back(entry.height, entry.strength);
     }
     return out;
@@ -116,11 +119,11 @@ TEST(Streamlet, DeterministicReplay) {
 TEST(Streamlet, LongestChainRuleRefusesShortForks) {
   // D.4 core mechanism: a replica that knows a longest certified chain of
   // height H will not vote for a proposal extending a shorter chain.
-  StreamletCluster cluster(small_config(4, /*sft=*/true));
+  engine::Deployment cluster(small_config(4, /*sft=*/true));
   cluster.start();
   cluster.run_for(seconds(3));
 
-  StreamletCore& core = cluster.core(0);
+  StreamletCore& core = cluster.streamlet_core(0);
   const types::Block tip = core.longest_certified_tip();
   ASSERT_GT(tip.height, 5u);
 
