@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_tree_test.dir/tests/block_tree_test.cpp.o"
+  "CMakeFiles/block_tree_test.dir/tests/block_tree_test.cpp.o.d"
+  "block_tree_test"
+  "block_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diembft_core_test.dir/tests/diembft_core_test.cpp.o"
+  "CMakeFiles/diembft_core_test.dir/tests/diembft_core_test.cpp.o.d"
+  "diembft_core_test"
+  "diembft_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diembft_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endorsement_test.dir/tests/endorsement_test.cpp.o"
+  "CMakeFiles/endorsement_test.dir/tests/endorsement_test.cpp.o.d"
+  "endorsement_test"
+  "endorsement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endorsement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

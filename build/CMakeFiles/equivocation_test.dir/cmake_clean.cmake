@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivocation_test.dir/tests/equivocation_test.cpp.o"
+  "CMakeFiles/equivocation_test.dir/tests/equivocation_test.cpp.o.d"
+  "equivocation_test"
+  "equivocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

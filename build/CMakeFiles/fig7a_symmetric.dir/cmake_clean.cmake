@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_symmetric.dir/bench/fig7a_symmetric.cpp.o"
+  "CMakeFiles/fig7a_symmetric.dir/bench/fig7a_symmetric.cpp.o.d"
+  "bench/fig7a_symmetric"
+  "bench/fig7a_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

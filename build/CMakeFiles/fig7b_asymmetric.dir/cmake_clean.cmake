@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_asymmetric.dir/bench/fig7b_asymmetric.cpp.o"
+  "CMakeFiles/fig7b_asymmetric.dir/bench/fig7b_asymmetric.cpp.o.d"
+  "bench/fig7b_asymmetric"
+  "bench/fig7b_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

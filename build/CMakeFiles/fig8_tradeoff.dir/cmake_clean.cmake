@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tradeoff.dir/bench/fig8_tradeoff.cpp.o"
+  "CMakeFiles/fig8_tradeoff.dir/bench/fig8_tradeoff.cpp.o.d"
+  "bench/fig8_tradeoff"
+  "bench/fig8_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

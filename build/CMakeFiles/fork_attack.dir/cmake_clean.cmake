@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_attack.dir/examples/fork_attack.cpp.o"
+  "CMakeFiles/fork_attack.dir/examples/fork_attack.cpp.o.d"
+  "examples/fork_attack"
+  "examples/fork_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_commerce.dir/examples/geo_commerce.cpp.o"
+  "CMakeFiles/geo_commerce.dir/examples/geo_commerce.cpp.o.d"
+  "examples/geo_commerce"
+  "examples/geo_commerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_commerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_set_test.dir/tests/interval_set_test.cpp.o"
+  "CMakeFiles/interval_set_test.dir/tests/interval_set_test.cpp.o.d"
+  "interval_set_test"
+  "interval_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/light_client.dir/examples/light_client.cpp.o"
+  "CMakeFiles/light_client.dir/examples/light_client.cpp.o.d"
+  "examples/light_client"
+  "examples/light_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/light_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

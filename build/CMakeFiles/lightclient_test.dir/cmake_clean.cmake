@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightclient_test.dir/tests/lightclient_test.cpp.o"
+  "CMakeFiles/lightclient_test.dir/tests/lightclient_test.cpp.o.d"
+  "lightclient_test"
+  "lightclient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

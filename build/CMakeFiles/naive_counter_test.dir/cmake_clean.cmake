@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_counter_test.dir/tests/naive_counter_test.cpp.o"
+  "CMakeFiles/naive_counter_test.dir/tests/naive_counter_test.cpp.o.d"
+  "naive_counter_test"
+  "naive_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacemaker_test.dir/tests/pacemaker_test.cpp.o"
+  "CMakeFiles/pacemaker_test.dir/tests/pacemaker_test.cpp.o.d"
+  "pacemaker_test"
+  "pacemaker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacemaker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_rules_test.dir/tests/safety_rules_test.cpp.o"
+  "CMakeFiles/safety_rules_test.dir/tests/safety_rules_test.cpp.o.d"
+  "safety_rules_test"
+  "safety_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

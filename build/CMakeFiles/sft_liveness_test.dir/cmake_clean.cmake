@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sft_liveness_test.dir/tests/sft_liveness_test.cpp.o"
+  "CMakeFiles/sft_liveness_test.dir/tests/sft_liveness_test.cpp.o.d"
+  "sft_liveness_test"
+  "sft_liveness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sft_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sft_safety_test.dir/tests/sft_safety_test.cpp.o"
+  "CMakeFiles/sft_safety_test.dir/tests/sft_safety_test.cpp.o.d"
+  "sft_safety_test"
+  "sft_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sft_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

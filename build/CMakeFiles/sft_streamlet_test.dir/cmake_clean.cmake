@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sft_streamlet_test.dir/tests/sft_streamlet_test.cpp.o"
+  "CMakeFiles/sft_streamlet_test.dir/tests/sft_streamlet_test.cpp.o.d"
+  "sft_streamlet_test"
+  "sft_streamlet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sft_streamlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

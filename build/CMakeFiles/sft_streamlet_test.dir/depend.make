@@ -1,0 +1,2 @@
+# Empty dependencies file for sft_streamlet_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sftbft/chain/block_tree.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/chain/block_tree.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/chain/block_tree.cpp.o.d"
+  "/root/repo/src/sftbft/chain/ledger.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/chain/ledger.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/chain/ledger.cpp.o.d"
+  "/root/repo/src/sftbft/common/bytes.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/bytes.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/bytes.cpp.o.d"
+  "/root/repo/src/sftbft/common/codec.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/codec.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/codec.cpp.o.d"
+  "/root/repo/src/sftbft/common/interval_set.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/interval_set.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/interval_set.cpp.o.d"
+  "/root/repo/src/sftbft/common/logging.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/logging.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/logging.cpp.o.d"
+  "/root/repo/src/sftbft/common/rng.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/rng.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/rng.cpp.o.d"
+  "/root/repo/src/sftbft/common/types.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/common/types.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/common/types.cpp.o.d"
+  "/root/repo/src/sftbft/consensus/diembft.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/diembft.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/diembft.cpp.o.d"
+  "/root/repo/src/sftbft/consensus/endorsement.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/endorsement.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/endorsement.cpp.o.d"
+  "/root/repo/src/sftbft/consensus/pacemaker.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/pacemaker.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/pacemaker.cpp.o.d"
+  "/root/repo/src/sftbft/consensus/vote_history.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/vote_history.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/consensus/vote_history.cpp.o.d"
+  "/root/repo/src/sftbft/crypto/sha256.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/crypto/sha256.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/crypto/sha256.cpp.o.d"
+  "/root/repo/src/sftbft/crypto/signature.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/crypto/signature.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/crypto/signature.cpp.o.d"
+  "/root/repo/src/sftbft/engine/deployment.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/deployment.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/deployment.cpp.o.d"
+  "/root/repo/src/sftbft/engine/diem_engine.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/diem_engine.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/diem_engine.cpp.o.d"
+  "/root/repo/src/sftbft/engine/streamlet_engine.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/streamlet_engine.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/engine/streamlet_engine.cpp.o.d"
+  "/root/repo/src/sftbft/harness/metrics.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/metrics.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/metrics.cpp.o.d"
+  "/root/repo/src/sftbft/harness/scenario.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/scenario.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/scenario.cpp.o.d"
+  "/root/repo/src/sftbft/harness/table.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/table.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/harness/table.cpp.o.d"
+  "/root/repo/src/sftbft/lightclient/light_client.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/lightclient/light_client.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/lightclient/light_client.cpp.o.d"
+  "/root/repo/src/sftbft/mempool/mempool.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/mempool/mempool.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/mempool/mempool.cpp.o.d"
+  "/root/repo/src/sftbft/net/topology.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/net/topology.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/net/topology.cpp.o.d"
+  "/root/repo/src/sftbft/replica/replica.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/replica/replica.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/replica/replica.cpp.o.d"
+  "/root/repo/src/sftbft/sim/scheduler.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/sim/scheduler.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sftbft/streamlet/streamlet.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/streamlet/streamlet.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/streamlet/streamlet.cpp.o.d"
+  "/root/repo/src/sftbft/types/block.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/block.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/block.cpp.o.d"
+  "/root/repo/src/sftbft/types/proposal.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/proposal.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/proposal.cpp.o.d"
+  "/root/repo/src/sftbft/types/quorum_cert.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/quorum_cert.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/quorum_cert.cpp.o.d"
+  "/root/repo/src/sftbft/types/timeout.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/timeout.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/timeout.cpp.o.d"
+  "/root/repo/src/sftbft/types/transaction.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/transaction.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/transaction.cpp.o.d"
+  "/root/repo/src/sftbft/types/vote.cpp" "CMakeFiles/sftbft_core.dir/src/sftbft/types/vote.cpp.o" "gcc" "CMakeFiles/sftbft_core.dir/src/sftbft/types/vote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsftbft_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlet_demo.dir/examples/streamlet_demo.cpp.o"
+  "CMakeFiles/streamlet_demo.dir/examples/streamlet_demo.cpp.o.d"
+  "examples/streamlet_demo"
+  "examples/streamlet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlet_test.dir/tests/streamlet_test.cpp.o"
+  "CMakeFiles/streamlet_test.dir/tests/streamlet_test.cpp.o.d"
+  "streamlet_test"
+  "streamlet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_msg_complexity.dir/bench/tab_msg_complexity.cpp.o"
+  "CMakeFiles/tab_msg_complexity.dir/bench/tab_msg_complexity.cpp.o.d"
+  "bench/tab_msg_complexity"
+  "bench/tab_msg_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_msg_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_streamlet.dir/bench/tab_streamlet.cpp.o"
+  "CMakeFiles/tab_streamlet.dir/bench/tab_streamlet.cpp.o.d"
+  "bench/tab_streamlet"
+  "bench/tab_streamlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_streamlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_throughput.dir/bench/tab_throughput.cpp.o"
+  "CMakeFiles/tab_throughput.dir/bench/tab_throughput.cpp.o.d"
+  "bench/tab_throughput"
+  "bench/tab_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

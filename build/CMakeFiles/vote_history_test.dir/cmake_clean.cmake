@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vote_history_test.dir/tests/vote_history_test.cpp.o"
+  "CMakeFiles/vote_history_test.dir/tests/vote_history_test.cpp.o.d"
+  "vote_history_test"
+  "vote_history_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vote_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
