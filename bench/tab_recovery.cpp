@@ -1,0 +1,195 @@
+// Beyond-paper scenario tied to Theorem 2: crash-*recovery* churn.
+//
+// The paper's benign-fault story (Theorem 2) covers replicas that crash and
+// stay down; production replicas restart. This bench runs both engines
+// through a churn of FaultSpec::CrashRestart cycles — each bounced replica
+// recovers from its durable ReplicaStore (WAL + snapshot, sftbft::storage)
+// and re-syncs missed blocks from peers — and reports, per recovery:
+//
+//   * blocks behind at the moment of restart (the catch-up debt),
+//   * recovery latency: restart -> first fresh commit at that replica,
+//   * the caught-up ledger tip vs the cluster tip at the end,
+//
+// while verifying the safety claims: recovered replicas never equivocate
+// (any conflicting commit throws chain::LedgerConflict) and strong commits
+// made before a crash survive it.
+//
+// `--smoke` runs a shortened configuration for CI.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "sftbft/engine/deployment.hpp"
+#include "sftbft/harness/scenario.hpp"
+#include "sftbft/harness/table.hpp"
+
+using namespace sftbft;
+
+namespace {
+
+struct BenchConfig {
+  std::uint32_t n = 16;
+  SimDuration duration = seconds(60);
+  SimTime first_crash = seconds(10);
+  SimDuration downtime = seconds(6);
+  SimDuration stagger = seconds(10);
+  std::uint32_t churn = 3;
+};
+
+struct RecoveryRow {
+  ReplicaId id = 0;
+  SimTime crash_at = 0;
+  SimTime restart_at = 0;
+  Height behind_at_restart = 0;   ///< cluster tip - own tip when restarting
+  SimTime first_commit_after = 0; ///< 0 = never recovered
+  Height final_tip = 0;
+};
+
+int run_protocol(engine::Protocol protocol, const BenchConfig& bench) {
+  harness::Scenario s;
+  s.name = "tab_recovery";
+  s.protocol = protocol;
+  s.n = bench.n;
+  s.mode = consensus::CoreMode::SftMarker;
+  s.topo = harness::Scenario::Topo::Uniform;
+  s.delta = millis(20);
+  s.jitter = millis(5);
+  s.jitter_frac = 0;
+  s.leader_processing = millis(10);
+  s.streamlet_delta_bound = millis(50);
+  s.streamlet_echo = false;  // keep the bench about recovery, not echo load
+  s.verify_signatures = false;
+  s.max_batch = 50;
+  s.txn_size_bytes = 450;
+  s.seed = 42;
+  s.crash_restart_count = bench.churn;
+  s.crash_restart_first = bench.first_crash;
+  s.crash_restart_downtime = bench.downtime;
+  s.crash_restart_stagger = bench.stagger;
+  s.snapshot_interval_blocks = 32;
+
+  std::map<ReplicaId, RecoveryRow> rows;
+  const auto faults = s.effective_faults();
+  for (ReplicaId id = 0; id < s.n; ++id) {
+    const auto& fault = faults[id];
+    if (fault.kind != engine::FaultSpec::Kind::CrashRestart) continue;
+    rows[id] = {id, fault.crash_at, fault.restart_at, 0, 0, 0};
+  }
+
+  engine::Deployment deployment(
+      s.to_deployment_config(),
+      [&rows](ReplicaId replica, const types::Block&, std::uint32_t,
+              SimTime now) {
+        auto it = rows.find(replica);
+        if (it == rows.end()) return;
+        RecoveryRow& row = it->second;
+        if (row.first_commit_after == 0 && now > row.restart_at) {
+          row.first_commit_after = now;
+        }
+      });
+
+  // Pre-crash strong-commit capture + restart-time debt probes.
+  std::map<ReplicaId, std::vector<chain::Ledger::Entry>> pre_crash;
+  for (auto& [id, row] : rows) {
+    const ReplicaId replica = id;
+    deployment.scheduler().schedule_at(row.crash_at - 1, [&, replica] {
+      pre_crash[replica] = deployment.ledger(replica).snapshot();
+    });
+    deployment.scheduler().schedule_at(row.restart_at - 1, [&, replica] {
+      const Height cluster_tip = deployment.ledger(0).tip().value_or(0);
+      const Height own_tip = deployment.ledger(replica).tip().value_or(0);
+      rows.at(replica).behind_at_restart =
+          cluster_tip > own_tip ? cluster_tip - own_tip : 0;
+    });
+  }
+
+  deployment.start();
+  deployment.run_for(bench.duration);  // throws LedgerConflict on any equivocation
+
+  int failures = 0;
+  const Height cluster_tip = deployment.ledger(0).tip().value_or(0);
+  harness::Table table({"replica", "crash(s)", "restart(s)", "behind(blocks)",
+                        "recovery(s)", "tip/cluster"});
+  for (auto& [id, row] : rows) {
+    row.final_tip = deployment.ledger(id).tip().value_or(0);
+    const bool recovered = row.first_commit_after > 0;
+    table.add_row(
+        {std::to_string(id), harness::Table::num(to_seconds(row.crash_at), 0),
+         harness::Table::num(to_seconds(row.restart_at), 0),
+         std::to_string(row.behind_at_restart),
+         recovered
+             ? harness::Table::num(
+                   to_seconds(row.first_commit_after - row.restart_at), 3)
+             : "--",
+         std::to_string(row.final_tip) + "/" + std::to_string(cluster_tip)});
+    if (!recovered) {
+      std::printf("FAIL: replica %u never committed after restart\n", id);
+      ++failures;
+    }
+    if (row.final_tip + 10 < cluster_tip) {
+      std::printf("FAIL: replica %u still %llu blocks behind\n", id,
+                  static_cast<unsigned long long>(cluster_tip - row.final_tip));
+      ++failures;
+    }
+    // Strong commits made before the crash survive it, strength intact.
+    for (const auto& entry : pre_crash[id]) {
+      const auto& ledger = deployment.ledger(id);
+      if (!ledger.is_committed(entry.height) ||
+          ledger.at(entry.height).block_id != entry.block_id ||
+          ledger.at(entry.height).strength < entry.strength) {
+        std::printf("FAIL: replica %u lost pre-crash commit at height %llu\n",
+                    id, static_cast<unsigned long long>(entry.height));
+        ++failures;
+        break;
+      }
+    }
+  }
+  // Cross-replica agreement (the ledgers never conflict on the common prefix).
+  for (ReplicaId id = 1; id < s.n; ++id) {
+    const auto& ledger0 = deployment.ledger(0);
+    const auto& ledger = deployment.ledger(id);
+    const Height common =
+        std::min(ledger0.tip().value_or(0), ledger.tip().value_or(0));
+    for (Height h = 1; h <= common; ++h) {
+      if (ledger0.at(h).block_id != ledger.at(h).block_id) {
+        std::printf("FAIL: ledgers conflict at height %llu (replica %u)\n",
+                    static_cast<unsigned long long>(h), id);
+        ++failures;
+        break;
+      }
+    }
+  }
+
+  std::printf("== %s: n=%u, %u crash/restart cycles, %.0fs downtime each ==\n",
+              engine::protocol_name(protocol), s.n, bench.churn,
+              to_seconds(bench.downtime));
+  std::printf("%s", table.render().c_str());
+  std::printf("cluster tip at end: %llu blocks; safety checks: %s\n\n",
+              static_cast<unsigned long long>(cluster_tip),
+              failures == 0 ? "all passed" : "FAILED");
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig bench;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    bench.n = 7;
+    bench.duration = seconds(24);
+    bench.first_crash = seconds(5);
+    bench.downtime = seconds(4);
+    bench.stagger = seconds(8);
+    bench.churn = 2;
+  }
+
+  std::printf("== tab_recovery: crash-recovery churn (beyond-paper, "
+              "Theorem 2 with restarts)%s ==\n\n",
+              smoke ? " [smoke]" : "");
+  int failures = 0;
+  failures += run_protocol(engine::Protocol::DiemBft, bench);
+  failures += run_protocol(engine::Protocol::Streamlet, bench);
+  return failures == 0 ? 0 : 1;
+}

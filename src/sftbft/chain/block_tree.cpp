@@ -13,6 +13,16 @@ BlockTree::BlockTree(Block genesis_block) {
   nodes_.emplace(genesis_id_, std::move(node));
 }
 
+BlockTree BlockTree::rooted_at(Block root) {
+  BlockTree tree;
+  tree.nodes_.clear();
+  tree.genesis_id_ = root.id;
+  auto node = std::make_unique<Node>();
+  node->block = std::move(root);
+  tree.nodes_.emplace(tree.genesis_id_, std::move(node));
+  return tree;
+}
+
 const BlockTree::Node* BlockTree::find(const BlockId& id) const {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();

@@ -26,6 +26,12 @@ class BlockTree {
   /// Creates a tree holding only `genesis_block` (round 0, height 0).
   explicit BlockTree(Block genesis_block = Block::genesis());
 
+  /// Crash recovery: a tree rooted at an arbitrary *trusted* block (the
+  /// persisted snapshot tip). Blocks below the root are pruned — their
+  /// commits are final in the restored ledger and never revisited; blocks
+  /// above it arrive via peer sync and chain off the root as usual.
+  [[nodiscard]] static BlockTree rooted_at(Block root);
+
   enum class InsertResult {
     Inserted,   ///< linked into the tree
     Duplicate,  ///< already present (no-op)
@@ -38,6 +44,8 @@ class BlockTree {
 
   [[nodiscard]] bool contains(const BlockId& id) const;
   [[nodiscard]] const Block* get(const BlockId& id) const;
+  /// The tree's root: the genesis block normally, the snapshot tip after a
+  /// rooted_at() restore.
   [[nodiscard]] const Block& genesis() const { return nodes_.at(genesis_id_)->block; }
   [[nodiscard]] const BlockId& genesis_id() const { return genesis_id_; }
 

@@ -1,5 +1,6 @@
 #include "sftbft/chain/ledger.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sftbft::chain {
@@ -54,6 +55,52 @@ std::vector<Ledger::Entry> Ledger::snapshot() const {
     if (slot) out.push_back(*slot);
   }
   return out;
+}
+
+void Ledger::restore(const std::vector<Entry>& entries) {
+  entries_.clear();
+  committed_count_ = 0;
+  committed_txns_ = 0;
+  for (const Entry& entry : entries) {
+    if (entry.height == 0) continue;
+    if (entries_.size() <= entry.height) entries_.resize(entry.height + 1);
+    std::optional<Entry>& slot = entries_[entry.height];
+    if (slot) {
+      if (slot->block_id != entry.block_id) {
+        throw LedgerConflict("conflicting entries in restored snapshot at "
+                             "height " + std::to_string(entry.height));
+      }
+      continue;
+    }
+    slot = entry;
+    ++committed_count_;
+    committed_txns_ += entry.txn_count;
+  }
+}
+
+void Ledger::Entry::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u64(height);
+  enc.u32(strength);
+  enc.i64(created_at);
+  enc.i64(first_committed_at);
+  enc.i64(last_strength_update_at);
+  enc.u64(txn_count);
+}
+
+Ledger::Entry Ledger::Entry::decode(Decoder& dec) {
+  Entry entry;
+  const Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), entry.block_id.bytes.begin());
+  entry.round = dec.u64();
+  entry.height = dec.u64();
+  entry.strength = dec.u32();
+  entry.created_at = dec.i64();
+  entry.first_committed_at = dec.i64();
+  entry.last_strength_update_at = dec.i64();
+  entry.txn_count = dec.u64();
+  return entry;
 }
 
 }  // namespace sftbft::chain

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sftbft/common/codec.hpp"
 #include "sftbft/types/block.hpp"
 
 namespace sftbft::chain {
@@ -36,6 +37,12 @@ class Ledger {
     SimTime first_committed_at = 0;          ///< regular (f-strong) commit
     SimTime last_strength_update_at = 0;
     std::uint64_t txn_count = 0;
+
+    /// Canonical codec (storage snapshots persist entries verbatim).
+    void encode(Encoder& enc) const;
+    static Entry decode(Decoder& dec);
+
+    friend bool operator==(const Entry&, const Entry&) = default;
   };
 
   enum class CommitResult {
@@ -69,6 +76,11 @@ class Ledger {
   /// Every committed entry in height order (gaps impossible by construction:
   /// commits apply to a block and all its ancestors).
   [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  /// Crash recovery: repopulates the ledger from a persisted snapshot().
+  /// Replaces all current state; commit times and strengths are preserved
+  /// verbatim (the committed prefix is final — it is never re-derived).
+  void restore(const std::vector<Entry>& entries);
 
  private:
   // Height-indexed; index 0 (genesis) stays empty.

@@ -18,7 +18,8 @@ using types::VoteMode;
 
 DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
                          std::shared_ptr<const crypto::KeyRegistry> registry,
-                         mempool::Mempool& pool, Hooks hooks)
+                         mempool::Mempool& pool, Hooks hooks,
+                         storage::ReplicaStore* store)
     : config_(config),
       sched_(sched),
       registry_(std::move(registry)),
@@ -34,7 +35,8 @@ DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
                           .backoff = config.timeout_backoff},
           Pacemaker::Callbacks{
               .on_round_entered = [this](Round r) { on_round_entered(r); },
-              .on_local_timeout = [this](Round r) { on_local_timeout(r); }}) {
+              .on_local_timeout = [this](Round r) { on_local_timeout(r); }}),
+      store_(store) {
   // Seed qc_high with the genesis QC so round-1 proposals extend genesis.
   QuorumCert genesis_qc;
   genesis_qc.block_id = tree_.genesis_id();
@@ -55,6 +57,176 @@ void DiemBftCore::start() { pacemaker_.start(); }
 void DiemBftCore::stop() {
   stopped_ = true;
   pacemaker_.stop();
+  // Cancel extra-wait timers so a later restore() cannot be surprised by a
+  // pre-crash finalize_qc firing against rebuilt state.
+  for (auto& [round, per_block] : votes_) {
+    for (auto& [block_id, pending] : per_block) {
+      sched_.cancel(pending.extra_wait_timer);
+      pending.extra_wait_timer = sim::kInvalidTimer;
+    }
+  }
+}
+
+// ------------------------------------------------------------ crash recovery
+
+void DiemBftCore::restore(const storage::RecoveredState& state) {
+  // Volatile state is rebuilt from scratch; only the durable envelope and
+  // the committed ledger survive.
+  votes_.clear();
+  timeouts_.clear();
+  pending_proposals_.clear();
+  qc_updates_.clear();
+  sent_proposals_.clear();
+  logged_proposals_.clear();
+  last_proposed_payload_.reset();
+  last_tc_ = state.high_tc;
+
+  // Tree: re-root at the snapshot tip (its commits are final); without a
+  // snapshot, restart from genesis like a fresh replica.
+  tree_ = state.tip ? chain::BlockTree::rooted_at(*state.tip)
+                    : chain::BlockTree();
+  ledger_.restore(state.ledger);
+
+  // Safety: the WAL's voted round is the equivocation fence — r_vote is
+  // restored *before* any block is re-learned, so even an adversarial
+  // replay of the pre-crash proposal cannot extract a second vote.
+  safety_ = SafetyRules();
+  QuorumCert root_qc;
+  root_qc.block_id = tree_.genesis_id();
+  root_qc.round = tree_.genesis().round;
+  root_qc.parent_id = tree_.genesis().parent_id;
+  root_qc.parent_round = 0;
+  safety_.init_high_qc(root_qc);
+  if (!state.high_qc.is_genesis()) safety_.observe_qc(state.high_qc);
+  safety_.restore_locked_round(state.locked_round);
+  safety_.record_vote(state.voted_round);
+  last_sealed_round_ = state.voted_round;
+  persisted_locked_round_ = safety_.locked_round();
+  sync_attempts_ = 0;
+
+  std::vector<VoteHistory::FrontierEntry> frontier;
+  frontier.reserve(state.frontier.size());
+  for (const storage::VoteRecord& record : state.frontier) {
+    frontier.push_back({record.block_id, record.round});
+  }
+  history_.from_records(std::move(frontier));
+
+  if (config_.mode != CoreMode::Plain || config_.fbft_mode) {
+    tracker_ = std::make_unique<EndorsementTracker>(tree_, config_.n,
+                                                    config_.f(),
+                                                    config_.counting);
+  }
+  // The rebuilt tracker cannot justify pre-crash strengths; trust peers'
+  // commit logs for one leader rotation past the recovered frontier.
+  trust_commit_log_below_ = state.high_qc.round + config_.n + 1;
+
+  stopped_ = false;
+  // Resume strictly past every durable round watermark — voted rounds, the
+  // high QC, and any TC (entering a round via a TC persisted it), so the
+  // replica cannot re-enter a round it already acted in as leader.
+  Round resume_past = std::max<Round>(state.high_qc.round, state.voted_round);
+  if (state.high_tc) resume_past = std::max(resume_past, state.high_tc->round);
+  pacemaker_.resume(resume_past + 1);
+}
+
+void DiemBftCore::request_sync() {
+  if (!hooks_.send_sync_request || stopped_ || config_.n < 2) return;
+  types::SyncRequest req;
+  req.requester = config_.id;
+  // Resume from the highest committed block we actually hold: retries then
+  // fetch only the residual gap, not the whole range again.
+  req.from_height = tree_.genesis().height;
+  if (const std::optional<Height> tip = ledger_.tip()) {
+    if (tree_.contains(ledger_.at(*tip).block_id)) {
+      req.from_height = std::max(req.from_height, *tip);
+    }
+  }
+  // One good response suffices, so ask a small window instead of all n — a
+  // broadcast would trigger n - 1 near-identical full-chain responses. The
+  // window rotates per attempt, routing around crashed/behind peers.
+  const std::uint32_t fanout = std::min<std::uint32_t>(3, config_.n - 1);
+  for (std::uint32_t k = 0; k < fanout; ++k) {
+    const ReplicaId to =
+        (config_.id + 1 + sync_attempts_ * fanout + k) % config_.n;
+    if (to != config_.id) hooks_.send_sync_request(to, req);
+  }
+  ++sync_attempts_;
+  // Watchdog: partial progress is not enough to stop — one block certified
+  // while the responses were in flight can leave a permanent gap (qc_high
+  // learned from timeout messages but its block never delivered, every
+  // later proposal orphaned). Caught-up means the certified tip is a block
+  // we hold and nothing is parked waiting for a missing parent.
+  sched_.schedule_after(config_.base_timeout, [this] {
+    if (stopped_) return;
+    const bool caught_up = tree_.contains(safety_.high_qc().block_id) &&
+                           pending_proposals_.empty();
+    if (!caught_up) request_sync();
+  });
+}
+
+void DiemBftCore::on_sync_request(const types::SyncRequest& req) {
+  if (stopped_ || !hooks_.send_sync_response) return;
+  if (req.requester == config_.id) return;
+  const QuorumCert& high_qc = safety_.high_qc();
+  const Block* block = tree_.get(high_qc.block_id);
+  std::vector<Block> chain_blocks;
+  while (block != nullptr && block->height > req.from_height) {
+    chain_blocks.push_back(*block);
+    block = tree_.parent_of(block->id);
+  }
+  if (block == nullptr || block->height != req.from_height) {
+    // Our own tree is rooted above the requested height (we also restored
+    // from a snapshot); we cannot provide a linkable chain — stay silent and
+    // let a peer with deeper history answer.
+    return;
+  }
+  std::reverse(chain_blocks.begin(), chain_blocks.end());
+  types::SyncResponse resp;
+  resp.blocks = std::move(chain_blocks);
+  resp.high_qc = high_qc;
+  hooks_.send_sync_response(req.requester, resp);
+}
+
+void DiemBftCore::on_sync_response(const types::SyncResponse& resp) {
+  if (stopped_) return;
+  // Validate the chain without trusting the responder: each block's embedded
+  // QC certifies its parent; the final block is certified by resp.high_qc.
+  for (std::size_t i = 0; i < resp.blocks.size(); ++i) {
+    const Block& block = resp.blocks[i];
+    if (!block.id_is_valid()) return;
+    if (block.qc.block_id != block.parent_id) return;
+    const QuorumCert& cert = i + 1 < resp.blocks.size()
+                                 ? resp.blocks[i + 1].qc
+                                 : resp.high_qc;
+    if (cert.block_id != block.id) return;
+    if (config_.verify_signatures &&
+        !cert.verify(*registry_, config_.quorum())) {
+      return;
+    }
+  }
+  for (const Block& block : resp.blocks) {
+    if (tree_.insert(block) != chain::BlockTree::InsertResult::Inserted) {
+      continue;  // duplicate (another peer answered first) or orphan
+    }
+    // Chain-embedded QCs are canonical: peers processed them through their
+    // endorsement trackers when the blocks first arrived, so replaying them
+    // here keeps endorser sets consistent across replicas (Sec. 5).
+    observe_qc(block.qc, /*canonical=*/true);
+    process_pending_proposals(block.id);
+  }
+  // The top QC advances locking/round state but is not canonical — it will
+  // arrive embedded in the next proposal, like a timeout-borne QC. It must
+  // be verified on its own: with resp.blocks empty (or all duplicates) the
+  // chain loop above never checked it, and an unverified QC here would let
+  // any peer forge qc_high / lock state onto a replica.
+  if (!resp.high_qc.is_genesis() && tree_.contains(resp.high_qc.block_id)) {
+    if (config_.verify_signatures &&
+        !resp.high_qc.verify(*registry_, config_.quorum())) {
+      return;
+    }
+    observe_qc(resp.high_qc, /*canonical=*/false);
+    pacemaker_.advance_to(resp.high_qc.round + 1);
+  }
 }
 
 // ---------------------------------------------------------------- proposing
@@ -153,9 +325,14 @@ void DiemBftCore::on_proposal(const Proposal& proposal) {
   // next round): the QC can be finalized now that the block is known.
   try_finalize_qc(block.round, block.id);
 
-  // TC justification (round sync after timeouts).
+  // TC justification (round sync after timeouts). Persisted before the
+  // round advance: every round-entry path must leave a durable watermark,
+  // or a restart could re-enter (and re-propose in) a round it already led.
   if (proposal.tc) {
     observe_qc(proposal.tc->highest_qc(), /*canonical=*/false);
+    if (store_ && (!last_tc_ || proposal.tc->round > last_tc_->round)) {
+      store_->record_high_tc(*proposal.tc);
+    }
     pacemaker_.advance_to(proposal.tc->round + 1);
   }
 
@@ -187,6 +364,9 @@ void DiemBftCore::maybe_vote(const Block& block) {
   const Vote vote = build_vote(block);
   safety_.record_vote(block.round);
   history_.record_vote(block);
+  // WAL before wire: the vote must be durable before it can reach anyone,
+  // or a crash-restart could vote twice in the round.
+  persist_vote(&block, block.round);
   hooks_.send_vote(election_.leader_of(block.round + 1), vote);
 }
 
@@ -215,7 +395,9 @@ Vote DiemBftCore::build_vote(const Block& block) {
 // ------------------------------------------------------------- QC handling
 
 void DiemBftCore::observe_qc(const QuorumCert& qc, bool canonical) {
+  const Round prev_high = safety_.high_qc().round;
   safety_.observe_qc(qc);
+  persist_qc_watermarks(qc, prev_high);
   if (canonical && tracker_) {
     const auto updates = tracker_->process_qc(qc);
     qc_updates_.emplace(qc.digest(), updates);  // keep first (non-reprocessed)
@@ -263,8 +445,10 @@ void DiemBftCore::commit_chain(const Block& head, std::uint32_t strength) {
     if (result == chain::Ledger::CommitResult::New) {
       pool_.mark_committed(block->payload);
     }
+    if (store_) store_->record_commit(ledger_.at(block->height));
     if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
   }
+  maybe_snapshot();
 }
 
 // -------------------------------------------------------- vote aggregation
@@ -346,7 +530,7 @@ void DiemBftCore::finalize_qc(Round round, const BlockId& block_id) {
   pending.extra_wait_timer = sim::kInvalidTimer;
 
   const Block* block = tree_.get(block_id);
-  assert(block != nullptr);
+  if (block == nullptr) return;  // restored mid-flight: block no longer known
 
   QuorumCert qc;
   qc.block_id = block_id;
@@ -370,6 +554,9 @@ void DiemBftCore::on_local_timeout(Round round) {
   if (stopped_) return;
   // Fig. 2: stop voting for round r, multicast ⟨timeout, r, qc_high⟩.
   safety_.record_vote(round);
+  // Persist the abandoned round (no frontier entry): a restart must not
+  // vote in a round this replica already timed out of.
+  persist_vote(nullptr, round);
   if (last_proposed_payload_ && last_proposed_payload_->first == round) {
     pool_.requeue(last_proposed_payload_->second);
     last_proposed_payload_.reset();
@@ -415,6 +602,7 @@ void DiemBftCore::add_timeout(const TimeoutMsg& msg) {
       tc.timeouts.push_back(timeout);
     }
     last_tc_ = tc;
+    if (store_) store_->record_high_tc(tc);
     timeouts_.erase(timeouts_.begin(), timeouts_.upper_bound(msg.round));
     pacemaker_.advance_to(msg.round + 1);
   }
@@ -442,6 +630,10 @@ bool DiemBftCore::validate_proposal(const Proposal& proposal) const {
 
 bool DiemBftCore::validate_commit_log(const Proposal& proposal) {
   if (!config_.verify_commit_log || !tracker_) return true;
+  // Post-restore grace (see trust_commit_log_below_): the rebuilt tracker
+  // cannot re-derive pre-crash strengths, and rejecting every log-bearing
+  // proposal would keep the replica out of the cluster forever.
+  if (proposal.block.round < trust_commit_log_below_) return true;
   // Lenient-but-sound rule: accept entries the local tracker can justify
   // (the QC embedded in this proposal has already been processed). An entry
   // claiming more strength than locally derivable is an overstatement.
@@ -457,6 +649,53 @@ void DiemBftCore::process_pending_proposals(const BlockId& parent_id) {
   const std::vector<Proposal> waiting = std::move(it->second);
   pending_proposals_.erase(it);
   for (const Proposal& proposal : waiting) on_proposal(proposal);
+}
+
+// --------------------------------------------------------------- durability
+
+void DiemBftCore::persist_vote(const Block* block, Round round) {
+  if (!store_) return;
+  storage::VoteRecord record;
+  record.round = round;
+  if (block != nullptr) {
+    record.block_id = block->id;
+    record.height = block->height;
+  }
+  store_->record_vote(record);
+}
+
+void DiemBftCore::persist_qc_watermarks(const QuorumCert& qc,
+                                        Round prev_high) {
+  if (!store_) return;
+  const bool high_grew = qc.round > prev_high;
+  const bool lock_grew = safety_.locked_round() > persisted_locked_round_;
+  if (!high_grew && !lock_grew) return;
+  // One record covers both watermarks: recovery folds every recorded QC's
+  // parent_round into the restored lock (max) and keeps the highest-round
+  // QC as qc_high.
+  store_->record_high_qc(qc);
+  persisted_locked_round_ =
+      std::max(persisted_locked_round_, qc.parent_round);
+}
+
+void DiemBftCore::maybe_snapshot() {
+  if (!store_ || !store_->snapshot_due(ledger_.committed_blocks())) return;
+  const std::optional<Height> tip_height = ledger_.tip();
+  if (!tip_height) return;
+  const Block* tip = tree_.get(ledger_.at(*tip_height).block_id);
+  if (tip == nullptr) return;  // tip below the restored root; wait for sync
+  storage::Envelope envelope;
+  envelope.voted_round = safety_.voted_round();
+  envelope.locked_round = safety_.locked_round();
+  envelope.high_qc = safety_.high_qc();
+  envelope.high_tc = last_tc_;
+  envelope.frontier.reserve(history_.frontier().size());
+  for (const VoteHistory::FrontierEntry& entry : history_.frontier()) {
+    const Block* voted = tree_.get(entry.block_id);
+    envelope.frontier.push_back(
+        {entry.block_id, entry.round, voted ? voted->height : 0});
+  }
+  store_->write_snapshot(*tip, ledger_.snapshot(), envelope);
 }
 
 }  // namespace sftbft::consensus

@@ -35,6 +35,7 @@
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/sim/scheduler.hpp"
+#include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/proposal.hpp"
 
 namespace sftbft::consensus {
@@ -104,11 +105,21 @@ class DiemBftCore {
     std::function<void(const types::Block&, std::uint32_t strength,
                        SimTime now)>
         on_commit;
+    /// Crash recovery: block-sync traffic (see types::SyncRequest). May be
+    /// empty when the deployment has no persistent replicas.
+    std::function<void(ReplicaId to, const types::SyncRequest&)>
+        send_sync_request;
+    std::function<void(ReplicaId to, const types::SyncResponse&)>
+        send_sync_response;
   };
 
+  /// `store` (optional) enables durability: the safety envelope is WAL'd as
+  /// it changes and the ledger snapshotted on the store's cadence, making
+  /// the core restorable via restore() after a crash.
   DiemBftCore(CoreConfig config, sim::Scheduler& sched,
               std::shared_ptr<const crypto::KeyRegistry> registry,
-              mempool::Mempool& pool, Hooks hooks);
+              mempool::Mempool& pool, Hooks hooks,
+              storage::ReplicaStore* store = nullptr);
 
   /// Enters round 1 (the round-1 leader proposes off genesis).
   void start();
@@ -116,12 +127,29 @@ class DiemBftCore {
   /// Simulates a crash: stop timers and ignore all future events.
   void stop();
 
+  /// Crash recovery: rebuilds the core from durable state — tree re-rooted
+  /// at the snapshot tip, ledger restored verbatim, SafetyRules seeded with
+  /// the WAL's voted round (so the replica can never vote twice in a round,
+  /// even before it re-learns the blocks it voted for), VoteHistory frontier
+  /// re-imported, pacemaker resumed at the recovered high-QC round. Call
+  /// request_sync() afterwards to fetch missed blocks from peers.
+  void restore(const storage::RecoveredState& state);
+
+  /// Asks a small rotating window of peers for blocks above the local tree
+  /// root, and re-asks (next window) whenever the ledger tip has not moved
+  /// by the next round timeout — a single fire-once request can race with a
+  /// block certified just after every response was built, and a crashed
+  /// peer in the window must not stall recovery.
+  void request_sync();
+
   [[nodiscard]] bool stopped() const { return stopped_; }
 
   // --- inbound ---
   void on_proposal(const types::Proposal& proposal);
   void on_vote(const types::Vote& vote);
   void on_timeout_msg(const types::TimeoutMsg& msg);
+  void on_sync_request(const types::SyncRequest& req);
+  void on_sync_response(const types::SyncResponse& resp);
 
   // --- introspection (tests, metrics, light clients) ---
   [[nodiscard]] const CoreConfig& config() const { return config_; }
@@ -182,6 +210,14 @@ class DiemBftCore {
   [[nodiscard]] bool validate_commit_log(const types::Proposal& proposal);
   void process_pending_proposals(const types::BlockId& parent_id);
 
+  // --- durability (no-ops when store_ == nullptr) ---
+  void persist_vote(const types::Block* block, Round round);
+  /// Records `qc` when it raised qc_high *or* the locked round past their
+  /// persisted watermarks (a QC below qc_high can still raise the lock, and
+  /// a regressed lock across restart breaks the Fig. 2 locking rule).
+  void persist_qc_watermarks(const types::QuorumCert& qc, Round prev_high);
+  void maybe_snapshot();
+
   CoreConfig config_;
   sim::Scheduler& sched_;
   std::shared_ptr<const crypto::KeyRegistry> registry_;
@@ -196,8 +232,22 @@ class DiemBftCore {
   VoteHistory history_;
   Pacemaker pacemaker_;
   std::unique_ptr<EndorsementTracker> tracker_;  // null in Plain mode
+  storage::ReplicaStore* store_;  // null = no persistence
 
   bool stopped_ = false;
+
+  /// Post-restore grace: accept proposals' Sec.-5 commit logs without local
+  /// re-derivation below this round. The endorsement tracker is rebuilt
+  /// from synced QCs and cannot justify strengths accumulated before the
+  /// snapshot tip; commit logs only feed light-client material (never the
+  /// ledger), so trusting them briefly is liveness-critical and safety-free.
+  Round trust_commit_log_below_ = 0;
+
+  /// Highest locked round already durable (avoids re-recording every QC).
+  Round persisted_locked_round_ = 0;
+
+  /// Rotates the sync peer window across retries (see request_sync()).
+  std::uint32_t sync_attempts_ = 0;
 
   // Vote aggregation for rounds this replica leads (round -> block -> votes).
   struct PendingVotes {

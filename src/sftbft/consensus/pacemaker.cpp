@@ -22,6 +22,15 @@ void Pacemaker::stop() {
   timer_ = sim::kInvalidTimer;
 }
 
+void Pacemaker::resume(Round round) {
+  stopped_ = false;
+  timed_out_ = false;
+  consecutive_timeouts_ = 0;
+  round_ = round > 0 ? round : 1;
+  arm_timer();
+  if (callbacks_.on_round_entered) callbacks_.on_round_entered(round_);
+}
+
 bool Pacemaker::advance_to(Round round) {
   if (stopped_ || round <= round_) return false;
   enter(round);

@@ -43,6 +43,13 @@ class Pacemaker {
   /// Stops all timers (crash / end of experiment).
   void stop();
 
+  /// Crash recovery: re-enters service at `round` (>= 1) after a stop(),
+  /// re-arming the timer with a fresh backoff. Unlike advance_to this may
+  /// move the round "backward" — the recovered round watermark comes from
+  /// durable state, and the cluster's true round is re-learned via sync
+  /// (voting safety is guarded separately by SafetyRules' restored r_vote).
+  void resume(Round round);
+
   [[nodiscard]] Round current_round() const { return round_; }
 
   /// Round-sync rule: called with r = qc.round + 1 or tc.round + 1.

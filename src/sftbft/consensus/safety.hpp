@@ -51,6 +51,14 @@ class SafetyRules {
     high_qc_ = genesis_qc;
   }
 
+  /// Crash recovery: re-arms the locking rule from the durable watermark.
+  /// Restoring the lock from qc_high alone could *regress* it — a
+  /// timeout-borne high QC may carry a lower parent round than an earlier
+  /// chain QC the replica locked against.
+  void restore_locked_round(Round round) {
+    if (round > locked_round_) locked_round_ = round;
+  }
+
   [[nodiscard]] Round voted_round() const { return voted_round_; }
   [[nodiscard]] Round locked_round() const { return locked_round_; }
   [[nodiscard]] const types::QuorumCert& high_qc() const { return high_qc_; }

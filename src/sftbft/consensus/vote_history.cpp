@@ -34,6 +34,14 @@ IntervalSet VoteHistory::intervals_for(const types::Block& block,
   IntervalSet endorsed = IntervalSet::single(lo, r);
   for (const FrontierEntry& entry : frontier_) {
     if (tree_->extends(block.id, entry.block_id)) continue;  // same fork
+    if (!tree_->contains(entry.block_id)) {
+      // Restored entry whose block has not been re-synced yet: the common
+      // ancestor is unknowable, so assume the worst (genesis) and withhold
+      // endorsement of everything up to the recorded round. Conservative —
+      // heals once sync delivers the block.
+      endorsed.subtract(1, entry.round);
+      continue;
+    }
     // D_F = [r_l + 1, r_h]: r_h = highest voted round on the fork, r_l =
     // round of the common ancestor of `block` and that frontier block.
     const types::Block& ancestor =
@@ -41,6 +49,29 @@ IntervalSet VoteHistory::intervals_for(const types::Block& block,
     endorsed.subtract(ancestor.round + 1, entry.round);
   }
   return endorsed;
+}
+
+void VoteHistory::from_records(std::vector<FrontierEntry> records) {
+  frontier_.clear();
+  for (const FrontierEntry& record : records) {
+    // Drop already-imported entries this record's block extends — the same
+    // maintenance rule record_vote applies, so importing a frontier exported
+    // from a live history reproduces it exactly. Unknown blocks never
+    // satisfy extends() and are kept side by side (conservative).
+    std::erase_if(frontier_, [&](const FrontierEntry& entry) {
+      return tree_->extends(record.block_id, entry.block_id);
+    });
+    // ...and skip records that are ancestors of an already-imported entry
+    // (records may arrive oldest-first from WAL replay).
+    bool dominated = false;
+    for (const FrontierEntry& entry : frontier_) {
+      if (tree_->extends(entry.block_id, record.block_id)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier_.push_back(record);
+  }
 }
 
 }  // namespace sftbft::consensus

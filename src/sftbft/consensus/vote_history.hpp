@@ -16,6 +16,15 @@
 // Since the voting rule only allows strictly increasing vote rounds, a newly
 // voted block can never be an ancestor of a previously voted one, so frontier
 // maintenance is: drop entries the new block extends, then append it.
+//
+// Crash recovery (sftbft::storage): the frontier round-trips through
+// to_records()/from_records(). Restored entries may reference blocks the
+// rebuilt tree does not contain yet (they arrive via peer sync); until then
+// such entries are treated *conservatively* — as conflicting with every
+// prospective vote — so a recovered replica's markers/intervals can only
+// under-endorse, never over-endorse (safe for Theorem 1, at a temporary cost
+// to strong-commit liveness that heals once sync completes and the next
+// record_vote collapses the frontier).
 #pragma once
 
 #include <vector>
@@ -46,11 +55,24 @@ class VoteHistory {
   struct FrontierEntry {
     types::BlockId block_id{};
     Round round = 0;
+
+    friend bool operator==(const FrontierEntry&, const FrontierEntry&) = default;
   };
 
   [[nodiscard]] const std::vector<FrontierEntry>& frontier() const {
     return frontier_;
   }
+
+  /// Durable export: the frontier as-is (one record per fork).
+  [[nodiscard]] std::vector<FrontierEntry> to_records() const {
+    return frontier_;
+  }
+
+  /// Rebuilds the frontier from persisted records without replaying votes.
+  /// Records whose blocks are known to the tree are pruned against each
+  /// other (ancestors of another record are dropped); records for unknown
+  /// blocks are kept verbatim and treated conservatively (see file header).
+  void from_records(std::vector<FrontierEntry> records);
 
  private:
   const chain::BlockTree* tree_;

@@ -23,7 +23,21 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         std::to_string(config_.topology.size()) + ") != n (" +
         std::to_string(config_.n) + ")");
   }
+  for (std::size_t id = 0; id < config_.faults.size(); ++id) {
+    const FaultSpec& fault = config_.faults[id];
+    if (fault.kind == FaultSpec::Kind::CrashRestart &&
+        fault.restart_at <= fault.crash_at) {
+      // A restart scheduled at/before the crash (e.g. restart_at left at
+      // its default 0) would fire first and the crash would then be final —
+      // the opposite of what CrashRestart promises. Fail loudly instead.
+      throw std::invalid_argument(
+          "Deployment: replica " + std::to_string(id) +
+          " has CrashRestart restart_at <= crash_at");
+    }
+  }
   registry_ = std::make_shared<crypto::KeyRegistry>(config_.n, config_.seed);
+  backends_.resize(config_.n);
+  stores_.resize(config_.n);
 
   auto fault_for = [this](ReplicaId id) {
     return id < config_.faults.size() ? config_.faults[id]
@@ -42,9 +56,10 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         consensus::CoreConfig core = config_.diem;
         core.id = id;
         core.n = config_.n;
+        const FaultSpec fault = fault_for(id);
         engines_.push_back(std::make_unique<DiemEngine>(
             core, *diem_network_, registry_, config_.workload,
-            workload_rng.fork(), fault_for(id), observer));
+            workload_rng.fork(), fault, observer, make_store(id, fault)));
       }
       break;
     }
@@ -56,9 +71,10 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         streamlet::StreamletConfig core = config_.streamlet;
         core.id = id;
         core.n = config_.n;
+        const FaultSpec fault = fault_for(id);
         engines_.push_back(std::make_unique<StreamletEngine>(
             core, *streamlet_network_, registry_, config_.workload,
-            workload_rng.fork(), fault_for(id), observer));
+            workload_rng.fork(), fault, observer, make_store(id, fault)));
       }
       break;
     }
@@ -66,6 +82,20 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
 }
 
 Deployment::~Deployment() = default;
+
+storage::ReplicaStore* Deployment::make_store(ReplicaId id,
+                                              const FaultSpec& fault) {
+  const bool wants_store =
+      config_.persist_all || fault.kind == FaultSpec::Kind::CrashRestart;
+  if (!wants_store) return nullptr;
+  // Per-replica backend, independently seeded: torn-tail draws at one
+  // replica's crash never perturb another's stream.
+  backends_[id] = std::make_unique<storage::MemBackend>(
+      config_.seed ^ 0x5708AC4EDULL ^ id);
+  stores_[id] = std::make_unique<storage::ReplicaStore>(*backends_[id], id,
+                                                        config_.storage);
+  return stores_[id].get();
+}
 
 void Deployment::start() {
   for (auto& engine : engines_) engine->start();

@@ -21,6 +21,8 @@
 #include "sftbft/engine/streamlet_engine.hpp"
 #include "sftbft/net/sim_network.hpp"
 #include "sftbft/sim/scheduler.hpp"
+#include "sftbft/storage/mem_backend.hpp"
+#include "sftbft/storage/replica_store.hpp"
 
 namespace sftbft::engine {
 
@@ -39,6 +41,13 @@ struct DeploymentConfig {
   /// Per-replica faults; empty = all honest. Indexed by replica id.
   std::vector<FaultSpec> faults;
   std::uint64_t seed = 1;
+  /// Durable-state cadence for replicas that get a ReplicaStore (see
+  /// `persist_all`).
+  storage::StoreConfig storage;
+  /// Wire a ReplicaStore (simulation MemBackend) for every replica, not
+  /// just the CrashRestart ones — for persistence-overhead experiments and
+  /// manual ConsensusEngine::restart() from tests.
+  bool persist_all = false;
 };
 
 class Deployment {
@@ -84,6 +93,13 @@ class Deployment {
   /// Count of replicas that are honest for liveness purposes.
   [[nodiscard]] std::uint32_t honest_count() const;
 
+  /// The replica's durable store (nullptr when it runs without one).
+  /// Stores exist for CrashRestart-faulted replicas and, with
+  /// `persist_all`, for everyone.
+  [[nodiscard]] storage::ReplicaStore* store(ReplicaId id) {
+    return engines_[id]->store();
+  }
+
   // Protocol-typed escape hatches. Calling a mismatched accessor throws
   // std::logic_error — tests that need DiemBftCore internals (light-client
   // proofs, endorsement state) or the raw typed network use these.
@@ -97,12 +113,20 @@ class Deployment {
   [[nodiscard]] StreamletNetwork& streamlet_network();
 
  private:
+  /// Builds (or skips) the durable store for one replica, pre-engine.
+  [[nodiscard]] storage::ReplicaStore* make_store(ReplicaId id,
+                                                  const FaultSpec& fault);
+
   DeploymentConfig config_;
   sim::Scheduler sched_;
   std::shared_ptr<const crypto::KeyRegistry> registry_;
   /// Exactly one network is live, matching config_.protocol.
   std::unique_ptr<replica::DiemNetwork> diem_network_;
   std::unique_ptr<StreamletNetwork> streamlet_network_;
+  /// Per-replica durable storage (simulation MemBackends); slots are null
+  /// for replicas running without persistence.
+  std::vector<std::unique_ptr<storage::MemBackend>> backends_;
+  std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<ConsensusEngine>> engines_;
 };
 

@@ -1,14 +1,47 @@
 #include "sftbft/engine/diem_engine.hpp"
 
+#include <stdexcept>
+
 namespace sftbft::engine {
 
 DiemEngine::DiemEngine(consensus::CoreConfig config,
                        replica::DiemNetwork& network,
                        std::shared_ptr<const crypto::KeyRegistry> registry,
                        mempool::WorkloadConfig workload, Rng workload_rng,
-                       FaultSpec fault, CommitObserver observer)
-    : replica_(std::make_unique<replica::Replica>(
+                       FaultSpec fault, CommitObserver observer,
+                       storage::ReplicaStore* store)
+    : network_(network),
+      store_(store),
+      replica_(std::make_unique<replica::Replica>(
           config, network, std::move(registry), workload,
-          std::move(workload_rng), fault, std::move(observer))) {}
+          std::move(workload_rng), fault, std::move(observer), store)) {}
+
+void DiemEngine::start() {
+  replica_->start();
+  // Crash-restart timers outlive the crash itself, so they live here, not
+  // inside the replica (whose Kind::Crash timer semantics are unchanged).
+  if (replica_->fault().kind == FaultSpec::Kind::CrashRestart) {
+    sim::Scheduler& sched = network_.scheduler();
+    sched.schedule_at(replica_->fault().crash_at, [this] {
+      replica_->crash();
+      // The simulated power loss: unsynced storage writes are dropped (the
+      // MemBackend may leave a torn WAL tail for recovery to handle).
+      if (store_) store_->simulate_crash();
+    });
+    sched.schedule_at(replica_->fault().restart_at, [this] { restart(); });
+  }
+}
+
+void DiemEngine::stop() { replica_->crash(); }
+
+void DiemEngine::restart() {
+  if (store_ == nullptr) {
+    // Restarting without durable state would re-enter consensus with a
+    // clean voting history — an equivocation machine. Refuse.
+    throw std::logic_error(
+        "DiemEngine::restart: no ReplicaStore wired for this replica");
+  }
+  replica_->restart(store_->recover());
+}
 
 }  // namespace sftbft::engine

@@ -5,22 +5,26 @@
 
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/replica/replica.hpp"
+#include "sftbft/storage/replica_store.hpp"
 
 namespace sftbft::engine {
 
 class DiemEngine final : public ConsensusEngine {
  public:
   /// Wires one DiemBFT replica onto `network`. `config.id` must be set;
-  /// the observer may be null.
+  /// the observer may be null. `store` (optional) enables durable state —
+  /// required for Kind::CrashRestart faults and for restart().
   DiemEngine(consensus::CoreConfig config, replica::DiemNetwork& network,
              std::shared_ptr<const crypto::KeyRegistry> registry,
              mempool::WorkloadConfig workload, Rng workload_rng,
-             FaultSpec fault, CommitObserver observer);
+             FaultSpec fault, CommitObserver observer,
+             storage::ReplicaStore* store = nullptr);
 
   [[nodiscard]] Protocol protocol() const override { return Protocol::DiemBft; }
   [[nodiscard]] ReplicaId id() const override { return replica_->id(); }
-  void start() override { replica_->start(); }
-  void stop() override { replica_->crash(); }
+  void start() override;
+  void stop() override;
+  void restart() override;
   [[nodiscard]] const chain::Ledger& ledger() const override {
     return replica_->core().ledger();
   }
@@ -42,8 +46,11 @@ class DiemEngine final : public ConsensusEngine {
   [[nodiscard]] const consensus::DiemBftCore& core() const {
     return replica_->core();
   }
+  [[nodiscard]] storage::ReplicaStore* store() override { return store_; }
 
  private:
+  replica::DiemNetwork& network_;
+  storage::ReplicaStore* store_;
   std::unique_ptr<replica::Replica> replica_;
 };
 

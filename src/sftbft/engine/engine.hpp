@@ -20,6 +20,10 @@
 #include "sftbft/engine/fault.hpp"
 #include "sftbft/types/block.hpp"
 
+namespace sftbft::storage {
+class ReplicaStore;
+}
+
 namespace sftbft::engine {
 
 enum class Protocol {
@@ -51,6 +55,17 @@ class ConsensusEngine {
   /// Halts the engine (crash semantics: timers stop, inbound traffic is
   /// dropped). Crash faults call this at `FaultSpec::crash_at`.
   virtual void stop() = 0;
+
+  /// Crash recovery: reconstructs the replica's consensus state from its
+  /// durable ReplicaStore (WAL + snapshot), rejoins the network, and
+  /// re-syncs missed blocks from peers. Only valid for engines wired with a
+  /// store (Kind::CrashRestart faults schedule this automatically at
+  /// `restart_at`); throws std::logic_error otherwise.
+  virtual void restart() = 0;
+
+  /// The replica's durable store, or nullptr when it runs without
+  /// persistence.
+  [[nodiscard]] virtual storage::ReplicaStore* store() = 0;
 
   [[nodiscard]] virtual const chain::Ledger& ledger() const = 0;
   [[nodiscard]] virtual Round current_round() const = 0;

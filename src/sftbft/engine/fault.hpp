@@ -3,6 +3,12 @@
 //
 //  * Honest — follows the protocol;
 //  * Crash  — benign fault (Theorem 2): stops entirely at `crash_at`;
+//  * CrashRestart — the other half of the benign-fault story: crashes at
+//             `crash_at`, then restarts at `restart_at` from its durable
+//             ReplicaStore (WAL + snapshot — see sftbft::storage) and
+//             re-syncs missed blocks from peers. Requires the deployment to
+//             wire a store for the replica (Deployment does this
+//             automatically);
 //  * Silent — Byzantine fault for liveness experiments (Theorem 3): stays
 //             synced but never sends any message (no votes, proposals,
 //             echoes, or timeouts), so its leadership rounds produce
@@ -20,16 +26,22 @@
 namespace sftbft::engine {
 
 struct FaultSpec {
-  enum class Kind { Honest, Crash, Silent };
+  enum class Kind { Honest, Crash, Silent, CrashRestart };
   Kind kind = Kind::Honest;
-  /// Crash time (Kind::Crash only).
+  /// Crash time (Kind::Crash and Kind::CrashRestart).
   SimTime crash_at = 0;
+  /// Restart time (Kind::CrashRestart only; must be > crash_at).
+  SimTime restart_at = 0;
 
   static FaultSpec honest() { return {}; }
   static FaultSpec crash_at_time(SimTime at) {
     return {.kind = Kind::Crash, .crash_at = at};
   }
   static FaultSpec silent() { return {.kind = Kind::Silent}; }
+  static FaultSpec crash_restart(SimTime crash, SimTime restart) {
+    return {.kind = Kind::CrashRestart, .crash_at = crash,
+            .restart_at = restart};
+  }
 };
 
 }  // namespace sftbft::engine

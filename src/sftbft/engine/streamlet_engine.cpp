@@ -1,11 +1,14 @@
 #include "sftbft/engine/streamlet_engine.hpp"
 
+#include <stdexcept>
 #include <variant>
 
 namespace sftbft::engine {
 
 using streamlet::SMessage;
 using streamlet::SProposal;
+using streamlet::SSyncRequest;
+using streamlet::SSyncResponse;
 using streamlet::StreamletCore;
 using streamlet::SVote;
 
@@ -13,10 +16,11 @@ StreamletEngine::StreamletEngine(
     streamlet::StreamletConfig config, StreamletNetwork& network,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
-    CommitObserver observer)
+    CommitObserver observer, storage::ReplicaStore* store)
     : id_(config.id),
       network_(network),
       fault_(fault),
+      store_(store),
       workload_(network.scheduler(), pool_, workload, std::move(workload_rng)),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
@@ -39,6 +43,16 @@ StreamletEngine::StreamletEngine(
         std::visit([](const auto& m) { return m.wire_size(); }, msg);
     network_.multicast(id_, "echo", size, msg, /*include_self=*/false);
   };
+  hooks.send_sync_request = [this, silent](ReplicaId to,
+                                           const SSyncRequest& req) {
+    if (silent) return;
+    network_.send(id_, to, "sync_req", req.wire_size(), SMessage{req});
+  };
+  hooks.send_sync_response = [this, silent](ReplicaId to,
+                                            const SSyncResponse& resp) {
+    if (silent) return;
+    network_.send(id_, to, "sync_resp", resp.wire_size(), SMessage{resp});
+  };
   hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
                            SimTime now) {
     if (observer_) observer_(id_, block, strength, now);
@@ -46,23 +60,38 @@ StreamletEngine::StreamletEngine(
 
   core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
                                           std::move(registry), pool_,
-                                          std::move(hooks));
+                                          std::move(hooks), store);
 }
 
-void StreamletEngine::start() {
+void StreamletEngine::register_handler() {
   network_.set_handler(id_, [this](ReplicaId, const SMessage& msg,
                                    std::size_t wire_size) {
     ++inbound_messages_;
     inbound_bytes_ += wire_size;
     if (std::holds_alternative<SProposal>(msg)) {
       core_->on_proposal(std::get<SProposal>(msg));
-    } else {
+    } else if (std::holds_alternative<SVote>(msg)) {
       core_->on_vote(std::get<SVote>(msg));
+    } else if (std::holds_alternative<SSyncRequest>(msg)) {
+      core_->on_sync_request(std::get<SSyncRequest>(msg));
+    } else {
+      core_->on_sync_response(std::get<SSyncResponse>(msg));
     }
   });
+}
+
+void StreamletEngine::start() {
+  register_handler();
   workload_.top_up();
+  sim::Scheduler& sched = network_.scheduler();
   if (fault_.kind == FaultSpec::Kind::Crash) {
-    network_.scheduler().schedule_at(fault_.crash_at, [this] { stop(); });
+    sched.schedule_at(fault_.crash_at, [this] { stop(); });
+  } else if (fault_.kind == FaultSpec::Kind::CrashRestart) {
+    sched.schedule_at(fault_.crash_at, [this] {
+      stop();
+      if (store_) store_->simulate_crash();
+    });
+    sched.schedule_at(fault_.restart_at, [this] { restart(); });
   }
   core_->start();
 }
@@ -70,6 +99,20 @@ void StreamletEngine::start() {
 void StreamletEngine::stop() {
   core_->stop();
   network_.disconnect(id_);
+}
+
+void StreamletEngine::restart() {
+  if (store_ == nullptr) {
+    throw std::logic_error(
+        "StreamletEngine::restart: no ReplicaStore wired for this replica");
+  }
+  register_handler();
+  // A fresh mempool: in-flight bookkeeping died with the process (same rule
+  // as replica::Replica::restart).
+  pool_ = mempool::Mempool();
+  workload_.top_up();
+  core_->restore(store_->recover());
+  core_->request_sync();
 }
 
 }  // namespace sftbft::engine

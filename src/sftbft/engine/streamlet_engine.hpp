@@ -11,6 +11,7 @@
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/sim_network.hpp"
+#include "sftbft/storage/replica_store.hpp"
 #include "sftbft/streamlet/streamlet.hpp"
 
 namespace sftbft::engine {
@@ -20,11 +21,13 @@ using StreamletNetwork = net::SimNetwork<streamlet::SMessage>;
 class StreamletEngine final : public ConsensusEngine {
  public:
   /// Wires one Streamlet replica onto `network`. `config.id` must be set;
-  /// the observer may be null.
+  /// the observer may be null. `store` (optional) enables durable state —
+  /// required for Kind::CrashRestart faults and for restart().
   StreamletEngine(streamlet::StreamletConfig config, StreamletNetwork& network,
                   std::shared_ptr<const crypto::KeyRegistry> registry,
                   mempool::WorkloadConfig workload, Rng workload_rng,
-                  FaultSpec fault, CommitObserver observer);
+                  FaultSpec fault, CommitObserver observer,
+                  storage::ReplicaStore* store = nullptr);
 
   [[nodiscard]] Protocol protocol() const override {
     return Protocol::Streamlet;
@@ -32,6 +35,7 @@ class StreamletEngine final : public ConsensusEngine {
   [[nodiscard]] ReplicaId id() const override { return id_; }
   void start() override;
   void stop() override;
+  void restart() override;
   [[nodiscard]] const chain::Ledger& ledger() const override {
     return core_->ledger();
   }
@@ -48,11 +52,15 @@ class StreamletEngine final : public ConsensusEngine {
 
   [[nodiscard]] streamlet::StreamletCore& core() { return *core_; }
   [[nodiscard]] const streamlet::StreamletCore& core() const { return *core_; }
+  [[nodiscard]] storage::ReplicaStore* store() override { return store_; }
 
  private:
+  void register_handler();
+
   ReplicaId id_;
   StreamletNetwork& network_;
   FaultSpec fault_;
+  storage::ReplicaStore* store_ = nullptr;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;

@@ -80,6 +80,36 @@ net::Topology Scenario::build_topology() const {
   return topology;
 }
 
+std::vector<engine::FaultSpec> Scenario::effective_faults() const {
+  std::vector<engine::FaultSpec> merged = faults;
+  if (crash_restart_count == 0 || n < 2) return merged;  // no one to churn
+  if (merged.size() < n) merged.resize(n, engine::FaultSpec::honest());
+  // Spread churned replicas over [1, n) — id 0 stays up as the metrics
+  // anchor — and stagger the crashes so the cluster never loses more than
+  // one recovering replica at a time unless asked to. Preferred ids are
+  // stride-spaced; an occupied slot (explicit fault, or a collision when
+  // count > n - 1) probes forward to the next honest id rather than
+  // silently producing fewer cycles, and churn stops only when every
+  // non-anchor replica is already faulted.
+  const std::uint32_t span = n - 1;
+  const std::uint32_t stride = std::max(1u, span / crash_restart_count);
+  for (std::uint32_t k = 0; k < crash_restart_count; ++k) {
+    ReplicaId id = 1 + (k * stride) % span;
+    std::uint32_t probes = 0;
+    while (merged[id].kind != engine::FaultSpec::Kind::Honest &&
+           probes < span) {
+      id = 1 + (id % span);
+      ++probes;
+    }
+    if (probes == span) break;  // every candidate replica already faulted
+    const SimTime crash =
+        crash_restart_first + static_cast<SimTime>(k) * crash_restart_stagger;
+    merged[id] =
+        engine::FaultSpec::crash_restart(crash, crash + crash_restart_downtime);
+  }
+  return merged;
+}
+
 engine::DeploymentConfig Scenario::to_deployment_config() const {
   if (fbft && protocol != engine::Protocol::DiemBft) {
     // The Appendix-B FBFT baseline is a DiemBFT adaptation; silently running
@@ -95,7 +125,9 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
   deployment.net.jitter_frac = jitter_frac;
   deployment.net.gst = 0;
   deployment.seed = seed;
-  deployment.faults = faults;
+  deployment.faults = effective_faults();
+  deployment.storage.snapshot_interval_blocks = snapshot_interval_blocks;
+  deployment.persist_all = persist_all;
 
   deployment.diem.mode = fbft ? consensus::CoreMode::Plain : mode;
   deployment.diem.fbft_mode = fbft;

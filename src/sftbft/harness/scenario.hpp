@@ -95,7 +95,26 @@ struct Scenario {
   /// crash/Byzantine scenarios identically on both engines).
   std::vector<engine::FaultSpec> faults;
 
+  /// Crash-recovery churn (storage layer): `crash_restart_count` replicas,
+  /// spread over the id space (avoiding id 0, the metrics replica), crash
+  /// at staggered times and restart `crash_restart_downtime` later from
+  /// their durable ReplicaStore. Merged into `faults` by
+  /// to_deployment_config(); explicit fault entries win.
+  std::uint32_t crash_restart_count = 0;
+  SimTime crash_restart_first = seconds(30);
+  SimDuration crash_restart_downtime = seconds(10);
+  SimDuration crash_restart_stagger = seconds(15);
+  /// Snapshot + WAL-truncation cadence for persistent replicas.
+  std::uint64_t snapshot_interval_blocks = 64;
+  /// Give every replica a ReplicaStore (persistence-overhead experiments),
+  /// not just the crash-restart ones.
+  bool persist_all = false;
+
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+
+  /// The fault list with crash-restart churn merged in (what
+  /// to_deployment_config() ships).
+  [[nodiscard]] std::vector<engine::FaultSpec> effective_faults() const;
 
   /// Expected (no-fault) round duration: leader processing + one vote leg +
   /// one proposal leg over the widest non-straggler link.

@@ -5,13 +5,16 @@ namespace sftbft::replica {
 using consensus::DiemBftCore;
 using types::Message;
 using types::Proposal;
+using types::SyncRequest;
+using types::SyncResponse;
 using types::TimeoutMsg;
 using types::Vote;
 
 Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
                  std::shared_ptr<const crypto::KeyRegistry> registry,
                  mempool::WorkloadConfig workload, Rng workload_rng,
-                 FaultSpec fault, CommitObserver observer)
+                 FaultSpec fault, CommitObserver observer,
+                 storage::ReplicaStore* store)
     : id_(config.id),
       network_(network),
       fault_(fault),
@@ -40,13 +43,23 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
     network_.multicast(id_, "extra_vote", vote.wire_size(), Message{vote},
                        /*include_self=*/false);
   };
+  hooks.send_sync_request = [this, silent](ReplicaId to,
+                                           const SyncRequest& req) {
+    if (silent) return;
+    network_.send(id_, to, "sync_req", req.wire_size(), Message{req});
+  };
+  hooks.send_sync_response = [this, silent](ReplicaId to,
+                                            const SyncResponse& resp) {
+    if (silent) return;
+    network_.send(id_, to, "sync_resp", resp.wire_size(), Message{resp});
+  };
   hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
                            SimTime now) {
     if (observer_) observer_(id_, block, strength, now);
   };
 
   core_ = std::make_unique<DiemBftCore>(config, network.scheduler(), registry,
-                                        pool_, std::move(hooks));
+                                        pool_, std::move(hooks), store);
 }
 
 void Replica::start() {
@@ -64,13 +77,31 @@ void Replica::start() {
   core_->start();
 }
 
+void Replica::restart(const storage::RecoveredState& state) {
+  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
+                                   std::size_t wire_size) {
+    ++inbound_messages_;
+    inbound_bytes_ += wire_size;
+    on_message(msg);
+  });
+  // A fresh mempool: in-flight bookkeeping died with the process.
+  pool_ = mempool::Mempool();
+  workload_.top_up();
+  core_->restore(state);
+  core_->request_sync();
+}
+
 void Replica::on_message(const Message& msg) {
   if (std::holds_alternative<Proposal>(msg)) {
     core_->on_proposal(std::get<Proposal>(msg));
   } else if (std::holds_alternative<Vote>(msg)) {
     core_->on_vote(std::get<Vote>(msg));
-  } else {
+  } else if (std::holds_alternative<TimeoutMsg>(msg)) {
     core_->on_timeout_msg(std::get<TimeoutMsg>(msg));
+  } else if (std::holds_alternative<SyncRequest>(msg)) {
+    core_->on_sync_request(std::get<SyncRequest>(msg));
+  } else {
+    core_->on_sync_response(std::get<SyncResponse>(msg));
   }
 }
 

@@ -10,6 +10,7 @@
 #include "sftbft/engine/fault.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/sim_network.hpp"
+#include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/proposal.hpp"
 
 namespace sftbft::replica {
@@ -26,14 +27,22 @@ class Replica {
   using CommitObserver = std::function<void(
       ReplicaId, const types::Block&, std::uint32_t, SimTime)>;
 
+  /// `store` (optional) enables durable state + crash recovery (restart()).
   Replica(consensus::CoreConfig config, DiemNetwork& network,
           std::shared_ptr<const crypto::KeyRegistry> registry,
           mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
-          CommitObserver observer);
+          CommitObserver observer,
+          storage::ReplicaStore* store = nullptr);
 
-  /// Registers the network handler, fills the mempool, arms the crash timer,
+  /// Registers the network handler, fills the mempool, arms the crash timer
+  /// (Kind::Crash only — CrashRestart timers belong to the engine layer),
   /// and enters round 1.
   void start();
+
+  /// Crash recovery: reconstructs the consensus core from `state` (the
+  /// ReplicaStore's recover() output), rejoins the network, and asks peers
+  /// for the blocks missed while down.
+  void restart(const storage::RecoveredState& state);
 
   [[nodiscard]] consensus::DiemBftCore& core() { return *core_; }
   [[nodiscard]] const consensus::DiemBftCore& core() const { return *core_; }

@@ -1,0 +1,66 @@
+// Storage backends: the byte-level durability substrate under the WAL and
+// snapshot machinery (see sftbft/storage/wal.hpp, replica_store.hpp).
+//
+// A backend is a tiny named-object store with POSIX-file-like durability
+// semantics: `append`/`write_atomic` stage bytes, `sync` makes everything
+// staged so far durable, and a crash discards whatever was not synced —
+// possibly keeping a *prefix* of the unsynced tail (a torn write), which is
+// exactly the failure mode the WAL's CRC framing exists to detect. Two
+// implementations:
+//
+//  * MemBackend  — deterministic, byte-faithful, lives inside the simulation;
+//                  crash faults are injected via simulate_crash() (torn-tail
+//                  behaviour driven by a seeded RNG);
+//  * FileBackend — real files with fsync, for examples/benches and any future
+//                  multi-process deployment.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "sftbft/common/bytes.hpp"
+
+namespace sftbft::storage {
+
+/// Thrown on I/O failures (FileBackend) or operations on missing objects.
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Appends `data` to the object named `name`, creating it if absent. The
+  /// bytes are staged: durable only after the next sync(name).
+  virtual void append(const std::string& name, BytesView data) = 0;
+
+  /// Atomically replaces the full contents of `name` (write-temp + rename
+  /// semantics: after a crash the object holds either the old or the new
+  /// contents in full, never a mix). Durable after the next sync(name).
+  virtual void write_atomic(const std::string& name, BytesView data) = 0;
+
+  /// Makes all staged bytes of `name` durable (fsync). A no-op for an
+  /// object with nothing staged.
+  virtual void sync(const std::string& name) = 0;
+
+  /// Truncates `name` to `size` bytes (WAL tail repair after recovery).
+  virtual void truncate(const std::string& name, std::size_t size) = 0;
+
+  /// Current contents (staged + durable). Empty if the object is absent.
+  [[nodiscard]] virtual Bytes read(const std::string& name) const = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+
+  virtual void remove(const std::string& name) = 0;
+
+  /// Crash-fault injection: discards every unsynced byte, except that an
+  /// unsynced *append* tail may survive as a partial prefix (torn write).
+  /// MemBackend implements this for the simulation; FileBackend is a no-op
+  /// (real crashes only).
+  virtual void simulate_crash() {}
+};
+
+}  // namespace sftbft::storage

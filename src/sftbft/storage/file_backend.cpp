@@ -1,0 +1,100 @@
+#include "sftbft/storage/file_backend.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#if __has_include(<unistd.h>)
+#include <fcntl.h>
+#include <unistd.h>
+#define SFTBFT_HAVE_FSYNC 1
+#endif
+
+namespace sftbft::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void fsync_path(const fs::path& path) {
+#ifdef SFTBFT_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // vanished between write and sync; nothing to flush
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+void write_all(const fs::path& path, BytesView data, bool append) {
+  std::ofstream out(path, std::ios::binary |
+                              (append ? std::ios::app : std::ios::trunc));
+  if (!out) {
+    throw StorageError("FileBackend: cannot open " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    throw StorageError("FileBackend: short write to " + path.string());
+  }
+}
+
+}  // namespace
+
+FileBackend::FileBackend(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path FileBackend::path_for(const std::string& name) const {
+  const fs::path path = root_ / name;
+  fs::create_directories(path.parent_path());
+  return path;
+}
+
+void FileBackend::append(const std::string& name, BytesView data) {
+  write_all(path_for(name), data, /*append=*/true);
+}
+
+void FileBackend::write_atomic(const std::string& name, BytesView data) {
+  const fs::path target = path_for(name);
+  const fs::path tmp = target.string() + ".tmp";
+  write_all(tmp, data, /*append=*/false);
+  fsync_path(tmp);
+  fs::rename(tmp, target);
+}
+
+void FileBackend::sync(const std::string& name) {
+  const fs::path path = path_for(name);
+  if (fs::exists(path)) fsync_path(path);
+  // Directory entry durability (the rename / file creation itself).
+  fsync_path(path.parent_path());
+}
+
+void FileBackend::truncate(const std::string& name, std::size_t size) {
+  const fs::path path = path_for(name);
+  if (!fs::exists(path)) return;
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    throw StorageError("FileBackend: truncate failed for " + path.string());
+  }
+}
+
+Bytes FileBackend::read(const std::string& name) const {
+  const fs::path path = root_ / name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+bool FileBackend::exists(const std::string& name) const {
+  return fs::exists(root_ / name);
+}
+
+void FileBackend::remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(root_ / name, ec);
+}
+
+}  // namespace sftbft::storage

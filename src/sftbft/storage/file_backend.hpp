@@ -1,0 +1,39 @@
+// File-system StorageBackend: real files under one directory, fsync'd.
+//
+// Object names map to files inside `root` (nested names like "r3/wal" create
+// subdirectories). Durability follows the classic recipe: appends go through
+// a buffered stream and become durable on sync() (fflush + fsync);
+// write_atomic writes `<name>.tmp`, fsyncs it, and renames it over the
+// target so a crash leaves either the old or the new contents. This backend
+// serves the examples/benches and any future multi-process deployment; the
+// simulation uses MemBackend.
+#pragma once
+
+#include <filesystem>
+
+#include "sftbft/storage/backend.hpp"
+
+namespace sftbft::storage {
+
+class FileBackend final : public StorageBackend {
+ public:
+  /// Creates `root` (and parents) if missing.
+  explicit FileBackend(std::filesystem::path root);
+
+  void append(const std::string& name, BytesView data) override;
+  void write_atomic(const std::string& name, BytesView data) override;
+  void sync(const std::string& name) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  [[nodiscard]] Bytes read(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(const std::string& name) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace sftbft::storage

@@ -1,0 +1,109 @@
+#include "sftbft/storage/mem_backend.hpp"
+
+#include <algorithm>
+
+namespace sftbft::storage {
+
+void MemBackend::append(const std::string& name, BytesView data) {
+  Object& o = obj(name);
+  o.staged_append.insert(o.staged_append.end(), data.begin(), data.end());
+}
+
+void MemBackend::write_atomic(const std::string& name, BytesView data) {
+  Object& o = obj(name);
+  // A replace supersedes any staged appends (they targeted the old file).
+  o.staged_append.clear();
+  o.has_staged_replace = true;
+  o.staged_replace.assign(data.begin(), data.end());
+}
+
+void MemBackend::sync(const std::string& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return;
+  Object& o = it->second;
+  if (o.has_staged_replace) {
+    o.durable = std::move(o.staged_replace);
+    o.staged_replace.clear();
+    o.has_staged_replace = false;
+  }
+  o.durable.insert(o.durable.end(), o.staged_append.begin(),
+                   o.staged_append.end());
+  o.staged_append.clear();
+}
+
+void MemBackend::truncate(const std::string& name, std::size_t size) {
+  Object& o = obj(name);
+  // Truncation applies to the synced image; staged bytes are discarded (the
+  // only caller is WAL tail repair, which runs on a freshly recovered log).
+  o.staged_append.clear();
+  o.staged_replace.clear();
+  o.has_staged_replace = false;
+  if (o.durable.size() > size) o.durable.resize(size);
+}
+
+Bytes MemBackend::read(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return {};
+  const Object& o = it->second;
+  // Appends staged after a staged replace (write_atomic cleared the earlier
+  // ones) target the new image, so they stack on top either way.
+  Bytes out = o.has_staged_replace ? o.staged_replace : o.durable;
+  out.insert(out.end(), o.staged_append.begin(), o.staged_append.end());
+  return out;
+}
+
+bool MemBackend::exists(const std::string& name) const {
+  return objects_.contains(name);
+}
+
+void MemBackend::remove(const std::string& name) { objects_.erase(name); }
+
+void MemBackend::simulate_crash() {
+  for (auto& [name, o] : objects_) {
+    // Staged atomic replaces vanish (rename is all-or-nothing) — and take
+    // any appends staged after them along (they targeted the new image).
+    if (o.has_staged_replace) {
+      o.staged_replace.clear();
+      o.has_staged_replace = false;
+      o.staged_append.clear();
+      continue;
+    }
+    // A staged append tail may survive partially (torn write).
+    if (!o.staged_append.empty() && config_.torn_tail) {
+      const auto keep = static_cast<std::size_t>(rng_.uniform(
+          0, static_cast<std::int64_t>(o.staged_append.size())));
+      o.durable.insert(o.durable.end(), o.staged_append.begin(),
+                       o.staged_append.begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+    o.staged_append.clear();
+  }
+}
+
+Bytes MemBackend::durable(const std::string& name) const {
+  auto it = objects_.find(name);
+  return it == objects_.end() ? Bytes{} : it->second.durable;
+}
+
+std::size_t MemBackend::staged_bytes(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return 0;
+  const Object& o = it->second;
+  return o.staged_append.size() +
+         (o.has_staged_replace ? o.staged_replace.size() : 0);
+}
+
+void MemBackend::poke(const std::string& name, std::size_t offset,
+                      std::uint8_t value) {
+  Object& o = obj(name);
+  if (offset >= o.durable.size()) {
+    throw StorageError("MemBackend::poke: offset out of range");
+  }
+  o.durable[offset] = value;
+}
+
+void MemBackend::chop(const std::string& name, std::size_t count) {
+  Object& o = obj(name);
+  o.durable.resize(o.durable.size() - std::min(count, o.durable.size()));
+}
+
+}  // namespace sftbft::storage

@@ -1,0 +1,72 @@
+// In-memory StorageBackend for the simulation.
+//
+// Deterministic and byte-faithful: every object is a pair of byte buffers —
+// `durable` (what a crash preserves) and `staged` (bytes appended or
+// atomically written since the last sync). simulate_crash() is the
+// simulation's fault-injection point: staged appends are discarded except
+// for a torn prefix whose length is drawn from the backend's seeded RNG
+// (modelling a partial flush at the device's sync boundary), and staged
+// atomic writes are dropped wholesale (rename is all-or-nothing).
+//
+// The poke/chop helpers exist for the WAL robustness tests: they corrupt or
+// truncate *durable* bytes directly, modelling media faults that fsync
+// cannot prevent.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sftbft/common/rng.hpp"
+#include "sftbft/storage/backend.hpp"
+
+namespace sftbft::storage {
+
+class MemBackend final : public StorageBackend {
+ public:
+  struct Config {
+    /// Crash behaviour for staged appends: keep a uniformly-drawn prefix
+    /// (torn write). When false the whole staged tail is dropped cleanly.
+    bool torn_tail = true;
+  };
+
+  explicit MemBackend(std::uint64_t seed = 0) : MemBackend(seed, Config{}) {}
+  MemBackend(std::uint64_t seed, Config config)
+      : config_(config), rng_(seed) {}
+
+  void append(const std::string& name, BytesView data) override;
+  void write_atomic(const std::string& name, BytesView data) override;
+  void sync(const std::string& name) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  [[nodiscard]] Bytes read(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void simulate_crash() override;
+
+  /// Durable bytes only (what read() would return after a crash).
+  [[nodiscard]] Bytes durable(const std::string& name) const;
+
+  /// Staged (unsynced) byte count — 0 means fully durable.
+  [[nodiscard]] std::size_t staged_bytes(const std::string& name) const;
+
+  // --- media-fault injection (tests) ---
+  /// Flips one durable byte in place.
+  void poke(const std::string& name, std::size_t offset, std::uint8_t value);
+  /// Drops the last `count` durable bytes.
+  void chop(const std::string& name, std::size_t count);
+
+ private:
+  struct Object {
+    Bytes durable;
+    Bytes staged_append;      ///< appended since last sync
+    bool has_staged_replace = false;
+    Bytes staged_replace;     ///< pending write_atomic contents
+  };
+
+  Object& obj(const std::string& name) { return objects_[name]; }
+
+  Config config_;
+  Rng rng_;
+  std::unordered_map<std::string, Object> objects_;
+};
+
+}  // namespace sftbft::storage

@@ -41,16 +41,24 @@ std::size_t SVote::wire_size() const {
   return 32 + 8 + 8 + 4 + 8 + 36;
 }
 
+std::size_t SSyncResponse::wire_size() const {
+  std::size_t size = 8;  // two counts
+  for (const types::Block& block : blocks) size += block.wire_size();
+  for (const SVote& vote : votes) size += vote.wire_size();
+  return size;
+}
+
 StreamletCore::StreamletCore(
     StreamletConfig config, sim::Scheduler& sched,
     std::shared_ptr<const crypto::KeyRegistry> registry,
-    mempool::Mempool& pool, Hooks hooks)
+    mempool::Mempool& pool, Hooks hooks, storage::ReplicaStore* store)
     : config_(config),
       sched_(sched),
       registry_(std::move(registry)),
       signer_(registry_->signer_for(config.id)),
       pool_(pool),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)),
+      store_(store) {
   // Genesis is certified by definition and roots the longest chain.
   certified_.insert(tree_.genesis_id());
   longest_tip_ = tree_.genesis_id();
@@ -59,14 +67,144 @@ StreamletCore::StreamletCore(
 
 void StreamletCore::start() { on_round_tick(); }
 
-void StreamletCore::stop() { stopped_ = true; }
+void StreamletCore::stop() {
+  stopped_ = true;
+  sched_.cancel(tick_timer_);
+  tick_timer_ = sim::kInvalidTimer;
+}
 
 void StreamletCore::on_round_tick() {
   if (stopped_) return;
   ++round_;
   voted_this_round_ = false;
-  if (round_ % config_.n == config_.id) propose();
-  sched_.schedule_after(2 * config_.delta_bound, [this] { on_round_tick(); });
+  if (round_ % config_.n == config_.id && !awaiting_sync_) propose();
+  schedule_tick(sched_.now() + 2 * config_.delta_bound);
+}
+
+void StreamletCore::schedule_tick(SimTime at) {
+  tick_timer_ = sched_.schedule_at(at, [this] { on_round_tick(); });
+}
+
+// ------------------------------------------------------------ crash recovery
+
+void StreamletCore::restore(const storage::RecoveredState& state) {
+  votes_.clear();
+  certified_.clear();
+  min_marker_.clear();
+  voted_frontier_.clear();
+  triple_strength_.clear();
+
+  tree_ = state.tip ? chain::BlockTree::rooted_at(*state.tip)
+                    : chain::BlockTree();
+  ledger_.restore(state.ledger);
+  certified_.insert(tree_.genesis_id());  // the root is trusted/certified
+  longest_tip_ = tree_.genesis_id();
+  longest_height_ = tree_.genesis().height;
+
+  // Voted frontier: entries with known blocks are restored exactly; the
+  // rest wait for sync behind a conservative marker floor.
+  voted_round_ = state.voted_round;
+  unresolved_frontier_.clear();
+  for (const storage::VoteRecord& record : state.frontier) {
+    if (record.block_id == types::BlockId{}) continue;  // timeout record
+    unresolved_frontier_.push_back(record);
+  }
+  resolve_frontier();
+
+  // Re-align to the global lock-step clock: round r spans [2Δ(r-1), 2Δr).
+  const SimDuration span = 2 * config_.delta_bound;
+  round_ = static_cast<Round>(sched_.now() / span) + 1;
+  voted_this_round_ = voted_round_ >= round_;  // crashed mid-round, re-voted?
+  awaiting_sync_ = true;  // no voting/proposing until a peer refreshes us
+  sync_attempts_ = 0;
+  stopped_ = false;
+  schedule_tick(static_cast<SimTime>(round_) * span);
+}
+
+void StreamletCore::request_sync() {
+  if (!hooks_.send_sync_request || stopped_ || config_.n < 2) return;
+  SSyncRequest req;
+  req.requester = config_.id;
+  // Resume from the certified tip we hold: retries fetch only the residual
+  // gap.
+  req.from_height = longest_height_;
+  // Small rotating peer window (one good response suffices; a broadcast
+  // would trigger n - 1 near-identical full-chain responses, and rotation
+  // routes around crashed peers on retry).
+  const std::uint32_t fanout = std::min<std::uint32_t>(3, config_.n - 1);
+  for (std::uint32_t k = 0; k < fanout; ++k) {
+    const ReplicaId to =
+        (config_.id + 1 + sync_attempts_ * fanout + k) % config_.n;
+    if (to != config_.id) hooks_.send_sync_request(to, req);
+  }
+  ++sync_attempts_;
+  // Watchdog: re-request while the certified tip lags the lock-step clock —
+  // a one-shot request can race with a block certified right after the
+  // responses were built, and Streamlet has no orphan buffer to self-heal
+  // a mid-chain gap from (every later proposal fails the longest-chain
+  // check until the gap block arrives).
+  sched_.schedule_after(8 * config_.delta_bound, [this] {
+    if (stopped_) return;
+    const Block* tip = tree_.get(longest_tip_);
+    const bool caught_up =
+        !awaiting_sync_ && tip != nullptr && tip->round + 8 >= round_;
+    if (!caught_up) request_sync();
+  });
+}
+
+void StreamletCore::on_sync_request(const SSyncRequest& req) {
+  if (stopped_ || !hooks_.send_sync_response) return;
+  if (req.requester == config_.id) return;
+  const Block* block = tree_.get(longest_tip_);
+  std::vector<Block> chain_blocks;
+  while (block != nullptr && block->height > req.from_height) {
+    chain_blocks.push_back(*block);
+    block = tree_.parent_of(block->id);
+  }
+  if (block == nullptr || block->height != req.from_height) {
+    return;  // our tree is rooted above the requested height; stay silent
+  }
+  std::reverse(chain_blocks.begin(), chain_blocks.end());
+  SSyncResponse resp;
+  for (const Block& b : chain_blocks) {
+    auto it = votes_.find(b.id);
+    if (it == votes_.end()) continue;
+    std::uint32_t sent = 0;
+    for (const auto& [voter, vote] : it->second) {
+      resp.votes.push_back(vote);
+      if (++sent >= config_.quorum()) break;  // quorum re-certifies; enough
+    }
+  }
+  resp.blocks = std::move(chain_blocks);
+  hooks_.send_sync_response(req.requester, resp);
+}
+
+void StreamletCore::on_sync_response(const SSyncResponse& resp) {
+  if (stopped_) return;
+  // Insert the blocks structurally (no proposer signatures on raw blocks);
+  // certification authority comes from the signature-checked votes below —
+  // an uncertified synced block is inert.
+  for (const Block& block : resp.blocks) {
+    if (!block.id_is_valid()) return;
+    tree_.insert(block);
+  }
+  for (const SVote& vote : resp.votes) {
+    ingest_vote(vote, /*allow_echo=*/false);
+  }
+  resolve_frontier();
+  awaiting_sync_ = false;
+}
+
+void StreamletCore::resolve_frontier() {
+  std::erase_if(unresolved_frontier_, [&](const storage::VoteRecord& record) {
+    if (!tree_.contains(record.block_id)) return false;
+    voted_frontier_.push_back(record.block_id);
+    return true;
+  });
+  marker_floor_ = 0;
+  for (const storage::VoteRecord& record : unresolved_frontier_) {
+    if (record.height > marker_floor_) marker_floor_ = record.height;
+  }
 }
 
 const Block& StreamletCore::longest_certified_tip() const {
@@ -120,6 +258,9 @@ void StreamletCore::on_proposal(const SProposal& proposal) {
 
 void StreamletCore::maybe_vote(const Block& block) {
   if (block.round != round_ || voted_this_round_) return;
+  // Restart fences: never vote twice in a round (durable watermark), and
+  // never vote while the local longest-chain view is known-stale.
+  if (block.round <= voted_round_ || awaiting_sync_) return;
   // Voting rule: the proposal must extend one of the longest certified
   // chains known to the replica.
   const Block* parent = tree_.get(block.parent_id);
@@ -128,6 +269,11 @@ void StreamletCore::maybe_vote(const Block& block) {
     return;
   }
   voted_this_round_ = true;
+  voted_round_ = block.round;
+  if (store_) {
+    // WAL before wire (same rule as the DiemBFT core).
+    store_->record_vote({block.id, block.round, block.height});
+  }
 
   SVote vote;
   vote.block_id = block.id;
@@ -147,7 +293,9 @@ void StreamletCore::maybe_vote(const Block& block) {
 }
 
 Height StreamletCore::marker_for(const Block& block) const {
-  Height marker = 0;
+  // Restored frontier entries whose blocks were never re-learned act as a
+  // floor — over-reporting a marker only withholds endorsement (safe).
+  Height marker = marker_floor_;
   for (const BlockId& entry : voted_frontier_) {
     if (tree_.extends(block.id, entry)) continue;  // same fork
     const Block* voted = tree_.get(entry);
@@ -157,6 +305,10 @@ Height StreamletCore::marker_for(const Block& block) const {
 }
 
 void StreamletCore::on_vote(const SVote& vote) {
+  ingest_vote(vote, /*allow_echo=*/true);
+}
+
+void StreamletCore::ingest_vote(const SVote& vote, bool allow_echo) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (vote.voter != vote.sig.signer ||
@@ -165,7 +317,7 @@ void StreamletCore::on_vote(const SVote& vote) {
   }
   auto& per_voter = votes_[vote.block_id];
   if (!per_voter.emplace(vote.voter, vote).second) return;  // duplicate
-  if (config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
+  if (allow_echo && config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
   if (config_.sft) record_endorsement(vote);
   try_certify(vote.block_id);
   // New endorsements can raise strengths of already-certified triples.
@@ -274,8 +426,37 @@ void StreamletCore::commit_chain(const Block& head, std::uint32_t strength) {
     if (result == chain::Ledger::CommitResult::New) {
       pool_.mark_committed(block->payload);
     }
+    if (store_) store_->record_commit(ledger_.at(block->height));
     if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
   }
+  maybe_snapshot();
+}
+
+void StreamletCore::maybe_snapshot() {
+  if (!store_ || !store_->snapshot_due(ledger_.committed_blocks())) return;
+  const std::optional<Height> tip_height = ledger_.tip();
+  if (!tip_height) return;
+  const Block* tip = tree_.get(ledger_.at(*tip_height).block_id);
+  if (tip == nullptr) return;  // tip below the restored root; wait for sync
+  // Streamlet has no chain-embedded QC or TC; the envelope carries stubs so
+  // the shared snapshot format stays uniform.
+  storage::Envelope envelope;
+  envelope.voted_round = voted_round_;
+  envelope.frontier.reserve(voted_frontier_.size() +
+                            unresolved_frontier_.size());
+  for (const BlockId& id : voted_frontier_) {
+    const Block* voted = tree_.get(id);
+    if (voted != nullptr) {
+      envelope.frontier.push_back({id, voted->round, voted->height});
+    }
+  }
+  // Restored-but-never-resynced records must survive further snapshots, or
+  // a second crash would lose the marker floor they impose (and reopen the
+  // over-endorsement hole the floor exists to plug).
+  envelope.frontier.insert(envelope.frontier.end(),
+                           unresolved_frontier_.begin(),
+                           unresolved_frontier_.end());
+  store_->write_snapshot(*tip, ledger_.snapshot(), envelope);
 }
 
 }  // namespace sftbft::streamlet

@@ -38,6 +38,7 @@
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/sim/scheduler.hpp"
+#include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/block.hpp"
 
 namespace sftbft::streamlet {
@@ -81,7 +82,33 @@ struct SVote {
   [[nodiscard]] std::size_t wire_size() const;
 };
 
-using SMessage = std::variant<SProposal, SVote>;
+/// Crash-recovery block sync (storage layer; not part of Appendix D): the
+/// restarted replica asks peers for the certified chain above its durable
+/// tip. Streamlet has no chain-embedded QCs, so the response carries the
+/// responder's stored *votes* for the blocks — the votes are individually
+/// signature-checked and 2f + 1 of them re-certify each block, so the
+/// responder needs no trust.
+struct SSyncRequest {
+  ReplicaId requester = kNoReplica;
+  Height from_height = 0;
+
+  [[nodiscard]] std::size_t wire_size() const { return 4 + 8; }
+
+  friend bool operator==(const SSyncRequest&, const SSyncRequest&) = default;
+};
+
+struct SSyncResponse {
+  /// Longest-certified-chain blocks above from_height, oldest first.
+  std::vector<types::Block> blocks;
+  /// The responder's stored votes for those blocks (quorum per block).
+  std::vector<SVote> votes;
+
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const SSyncResponse&, const SSyncResponse&) = default;
+};
+
+using SMessage = std::variant<SProposal, SVote, SSyncRequest, SSyncResponse>;
 
 class StreamletCore {
  public:
@@ -93,18 +120,42 @@ class StreamletCore {
     std::function<void(const types::Block&, std::uint32_t strength,
                        SimTime now)>
         on_commit;
+    /// Crash recovery: block-sync traffic. May be empty.
+    std::function<void(ReplicaId to, const SSyncRequest&)> send_sync_request;
+    std::function<void(ReplicaId to, const SSyncResponse&)>
+        send_sync_response;
   };
 
+  /// `store` (optional) enables durability (WAL'd votes + ledger snapshots)
+  /// and thereby restore() after a crash.
   StreamletCore(StreamletConfig config, sim::Scheduler& sched,
                 std::shared_ptr<const crypto::KeyRegistry> registry,
-                mempool::Mempool& pool, Hooks hooks);
+                mempool::Mempool& pool, Hooks hooks,
+                storage::ReplicaStore* store = nullptr);
 
   /// Starts the lock-step round ticks (round r spans [2Δ(r-1), 2Δr)).
   void start();
   void stop();
 
+  /// Crash recovery: rebuilds from durable state — tree re-rooted at the
+  /// snapshot tip, ledger restored, the voted-round fence re-armed (never
+  /// vote twice in a round), voted-frontier records re-imported (entries
+  /// whose blocks are missing become a conservative marker floor). The round
+  /// counter realigns to the global lock-step clock (round = ⌊now/2Δ⌋ + 1).
+  /// Voting stays suppressed until a sync response refreshes the longest
+  /// certified chain — an honest replica must not vote for stale tips.
+  void restore(const storage::RecoveredState& state);
+
+  /// Asks a small rotating window of peers for blocks above the local tip;
+  /// re-asks (next window) while the replica is still awaiting a response
+  /// or its ledger has not advanced (same retry rationale as the DiemBFT
+  /// core's request_sync).
+  void request_sync();
+
   void on_proposal(const SProposal& proposal);
   void on_vote(const SVote& vote);
+  void on_sync_request(const SSyncRequest& req);
+  void on_sync_response(const SSyncResponse& resp);
 
   [[nodiscard]] Round current_round() const { return round_; }
   [[nodiscard]] const chain::BlockTree& tree() const { return tree_; }
@@ -121,13 +172,21 @@ class StreamletCore {
 
  private:
   void on_round_tick();
+  void schedule_tick(SimTime at);
   void propose();
   void maybe_vote(const types::Block& block);
+  /// on_vote minus the echo (sync responses replay old votes; re-echoing
+  /// them would flood the network with stale traffic).
+  void ingest_vote(const SVote& vote, bool allow_echo);
   void try_certify(const types::BlockId& id);
   void record_endorsement(const SVote& vote);
   void check_commits(const types::BlockId& id);
   void evaluate_triple(const types::Block& middle);
   void commit_chain(const types::Block& head, std::uint32_t strength);
+  void maybe_snapshot();
+  /// Moves unresolved frontier records whose blocks arrived into the live
+  /// frontier and recomputes the marker floor from what remains.
+  void resolve_frontier();
   [[nodiscard]] Height marker_for(const types::Block& block) const;
 
   StreamletConfig config_;
@@ -136,12 +195,28 @@ class StreamletCore {
   crypto::Signer signer_;
   mempool::Mempool& pool_;
   Hooks hooks_;
+  storage::ReplicaStore* store_;  // null = no persistence
 
   chain::BlockTree tree_;
   chain::Ledger ledger_;
   Round round_ = 0;
   bool stopped_ = false;
   bool voted_this_round_ = false;
+  /// Highest round this replica ever voted in (durable via store_): the
+  /// restart equivocation fence.
+  Round voted_round_ = 0;
+  /// Restored-but-not-yet-synced: suppress voting (the longest certified
+  /// chain known locally is stale until a peer responds).
+  bool awaiting_sync_ = false;
+  /// Rotates the sync peer window across retries (see request_sync()).
+  std::uint32_t sync_attempts_ = 0;
+  /// Restored frontier records whose blocks are not in the tree yet. Until
+  /// sync resolves them they act as a conservative marker floor (markers
+  /// reported to peers are at least the max unresolved height; over-
+  /// reporting can only under-endorse — safe).
+  std::vector<storage::VoteRecord> unresolved_frontier_;
+  Height marker_floor_ = 0;
+  sim::TimerId tick_timer_ = sim::kInvalidTimer;
 
   /// votes per block (by voter), and the certified set.
   std::unordered_map<types::BlockId, std::map<ReplicaId, SVote>> votes_;

@@ -61,10 +61,51 @@ std::size_t Proposal::wire_size() const {
   return enc.data().size() + block.wire_size();
 }
 
+void SyncRequest::encode(Encoder& enc) const {
+  enc.u32(requester);
+  enc.u64(from_height);
+}
+
+SyncRequest SyncRequest::decode(Decoder& dec) {
+  SyncRequest req;
+  req.requester = dec.u32();
+  req.from_height = dec.u64();
+  return req;
+}
+
+std::size_t SyncRequest::wire_size() const {
+  return 4 + 8;  // requester + from_height
+}
+
+void SyncResponse::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(blocks.size()));
+  for (const Block& block : blocks) block.encode(enc);
+  high_qc.encode(enc);
+}
+
+SyncResponse SyncResponse::decode(Decoder& dec) {
+  SyncResponse resp;
+  const std::uint32_t count = dec.u32();
+  resp.blocks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    resp.blocks.push_back(Block::decode(dec));
+  }
+  resp.high_qc = QuorumCert::decode(dec);
+  return resp;
+}
+
+std::size_t SyncResponse::wire_size() const {
+  std::size_t size = 4 + high_qc.wire_size();
+  for (const Block& block : blocks) size += block.wire_size();
+  return size;
+}
+
 const char* message_type_name(const Message& msg) {
   if (std::holds_alternative<Proposal>(msg)) return "proposal";
   if (std::holds_alternative<Vote>(msg)) return "vote";
-  return "timeout";
+  if (std::holds_alternative<TimeoutMsg>(msg)) return "timeout";
+  if (std::holds_alternative<SyncRequest>(msg)) return "sync_req";
+  return "sync_resp";
 }
 
 std::size_t message_wire_size(const Message& msg) {

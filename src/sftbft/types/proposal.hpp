@@ -50,10 +50,42 @@ struct Proposal {
   friend bool operator==(const Proposal&, const Proposal&) = default;
 };
 
-/// Everything a DiemBFT replica can receive.
-using Message = std::variant<Proposal, Vote, TimeoutMsg>;
+/// Block-sync request (crash recovery): a restarted replica asks peers for
+/// the certified chain above its durable ledger tip. Not part of the paper's
+/// protocol — recovery machinery for the storage layer (sftbft::storage).
+struct SyncRequest {
+  ReplicaId requester = kNoReplica;
+  /// Send blocks with height > from_height (the requester's restored root).
+  Height from_height = 0;
 
-/// Stats label for a message ("proposal" / "vote" / "timeout").
+  void encode(Encoder& enc) const;
+  static SyncRequest decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
+};
+
+/// Block-sync response: the responder's high-QC branch above the requested
+/// height, oldest first. Each block's embedded QC certifies its parent; the
+/// final block is certified by `high_qc` — so the whole chain is verifiable
+/// without trusting the responder.
+struct SyncResponse {
+  std::vector<Block> blocks;
+  QuorumCert high_qc;
+
+  void encode(Encoder& enc) const;
+  static SyncResponse decode(Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const SyncResponse&, const SyncResponse&) = default;
+};
+
+/// Everything a DiemBFT replica can receive.
+using Message = std::variant<Proposal, Vote, TimeoutMsg, SyncRequest,
+                             SyncResponse>;
+
+/// Stats label for a message ("proposal" / "vote" / "timeout" / "sync_req" /
+/// "sync_resp").
 [[nodiscard]] const char* message_type_name(const Message& msg);
 
 /// Wire size of whichever alternative is held.

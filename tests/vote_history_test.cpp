@@ -127,6 +127,68 @@ TEST_F(VoteHistoryTest, IntervalsWindowed) {
   EXPECT_EQ(intervals, IntervalSet::single(6, 9));
 }
 
+TEST_F(VoteHistoryTest, RecordsRoundTripPreservesMarkersAndIntervals) {
+  // Crash-recovery invariant (storage layer): exporting the frontier and
+  // importing it into a fresh history over the same tree must reproduce
+  // marker_for and intervals_for exactly — no vote replay needed.
+  //        g - b1 - b2 - b6(main)
+  //              \- f3 - f4(fork 1)
+  //         \- f5 (fork 2, off genesis)
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& f3 = add(b1, 3);
+  const Block& f4 = add(f3, 4);
+  const Block& f5 = add(genesis_, 5);
+  const Block& b6 = add(b2, 6);
+
+  history_.record_vote(b1);
+  history_.record_vote(b2);
+  history_.record_vote(f3);
+  history_.record_vote(f4);
+  history_.record_vote(f5);
+
+  VoteHistory imported(tree_);
+  imported.from_records(history_.to_records());
+
+  EXPECT_EQ(imported.frontier(), history_.frontier());
+  for (const Block* probe : {&b6, &f4, &f5}) {
+    EXPECT_EQ(imported.marker_for(*probe), history_.marker_for(*probe));
+    for (const Round window : {Round{0}, Round{2}, Round{10}}) {
+      EXPECT_EQ(imported.intervals_for(*probe, window),
+                history_.intervals_for(*probe, window));
+    }
+  }
+}
+
+TEST_F(VoteHistoryTest, FromRecordsPrunesDominatedEntries) {
+  // WAL replay hands over every vote since the last snapshot, oldest first;
+  // import must collapse same-fork records to the frontier.
+  const Block& b1 = add(genesis_, 1);
+  const Block& b2 = add(b1, 2);
+  const Block& b3 = add(b2, 3);
+  VoteHistory imported(tree_);
+  imported.from_records({{b1.id, 1}, {b2.id, 2}, {b3.id, 3}});
+  ASSERT_EQ(imported.frontier().size(), 1u);
+  EXPECT_EQ(imported.frontier()[0].block_id, b3.id);
+}
+
+TEST_F(VoteHistoryTest, UnknownRestoredEntriesAreConservative) {
+  // A restored record whose block the rebuilt tree has not re-learned yet
+  // must count as conflicting: the marker can only be too high and the
+  // intervals too small (under-endorsement is safe; over-endorsement
+  // would threaten Theorem 1).
+  const Block& b1 = add(genesis_, 1);
+  const Block& b9 = add(b1, 9);
+  types::BlockId unknown;
+  unknown.bytes[0] = 0x77;
+  VoteHistory imported(tree_);
+  imported.from_records({{unknown, 6}});
+  EXPECT_EQ(imported.marker_for(b9), 6u);
+  IntervalSet expected = IntervalSet::single(1, 9);
+  expected.subtract(1, 6);
+  EXPECT_EQ(imported.intervals_for(b9, 0), expected);
+}
+
 TEST_F(VoteHistoryTest, MultipleForksAllSubtracted) {
   //   g - b1 - b6(main)
   //    \- f2 - f3 (fork 1, voted f3)
