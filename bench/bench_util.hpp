@@ -2,13 +2,88 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sftbft/harness/scenario.hpp"
 #include "sftbft/harness/table.hpp"
 
 namespace sftbft::bench {
+
+/// The shared command-line contract of every tab_* bench:
+///   --smoke          shortened CI configuration
+///   --seed <n>       overrides the scenario seed (reproducibility)
+///   --json <path>    writes the result tables as a JSON artifact
+/// Unknown flags abort loudly — a typo silently ignored is a wasted run.
+struct BenchArgs {
+  bool smoke = false;
+  std::uint64_t seed = 0;  ///< 0 = keep the bench's default seed
+  std::string json_path;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  const auto usage = [argv]() {
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--seed <n>] [--json <path>]\n",
+                 argv[0]);
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      args.seed = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || args.seed == 0) {
+        std::fprintf(stderr, "--seed wants a positive integer, got '%s'\n",
+                     text);
+        usage();
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  return args;
+}
+
+/// Writes the bench artifact: metadata + one named JSON section per result
+/// table (Table::render_json). Returns false (with a message) on I/O error.
+inline bool write_json_artifact(
+    const std::string& path, const std::string& bench, std::uint64_t seed,
+    bool smoke,
+    const std::vector<std::pair<std::string, harness::Table>>& sections) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n"
+               "  \"smoke\": %s,\n  \"sections\": {",
+               bench.c_str(), static_cast<unsigned long long>(seed),
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::fprintf(out, "%s\n    \"%s\": %s", i > 0 ? "," : "",
+                 sections[i].first.c_str(),
+                 sections[i].second.render_json().c_str());
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  // A truncated artifact (disk full, quota) must fail the bench, not ship a
+  // corrupt file under a success message.
+  const bool ok = std::ferror(out) == 0;
+  if (std::fclose(out) != 0 || !ok) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
 
 /// The paper's geo calibration (see README.md "Calibration"): lean leader processing,
 /// per-replica heterogeneity, moderate per-message jitter. Absolute

@@ -16,7 +16,8 @@ using namespace sftbft::bench;
 
 namespace {
 
-harness::Scenario complexity_scenario(std::uint32_t n, bool fbft) {
+harness::Scenario complexity_scenario(std::uint32_t n, bool fbft,
+                                      const BenchArgs& args) {
   harness::Scenario s = geo_scenario();
   s.name = "tab_msg_complexity";
   s.n = n;
@@ -24,23 +25,30 @@ harness::Scenario complexity_scenario(std::uint32_t n, bool fbft) {
   s.delta = millis(100);
   s.fbft = fbft;
   // Heterogeneity scaled to keep a comparable straggler share at every n.
-  s.duration = seconds(90);
-  s.tail = seconds(30);
+  s.duration = args.smoke ? seconds(40) : seconds(90);
+  s.tail = args.smoke ? seconds(10) : seconds(30);
+  if (args.seed != 0) s.seed = args.seed;
   return s;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   std::printf("== Messages per committed block: SFT-DiemBFT (linear) vs "
               "FBFT-on-DiemBFT (quadratic, Appendix B) ==\n\n");
 
   harness::Table table({"n", "SFT msgs/block", "SFT /n", "FBFT msgs/block",
                         "FBFT /n", "FBFT extra votes/block"});
 
-  for (const std::uint32_t n : {16u, 31u, 61u, 100u}) {
-    const harness::ScenarioResult sft = run_scenario(complexity_scenario(n, false));
-    const harness::ScenarioResult fbft = run_scenario(complexity_scenario(n, true));
+  const std::vector<std::uint32_t> sizes =
+      args.smoke ? std::vector<std::uint32_t>{16u, 31u}
+                 : std::vector<std::uint32_t>{16u, 31u, 61u, 100u};
+  for (const std::uint32_t n : sizes) {
+    const harness::ScenarioResult sft =
+        run_scenario(complexity_scenario(n, false, args));
+    const harness::ScenarioResult fbft =
+        run_scenario(complexity_scenario(n, true, args));
 
     // Extra-vote traffic is the quadratic term; report it separately.
     const double fbft_blocks =
@@ -61,5 +69,11 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected: 'SFT /n' stays ~flat (linear per decision); "
               "'FBFT /n' grows with n (quadratic per decision).\n");
+  if (!args.json_path.empty() &&
+      !write_json_artifact(args.json_path, "tab_msg_complexity",
+                           args.seed != 0 ? args.seed : 42, args.smoke,
+                           {{"complexity", table}})) {
+    return 1;
+  }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "bench_util.hpp"
 #include "sftbft/engine/deployment.hpp"
 #include "sftbft/harness/scenario.hpp"
 #include "sftbft/harness/table.hpp"
@@ -35,6 +36,7 @@ struct BenchConfig {
   SimDuration downtime = seconds(6);
   SimDuration stagger = seconds(10);
   std::uint32_t churn = 3;
+  std::uint64_t seed = 42;
 };
 
 struct RecoveryRow {
@@ -46,7 +48,8 @@ struct RecoveryRow {
   Height final_tip = 0;
 };
 
-int run_protocol(engine::Protocol protocol, const BenchConfig& bench) {
+int run_protocol(engine::Protocol protocol, const BenchConfig& bench,
+                 std::vector<std::pair<std::string, harness::Table>>& sections) {
   harness::Scenario s;
   s.name = "tab_recovery";
   s.protocol = protocol;
@@ -62,7 +65,7 @@ int run_protocol(engine::Protocol protocol, const BenchConfig& bench) {
   s.verify_signatures = false;
   s.max_batch = 50;
   s.txn_size_bytes = 450;
-  s.seed = 42;
+  s.seed = bench.seed;
   s.crash_restart_count = bench.churn;
   s.crash_restart_first = bench.first_crash;
   s.crash_restart_downtime = bench.downtime;
@@ -168,15 +171,16 @@ int run_protocol(engine::Protocol protocol, const BenchConfig& bench) {
   std::printf("cluster tip at end: %llu blocks; safety checks: %s\n\n",
               static_cast<unsigned long long>(cluster_tip),
               failures == 0 ? "all passed" : "FAILED");
+  sections.emplace_back(engine::protocol_name(protocol), std::move(table));
   return failures;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
   BenchConfig bench;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  if (smoke) {
+  if (args.smoke) {
     bench.n = 7;
     bench.duration = seconds(24);
     bench.first_crash = seconds(5);
@@ -184,12 +188,19 @@ int main(int argc, char** argv) {
     bench.stagger = seconds(8);
     bench.churn = 2;
   }
+  if (args.seed != 0) bench.seed = args.seed;
 
   std::printf("== tab_recovery: crash-recovery churn (beyond-paper, "
               "Theorem 2 with restarts)%s ==\n\n",
-              smoke ? " [smoke]" : "");
+              args.smoke ? " [smoke]" : "");
   int failures = 0;
-  failures += run_protocol(engine::Protocol::DiemBft, bench);
-  failures += run_protocol(engine::Protocol::Streamlet, bench);
+  std::vector<std::pair<std::string, harness::Table>> sections;
+  failures += run_protocol(engine::Protocol::DiemBft, bench, sections);
+  failures += run_protocol(engine::Protocol::Streamlet, bench, sections);
+  if (!args.json_path.empty() &&
+      !bench::write_json_artifact(args.json_path, "tab_recovery", bench.seed,
+                                  args.smoke, sections)) {
+    ++failures;
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -17,7 +17,8 @@
 using namespace sftbft;
 using namespace sftbft::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   std::printf("== Appendix D: SFT-Streamlet (n=16, f=5, lock-step 2-delta "
               "rounds, echo on) ==\n\n");
 
@@ -40,10 +41,10 @@ int main() {
   s.verify_signatures = false;
   s.max_batch = 100;
   s.txn_size_bytes = 4500;
-  s.duration = seconds(60);
+  s.duration = args.smoke ? seconds(20) : seconds(60);
   s.warmup = seconds(2);
-  s.tail = seconds(15);
-  s.seed = 42;
+  s.tail = args.smoke ? seconds(5) : seconds(15);
+  s.seed = args.seed != 0 ? args.seed : 42;
 
   const harness::ScenarioResult result = run_scenario(s);
 
@@ -77,5 +78,10 @@ int main() {
   std::printf("(Derived from the protocols' voting rules — see Appendix D.4 "
               "and tests/sft_streamlet_test.cpp for the mechanised "
               "fork-resistance check.)\n");
+  if (!args.json_path.empty() &&
+      !write_json_artifact(args.json_path, "tab_streamlet", s.seed, args.smoke,
+                           {{"latency", table}, {"d4_attack", attack}})) {
+    return 1;
+  }
   return 0;
 }

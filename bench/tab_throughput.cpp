@@ -14,7 +14,8 @@
 using namespace sftbft;
 using namespace sftbft::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
   std::printf("== Throughput & regular-commit latency: DiemBFT vs "
               "SFT-DiemBFT (symmetric, d=100ms, n=100) ==\n\n");
 
@@ -31,12 +32,20 @@ int main() {
   harness::Table table({"protocol", "blocks/s", "txn/s", "regular lat (s)",
                         "wire MB/s", "msgs/block"});
 
+  std::uint64_t seed = 42;
   for (const Variant& variant : variants) {
     harness::Scenario s = geo_scenario();
     s.name = "tab_throughput";
     s.topo = harness::Scenario::Topo::Symmetric3;
     s.delta = millis(100);
     s.mode = variant.mode;
+    if (args.smoke) {
+      s.n = 31;
+      s.duration = seconds(40);
+      s.tail = seconds(10);
+    }
+    if (args.seed != 0) s.seed = args.seed;
+    seed = s.seed;
     const harness::ScenarioResult r = run_scenario(s);
 
     const double secs = to_seconds(s.duration - s.warmup - s.tail);
@@ -56,5 +65,10 @@ int main() {
               "SFT machinery costs one marker (or a short interval list) per "
               "vote.\nNote: each block carries 100 txn records of 4.5 KB "
               "modelling the paper's ~1000-txn / ~450 KB batches.\n");
+  if (!args.json_path.empty() &&
+      !write_json_artifact(args.json_path, "tab_throughput", seed, args.smoke,
+                           {{"throughput", table}})) {
+    return 1;
+  }
   return 0;
 }

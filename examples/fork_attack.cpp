@@ -1,138 +1,126 @@
-// Appendix C, live: why counting *all* indirect votes is unsafe, and how the
-// SFT marker fixes it.
+// Appendix C, live — now driven through the adversary subsystem instead of
+// a hand-scripted vote schedule (the original type-layer script survives as
+// tests/naive_counter_test.cpp, the regression guard for the counting
+// rules).
 //
-// We rebuild Figure 9's fork by hand against the endorsement layer:
-// f + 1 Byzantine replicas (b1..b_{f+1}) and 2f honest ones (h1..h_{2f}).
-// A Byzantine round-(r+1) leader equivocates, producing blocks B_{r+1}
-// (extending B_r) and B'_{r+1} (extending B_{r-1}). Honest replica h_{f+1}
-// votes first for B'_{r+1}, then — legally, per the DiemBFT voting rule —
-// for B_{r+2} on the main branch.
+// A Byzantine coalition runs the Fig. 9 playbook through the *real* SFT-
+// DiemBFT engines: EquivocatingLeader shows conflicting same-round blocks
+// to disjoint honest subsets, and AmnesiaVoter forges empty voting
+// histories (marker 0) while voting both forks. A global SafetyAuditor
+// re-derives every commit claim under the paper's VoteHistory rule:
 //
-// The naive counter credits h_{f+1}'s indirect vote to B_r, reporting the
-// 3-chain B_r, B_{r+1}, B_{r+2} as (f+1)-strong. But h_{f+1} already helped
-// certify the conflicting fork, which the adversary can extend into a
-// *conflicting* (f+1)-strong commit — a safety violation. The SFT
-// strong-vote carries marker = r+1 (the conflicting vote's round), so it
-// does NOT endorse B_r, and the false (f+1)-strong commit never happens.
+//  * with CountingRule::Sft, the cluster's own claims are exactly as strong
+//    as the ground truth — the attack gains nothing;
+//  * with CountingRule::NaiveAllIndirect (count every indirect vote, ignore
+//    voting history — the Appendix-C strawman), honest replicas publish
+//    x-strong claims their own cross-fork voters' truthful markers deny,
+//    and the auditor catches the overclaims the adversary could revert.
 #include <cstdio>
 
-#include "sftbft/chain/block_tree.hpp"
-#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/engine/deployment.hpp"
+#include "sftbft/harness/auditor.hpp"
+#include "sftbft/harness/scenario.hpp"
 
 using namespace sftbft;
-using namespace sftbft::consensus;
 
 namespace {
 
-constexpr std::uint32_t kF = 2;          // f
-constexpr std::uint32_t kN = 3 * kF + 1; // n = 7
+constexpr std::uint32_t kN = 7;                  // f = 2
+constexpr std::uint32_t kF = (kN - 1) / 3;
+constexpr std::uint32_t kCoalition = kF;         // c corrupted replicas
 
-types::Block make_block(const types::Block& parent, Round round) {
-  types::Block block;
-  block.parent_id = parent.id;
-  block.round = round;
-  block.height = parent.height + 1;
-  block.proposer = static_cast<ReplicaId>(round % kN);
-  block.qc.block_id = parent.id;
-  block.qc.round = parent.round;
-  block.seal();
-  return block;
+struct Outcome {
+  std::uint64_t equivocations = 0;
+  std::uint64_t forged_votes = 0;
+  std::uint64_t claims = 0;
+  std::uint32_t max_claimed = 0;
+  std::uint64_t violations = 0;
+};
+
+Outcome run(consensus::CountingRule rule) {
+  harness::Scenario s;
+  s.protocol = engine::Protocol::DiemBft;
+  s.n = kN;
+  s.mode = consensus::CoreMode::SftMarker;
+  s.counting = rule;
+  s.topo = harness::Scenario::Topo::Uniform;
+  s.delta = millis(20);
+  s.jitter = millis(5);
+  s.jitter_frac = 0;
+  s.leader_processing = millis(10);
+  s.verify_signatures = false;
+  s.max_batch = 10;
+  s.duration = seconds(15);
+  s.seed = 9;
+  s.byzantine_count = kCoalition;
+  s.byzantine.strategies = {adversary::Strategy::EquivocatingLeader,
+                            adversary::Strategy::AmnesiaVoter};
+
+  harness::SafetyAuditor auditor({s.protocol, s.n});
+  engine::AuditTaps taps;
+  taps.diem_qc = [&auditor](ReplicaId replica, const types::Block& block,
+                            const types::QuorumCert& qc) {
+    auditor.on_qc(replica, block, qc);
+  };
+  engine::Deployment deployment(
+      s.to_deployment_config(),
+      [&auditor](ReplicaId replica, const types::Block& block,
+                 std::uint32_t strength, SimTime now) {
+        auditor.on_commit(replica, block, strength, now);
+      },
+      std::move(taps));
+  deployment.start();
+  deployment.run_for(s.duration);
+
+  Outcome outcome;
+  if (const adversary::Coalition* coalition = deployment.coalition()) {
+    outcome.equivocations = coalition->stats().equivocations;
+    outcome.forged_votes = coalition->stats().forged_votes;
+  }
+  outcome.claims = auditor.claims();
+  outcome.max_claimed = auditor.max_claimed();
+  outcome.violations = auditor.violations().size();
+
+  // Show a concrete caught overclaim, like the old script's B_r printout.
+  if (!auditor.violations().empty()) {
+    std::printf("    e.g. %s\n",
+                auditor.violations().front().describe().c_str());
+  }
+  return outcome;
 }
-
-types::Vote make_vote(const types::Block& block, ReplicaId voter,
-                      Round marker) {
-  types::Vote vote;
-  vote.block_id = block.id;
-  vote.round = block.round;
-  vote.voter = voter;
-  vote.mode = types::VoteMode::Marker;
-  vote.marker = marker;
-  return vote;
-}
-
-types::QuorumCert make_qc(const types::Block& block,
-                          const std::vector<types::Vote>& votes) {
-  types::QuorumCert qc;
-  qc.block_id = block.id;
-  qc.round = block.round;
-  qc.parent_id = block.parent_id;
-  qc.parent_round = block.qc.round;
-  qc.votes = votes;
-  qc.canonicalize();
-  return qc;
-}
-
-// Replica cast: h1..h2f are honest = ids 0..2f-1; b1..b_{f+1} = ids 2f..3f.
-constexpr ReplicaId h(std::uint32_t i) { return i - 1; }          // h1 -> 0
-constexpr ReplicaId b(std::uint32_t i) { return 2 * kF + i - 1; } // b1 -> 4
 
 }  // namespace
 
 int main() {
-  std::printf("Appendix C counter-example, f=%u (n=%u): Byzantine replicas "
-              "b1..b%u, honest h1..h%u\n\n",
-              kF, kN, kF + 1, 2 * kF);
+  std::printf(
+      "Appendix C live, f=%u (n=%u): a coalition of %u replicas runs\n"
+      "EquivocatingLeader + AmnesiaVoter through the real SFT-DiemBFT "
+      "engines.\n\n",
+      kF, kN, kCoalition);
 
-  // --- Build the Figure 9 fork -------------------------------------------
-  chain::BlockTree tree;
-  const types::Block genesis = tree.genesis();
-  const types::Block b_rm1 = make_block(genesis, 1);   // B_{r-1}
-  const types::Block b_r = make_block(b_rm1, 2);       // B_r
-  const types::Block b_r1 = make_block(b_r, 3);        // B_{r+1}
-  const types::Block b_r1p = make_block(b_rm1, 3);     // B'_{r+1} (fork!)
-  const types::Block b_r2 = make_block(b_r1, 4);       // B_{r+2}
-  for (const types::Block* blk : {&b_rm1, &b_r, &b_r1, &b_r1p, &b_r2}) {
-    tree.insert(*blk);
-  }
-
-  // Votes per Figure 9. Markers are what each replica would truthfully
-  // attach given its own voting history.
-  std::vector<types::Vote> votes_r, votes_r1, votes_r1p, votes_r2;
-  for (std::uint32_t i = 1; i <= kF; ++i) {           // h1..hf vote main
-    votes_r.push_back(make_vote(b_r, h(i), 0));
-    votes_r1.push_back(make_vote(b_r1, h(i), 0));
-    votes_r2.push_back(make_vote(b_r2, h(i), 0));
-  }
-  for (std::uint32_t i = 1; i <= kF + 1; ++i) {       // b1..b_{f+1} everywhere
-    votes_r.push_back(make_vote(b_r, b(i), 0));
-    votes_r1.push_back(make_vote(b_r1, b(i), 0));
-    votes_r1p.push_back(make_vote(b_r1p, b(i), 0));
-    // Byzantine replicas vote on both forks and lie about their markers
-    // (claim 0) — the safety proof never trusts Byzantine markers.
-    votes_r2.push_back(make_vote(b_r2, b(i), 0));
-  }
-  for (std::uint32_t i = kF + 1; i <= 2 * kF; ++i) {  // h_{f+1}..h_{2f} fork
-    votes_r1p.push_back(make_vote(b_r1p, h(i), 0));
-  }
-  // h_{f+1} then votes for B_{r+2} on the main branch — allowed by the
-  // voting rule. Its truthful marker is B'_{r+1}.round = 3.
-  votes_r2.push_back(make_vote(b_r2, h(kF + 1), 3));
-
-  // --- Count endorsements under both rules --------------------------------
-  for (const CountingRule rule :
-       {CountingRule::NaiveAllIndirect, CountingRule::Sft}) {
-    EndorsementTracker tracker(tree, kN, kF, rule);
-    tracker.process_qc(make_qc(b_r, votes_r));
-    tracker.process_qc(make_qc(b_r1, votes_r1));
-    tracker.process_qc(make_qc(b_r1p, votes_r1p));
-    tracker.process_qc(make_qc(b_r2, votes_r2));
-
-    const std::uint32_t count = tracker.endorser_count(b_r.id);
-    const std::uint32_t strength = tracker.head_strength(b_r.id);
-    std::printf("%-18s endorsers(B_r) = %u  ->  B_r strength = x=%u %s\n",
-                rule == CountingRule::Sft ? "SFT marker rule:"
-                                          : "naive counting:",
-                count, strength,
-                strength > kF
-                    ? "(claims (f+1)-strong: UNSAFE, fork can equal it!)"
-                    : "(stays at f-strong: safe)");
+  for (const consensus::CountingRule rule :
+       {consensus::CountingRule::NaiveAllIndirect,
+        consensus::CountingRule::Sft}) {
+    const bool naive = rule == consensus::CountingRule::NaiveAllIndirect;
+    std::printf("%s\n", naive ? "naive counting (Appendix-C strawman):"
+                              : "SFT marker rule (VoteHistory):");
+    const Outcome outcome = run(rule);
+    std::printf(
+        "    %llu equivocations staged, %llu votes forged; %llu commit "
+        "claims audited, strongest x=%u\n"
+        "    auditor verdict: %llu violation(s) -> %s\n\n",
+        static_cast<unsigned long long>(outcome.equivocations),
+        static_cast<unsigned long long>(outcome.forged_votes),
+        static_cast<unsigned long long>(outcome.claims), outcome.max_claimed,
+        static_cast<unsigned long long>(outcome.violations),
+        outcome.violations > 0
+            ? "UNSAFE: claims the adversary can revert (Fig. 9)"
+            : "safe: every claim backed by the VoteHistory ground truth");
   }
 
   std::printf(
-      "\nThe naive rule credits h%u's vote for B_r+2 to B_r even though\n"
-      "h%u helped certify the conflicting B'_{r+1} — the adversary can\n"
-      "extend that fork into a second \"(f+1)-strong\" commit (Fig. 9).\n"
-      "The marker (= 3, the conflicting round) blocks the false credit.\n",
-      kF + 1, kF + 1);
+      "The naive rule credits cross-fork voters' indirect votes to blocks\n"
+      "their truthful markers deny; the marker rule blocks the false "
+      "credit.\n");
   return 0;
 }

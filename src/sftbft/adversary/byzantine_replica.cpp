@@ -1,0 +1,194 @@
+#include "sftbft/adversary/byzantine_replica.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sftbft::adversary {
+
+using consensus::DiemBftCore;
+using types::Message;
+using types::Proposal;
+using types::Vote;
+using types::VoteMode;
+
+ByzantineReplica::ByzantineReplica(
+    consensus::CoreConfig config, replica::DiemNetwork& network,
+    std::shared_ptr<const crypto::KeyRegistry> registry,
+    mempool::WorkloadConfig workload, Rng workload_rng,
+    engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
+    replica::Replica::QcTap qc_tap)
+    : id_(config.id),
+      n_(config.n),
+      network_(network),
+      fault_(std::move(fault)),
+      coalition_(std::move(coalition)),
+      funnel_(config.id, network, fault_, *coalition_),
+      signer_(registry->signer_for(config.id)),
+      election_(config.n),
+      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)) {
+  workload_.set_id_space(id_);
+  coalition_->enlist(id_);
+
+  DiemBftCore::Hooks hooks;
+  hooks.send_vote = [this](ReplicaId to, const Vote& vote) {
+    Vote out = vote;
+    if (fault_.byz.has(Strategy::AmnesiaVoter)) forge_history(out);
+    funnel_.send(to, "vote", out.wire_size(), Message{out},
+                 /*withholdable=*/false);
+  };
+  hooks.broadcast_proposal = [this](const Proposal& proposal) {
+    if (fault_.byz.has(Strategy::EquivocatingLeader)) {
+      equivocate(proposal);
+      return;
+    }
+    funnel_.send_self("proposal", proposal.wire_size(), Message{proposal});
+    funnel_.send_peers("proposal", proposal.wire_size(), Message{proposal},
+                       /*withholdable=*/true);
+  };
+  hooks.broadcast_timeout = [this](const types::TimeoutMsg& msg) {
+    // Timeout messages carry qc_high, so WithholdRelease delays them too —
+    // otherwise the "private" certificate leaks on the next timeout.
+    funnel_.send_self("timeout", msg.wire_size(), Message{msg});
+    funnel_.send_peers("timeout", msg.wire_size(), Message{msg},
+                       /*withholdable=*/true);
+  };
+  hooks.broadcast_extra_vote = [this](const Vote& vote) {
+    funnel_.send_peers("extra_vote", vote.wire_size(), Message{vote},
+                       /*withholdable=*/false);
+  };
+  hooks.send_sync_request = [this](ReplicaId to,
+                                   const types::SyncRequest& req) {
+    funnel_.send(to, "sync_req", req.wire_size(), Message{req},
+                 /*withholdable=*/false);
+  };
+  hooks.send_sync_response = [this](ReplicaId to,
+                                    const types::SyncResponse& resp) {
+    funnel_.send(to, "sync_resp", resp.wire_size(), Message{resp},
+                 /*withholdable=*/false);
+  };
+  // No commit observer: a corrupted replica's ledger claims are adversarial
+  // by definition; the honest-commit stream is what the auditor audits.
+  hooks.on_canonical_qc = std::move(qc_tap);
+
+  core_ = std::make_unique<DiemBftCore>(config, network.scheduler(),
+                                        std::move(registry), pool_,
+                                        std::move(hooks));
+}
+
+void ByzantineReplica::start() {
+  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
+                                   std::size_t wire_size) {
+    ++inbound_messages_;
+    inbound_bytes_ += wire_size;
+    on_message(msg);
+  });
+  workload_.top_up();
+  workload_.start();
+  core_->start();
+}
+
+void ByzantineReplica::stop() {
+  core_->stop();
+  network_.disconnect(id_);
+}
+
+void ByzantineReplica::restart() {
+  throw std::logic_error(
+      "ByzantineReplica::restart: Byzantine replicas do not recover");
+}
+
+void ByzantineReplica::on_message(const Message& msg) {
+  if (std::holds_alternative<Proposal>(msg)) {
+    const Proposal& proposal = std::get<Proposal>(msg);
+    if (fault_.byz.has(Strategy::AmnesiaVoter) &&
+        proposal.round() >= core_->current_round()) {
+      forge_vote_for(proposal.block);
+    }
+    core_->on_proposal(proposal);
+  } else if (std::holds_alternative<Vote>(msg)) {
+    core_->on_vote(std::get<Vote>(msg));
+  } else if (std::holds_alternative<types::TimeoutMsg>(msg)) {
+    core_->on_timeout_msg(std::get<types::TimeoutMsg>(msg));
+  } else if (std::holds_alternative<types::SyncRequest>(msg)) {
+    core_->on_sync_request(std::get<types::SyncRequest>(msg));
+  } else {
+    core_->on_sync_response(std::get<types::SyncResponse>(msg));
+  }
+}
+
+// ------------------------------------------------------------- strategies
+
+void ByzantineReplica::equivocate(const Proposal& proposal) {
+  // The twin: identical parent/round/height/payload, distinct id (the
+  // creation stamp is part of the sealed header). Honest receivers cannot
+  // structurally distinguish it from the original.
+  Proposal twin = proposal;
+  twin.block.created_at += 1;
+  twin.block.seal();
+  twin.sig = signer_.sign(twin.signing_bytes());
+
+  coalition_->record_fork(proposal.round(), proposal.block.id, twin.block.id);
+  ++coalition_->stats().equivocations;
+
+  for (ReplicaId to = 0; to < n_; ++to) {
+    const bool both = coalition_->is_member(to);
+    if (to == id_) {
+      // Own core sees both forks (it is a coalition member): it votes its
+      // own view once; the amnesia path votes the twin as well.
+      funnel_.send_self("proposal", proposal.wire_size(), Message{proposal});
+      funnel_.send_self("proposal", twin.wire_size(), Message{twin});
+      continue;
+    }
+    if (both || to % 2 == 0) {
+      funnel_.send(to, "proposal", proposal.wire_size(), Message{proposal},
+                   /*withholdable=*/true);
+    }
+    if (both || to % 2 != 0) {
+      funnel_.send(to, "proposal", twin.wire_size(), Message{twin},
+                   /*withholdable=*/true);
+    }
+  }
+}
+
+void ByzantineReplica::forge_vote_for(const types::Block& block) {
+  if (!forged_for_.insert(block.id).second) return;  // once per block
+  Vote vote;
+  vote.block_id = block.id;
+  vote.round = block.round;
+  vote.voter = id_;
+  switch (core_->config().mode) {
+    case consensus::CoreMode::Plain:
+      vote.mode = VoteMode::Plain;
+      break;
+    case consensus::CoreMode::SftMarker:
+      vote.mode = VoteMode::Marker;
+      vote.marker = 0;  // "I never voted a conflicting fork" — a lie
+      break;
+    case consensus::CoreMode::SftIntervals:
+      vote.mode = VoteMode::Intervals;
+      vote.endorsed = IntervalSet::single(1, block.round);  // endorse all
+      break;
+  }
+  vote.sig = signer_.sign(vote.signing_bytes());
+  ++coalition_->stats().forged_votes;
+  funnel_.send(election_.leader_of(block.round + 1), "vote",
+               vote.wire_size(), Message{vote}, /*withholdable=*/false);
+}
+
+void ByzantineReplica::forge_history(Vote& vote) {
+  switch (vote.mode) {
+    case VoteMode::Plain:
+      return;
+    case VoteMode::Marker:
+      if (vote.marker == 0) return;  // already looks historyless
+      vote.marker = 0;
+      break;
+    case VoteMode::Intervals:
+      vote.endorsed = IntervalSet::single(1, vote.round);
+      break;
+  }
+  vote.sig = signer_.sign(vote.signing_bytes());
+  ++coalition_->stats().forged_votes;
+}
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,114 @@
+// ByzantineReplica: an actively adversarial DiemBFT replica that plugs into
+// the engine::ConsensusEngine replica slot (paper Appendix C / Fig. 9).
+//
+// The replica runs a *real* DiemBftCore — that is what keeps it synced,
+// lets it win its leadership rounds, collect votes, and form QCs exactly
+// like an honest replica would — but every outbound message passes through
+// the Strategy filter of its FaultSpec (see adversary/strategy.hpp):
+//
+//  * EquivocatingLeader — the core's proposal broadcast is split into twin
+//    conflicting proposals (same round/height/parent, distinct ids) shown
+//    to disjoint honest peer subsets; coalition members receive both.
+//  * AmnesiaVoter — the core's truthful strong-votes are re-signed with a
+//    forged empty history (marker 0 / full interval), and the replica
+//    additionally votes for every same-round proposal it sees, including
+//    staged forks — the exact "vote on both forks and lie about the
+//    markers" schedule of Fig. 9.
+//  * WithholdRelease — proposals (the carriers of freshly formed QCs) and
+//    timeout messages (which leak qc_high) are released withhold_delay
+//    late: private certification, delayed disclosure.
+//  * SelectiveSender — every outbound message to a suppressed peer is
+//    dropped.
+//
+// Strategies compose; shared attack state (fork registry, stats) lives in
+// the Coalition all Byzantine engines of a deployment share. The replica
+// never fires the deployment's commit observer: its ledger claims are
+// adversarial, and the honest-commit stream is precisely what the
+// SafetyAuditor audits.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "sftbft/adversary/coalition.hpp"
+#include "sftbft/adversary/funnel.hpp"
+#include "sftbft/consensus/diembft.hpp"
+#include "sftbft/consensus/leader_election.hpp"
+#include "sftbft/engine/engine.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/replica/replica.hpp"
+
+namespace sftbft::adversary {
+
+class ByzantineReplica final : public engine::ConsensusEngine {
+ public:
+  /// `fault.kind` must be Kind::Byzantine with a validated spec;
+  /// `coalition` must be shared with every other Byzantine engine of the
+  /// deployment. `qc_tap` (optional) feeds the SafetyAuditor.
+  ByzantineReplica(consensus::CoreConfig config,
+                   replica::DiemNetwork& network,
+                   std::shared_ptr<const crypto::KeyRegistry> registry,
+                   mempool::WorkloadConfig workload, Rng workload_rng,
+                   engine::FaultSpec fault,
+                   std::shared_ptr<Coalition> coalition,
+                   replica::Replica::QcTap qc_tap = nullptr);
+
+  [[nodiscard]] engine::Protocol protocol() const override {
+    return engine::Protocol::DiemBft;
+  }
+  [[nodiscard]] ReplicaId id() const override { return id_; }
+  void start() override;
+  void stop() override;
+  /// Byzantine replicas have no durable honest state to restore.
+  void restart() override;
+  [[nodiscard]] storage::ReplicaStore* store() override { return nullptr; }
+  [[nodiscard]] const chain::Ledger& ledger() const override {
+    return core_->ledger();
+  }
+  [[nodiscard]] Round current_round() const override {
+    return core_->current_round();
+  }
+  [[nodiscard]] const engine::FaultSpec& fault() const override {
+    return fault_;
+  }
+  [[nodiscard]] std::uint64_t inbound_messages() const override {
+    return inbound_messages_;
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const override {
+    return inbound_bytes_;
+  }
+
+  [[nodiscard]] consensus::DiemBftCore& core() { return *core_; }
+  [[nodiscard]] const Coalition& coalition() const { return *coalition_; }
+
+ private:
+  void on_message(const types::Message& msg);
+
+  // --- strategy implementations -------------------------------------------
+  /// Splits `proposal` into twins and distributes them (EquivocatingLeader).
+  void equivocate(const types::Proposal& proposal);
+  /// AmnesiaVoter: votes for `block` with a forged empty history, history
+  /// and safety rules be damned (at most once per block).
+  void forge_vote_for(const types::Block& block);
+  /// Rewrites a core-built vote to deny its own history and re-signs.
+  void forge_history(types::Vote& vote);
+
+  ReplicaId id_;
+  std::uint32_t n_;
+  replica::DiemNetwork& network_;
+  engine::FaultSpec fault_;
+  std::shared_ptr<Coalition> coalition_;
+  /// Strategy-filtered delivery (shared with the Streamlet engine).
+  OutboundFunnel<types::Message> funnel_;
+  crypto::Signer signer_;
+  consensus::LeaderElection election_;
+  std::uint64_t inbound_messages_ = 0;
+  std::uint64_t inbound_bytes_ = 0;
+  mempool::Mempool pool_;
+  mempool::WorkloadGenerator workload_;
+  std::unique_ptr<consensus::DiemBftCore> core_;
+  /// Blocks already amnesia-voted (one forged vote per block).
+  std::unordered_set<types::BlockId> forged_for_;
+};
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,161 @@
+#include "sftbft/adversary/byzantine_streamlet.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace sftbft::adversary {
+
+using streamlet::SMessage;
+using streamlet::SProposal;
+using streamlet::SSyncRequest;
+using streamlet::SSyncResponse;
+using streamlet::StreamletCore;
+using streamlet::SVote;
+
+ByzantineStreamlet::ByzantineStreamlet(
+    streamlet::StreamletConfig config, engine::StreamletNetwork& network,
+    std::shared_ptr<const crypto::KeyRegistry> registry,
+    mempool::WorkloadConfig workload, Rng workload_rng,
+    engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
+    engine::StreamletEngine::BlockTap block_tap,
+    engine::StreamletEngine::VoteTap vote_tap)
+    : id_(config.id),
+      n_(config.n),
+      network_(network),
+      fault_(std::move(fault)),
+      coalition_(std::move(coalition)),
+      funnel_(config.id, network, fault_, *coalition_),
+      signer_(registry->signer_for(config.id)),
+      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)) {
+  workload_.set_id_space(id_);
+  coalition_->enlist(id_);
+
+  StreamletCore::Hooks hooks;
+  hooks.broadcast_proposal = [this](const SProposal& proposal) {
+    if (fault_.byz.has(Strategy::EquivocatingLeader)) {
+      equivocate(proposal);
+      return;
+    }
+    funnel_.send_self("proposal", proposal.wire_size(), SMessage{proposal});
+    funnel_.send_peers("proposal", proposal.wire_size(), SMessage{proposal},
+                       /*withholdable=*/true);
+  };
+  hooks.broadcast_vote = [this](const SVote& vote) {
+    SVote out = vote;
+    if (fault_.byz.has(Strategy::AmnesiaVoter) && out.marker != 0) {
+      out.marker = 0;  // "I never voted a conflicting fork" — a lie
+      out.sig = signer_.sign(out.signing_bytes());
+      ++coalition_->stats().forged_votes;
+    }
+    funnel_.send_self("vote", out.wire_size(), SMessage{out});
+    funnel_.send_peers("vote", out.wire_size(), SMessage{out},
+                       /*withholdable=*/false);
+  };
+  hooks.echo = [this](const SMessage& msg) {
+    const std::size_t size =
+        std::visit([](const auto& m) { return m.wire_size(); }, msg);
+    funnel_.send_peers("echo", size, msg, /*withholdable=*/false);
+  };
+  hooks.send_sync_request = [this](ReplicaId to, const SSyncRequest& req) {
+    funnel_.send(to, "sync_req", req.wire_size(), SMessage{req},
+                 /*withholdable=*/false);
+  };
+  hooks.send_sync_response = [this](ReplicaId to, const SSyncResponse& resp) {
+    funnel_.send(to, "sync_resp", resp.wire_size(), SMessage{resp},
+                 /*withholdable=*/false);
+  };
+  // No commit observer (see ByzantineReplica); the auditor taps stay wired
+  // so a global observer still profits from whatever this replica learns.
+  hooks.on_block_seen = std::move(block_tap);
+  hooks.on_vote_seen = std::move(vote_tap);
+
+  core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
+                                          std::move(registry), pool_,
+                                          std::move(hooks));
+}
+
+void ByzantineStreamlet::start() {
+  network_.set_handler(id_, [this](ReplicaId /*from*/, const SMessage& msg,
+                                   std::size_t wire_size) {
+    ++inbound_messages_;
+    inbound_bytes_ += wire_size;
+    on_message(msg);
+  });
+  workload_.top_up();
+  workload_.start();
+  core_->start();
+}
+
+void ByzantineStreamlet::stop() {
+  core_->stop();
+  network_.disconnect(id_);
+}
+
+void ByzantineStreamlet::restart() {
+  throw std::logic_error(
+      "ByzantineStreamlet::restart: Byzantine replicas do not recover");
+}
+
+void ByzantineStreamlet::on_message(const SMessage& msg) {
+  if (std::holds_alternative<SProposal>(msg)) {
+    const SProposal& proposal = std::get<SProposal>(msg);
+    if (fault_.byz.has(Strategy::AmnesiaVoter) &&
+        proposal.block.round + 1 >= core_->current_round()) {
+      forge_vote_for(proposal.block);
+    }
+    core_->on_proposal(proposal);
+  } else if (std::holds_alternative<SVote>(msg)) {
+    core_->on_vote(std::get<SVote>(msg));
+  } else if (std::holds_alternative<SSyncRequest>(msg)) {
+    core_->on_sync_request(std::get<SSyncRequest>(msg));
+  } else {
+    core_->on_sync_response(std::get<SSyncResponse>(msg));
+  }
+}
+
+void ByzantineStreamlet::equivocate(const SProposal& proposal) {
+  SProposal twin = proposal;
+  twin.block.created_at += 1;
+  twin.block.seal();
+  twin.sig = signer_.sign(twin.signing_bytes());
+
+  coalition_->record_fork(proposal.block.round, proposal.block.id,
+                          twin.block.id);
+  ++coalition_->stats().equivocations;
+
+  for (ReplicaId to = 0; to < n_; ++to) {
+    const bool both = coalition_->is_member(to);
+    if (to == id_) {
+      funnel_.send_self("proposal", proposal.wire_size(),
+                        SMessage{proposal});
+      funnel_.send_self("proposal", twin.wire_size(), SMessage{twin});
+      continue;
+    }
+    if (both || to % 2 == 0) {
+      funnel_.send(to, "proposal", proposal.wire_size(), SMessage{proposal},
+                   /*withholdable=*/true);
+    }
+    if (both || to % 2 != 0) {
+      funnel_.send(to, "proposal", twin.wire_size(), SMessage{twin},
+                   /*withholdable=*/true);
+    }
+  }
+}
+
+void ByzantineStreamlet::forge_vote_for(const types::Block& block) {
+  if (!forged_for_.insert(block.id).second) return;  // once per block
+  SVote vote;
+  vote.block_id = block.id;
+  vote.round = block.round;
+  vote.height = block.height;
+  vote.voter = id_;
+  vote.marker = 0;
+  vote.sig = signer_.sign(vote.signing_bytes());
+  ++coalition_->stats().forged_votes;
+  funnel_.send_self("vote", vote.wire_size(), SMessage{vote});
+  funnel_.send_peers("vote", vote.wire_size(), SMessage{vote},
+                     /*withholdable=*/false);
+}
+
+}  // namespace sftbft::adversary

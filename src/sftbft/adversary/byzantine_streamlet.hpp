@@ -1,0 +1,93 @@
+// ByzantineStreamlet: the Streamlet-side Byzantine engine (paper Appendix
+// D.4's adversary, driven by the same Strategy vocabulary as the DiemBFT
+// ByzantineReplica — the adversary layer is engine-generic exactly like the
+// SFT technique itself).
+//
+// Same construction as ByzantineReplica: a real StreamletCore keeps the
+// replica synced and proposing in its leadership rounds; the Strategy
+// filter corrupts its outbound behaviour:
+//  * EquivocatingLeader — twin same-round proposals to disjoint subsets
+//    (coalition members see both);
+//  * AmnesiaVoter — height markers forged to 0, plus votes for every
+//    same-round proposal including staged forks (votes are multicast in
+//    Streamlet, so the forged double votes are public);
+//  * WithholdRelease — proposals released withhold_delay late (in lock-step
+//    Streamlet this starves the replica's own round, arriving blocks the
+//    longest-chain rule no longer admits);
+//  * SelectiveSender — per-peer suppression of every outbound message.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "sftbft/adversary/coalition.hpp"
+#include "sftbft/adversary/funnel.hpp"
+#include "sftbft/engine/engine.hpp"
+#include "sftbft/engine/streamlet_engine.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/streamlet/streamlet.hpp"
+
+namespace sftbft::adversary {
+
+class ByzantineStreamlet final : public engine::ConsensusEngine {
+ public:
+  /// `fault.kind` must be Kind::Byzantine with a validated spec; the taps
+  /// (optional) feed a harness-level SafetyAuditor.
+  ByzantineStreamlet(streamlet::StreamletConfig config,
+                     engine::StreamletNetwork& network,
+                     std::shared_ptr<const crypto::KeyRegistry> registry,
+                     mempool::WorkloadConfig workload, Rng workload_rng,
+                     engine::FaultSpec fault,
+                     std::shared_ptr<Coalition> coalition,
+                     engine::StreamletEngine::BlockTap block_tap = nullptr,
+                     engine::StreamletEngine::VoteTap vote_tap = nullptr);
+
+  [[nodiscard]] engine::Protocol protocol() const override {
+    return engine::Protocol::Streamlet;
+  }
+  [[nodiscard]] ReplicaId id() const override { return id_; }
+  void start() override;
+  void stop() override;
+  /// Byzantine replicas have no durable honest state to restore.
+  void restart() override;
+  [[nodiscard]] storage::ReplicaStore* store() override { return nullptr; }
+  [[nodiscard]] const chain::Ledger& ledger() const override {
+    return core_->ledger();
+  }
+  [[nodiscard]] Round current_round() const override {
+    return core_->current_round();
+  }
+  [[nodiscard]] const engine::FaultSpec& fault() const override {
+    return fault_;
+  }
+  [[nodiscard]] std::uint64_t inbound_messages() const override {
+    return inbound_messages_;
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const override {
+    return inbound_bytes_;
+  }
+
+  [[nodiscard]] streamlet::StreamletCore& core() { return *core_; }
+
+ private:
+  void on_message(const streamlet::SMessage& msg);
+  void equivocate(const streamlet::SProposal& proposal);
+  void forge_vote_for(const types::Block& block);
+
+  ReplicaId id_;
+  std::uint32_t n_;
+  engine::StreamletNetwork& network_;
+  engine::FaultSpec fault_;
+  std::shared_ptr<Coalition> coalition_;
+  /// Strategy-filtered delivery (shared with the DiemBFT engine).
+  OutboundFunnel<streamlet::SMessage> funnel_;
+  crypto::Signer signer_;
+  std::uint64_t inbound_messages_ = 0;
+  std::uint64_t inbound_bytes_ = 0;
+  mempool::Mempool pool_;
+  mempool::WorkloadGenerator workload_;
+  std::unique_ptr<streamlet::StreamletCore> core_;
+  std::unordered_set<types::BlockId> forged_for_;
+};
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,20 @@
+#include "sftbft/adversary/coalition.hpp"
+
+#include <algorithm>
+
+namespace sftbft::adversary {
+
+void Coalition::enlist(ReplicaId id) {
+  if (!is_member(id)) members_.push_back(id);
+}
+
+bool Coalition::is_member(ReplicaId id) const {
+  return std::find(members_.begin(), members_.end(), id) != members_.end();
+}
+
+void Coalition::record_fork(Round round, const types::BlockId& main,
+                            const types::BlockId& twin) {
+  forks_.try_emplace(round, main, twin);
+}
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,80 @@
+// OutboundFunnel: the strategy-filtered delivery path shared by every
+// Byzantine engine. Protocol engines keep only their message *crafting*
+// (twin proposals, forged votes); the delivery policy — SelectiveSender
+// drops, WithholdRelease delays certificate carriers, Coalition accounting
+// for both — lives here once, so a fix or a new delivery strategy lands in
+// one place for both protocols.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sftbft/adversary/coalition.hpp"
+#include "sftbft/engine/fault.hpp"
+#include "sftbft/net/sim_network.hpp"
+
+namespace sftbft::adversary {
+
+template <typename Message>
+class OutboundFunnel {
+ public:
+  /// `fault` and `coalition` must outlive the funnel (both are members of
+  /// the owning Byzantine engine / shared deployment state).
+  OutboundFunnel(ReplicaId id, net::SimNetwork<Message>& network,
+                 const engine::FaultSpec& fault, Coalition& coalition)
+      : id_(id), network_(network), fault_(fault), coalition_(coalition) {}
+
+  [[nodiscard]] bool suppressed(ReplicaId to) const {
+    if (!fault_.byz.has(Strategy::SelectiveSender)) return false;
+    for (const ReplicaId peer : fault_.byz.suppress_to) {
+      if (peer == to) return true;
+    }
+    return false;
+  }
+
+  /// Undelayed, unfiltered self-delivery: the replica's own core keeps
+  /// seeing its own messages immediately even while withholding from peers
+  /// (a withholding leader still certifies privately against its own view).
+  void send_self(const char* type, std::size_t wire_size, Message msg) {
+    network_.send(id_, id_, type, wire_size, std::move(msg));
+  }
+
+  /// Unicast with SelectiveSender filtering; `withholdable` messages (the
+  /// carriers of fresh certificates: proposals, and timeouts leaking
+  /// qc_high) are additionally delayed by WithholdRelease.
+  void send(ReplicaId to, const char* type, std::size_t wire_size,
+            Message msg, bool withholdable) {
+    if (suppressed(to)) {
+      ++coalition_.stats().suppressed;
+      return;
+    }
+    if (withholdable && fault_.byz.has(Strategy::WithholdRelease)) {
+      ++coalition_.stats().withheld;
+      network_.scheduler().schedule_after(
+          fault_.byz.withhold_delay,
+          [this, to, type = std::string(type), wire_size,
+           msg = std::move(msg)] {
+            network_.send(id_, to, type, wire_size, msg);
+          });
+      return;
+    }
+    network_.send(id_, to, type, wire_size, std::move(msg));
+  }
+
+  /// Filtered fan-out to every peer except self.
+  void send_peers(const char* type, std::size_t wire_size, const Message& msg,
+                  bool withholdable) {
+    for (ReplicaId to = 0; to < network_.topology().size(); ++to) {
+      if (to == id_) continue;
+      send(to, type, wire_size, msg, withholdable);
+    }
+  }
+
+ private:
+  ReplicaId id_;
+  net::SimNetwork<Message>& network_;
+  const engine::FaultSpec& fault_;
+  Coalition& coalition_;
+};
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,19 @@
+#include "sftbft/adversary/strategy.hpp"
+
+namespace sftbft::adversary {
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::EquivocatingLeader:
+      return "equivocating_leader";
+    case Strategy::AmnesiaVoter:
+      return "amnesia_voter";
+    case Strategy::WithholdRelease:
+      return "withhold_release";
+    case Strategy::SelectiveSender:
+      return "selective_sender";
+  }
+  return "unknown";
+}
+
+}  // namespace sftbft::adversary

@@ -1,0 +1,80 @@
+// Programmable Byzantine strategies (paper Appendix C / Fig. 9, Sec. 4.1).
+//
+// The paper's whole point is that x-strong commits survive *more than f*
+// active Byzantine faults — so the fault model has to be able to field
+// active Byzantine replicas, not just benign crashes. A `ByzantineSpec`
+// names the attack behaviours one corrupted replica runs; the adversary
+// layer (sftbft::adversary) interprets it against the real engines, and a
+// `Coalition` shares state across all corrupted replicas so the strategies
+// compose into the paper's attacks:
+//
+//  * EquivocatingLeader — in its leadership rounds, the replica produces two
+//    conflicting blocks for the same round (heights equal, ids distinct) and
+//    shows each to a disjoint honest peer subset. This is the fork step of
+//    the Fig. 9 / Appendix C counter-example and of the Sec. 2.1 "Byzantine
+//    leaders can equivocate" discussion; coalition members learn both forks
+//    and vote both (see AmnesiaVoter).
+//  * AmnesiaVoter — the replica votes as if it had no voting history: every
+//    strong-vote's marker is forged to 0 (interval votes claim the full
+//    range), and it additionally votes for conflicting proposals in the same
+//    round. This is exactly the "Byzantine replicas vote on both forks and
+//    lie about their markers" schedule of Fig. 9 — the attack the
+//    VoteHistory rule survives and the NaiveAllIndirect strawman does not.
+//  * WithholdRelease — proposals (the messages that carry a freshly formed
+//    QC) and timeout messages (which leak qc_high) are held back for
+//    `withhold_delay` before release: the replica certifies privately and
+//    releases the certificate rounds later, the private-certification step
+//    of the Appendix-C fork extension.
+//  * SelectiveSender — per-peer suppression: the replica sends nothing to
+//    the peers in `suppress_to`, splitting the honest view without any
+//    network-level partition.
+//
+// This header is deliberately dependency-light (plain data + common types)
+// so engine::FaultSpec can embed a ByzantineSpec without layering cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sftbft/common/types.hpp"
+
+namespace sftbft::adversary {
+
+enum class Strategy : std::uint8_t {
+  EquivocatingLeader,  ///< conflicting same-round proposals to disjoint subsets
+  AmnesiaVoter,        ///< history-denying votes (forged markers, cross-fork)
+  WithholdRelease,     ///< certify privately, release the QC later
+  SelectiveSender,     ///< per-peer outbound suppression
+};
+
+[[nodiscard]] const char* strategy_name(Strategy strategy);
+
+/// The attack programme of one corrupted replica. Validated centrally by
+/// engine::validate_faults (empty strategy lists, a WithholdRelease without
+/// a delay, or a malformed suppression set are rejected at Deployment
+/// construction, not discovered mid-run).
+struct ByzantineSpec {
+  std::vector<Strategy> strategies;
+
+  /// WithholdRelease: how long formed certificates stay private. Must be
+  /// > 0 when the strategy is present (a zero delay is a no-op attack).
+  SimDuration withhold_delay = 0;
+
+  /// SelectiveSender: peers this replica never sends to. Must be non-empty,
+  /// in-range, and not contain the replica itself when the strategy is
+  /// present.
+  std::vector<ReplicaId> suppress_to;
+
+  [[nodiscard]] bool has(Strategy strategy) const {
+    for (const Strategy s : strategies) {
+      if (s == strategy) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const { return strategies.empty(); }
+
+  friend bool operator==(const ByzantineSpec&, const ByzantineSpec&) = default;
+};
+
+}  // namespace sftbft::adversary

@@ -247,10 +247,29 @@ void DiemBftCore::propose(Round round) {
   const Block* parent = tree_.get(high_qc.block_id);
   if (parent == nullptr) {
     // qc_high references a block we never received (possible only under
-    // Byzantine schedules); without the parent we cannot extend it.
+    // Byzantine schedules — e.g. the certified side of an equivocation was
+    // withheld from us); without the parent we cannot extend it. Fetch the
+    // missing chain so a later leadership round can produce a block again —
+    // timeout/vote-borne QCs can re-wedge us faster than the orphan-repair
+    // timer alone heals.
     log::warn("replica %u: cannot propose in round %llu, parent missing",
               config_.id, static_cast<unsigned long long>(round));
+    request_sync();
     return;
+  }
+
+  // The Sec.-5 commit Log is assembled first: its digest is sealed into the
+  // block header, so the votes certifying the block also certify the Log (a
+  // corrupted proposer cannot swap the Log under a certified block).
+  std::vector<types::CommitLogEntry> commit_log;
+  if (config_.attach_commit_log && tracker_) {
+    auto it = qc_updates_.find(high_qc.digest());
+    if (it != qc_updates_.end()) {
+      for (const StrengthUpdate& update : it->second) {
+        commit_log.push_back(
+            {update.block_id, update.round, update.strength});
+      }
+    }
   }
 
   Block block;
@@ -260,21 +279,14 @@ void DiemBftCore::propose(Round round) {
   block.proposer = config_.id;
   block.qc = high_qc;
   block.payload = pool_.make_batch(config_.max_batch);
+  block.log_digest = types::commit_log_digest(commit_log);
   block.created_at = sched_.now();
   block.seal();
 
   Proposal proposal;
   proposal.block = block;
   if (last_tc_ && last_tc_->round + 1 == round) proposal.tc = last_tc_;
-  if (config_.attach_commit_log && tracker_) {
-    auto it = qc_updates_.find(high_qc.digest());
-    if (it != qc_updates_.end()) {
-      for (const StrengthUpdate& update : it->second) {
-        proposal.commit_log.push_back(
-            {update.block_id, update.round, update.strength});
-      }
-    }
-  }
+  proposal.commit_log = std::move(commit_log);
   proposal.sig = signer_.sign(proposal.signing_bytes());
 
   last_proposed_payload_ = {round, block.payload};
@@ -302,6 +314,20 @@ void DiemBftCore::on_proposal(const Proposal& proposal) {
   const Block* parent = tree_.get(block.parent_id);
   if (parent == nullptr) {
     pending_proposals_[block.parent_id].push_back(proposal);
+    // Orphan repair: under an equivocating leader (Appendix C) this replica
+    // may have seen only the losing fork — the winning block never arrives
+    // on its own, and without it every later proposal is orphaned too. If
+    // the parent is still missing after a round timeout, fall back to the
+    // block-sync protocol (the same machinery crash recovery uses).
+    if (!orphan_repair_armed_) {
+      orphan_repair_armed_ = true;
+      sched_.schedule_after(config_.base_timeout, [this,
+                                                   parent_id = block.parent_id] {
+        orphan_repair_armed_ = false;
+        if (stopped_ || tree_.contains(parent_id)) return;
+        if (pending_proposals_.contains(parent_id)) request_sync();
+      });
+    }
     return;
   }
 
@@ -398,6 +424,11 @@ void DiemBftCore::observe_qc(const QuorumCert& qc, bool canonical) {
   const Round prev_high = safety_.high_qc().round;
   safety_.observe_qc(qc);
   persist_qc_watermarks(qc, prev_high);
+  if (canonical && hooks_.on_canonical_qc && !qc.is_genesis()) {
+    if (const Block* certified = tree_.get(qc.block_id)) {
+      hooks_.on_canonical_qc(*certified, qc);
+    }
+  }
   if (canonical && tracker_) {
     const auto updates = tracker_->process_qc(qc);
     qc_updates_.emplace(qc.digest(), updates);  // keep first (non-reprocessed)
@@ -615,6 +646,11 @@ bool DiemBftCore::validate_proposal(const Proposal& proposal) const {
   if (block.round == 0) return false;
   if (block.proposer != election_.leader_of(block.round)) return false;
   if (!block.id_is_valid()) return false;
+  // The sealed Log digest must match the Log actually shipped — this is
+  // what makes a vote for the block also vouch for the Log (Sec. 5).
+  if (block.log_digest != types::commit_log_digest(proposal.commit_log)) {
+    return false;
+  }
   if (config_.verify_signatures) {
     if (proposal.sig.signer != block.proposer) return false;
     if (!registry_->verify(proposal.sig, proposal.signing_bytes())) {

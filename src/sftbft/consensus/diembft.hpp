@@ -111,6 +111,13 @@ class DiemBftCore {
         send_sync_request;
     std::function<void(ReplicaId to, const types::SyncResponse&)>
         send_sync_response;
+    /// Auditing tap (harness::SafetyAuditor): fired for every canonical QC
+    /// this replica processes, together with the certified block, *before*
+    /// the local endorsement tracker consumes it — so a global observer is
+    /// always at least as informed as the replica whose commit claims it is
+    /// auditing. May be empty.
+    std::function<void(const types::Block&, const types::QuorumCert&)>
+        on_canonical_qc;
   };
 
   /// `store` (optional) enables durability: the safety envelope is WAL'd as
@@ -248,6 +255,9 @@ class DiemBftCore {
 
   /// Rotates the sync peer window across retries (see request_sync()).
   std::uint32_t sync_attempts_ = 0;
+
+  /// One orphan-repair timer at a time (see on_proposal's orphan branch).
+  bool orphan_repair_armed_ = false;
 
   // Vote aggregation for rounds this replica leads (round -> block -> votes).
   struct PendingVotes {

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "sftbft/adversary/byzantine_replica.hpp"
+#include "sftbft/adversary/byzantine_streamlet.hpp"
+
 namespace sftbft::engine {
 
 namespace {
@@ -13,9 +16,21 @@ namespace {
                          protocol_name(want));
 }
 
+/// The typed escape hatches downcast to the honest adapter classes; a
+/// Byzantine slot holds an adversary engine instead, so the cast would be
+/// undefined behaviour — refuse it explicitly.
+void require_honest_slot(const ConsensusEngine& engine, ReplicaId id) {
+  if (engine.fault().kind == FaultSpec::Kind::Byzantine) {
+    throw std::logic_error("replica " + std::to_string(id) +
+                           " is Byzantine; honest-core escape hatches do "
+                           "not apply (inspect the Coalition instead)");
+  }
+}
+
 }  // namespace
 
-Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
+Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
+                       AuditTaps taps)
     : config_(std::move(config)) {
   if (config_.topology.size() != config_.n) {
     throw std::invalid_argument(
@@ -23,16 +38,11 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         std::to_string(config_.topology.size()) + ") != n (" +
         std::to_string(config_.n) + ")");
   }
-  for (std::size_t id = 0; id < config_.faults.size(); ++id) {
-    const FaultSpec& fault = config_.faults[id];
-    if (fault.kind == FaultSpec::Kind::CrashRestart &&
-        fault.restart_at <= fault.crash_at) {
-      // A restart scheduled at/before the crash (e.g. restart_at left at
-      // its default 0) would fire first and the crash would then be final —
-      // the opposite of what CrashRestart promises. Fail loudly instead.
-      throw std::invalid_argument(
-          "Deployment: replica " + std::to_string(id) +
-          " has CrashRestart restart_at <= crash_at");
+  // The single shared fault validator (both engines, all fault kinds).
+  validate_faults(config_.faults, config_.n);
+  for (const FaultSpec& fault : config_.faults) {
+    if (fault.kind == FaultSpec::Kind::Byzantine && !coalition_) {
+      coalition_ = std::make_shared<adversary::Coalition>();
     }
   }
   registry_ = std::make_shared<crypto::KeyRegistry>(config_.n, config_.seed);
@@ -42,6 +52,25 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
   auto fault_for = [this](ReplicaId id) {
     return id < config_.faults.size() ? config_.faults[id]
                                       : FaultSpec::honest();
+  };
+  auto qc_tap_for = [&taps](ReplicaId id) -> replica::Replica::QcTap {
+    if (!taps.diem_qc) return nullptr;
+    return [id, tap = taps.diem_qc](const types::Block& block,
+                                    const types::QuorumCert& qc) {
+      tap(id, block, qc);
+    };
+  };
+  auto block_tap_for = [&taps](ReplicaId id) -> StreamletEngine::BlockTap {
+    if (!taps.streamlet_block) return nullptr;
+    return [id, tap = taps.streamlet_block](const types::Block& block) {
+      tap(id, block);
+    };
+  };
+  auto vote_tap_for = [&taps](ReplicaId id) -> StreamletEngine::VoteTap {
+    if (!taps.streamlet_vote) return nullptr;
+    return [id, tap = taps.streamlet_vote](const streamlet::SVote& vote) {
+      tap(id, vote);
+    };
   };
 
   // Seed derivations are kept per protocol (0xabcd / 0x51ee7 network
@@ -57,9 +86,16 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         core.id = id;
         core.n = config_.n;
         const FaultSpec fault = fault_for(id);
+        if (fault.kind == FaultSpec::Kind::Byzantine) {
+          engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
+              core, *diem_network_, registry_, config_.workload,
+              workload_rng.fork(), fault, coalition_, qc_tap_for(id)));
+          continue;
+        }
         engines_.push_back(std::make_unique<DiemEngine>(
             core, *diem_network_, registry_, config_.workload,
-            workload_rng.fork(), fault, observer, make_store(id, fault)));
+            workload_rng.fork(), fault, observer, make_store(id, fault),
+            qc_tap_for(id)));
       }
       break;
     }
@@ -72,9 +108,17 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer)
         core.id = id;
         core.n = config_.n;
         const FaultSpec fault = fault_for(id);
+        if (fault.kind == FaultSpec::Kind::Byzantine) {
+          engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
+              core, *streamlet_network_, registry_, config_.workload,
+              workload_rng.fork(), fault, coalition_, block_tap_for(id),
+              vote_tap_for(id)));
+          continue;
+        }
         engines_.push_back(std::make_unique<StreamletEngine>(
             core, *streamlet_network_, registry_, config_.workload,
-            workload_rng.fork(), fault, observer, make_store(id, fault)));
+            workload_rng.fork(), fault, observer, make_store(id, fault),
+            block_tap_for(id), vote_tap_for(id)));
       }
       break;
     }
@@ -137,6 +181,7 @@ replica::Replica& Deployment::diem_replica(ReplicaId id) {
   if (config_.protocol != Protocol::DiemBft) {
     wrong_protocol(Protocol::DiemBft, config_.protocol);
   }
+  require_honest_slot(*engines_[id], id);
   return static_cast<DiemEngine&>(*engines_[id]).replica();
 }
 
@@ -144,6 +189,7 @@ consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) {
   if (config_.protocol != Protocol::DiemBft) {
     wrong_protocol(Protocol::DiemBft, config_.protocol);
   }
+  require_honest_slot(*engines_[id], id);
   return static_cast<DiemEngine&>(*engines_[id]).core();
 }
 
@@ -151,6 +197,7 @@ const consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) const {
   if (config_.protocol != Protocol::DiemBft) {
     wrong_protocol(Protocol::DiemBft, config_.protocol);
   }
+  require_honest_slot(*engines_[id], id);
   return static_cast<const DiemEngine&>(*engines_[id]).core();
 }
 
@@ -163,6 +210,7 @@ streamlet::StreamletCore& Deployment::streamlet_core(ReplicaId id) {
   if (config_.protocol != Protocol::Streamlet) {
     wrong_protocol(Protocol::Streamlet, config_.protocol);
   }
+  require_honest_slot(*engines_[id], id);
   return static_cast<StreamletEngine&>(*engines_[id]).core();
 }
 
@@ -171,6 +219,7 @@ const streamlet::StreamletCore& Deployment::streamlet_core(
   if (config_.protocol != Protocol::Streamlet) {
     wrong_protocol(Protocol::Streamlet, config_.protocol);
   }
+  require_honest_slot(*engines_[id], id);
   return static_cast<const StreamletEngine&>(*engines_[id]).core();
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "sftbft/adversary/coalition.hpp"
 #include "sftbft/engine/diem_engine.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/engine/streamlet_engine.hpp"
@@ -25,6 +26,16 @@
 #include "sftbft/storage/replica_store.hpp"
 
 namespace sftbft::engine {
+
+/// Audit taps for a global observer (harness::SafetyAuditor): every replica
+/// reports the certificates and votes it processes, attributed by replica
+/// id. Only the taps matching the deployment's protocol fire.
+struct AuditTaps {
+  std::function<void(ReplicaId, const types::Block&, const types::QuorumCert&)>
+      diem_qc;
+  std::function<void(ReplicaId, const types::Block&)> streamlet_block;
+  std::function<void(ReplicaId, const streamlet::SVote&)> streamlet_vote;
+};
 
 struct DeploymentConfig {
   Protocol protocol = Protocol::DiemBft;
@@ -54,10 +65,14 @@ class Deployment {
  public:
   using CommitObserver = engine::CommitObserver;
 
-  /// `observer` may be null. Throws std::invalid_argument if
+  /// `observer` may be null; `taps` (optional) feed a harness-level
+  /// SafetyAuditor. Throws std::invalid_argument if
   /// `config.topology.size() != config.n` (a silently mismatched topology
-  /// was the old ClusterConfig's footgun).
-  explicit Deployment(DeploymentConfig config, CommitObserver observer = nullptr);
+  /// was the old ClusterConfig's footgun) or if any FaultSpec is malformed
+  /// (see validate_faults in engine/fault.hpp — the single shared
+  /// validator for both engines).
+  explicit Deployment(DeploymentConfig config, CommitObserver observer = nullptr,
+                      AuditTaps taps = {});
   ~Deployment();
 
   Deployment(const Deployment&) = delete;
@@ -93,6 +108,13 @@ class Deployment {
   /// Count of replicas that are honest for liveness purposes.
   [[nodiscard]] std::uint32_t honest_count() const;
 
+  /// The Byzantine coalition's shared state, or nullptr when the fault list
+  /// names no Byzantine replica. Benches and the auditor read membership
+  /// and attack stats (equivocations staged, votes forged, ...) from here.
+  [[nodiscard]] const adversary::Coalition* coalition() const {
+    return coalition_.get();
+  }
+
   /// The replica's durable store (nullptr when it runs without one).
   /// Stores exist for CrashRestart-faulted replicas and, with
   /// `persist_all`, for everyone.
@@ -120,6 +142,8 @@ class Deployment {
   DeploymentConfig config_;
   sim::Scheduler sched_;
   std::shared_ptr<const crypto::KeyRegistry> registry_;
+  /// Shared state of all Byzantine replicas (null when there are none).
+  std::shared_ptr<adversary::Coalition> coalition_;
   /// Exactly one network is live, matching config_.protocol.
   std::unique_ptr<replica::DiemNetwork> diem_network_;
   std::unique_ptr<StreamletNetwork> streamlet_network_;

@@ -9,12 +9,14 @@ DiemEngine::DiemEngine(consensus::CoreConfig config,
                        std::shared_ptr<const crypto::KeyRegistry> registry,
                        mempool::WorkloadConfig workload, Rng workload_rng,
                        FaultSpec fault, CommitObserver observer,
-                       storage::ReplicaStore* store)
+                       storage::ReplicaStore* store,
+                       replica::Replica::QcTap qc_tap)
     : network_(network),
       store_(store),
       replica_(std::make_unique<replica::Replica>(
           config, network, std::move(registry), workload,
-          std::move(workload_rng), fault, std::move(observer), store)) {}
+          std::move(workload_rng), fault, std::move(observer), store,
+          std::move(qc_tap))) {}
 
 void DiemEngine::start() {
   replica_->start();

@@ -13,12 +13,14 @@ class DiemEngine final : public ConsensusEngine {
  public:
   /// Wires one DiemBFT replica onto `network`. `config.id` must be set;
   /// the observer may be null. `store` (optional) enables durable state —
-  /// required for Kind::CrashRestart faults and for restart().
+  /// required for Kind::CrashRestart faults and for restart(); `qc_tap`
+  /// (optional) feeds a harness-level SafetyAuditor.
   DiemEngine(consensus::CoreConfig config, replica::DiemNetwork& network,
              std::shared_ptr<const crypto::KeyRegistry> registry,
              mempool::WorkloadConfig workload, Rng workload_rng,
              FaultSpec fault, CommitObserver observer,
-             storage::ReplicaStore* store = nullptr);
+             storage::ReplicaStore* store = nullptr,
+             replica::Replica::QcTap qc_tap = nullptr);
 
   [[nodiscard]] Protocol protocol() const override { return Protocol::DiemBft; }
   [[nodiscard]] ReplicaId id() const override { return replica_->id(); }

@@ -1,0 +1,76 @@
+#include "sftbft/engine/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace sftbft::engine {
+
+namespace {
+
+[[noreturn]] void reject(std::size_t id, const std::string& why) {
+  throw std::invalid_argument("FaultSpec: replica " + std::to_string(id) +
+                              " " + why);
+}
+
+void validate_byzantine(std::size_t id, const adversary::ByzantineSpec& spec,
+                        std::uint32_t n) {
+  using adversary::Strategy;
+  if (spec.empty()) reject(id, "is Byzantine with an empty strategy list");
+  std::unordered_set<std::uint8_t> seen;
+  for (const Strategy strategy : spec.strategies) {
+    if (!seen.insert(static_cast<std::uint8_t>(strategy)).second) {
+      reject(id, std::string("names strategy ") +
+                     adversary::strategy_name(strategy) + " twice");
+    }
+  }
+  if (spec.has(Strategy::WithholdRelease) && spec.withhold_delay <= 0) {
+    reject(id, "has WithholdRelease with withhold_delay <= 0 (a no-op)");
+  }
+  if (spec.has(Strategy::SelectiveSender)) {
+    if (spec.suppress_to.empty()) {
+      reject(id, "has SelectiveSender with an empty suppression set");
+    }
+    for (const ReplicaId to : spec.suppress_to) {
+      if (to >= n) reject(id, "suppresses an out-of-range peer");
+      if (to == id) reject(id, "suppresses itself (use Silent instead)");
+    }
+  } else if (!spec.suppress_to.empty()) {
+    reject(id, "sets suppress_to without the SelectiveSender strategy");
+  }
+}
+
+}  // namespace
+
+void validate_faults(const std::vector<FaultSpec>& faults, std::uint32_t n) {
+  if (faults.size() > n) {
+    throw std::invalid_argument(
+        "FaultSpec: fault list has " + std::to_string(faults.size()) +
+        " entries for " + std::to_string(n) + " replicas");
+  }
+  for (std::size_t id = 0; id < faults.size(); ++id) {
+    const FaultSpec& fault = faults[id];
+    switch (fault.kind) {
+      case FaultSpec::Kind::Honest:
+      case FaultSpec::Kind::Silent:
+        break;
+      case FaultSpec::Kind::Crash:
+        if (fault.crash_at < 0) reject(id, "has a negative crash_at");
+        break;
+      case FaultSpec::Kind::CrashRestart:
+        if (fault.crash_at < 0) reject(id, "has a negative crash_at");
+        if (fault.restart_at <= fault.crash_at) {
+          // A restart scheduled at/before the crash (e.g. restart_at left
+          // at its default 0) would fire first and the crash would then be
+          // final — the opposite of what CrashRestart promises.
+          reject(id, "has CrashRestart restart_at <= crash_at");
+        }
+        break;
+      case FaultSpec::Kind::Byzantine:
+        validate_byzantine(id, fault.byz, n);
+        break;
+    }
+  }
+}
+
+}  // namespace sftbft::engine

@@ -13,35 +13,80 @@
 //             synced but never sends any message (no votes, proposals,
 //             echoes, or timeouts), so its leadership rounds produce
 //             nothing;
+//  * Byzantine — an *actively* adversarial replica (Appendix C / Fig. 9):
+//             runs the strategies named by `byz` (equivocation, forged vote
+//             histories, withheld certificates, selective sending — see
+//             sftbft/adversary/strategy.hpp), coordinated with every other
+//             Byzantine replica in the deployment through one shared
+//             adversary::Coalition;
 //  * stragglers are modelled in the network topology (extra per-replica
 //    delay), not here — see net::Topology::set_extra_delay.
 //
-// Actively equivocating adversaries (Appendix C) are scripted directly in
-// tests/examples against the type layer; they need message-level control a
-// well-formed replica cannot express.
+// Fault lists are validated centrally by validate_faults() — Deployment
+// calls it once at construction, so malformed specs (a restart scheduled
+// before the crash, a Byzantine replica with no strategies) fail loudly in
+// one place instead of per-engine.
 #pragma once
 
+#include <vector>
+
+#include "sftbft/adversary/strategy.hpp"
 #include "sftbft/common/types.hpp"
 
 namespace sftbft::engine {
 
 struct FaultSpec {
-  enum class Kind { Honest, Crash, Silent, CrashRestart };
+  enum class Kind { Honest, Crash, Silent, CrashRestart, Byzantine };
   Kind kind = Kind::Honest;
   /// Crash time (Kind::Crash and Kind::CrashRestart).
   SimTime crash_at = 0;
   /// Restart time (Kind::CrashRestart only; must be > crash_at).
   SimTime restart_at = 0;
+  /// Attack programme (Kind::Byzantine only; must name >= 1 strategy).
+  adversary::ByzantineSpec byz;
 
   static FaultSpec honest() { return {}; }
   static FaultSpec crash_at_time(SimTime at) {
-    return {.kind = Kind::Crash, .crash_at = at};
+    FaultSpec fault;
+    fault.kind = Kind::Crash;
+    fault.crash_at = at;
+    return fault;
   }
-  static FaultSpec silent() { return {.kind = Kind::Silent}; }
+  static FaultSpec silent() {
+    FaultSpec fault;
+    fault.kind = Kind::Silent;
+    return fault;
+  }
   static FaultSpec crash_restart(SimTime crash, SimTime restart) {
-    return {.kind = Kind::CrashRestart, .crash_at = crash,
-            .restart_at = restart};
+    FaultSpec fault;
+    fault.kind = Kind::CrashRestart;
+    fault.crash_at = crash;
+    fault.restart_at = restart;
+    return fault;
+  }
+  static FaultSpec byzantine(adversary::ByzantineSpec spec) {
+    FaultSpec fault;
+    fault.kind = Kind::Byzantine;
+    fault.byz = std::move(spec);
+    return fault;
+  }
+  /// Convenience: Byzantine with the given strategies and default params.
+  static FaultSpec byzantine(std::vector<adversary::Strategy> strategies) {
+    adversary::ByzantineSpec spec;
+    spec.strategies = std::move(strategies);
+    return byzantine(std::move(spec));
   }
 };
+
+/// Central FaultSpec validation, shared by every engine: throws
+/// std::invalid_argument naming the offending replica when
+///  * the list is longer than the deployment (silently ignored faults),
+///  * a CrashRestart's restart_at is not after crash_at,
+///  * a Crash/CrashRestart crash time is negative,
+///  * a Byzantine spec names no strategy,
+///  * WithholdRelease is requested with a non-positive withhold_delay,
+///  * SelectiveSender's suppression set is empty, out of range, or contains
+///    the replica itself.
+void validate_faults(const std::vector<FaultSpec>& faults, std::uint32_t n);
 
 }  // namespace sftbft::engine

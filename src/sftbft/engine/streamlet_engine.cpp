@@ -16,7 +16,8 @@ StreamletEngine::StreamletEngine(
     streamlet::StreamletConfig config, StreamletNetwork& network,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
-    CommitObserver observer, storage::ReplicaStore* store)
+    CommitObserver observer, storage::ReplicaStore* store, BlockTap block_tap,
+    VoteTap vote_tap)
     : id_(config.id),
       network_(network),
       fault_(fault),
@@ -57,6 +58,8 @@ StreamletEngine::StreamletEngine(
                            SimTime now) {
     if (observer_) observer_(id_, block, strength, now);
   };
+  hooks.on_block_seen = std::move(block_tap);
+  hooks.on_vote_seen = std::move(vote_tap);
 
   core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
                                           std::move(registry), pool_,

@@ -20,14 +20,21 @@ using StreamletNetwork = net::SimNetwork<streamlet::SMessage>;
 
 class StreamletEngine final : public ConsensusEngine {
  public:
+  /// Auditing taps: blocks admitted to / votes ingested by this replica
+  /// (see StreamletCore::Hooks::{on_block_seen,on_vote_seen}).
+  using BlockTap = std::function<void(const types::Block&)>;
+  using VoteTap = std::function<void(const streamlet::SVote&)>;
+
   /// Wires one Streamlet replica onto `network`. `config.id` must be set;
   /// the observer may be null. `store` (optional) enables durable state —
-  /// required for Kind::CrashRestart faults and for restart().
+  /// required for Kind::CrashRestart faults and for restart(); the taps
+  /// (optional) feed a harness-level SafetyAuditor.
   StreamletEngine(streamlet::StreamletConfig config, StreamletNetwork& network,
                   std::shared_ptr<const crypto::KeyRegistry> registry,
                   mempool::WorkloadConfig workload, Rng workload_rng,
                   FaultSpec fault, CommitObserver observer,
-                  storage::ReplicaStore* store = nullptr);
+                  storage::ReplicaStore* store = nullptr,
+                  BlockTap block_tap = nullptr, VoteTap vote_tap = nullptr);
 
   [[nodiscard]] Protocol protocol() const override {
     return Protocol::Streamlet;

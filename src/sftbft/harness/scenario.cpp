@@ -82,30 +82,46 @@ net::Topology Scenario::build_topology() const {
 
 std::vector<engine::FaultSpec> Scenario::effective_faults() const {
   std::vector<engine::FaultSpec> merged = faults;
-  if (crash_restart_count == 0 || n < 2) return merged;  // no one to churn
+  if ((crash_restart_count == 0 && byzantine_count == 0) || n < 2) {
+    return merged;
+  }
   if (merged.size() < n) merged.resize(n, engine::FaultSpec::honest());
-  // Spread churned replicas over [1, n) — id 0 stays up as the metrics
-  // anchor — and stagger the crashes so the cluster never loses more than
-  // one recovering replica at a time unless asked to. Preferred ids are
-  // stride-spaced; an occupied slot (explicit fault, or a collision when
-  // count > n - 1) probes forward to the next honest id rather than
-  // silently producing fewer cycles, and churn stops only when every
-  // non-anchor replica is already faulted.
+  // Spread placed replicas over [1, n) — id 0 stays up as the metrics
+  // anchor. Preferred ids are stride-spaced; an occupied slot (explicit
+  // fault, or a collision when count > n - 1) probes forward to the next
+  // honest id rather than silently producing fewer placements, and
+  // placement stops only when every non-anchor replica is already faulted.
   const std::uint32_t span = n - 1;
-  const std::uint32_t stride = std::max(1u, span / crash_restart_count);
-  for (std::uint32_t k = 0; k < crash_restart_count; ++k) {
-    ReplicaId id = 1 + (k * stride) % span;
-    std::uint32_t probes = 0;
-    while (merged[id].kind != engine::FaultSpec::Kind::Honest &&
-           probes < span) {
-      id = 1 + (id % span);
-      ++probes;
+  const auto place = [&](std::uint32_t count, auto&& make_spec) {
+    const std::uint32_t stride = std::max(1u, span / count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      ReplicaId id = 1 + (k * stride) % span;
+      std::uint32_t probes = 0;
+      while (merged[id].kind != engine::FaultSpec::Kind::Honest &&
+             probes < span) {
+        id = 1 + (id % span);
+        ++probes;
+      }
+      if (probes == span) break;  // every candidate replica already faulted
+      merged[id] = make_spec(k);
     }
-    if (probes == span) break;  // every candidate replica already faulted
-    const SimTime crash =
-        crash_restart_first + static_cast<SimTime>(k) * crash_restart_stagger;
-    merged[id] =
-        engine::FaultSpec::crash_restart(crash, crash + crash_restart_downtime);
+  };
+
+  // Coalition placement first (the attack is the experiment's subject);
+  // crash churn probes around it.
+  if (byzantine_count > 0) {
+    place(byzantine_count,
+          [&](std::uint32_t) { return engine::FaultSpec::byzantine(byzantine); });
+  }
+  // Stagger the crashes so the cluster never loses more than one recovering
+  // replica at a time unless asked to.
+  if (crash_restart_count > 0) {
+    place(crash_restart_count, [&](std::uint32_t k) {
+      const SimTime crash = crash_restart_first +
+                            static_cast<SimTime>(k) * crash_restart_stagger;
+      return engine::FaultSpec::crash_restart(
+          crash, crash + crash_restart_downtime);
+    });
   }
   return merged;
 }
@@ -150,6 +166,7 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
 
   deployment.streamlet.delta_bound = streamlet_delta_bound;
   deployment.streamlet.sft = mode != consensus::CoreMode::Plain;
+  deployment.streamlet.counting = counting;
   deployment.streamlet.echo = streamlet_echo;
   deployment.streamlet.max_batch = max_batch;
   deployment.streamlet.verify_signatures = verify_signatures;

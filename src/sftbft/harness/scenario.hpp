@@ -95,6 +95,14 @@ struct Scenario {
   /// crash/Byzantine scenarios identically on both engines).
   std::vector<engine::FaultSpec> faults;
 
+  /// Byzantine coalition (adversary layer): `byzantine_count` replicas,
+  /// spread over [1, n) — id 0 stays honest as the metrics anchor — all run
+  /// the `byzantine` strategy spec, coordinated through one shared
+  /// adversary::Coalition. Merged into `faults` by to_deployment_config();
+  /// explicit fault entries win. See sftbft/adversary/strategy.hpp.
+  std::uint32_t byzantine_count = 0;
+  adversary::ByzantineSpec byzantine;
+
   /// Crash-recovery churn (storage layer): `crash_restart_count` replicas,
   /// spread over the id space (avoiding id 0, the metrics replica), crash
   /// at staggered times and restart `crash_restart_downtime` later from

@@ -47,6 +47,30 @@ std::string Table::render() const {
   return out;
 }
 
+std::string Table::render_json() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r == 0 ? "\n" : ",\n";
+    out += "    {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += '"' + escape(headers_[c]) + "\": \"" + escape(rows_[r][c]) + '"';
+    }
+    out += '}';
+  }
+  out += rows_.empty() ? "]" : "\n  ]";
+  return out;
+}
+
 std::string Table::render_csv() const {
   auto join = [](const std::vector<std::string>& cells) {
     std::string line;

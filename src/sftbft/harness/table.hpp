@@ -24,6 +24,11 @@ class Table {
   /// Renders as CSV (for replotting).
   [[nodiscard]] std::string render_csv() const;
 
+  /// Renders as a JSON array of row objects keyed by header (for the
+  /// bench --json artifacts). Cells stay strings — the artifact mirrors the
+  /// printed table verbatim.
+  [[nodiscard]] std::string render_json() const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -15,8 +15,16 @@ bool LightClient::verify(const StrongCommitProof& proof) const {
   const Block& carrier_block = proof.carrier.block;
 
   // 1. Carrier block integrity + proposer legitimacy (round-robin rotation
-  //    is public knowledge) + Log-covering signature.
+  //    is public knowledge) + Log-covering signature. The Log must also
+  //    match the digest sealed into the block header — that digest is what
+  //    the QC's voters actually signed over, so without this check a
+  //    corrupted proposer could re-sign a different Log under an
+  //    already-certified block.
   if (!carrier_block.id_is_valid()) return false;
+  if (carrier_block.log_digest !=
+      types::commit_log_digest(proof.carrier.commit_log)) {
+    return false;
+  }
   if (carrier_block.proposer != carrier_block.round % n_) return false;
   if (proof.carrier.sig.signer != carrier_block.proposer) return false;
   if (!registry_->verify(proof.carrier.sig, proof.carrier.signing_bytes())) {

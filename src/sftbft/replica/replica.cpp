@@ -14,7 +14,7 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
                  std::shared_ptr<const crypto::KeyRegistry> registry,
                  mempool::WorkloadConfig workload, Rng workload_rng,
                  FaultSpec fault, CommitObserver observer,
-                 storage::ReplicaStore* store)
+                 storage::ReplicaStore* store, QcTap qc_tap)
     : id_(config.id),
       network_(network),
       fault_(fault),
@@ -57,6 +57,7 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
                            SimTime now) {
     if (observer_) observer_(id_, block, strength, now);
   };
+  hooks.on_canonical_qc = std::move(qc_tap);
 
   core_ = std::make_unique<DiemBftCore>(config, network.scheduler(), registry,
                                         pool_, std::move(hooks), store);

@@ -27,12 +27,18 @@ class Replica {
   using CommitObserver = std::function<void(
       ReplicaId, const types::Block&, std::uint32_t, SimTime)>;
 
-  /// `store` (optional) enables durable state + crash recovery (restart()).
+  /// Auditing tap: every canonical QC this replica processes, with the
+  /// certified block (see DiemBftCore::Hooks::on_canonical_qc).
+  using QcTap =
+      std::function<void(const types::Block&, const types::QuorumCert&)>;
+
+  /// `store` (optional) enables durable state + crash recovery (restart());
+  /// `qc_tap` (optional) feeds a harness-level auditor.
   Replica(consensus::CoreConfig config, DiemNetwork& network,
           std::shared_ptr<const crypto::KeyRegistry> registry,
           mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
           CommitObserver observer,
-          storage::ReplicaStore* store = nullptr);
+          storage::ReplicaStore* store = nullptr, QcTap qc_tap = nullptr);
 
   /// Registers the network handler, fills the mempool, arms the crash timer
   /// (Kind::Crash only — CrashRestart timers belong to the engine layer),

@@ -186,10 +186,20 @@ void StreamletCore::on_sync_response(const SSyncResponse& resp) {
   // an uncertified synced block is inert.
   for (const Block& block : resp.blocks) {
     if (!block.id_is_valid()) return;
-    tree_.insert(block);
+    if (tree_.insert(block) == chain::BlockTree::InsertResult::Inserted &&
+        hooks_.on_block_seen) {
+      hooks_.on_block_seen(block);
+    }
   }
   for (const SVote& vote : resp.votes) {
     ingest_vote(vote, /*allow_echo=*/false);
+  }
+  // A mid-run sync (orphan repair under an equivocating leader) can deliver
+  // blocks whose quorum of votes this replica already held — ingest_vote
+  // dedupes those, so certification must be re-checked explicitly now that
+  // the blocks exist.
+  for (const Block& block : resp.blocks) {
+    try_certify(block.id);
   }
   resolve_frontier();
   awaiting_sync_ = false;
@@ -249,7 +259,23 @@ void StreamletCore::on_proposal(const SProposal& proposal) {
   const auto inserted = tree_.insert(block);
   if (inserted == chain::BlockTree::InsertResult::Rejected) return;
   if (unseen && config_.echo && hooks_.echo) hooks_.echo(SMessage{proposal});
+  if (inserted == chain::BlockTree::InsertResult::Orphaned &&
+      !orphan_repair_armed_) {
+    // Orphan repair: an equivocating leader (Appendix C) may have shown this
+    // replica only the losing fork, and with the echo disabled the winning
+    // block never arrives by itself — every later proposal orphans behind
+    // it. Fall back to block sync (the crash-recovery machinery; responses
+    // carry a certifying vote quorum per block).
+    orphan_repair_armed_ = true;
+    sched_.schedule_after(4 * config_.delta_bound,
+                          [this, parent_id = block.parent_id] {
+      orphan_repair_armed_ = false;
+      if (stopped_ || tree_.contains(parent_id)) return;
+      request_sync();
+    });
+  }
   if (inserted == chain::BlockTree::InsertResult::Inserted) {
+    if (hooks_.on_block_seen) hooks_.on_block_seen(block);
     // Votes may have arrived (via echo) before the proposal.
     try_certify(block.id);
     maybe_vote(block);
@@ -317,6 +343,7 @@ void StreamletCore::ingest_vote(const SVote& vote, bool allow_echo) {
   }
   auto& per_voter = votes_[vote.block_id];
   if (!per_voter.emplace(vote.voter, vote).second) return;  // duplicate
+  if (hooks_.on_vote_seen) hooks_.on_vote_seen(vote);
   if (allow_echo && config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
   if (config_.sft) record_endorsement(vote);
   try_certify(vote.block_id);
@@ -344,6 +371,13 @@ void StreamletCore::try_certify(const BlockId& id) {
 void StreamletCore::record_endorsement(const SVote& vote) {
   const Block* block = tree_.get(vote.block_id);
   if (block == nullptr) return;
+  // Appendix-C strawman: count every indirect vote as if it carried no
+  // history (marker 0 endorses every ancestor height). Provably unsafe —
+  // exists only so bench/tab_adversary can demonstrate the break.
+  const Height marker =
+      config_.counting == consensus::CountingRule::NaiveAllIndirect
+          ? 0
+          : vote.marker;
   // Direct votes always endorse their own block (the B = B' case): record
   // marker 0 so every k > 0 counts it.
   auto& own = min_marker_[block->id];
@@ -354,10 +388,10 @@ void StreamletCore::record_endorsement(const SVote& vote) {
        ancestor != nullptr && ancestor->height > 0;
        ancestor = tree_.parent_of(ancestor->id)) {
     auto& markers = min_marker_[ancestor->id];
-    auto [mit, fresh] = markers.try_emplace(vote.voter, vote.marker);
+    auto [mit, fresh] = markers.try_emplace(vote.voter, marker);
     if (!fresh) {
-      if (mit->second <= vote.marker) break;  // older vote was as permissive
-      mit->second = vote.marker;
+      if (mit->second <= marker) break;  // older vote was as permissive
+      mit->second = marker;
     }
   }
 }

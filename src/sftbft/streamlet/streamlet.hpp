@@ -35,6 +35,7 @@
 #include "sftbft/chain/block_tree.hpp"
 #include "sftbft/chain/ledger.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/consensus/endorsement.hpp"
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/sim/scheduler.hpp"
@@ -50,6 +51,12 @@ struct StreamletConfig {
   SimDuration delta_bound = millis(50);
   /// Strong-votes + strong commit rule (Fig. 11); false = plain Streamlet.
   bool sft = true;
+  /// How k-endorsers are counted (sft mode only): the Fig. 11 height-marker
+  /// rule, or the Appendix-C NaiveAllIndirect strawman (every indirect vote
+  /// counts, markers ignored) — the same comparison knob the DiemBFT core
+  /// exposes, here so bench/tab_adversary can break the strawman on both
+  /// engines. Markers are still *sent* truthfully; only counting changes.
+  consensus::CountingRule counting = consensus::CountingRule::Sft;
   /// Forward unseen messages to all (the protocol's echo; expensive).
   bool echo = true;
   std::size_t max_batch = 100;
@@ -124,6 +131,12 @@ class StreamletCore {
     std::function<void(ReplicaId to, const SSyncRequest&)> send_sync_request;
     std::function<void(ReplicaId to, const SSyncResponse&)>
         send_sync_response;
+    /// Auditing taps (harness::SafetyAuditor): every block admitted to the
+    /// tree and every distinct vote ingested, fired *before* the vote feeds
+    /// the local endorsement bookkeeping — a global observer is always at
+    /// least as informed as the replica it audits. May be empty.
+    std::function<void(const types::Block&)> on_block_seen;
+    std::function<void(const SVote&)> on_vote_seen;
   };
 
   /// `store` (optional) enables durability (WAL'd votes + ledger snapshots)
@@ -210,6 +223,8 @@ class StreamletCore {
   bool awaiting_sync_ = false;
   /// Rotates the sync peer window across retries (see request_sync()).
   std::uint32_t sync_attempts_ = 0;
+  /// One orphan-repair timer at a time (see on_proposal).
+  bool orphan_repair_armed_ = false;
   /// Restored frontier records whose blocks are not in the tree yet. Until
   /// sync resolves them they act as a conservative marker floor (markers
   /// reported to peers are at least the max unresolved height; over-

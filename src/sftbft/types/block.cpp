@@ -17,6 +17,7 @@ crypto::Sha256Digest Block::compute_id() const {
   Encoder payload_enc;
   payload.encode(payload_enc);
   enc.raw(crypto::Sha256::hash(payload_enc.data()).bytes);
+  enc.raw(log_digest.bytes);
   enc.i64(created_at);
   return crypto::Sha256::hash(enc.data());
 }
@@ -43,6 +44,7 @@ void Block::encode(Encoder& enc) const {
   enc.u32(proposer);
   qc.encode(enc);
   payload.encode(enc);
+  enc.raw(log_digest.bytes);
   enc.i64(created_at);
 }
 
@@ -57,6 +59,8 @@ Block Block::decode(Decoder& dec) {
   block.proposer = dec.u32();
   block.qc = QuorumCert::decode(dec);
   block.payload = Payload::decode(dec);
+  raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), block.log_digest.bytes.begin());
   block.created_at = dec.i64();
   return block;
 }

@@ -25,6 +25,13 @@ struct Block {
   ReplicaId proposer = kNoReplica;
   QuorumCert qc;         ///< certifies the parent block
   Payload payload;
+  /// Digest of the proposal's Sec.-5 commit Log (zero when the proposal
+  /// carries none). Sealing it into the header is what lets a QC vouch for
+  /// the Log: votes sign the block id, so a corrupted proposer cannot
+  /// rewrite the Log under an already-certified block — the binding
+  /// StrongCommitProof verification depends on (see types::proposal and
+  /// lightclient).
+  crypto::Sha256Digest log_digest{};
   /// Simulation metadata: creation time at the proposer. The paper measures
   /// strong-commit latency "from when a block is created" (Sec. 4).
   SimTime created_at = 0;

@@ -1,6 +1,18 @@
 #include "sftbft/types/proposal.hpp"
 
+#include "sftbft/crypto/sha256.hpp"
+
 namespace sftbft::types {
+
+crypto::Sha256Digest commit_log_digest(
+    const std::vector<CommitLogEntry>& log) {
+  if (log.empty()) return {};  // log-less blocks keep a zero digest
+  Encoder enc;
+  enc.str("sftbft/commit-log");
+  enc.u32(static_cast<std::uint32_t>(log.size()));
+  for (const CommitLogEntry& entry : log) entry.encode(enc);
+  return crypto::Sha256::hash(enc.data());
+}
 
 void CommitLogEntry::encode(Encoder& enc) const {
   enc.raw(block_id.bytes);

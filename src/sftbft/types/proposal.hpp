@@ -32,6 +32,15 @@ struct CommitLogEntry {
   friend bool operator==(const CommitLogEntry&, const CommitLogEntry&) = default;
 };
 
+/// Canonical digest of a commit Log, sealed into Block::log_digest by the
+/// proposer (zero for an empty Log). Because votes sign the block id, this
+/// is what extends QC certification to the Log itself: a corrupted proposer
+/// cannot re-sign a different Log under an already-certified block
+/// (Sec. 5's "at least one honest replica agrees on the update" argument
+/// needs the voters to be bound to the Log they validated).
+[[nodiscard]] crypto::Sha256Digest commit_log_digest(
+    const std::vector<CommitLogEntry>& log);
+
 struct Proposal {
   Block block;
   /// Present when the proposal follows a timed-out round.

@@ -1,201 +1,107 @@
-// Equivocating-leader scenario across two honest cores (the network-level
-// companion to the Appendix-C endorsement test): a Byzantine round-2 leader
-// shows different round-2 blocks to different honest replicas. Safety must
-// hold, and the fork-side replica's later strong-votes must carry the
-// truthful marker that denies endorsement to the branch it conflicted with.
+// Equivocating-leader scenario, driven through the adversary subsystem (the
+// engine-level port of the old hand-scripted vote schedule; the original
+// type-layer Appendix-C script survives as naive_counter_test.cpp, the
+// regression guard for the counting rules themselves).
+//
+// A Byzantine leader (adversary::Strategy::EquivocatingLeader) shows
+// conflicting same-round blocks to disjoint honest subsets via the real
+// DiemBFT engine stack. Safety must hold, and the fork-side replicas'
+// voting history must truthfully deny endorsement to the branch they
+// conflicted with — the exact property the old scripted test pinned.
 #include <gtest/gtest.h>
 
-#include "sftbft/consensus/diembft.hpp"
+#include "sftbft/adversary/coalition.hpp"
+#include "sftbft/engine/deployment.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft {
 namespace {
 
-using types::Block;
-using types::Proposal;
-using types::QuorumCert;
-using types::Vote;
-using types::VoteMode;
-
-constexpr std::uint32_t kN = 4;
-
-struct CoreUnderTest {
-  std::vector<std::pair<ReplicaId, Vote>> votes;
-  std::unique_ptr<DiemBftCore> core;
-
-  CoreUnderTest(ReplicaId id, sim::Scheduler& sched,
-                std::shared_ptr<crypto::KeyRegistry> registry,
-                mempool::Mempool& pool) {
-    CoreConfig config;
-    config.id = id;
-    config.n = kN;
-    config.mode = CoreMode::SftMarker;
-    config.base_timeout = seconds(100);  // timers out of the way
-    config.max_batch = 1;
-    DiemBftCore::Hooks hooks;
-    hooks.send_vote = [this](ReplicaId to, const Vote& vote) {
-      votes.emplace_back(to, vote);
-    };
-    hooks.broadcast_proposal = [](const Proposal&) {};
-    hooks.broadcast_timeout = [](const types::TimeoutMsg&) {};
-    core = std::make_unique<DiemBftCore>(config, sched, std::move(registry),
-                                         pool, std::move(hooks));
-    core->start();
-  }
-};
+using adversary::Strategy;
+using engine::Deployment;
+using engine::DeploymentConfig;
+using engine::FaultSpec;
 
 class EquivocationTest : public ::testing::Test {
  protected:
-  EquivocationTest()
-      : registry_(std::make_shared<crypto::KeyRegistry>(kN, 8)),
-        honest_a_(0, sched_, registry_, pool_a_),
-        honest_b_(3, sched_, registry_, pool_b_) {}
+  static constexpr std::uint32_t kN = 4;
+  static constexpr ReplicaId kByzantine = 2;
 
-  Proposal make_proposal(const Block& parent, Round round,
-                         const QuorumCert& qc, std::uint64_t salt = 0) {
-    Block block;
-    block.parent_id = parent.id;
-    block.round = round;
-    block.height = parent.height + 1;
-    block.proposer = static_cast<ReplicaId>(round % kN);
-    block.qc = qc;
-    block.created_at = static_cast<SimTime>(salt);  // differentiates forks
-    block.seal();
-    Proposal proposal;
-    proposal.block = block;
-    proposal.sig =
-        registry_->signer_for(block.proposer).sign(proposal.signing_bytes());
-    return proposal;
+  void SetUp() override {
+    DeploymentConfig config;
+    config.n = kN;
+    config.diem.mode = consensus::CoreMode::SftMarker;
+    config.diem.base_timeout = millis(400);
+    config.diem.leader_processing = millis(5);
+    config.diem.max_batch = 4;
+    config.topology = net::Topology::uniform(kN, millis(10));
+    config.net.jitter = millis(2);
+    config.seed = 8;
+    config.faults.resize(kN, FaultSpec::honest());
+    config.faults[kByzantine] =
+        FaultSpec::byzantine({Strategy::EquivocatingLeader});
+    cluster_ = std::make_unique<Deployment>(std::move(config));
+    cluster_->start();
+    cluster_->run_for(seconds(10));
   }
 
-  QuorumCert qc_for(const Block& block,
-                    const std::vector<std::pair<ReplicaId, Round>>& voters) {
-    QuorumCert qc;
-    qc.block_id = block.id;
-    qc.round = block.round;
-    qc.parent_id = block.parent_id;
-    qc.parent_round = block.qc.round;
-    for (const auto& [voter, marker] : voters) {
-      Vote vote;
-      vote.block_id = block.id;
-      vote.round = block.round;
-      vote.voter = voter;
-      vote.mode = VoteMode::Marker;
-      vote.marker = marker;
-      vote.sig = registry_->signer_for(voter).sign(vote.signing_bytes());
-      qc.votes.push_back(vote);
-    }
-    qc.canonicalize();
-    return qc;
-  }
-
-  QuorumCert genesis_qc(const DiemBftCore& core) {
-    QuorumCert qc;
-    qc.block_id = core.tree().genesis_id();
-    return qc;
-  }
-
-  sim::Scheduler sched_;
-  std::shared_ptr<crypto::KeyRegistry> registry_;
-  mempool::Mempool pool_a_, pool_b_;
-  CoreUnderTest honest_a_;  // replica 0
-  CoreUnderTest honest_b_;  // replica 3
+  std::unique_ptr<Deployment> cluster_;
 };
 
 TEST_F(EquivocationTest, ForkSideVotesCarryTruthfulMarkers) {
-  // Round 1 (honest leader 1): both honest replicas see the same block.
-  const Proposal p1 =
-      make_proposal(honest_a_.core->tree().genesis(), 1,
-                    genesis_qc(*honest_a_.core));
-  honest_a_.core->on_proposal(p1);
-  honest_b_.core->on_proposal(p1);
-  ASSERT_EQ(honest_a_.votes.size(), 1u);
-  ASSERT_EQ(honest_b_.votes.size(), 1u);
+  const adversary::Coalition* coalition = cluster_->coalition();
+  ASSERT_NE(coalition, nullptr);
+  ASSERT_GT(coalition->stats().equivocations, 0u) << "the attack never ran";
+  ASSERT_FALSE(coalition->forks().empty());
 
-  // Round 2: the Byzantine leader (2 = 2 % 4) equivocates. Replica 0 sees
-  // fork X, replica 3 sees fork Y — both extending p1.
-  const QuorumCert qc1 = qc_for(
-      p1.block, {{0, 0}, {2, 0}, {3, 0}});  // 2f+1 = 3 round-1 votes
-  const Proposal fork_x = make_proposal(p1.block, 2, qc1, /*salt=*/100);
-  const Proposal fork_y = make_proposal(p1.block, 2, qc1, /*salt=*/200);
-  ASSERT_NE(fork_x.block.id, fork_y.block.id);
-  honest_a_.core->on_proposal(fork_x);
-  honest_b_.core->on_proposal(fork_y);
-  // The equivocation is eventually visible to everyone (the next proposal
-  // chains to fork X): deliver the other branch too. Neither replica votes
-  // twice in round 2, but both now hold both blocks.
-  honest_b_.core->on_proposal(fork_x);
-  honest_a_.core->on_proposal(fork_y);
-  ASSERT_EQ(honest_a_.votes.size(), 2u);  // each voted its own fork view
-  ASSERT_EQ(honest_b_.votes.size(), 2u);
-  EXPECT_EQ(honest_a_.votes[1].second.block_id, fork_x.block.id);
-  EXPECT_EQ(honest_b_.votes[1].second.block_id, fork_y.block.id);
+  // At least one honest replica voted the losing fork of some equivocation:
+  // its VoteHistory frontier keeps that block forever (nothing extends it),
+  // and every later strong-vote's marker must deny the conflicting rounds.
+  bool fork_side_found = false;
+  for (ReplicaId id = 0; id < kN; ++id) {
+    if (id == kByzantine) continue;
+    const auto& core = cluster_->diem_core(id);
+    const auto& frontier = core.vote_history().frontier();
+    if (frontier.size() < 2) continue;  // never voted across forks
+    fork_side_found = true;
 
-  // Round 3 (honest leader 3 — but we script delivery): fork X got
-  // certified (votes of 0, 2-Byzantine, plus a scripted 4th view); the
-  // round-3 block extends fork X and reaches BOTH replicas.
-  const QuorumCert qc_x =
-      qc_for(fork_x.block, {{0, 0}, {1, 0}, {2, 0}});
-  const Proposal p3 = make_proposal(fork_x.block, 3, qc_x);
-  honest_a_.core->on_proposal(p3);
-  honest_b_.core->on_proposal(p3);
+    const auto tip_height = core.ledger().tip();
+    ASSERT_TRUE(tip_height.has_value());
+    const types::Block* tip =
+        core.tree().get(core.ledger().at(*tip_height).block_id);
+    ASSERT_NE(tip, nullptr);
 
-  // Replica 0 (clean history) endorses everything: marker 0.
-  ASSERT_EQ(honest_a_.votes.size(), 3u);
-  EXPECT_EQ(honest_a_.votes[2].second.marker, 0u);
-
-  // Replica 3 voted the conflicting fork Y at round 2: its strong-vote for
-  // p3 MUST carry marker 2 — it endorses p3 but not fork X (round 2).
-  ASSERT_EQ(honest_b_.votes.size(), 3u);
-  const Vote& b_vote = honest_b_.votes[2].second;
-  EXPECT_EQ(b_vote.block_id, p3.block.id);
-  EXPECT_EQ(b_vote.marker, 2u);
-  EXPECT_TRUE(b_vote.endorses_round(3));
-  EXPECT_FALSE(b_vote.endorses_round(2));
-  EXPECT_FALSE(b_vote.endorses_round(1));
+    // The newest frontier entry is on the live chain; every older one is a
+    // fork remnant whose round the truthful marker must cover.
+    Round fork_round = 0;
+    for (const auto& entry : frontier) {
+      if (core.tree().conflicts(entry.block_id, tip->id)) {
+        fork_round = std::max(fork_round, entry.round);
+      }
+    }
+    ASSERT_GT(fork_round, 0u) << "frontier held no conflicting fork entry";
+    EXPECT_GE(core.vote_history().marker_for(*tip), fork_round)
+        << "replica " << id << " under-reports its conflicting history";
+  }
+  EXPECT_TRUE(fork_side_found)
+      << "no honest replica ever voted a losing fork — attack ineffective";
 }
 
 TEST_F(EquivocationTest, NoConflictingCommitsAcrossViews) {
-  // Extend both forks far enough to commit on fork X; replica 3 (which saw
-  // fork Y at round 2) must converge to the same committed chain.
-  const Proposal p1 = make_proposal(honest_a_.core->tree().genesis(), 1,
-                                    genesis_qc(*honest_a_.core));
-  honest_a_.core->on_proposal(p1);
-  honest_b_.core->on_proposal(p1);
-  const QuorumCert qc1 = qc_for(p1.block, {{0, 0}, {2, 0}, {3, 0}});
-  const Proposal fork_x = make_proposal(p1.block, 2, qc1, 100);
-  const Proposal fork_y = make_proposal(p1.block, 2, qc1, 200);
-  honest_a_.core->on_proposal(fork_x);
-  honest_b_.core->on_proposal(fork_y);
-  honest_b_.core->on_proposal(fork_x);  // equivocation revealed to B
-
-  // Chain rounds 3..5 on fork X, delivered to both replicas.
-  const Block* parent = &fork_x.block;
-  QuorumCert qc_parent = qc_for(fork_x.block, {{0, 0}, {1, 0}, {2, 0}});
-  std::vector<Proposal> chain;
-  for (Round round = 3; round <= 5; ++round) {
-    chain.push_back(make_proposal(*parent, round, qc_parent));
-    parent = &chain.back().block;
-    // Replica 3's real vote would carry marker 2; the QC uses replicas
-    // 0,1,2 (marker 0) — a quorum that never conflicted.
-    qc_parent = qc_for(*parent, {{0, 0}, {1, 0}, {2, 0}});
-  }
-  for (const Proposal& proposal : chain) {
-    honest_a_.core->on_proposal(proposal);
-    honest_b_.core->on_proposal(proposal);
-  }
-
-  // The 3-chain (2,3,4) commits fork X's round-2 block on both replicas —
-  // identical ledgers despite the equivocation, and fork Y is abandoned.
-  const auto& ledger_a = honest_a_.core->ledger();
-  const auto& ledger_b = honest_b_.core->ledger();
-  ASSERT_TRUE(ledger_a.is_committed(2));
-  ASSERT_TRUE(ledger_b.is_committed(2));
-  EXPECT_EQ(ledger_a.at(2).block_id, fork_x.block.id);
-  EXPECT_EQ(ledger_b.at(2).block_id, fork_x.block.id);
-  for (Height h = 1; h <= 2; ++h) {
-    EXPECT_EQ(ledger_a.at(h).block_id, ledger_b.at(h).block_id);
+  // Despite every staged fork, all honest ledgers agree on the common
+  // prefix and the cluster kept committing.
+  const auto& ledger0 = cluster_->ledger(0);
+  ASSERT_GT(ledger0.tip().value_or(0), 0u);
+  for (ReplicaId id = 1; id < kN; ++id) {
+    if (id == kByzantine) continue;
+    const auto& ledger = cluster_->ledger(id);
+    const Height common =
+        std::min(ledger0.tip().value_or(0), ledger.tip().value_or(0));
+    for (Height h = 1; h <= common; ++h) {
+      ASSERT_EQ(ledger0.at(h).block_id, ledger.at(h).block_id)
+          << "conflicting commit at height " << h << " on replica " << id;
+    }
   }
 }
 
 }  // namespace
-}  // namespace sftbft::consensus
+}  // namespace sftbft

@@ -136,6 +136,95 @@ TEST_F(LightClientTest, RejectsBrokenAncestryPath) {
   }
 }
 
+TEST_F(LightClientTest, RejectsDuplicateSignerQc) {
+  // An adversary controlling f + 1 replicas padding a QC to 2f + 1 votes by
+  // repeating its own signers: size passes, distinctness must not.
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  ASSERT_GE(forged.carrier_qc.votes.size(), 2u);
+  forged.carrier_qc.votes[1] = forged.carrier_qc.votes[0];  // duplicate voter
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsAdversaryForgedCommitLog) {
+  // A corrupted leader CAN sign a carrier proposal whose Log claims any
+  // strength it likes — the proof must still die on the certification step:
+  // without 2f + 1 distinct honest-or-not voters the Log is worthless.
+  const auto target = strong_block();
+  const auto honest =
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
+  ASSERT_TRUE(honest.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *honest;
+  // The corrupted proposer rewrites the Log entry to an inflated strength
+  // and re-signs the proposal with its own (legitimate) key.
+  ASSERT_FALSE(forged.carrier.commit_log.empty());
+  forged.carrier.commit_log[0].strength = 2 * kF;
+  forged.entry = forged.carrier.commit_log[0];
+  forged.target = forged.entry.block_id;
+  forged.path.clear();
+  const ReplicaId proposer = forged.carrier.block.proposer;
+  forged.carrier.sig = cluster_->registry()
+                           ->signer_for(proposer)
+                           .sign(forged.carrier.signing_bytes());
+  // The proposer's re-signature is valid, but the Log digest sealed into
+  // the (still certified) block header no longer matches the rewritten Log.
+  EXPECT_FALSE(client.verify(forged));
+
+  // Even rebuilding the carrier block around the forged Log fails: the new
+  // block id voids the original QC, and the f + 1 colluding replicas cannot
+  // produce 2f + 1 distinct valid votes for the rebuilt block.
+  forged.carrier.block.log_digest =
+      types::commit_log_digest(forged.carrier.commit_log);
+  forged.carrier.block.seal();
+  forged.carrier.sig = cluster_->registry()
+                           ->signer_for(proposer)
+                           .sign(forged.carrier.signing_bytes());
+  forged.carrier_qc.block_id = forged.carrier.block.id;
+  for (auto& vote : forged.carrier_qc.votes) {
+    vote.block_id = forged.carrier.block.id;
+    const ReplicaId colluder = vote.voter % (kF + 1);  // only f+1 keys
+    vote.voter = colluder;
+    vote.sig = cluster_->registry()->signer_for(colluder).sign(
+        vote.signing_bytes());
+  }
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsTruncatedBlockPath) {
+  // Find a proof whose claim rides on a descendant 3-chain head, so the
+  // ancestry path is non-empty, then truncate it at both ends.
+  lightclient::LightClient client(cluster_->registry(), kN);
+  const auto& core = cluster_->diem_core(0);
+  for (const auto& entry : core.ledger().snapshot()) {
+    if (entry.strength < 2 * kF) continue;
+    const auto proof =
+        lightclient::build_proof(core, entry.block_id, 2 * kF);
+    if (!proof || proof->path.empty()) continue;
+    ASSERT_TRUE(client.verify(*proof));
+
+    auto forged = *proof;
+    forged.path.pop_back();  // no longer reaches the logged head
+    EXPECT_FALSE(client.verify(forged));
+
+    forged = *proof;
+    forged.path.erase(forged.path.begin());  // no longer starts at target
+    EXPECT_FALSE(client.verify(forged));
+
+    forged = *proof;
+    forged.path.clear();  // claim about an ancestor with no path at all
+    EXPECT_FALSE(client.verify(forged));
+    return;
+  }
+  GTEST_SKIP() << "no proof with a non-empty ancestry path in this run";
+}
+
 TEST_F(LightClientTest, BuildFailsForUnprovableClaims) {
   const auto target = strong_block();
   // Nobody can prove strength above 2f.
