@@ -7,6 +7,11 @@
 // a sweep of n. SFT should track ~3n (proposal multicast + votes + timeout
 // noise); FBFT grows quadratically as stragglers' late votes are
 // rebroadcast to everyone.
+//
+// Since the Envelope refactor the byte numbers here are *exact*: every
+// message is charged its canonical encoded frame size, and --smoke
+// additionally writes BENCH_wire.json (per-type on-wire bytes from the SFT
+// run plus the broadcast encode-once savings) for CI to archive.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -44,9 +49,13 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> sizes =
       args.smoke ? std::vector<std::uint32_t>{16u, 31u}
                  : std::vector<std::uint32_t>{16u, 31u, 61u, 100u};
+  // Exact on-wire accounting from the largest SFT run (see BENCH_wire.json).
+  const std::uint32_t wire_n = sizes.back();
+  harness::ScenarioResult wire_run;
   for (const std::uint32_t n : sizes) {
     const harness::ScenarioResult sft =
         run_scenario(complexity_scenario(n, false, args));
+    if (n == sizes.back()) wire_run = sft;
     const harness::ScenarioResult fbft =
         run_scenario(complexity_scenario(n, true, args));
 
@@ -69,10 +78,54 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected: 'SFT /n' stays ~flat (linear per decision); "
               "'FBFT /n' grows with n (quadratic per decision).\n");
+
+  // Byte-level wire accounting (SFT run at n = sizes.back()): per-type
+  // frame bytes are EXACT canonical Envelope sizes, not estimates, and the
+  // broadcast path encodes each frame once for all recipients.
+  harness::Table wire_table(
+      {"type", "frames", "total bytes", "avg frame bytes"});
+  for (const auto& [type, stats] : wire_run.traffic_by_type) {
+    wire_table.add_row(
+        {type, std::to_string(stats.count), std::to_string(stats.bytes),
+         harness::Table::num(
+             stats.count > 0
+                 ? static_cast<double>(stats.bytes) /
+                       static_cast<double>(stats.count)
+                 : 0.0,
+             1)});
+  }
+  harness::Table broadcast_table(
+      {"n", "charged bytes", "encode-once saved bytes", "saved/charged"});
+  broadcast_table.add_row(
+      {std::to_string(wire_n),
+       std::to_string(wire_run.total_message_bytes),
+       std::to_string(wire_run.broadcast_saved_bytes),
+       harness::Table::num(
+           wire_run.total_message_bytes > 0
+               ? static_cast<double>(wire_run.broadcast_saved_bytes) /
+                     static_cast<double>(wire_run.total_message_bytes)
+               : 0.0,
+           3)});
+  std::printf("\n== On-wire bytes (exact, SFT n=%u) ==\n%s\n%s\n",
+              wire_n, wire_table.render().c_str(),
+              broadcast_table.render().c_str());
+
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_msg_complexity",
                            args.seed != 0 ? args.seed : 42, args.smoke,
-                           {{"complexity", table}})) {
+                           {{"complexity", table},
+                            {"per_type", wire_table},
+                            {"broadcast", broadcast_table}})) {
+    return 1;
+  }
+  // CI archives the exact wire accounting next to BENCH_adversary.json.
+  if (args.smoke &&
+      !write_json_artifact("BENCH_wire.json", "wire", args.seed != 0
+                                                          ? args.seed
+                                                          : 42,
+                           args.smoke,
+                           {{"per_type", wire_table},
+                            {"broadcast", broadcast_table}})) {
     return 1;
   }
   return 0;

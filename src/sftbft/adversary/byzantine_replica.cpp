@@ -6,26 +6,40 @@
 namespace sftbft::adversary {
 
 using consensus::DiemBftCore;
-using types::Message;
+using net::Envelope;
+using net::WireType;
 using types::Proposal;
 using types::Vote;
 using types::VoteMode;
 
+namespace {
+
+Envelope pack_proposal(ReplicaId sender, const Proposal& proposal) {
+  return Envelope::pack(WireType::kProposal, sender, proposal);
+}
+
+Envelope pack_vote(ReplicaId sender, const Vote& vote) {
+  return Envelope::pack(WireType::kVote, sender, vote);
+}
+
+}  // namespace
+
 ByzantineReplica::ByzantineReplica(
-    consensus::CoreConfig config, replica::DiemNetwork& network,
+    consensus::CoreConfig config, net::Transport& transport,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng,
     engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
     replica::Replica::QcTap qc_tap)
     : id_(config.id),
       n_(config.n),
-      network_(network),
+      transport_(transport),
       fault_(std::move(fault)),
       coalition_(std::move(coalition)),
-      funnel_(config.id, network, fault_, *coalition_),
+      funnel_(config.id, transport, fault_, *coalition_),
       signer_(registry->signer_for(config.id)),
       election_(config.n),
-      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)) {
+      workload_(transport.scheduler(), pool_, workload,
+                std::move(workload_rng)) {
   workload_.set_id_space(id_);
   coalition_->enlist(id_);
 
@@ -33,54 +47,52 @@ ByzantineReplica::ByzantineReplica(
   hooks.send_vote = [this](ReplicaId to, const Vote& vote) {
     Vote out = vote;
     if (fault_.byz.has(Strategy::AmnesiaVoter)) forge_history(out);
-    funnel_.send(to, "vote", out.wire_size(), Message{out},
-                 /*withholdable=*/false);
+    funnel_.send(to, pack_vote(id_, out), /*withholdable=*/false);
   };
   hooks.broadcast_proposal = [this](const Proposal& proposal) {
     if (fault_.byz.has(Strategy::EquivocatingLeader)) {
       equivocate(proposal);
       return;
     }
-    funnel_.send_self("proposal", proposal.wire_size(), Message{proposal});
-    funnel_.send_peers("proposal", proposal.wire_size(), Message{proposal},
-                       /*withholdable=*/true);
+    funnel_.send_self(pack_proposal(id_, proposal));
+    funnel_.send_peers(pack_proposal(id_, proposal), /*withholdable=*/true);
   };
   hooks.broadcast_timeout = [this](const types::TimeoutMsg& msg) {
     // Timeout messages carry qc_high, so WithholdRelease delays them too —
     // otherwise the "private" certificate leaks on the next timeout.
-    funnel_.send_self("timeout", msg.wire_size(), Message{msg});
-    funnel_.send_peers("timeout", msg.wire_size(), Message{msg},
+    funnel_.send_self(Envelope::pack(WireType::kTimeout, id_, msg));
+    funnel_.send_peers(Envelope::pack(WireType::kTimeout, id_, msg),
                        /*withholdable=*/true);
   };
   hooks.broadcast_extra_vote = [this](const Vote& vote) {
-    funnel_.send_peers("extra_vote", vote.wire_size(), Message{vote},
-                       /*withholdable=*/false);
+    funnel_.send_peers(pack_vote(id_, vote), /*withholdable=*/false,
+                       "extra_vote");
   };
   hooks.send_sync_request = [this](ReplicaId to,
                                    const types::SyncRequest& req) {
-    funnel_.send(to, "sync_req", req.wire_size(), Message{req},
+    funnel_.send(to, Envelope::pack(WireType::kSyncRequest, id_, req),
                  /*withholdable=*/false);
   };
   hooks.send_sync_response = [this](ReplicaId to,
                                     const types::SyncResponse& resp) {
-    funnel_.send(to, "sync_resp", resp.wire_size(), Message{resp},
+    funnel_.send(to, Envelope::pack(WireType::kSyncResponse, id_, resp),
                  /*withholdable=*/false);
   };
   // No commit observer: a corrupted replica's ledger claims are adversarial
   // by definition; the honest-commit stream is what the auditor audits.
   hooks.on_canonical_qc = std::move(qc_tap);
 
-  core_ = std::make_unique<DiemBftCore>(config, network.scheduler(),
+  core_ = std::make_unique<DiemBftCore>(config, transport.scheduler(),
                                         std::move(registry), pool_,
                                         std::move(hooks));
 }
 
 void ByzantineReplica::start() {
-  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
-                                   std::size_t wire_size) {
+  transport_.set_handler(id_, [this](const Envelope& env,
+                                     std::size_t frame_bytes) {
     ++inbound_messages_;
-    inbound_bytes_ += wire_size;
-    on_message(msg);
+    inbound_bytes_ += frame_bytes;
+    on_envelope(env);
   });
   workload_.top_up();
   workload_.start();
@@ -89,7 +101,7 @@ void ByzantineReplica::start() {
 
 void ByzantineReplica::stop() {
   core_->stop();
-  network_.disconnect(id_);
+  transport_.disconnect(id_);
 }
 
 void ByzantineReplica::restart() {
@@ -97,22 +109,35 @@ void ByzantineReplica::restart() {
       "ByzantineReplica::restart: Byzantine replicas do not recover");
 }
 
-void ByzantineReplica::on_message(const Message& msg) {
-  if (std::holds_alternative<Proposal>(msg)) {
-    const Proposal& proposal = std::get<Proposal>(msg);
-    if (fault_.byz.has(Strategy::AmnesiaVoter) &&
-        proposal.round() >= core_->current_round()) {
-      forge_vote_for(proposal.block);
+void ByzantineReplica::on_envelope(const Envelope& env) {
+  try {
+    switch (env.type) {
+      case WireType::kProposal: {
+        const Proposal proposal = env.unpack<Proposal>();
+        if (fault_.byz.has(Strategy::AmnesiaVoter) &&
+            proposal.round() >= core_->current_round()) {
+          forge_vote_for(proposal.block);
+        }
+        core_->on_proposal(proposal);
+        break;
+      }
+      case WireType::kVote:
+        core_->on_vote(env.unpack<Vote>());
+        break;
+      case WireType::kTimeout:
+        core_->on_timeout_msg(env.unpack<types::TimeoutMsg>());
+        break;
+      case WireType::kSyncRequest:
+        core_->on_sync_request(env.unpack<types::SyncRequest>());
+        break;
+      case WireType::kSyncResponse:
+        core_->on_sync_response(env.unpack<types::SyncResponse>());
+        break;
+      default:
+        throw CodecError("ByzantineReplica: wire type not in this stack");
     }
-    core_->on_proposal(proposal);
-  } else if (std::holds_alternative<Vote>(msg)) {
-    core_->on_vote(std::get<Vote>(msg));
-  } else if (std::holds_alternative<types::TimeoutMsg>(msg)) {
-    core_->on_timeout_msg(std::get<types::TimeoutMsg>(msg));
-  } else if (std::holds_alternative<types::SyncRequest>(msg)) {
-    core_->on_sync_request(std::get<types::SyncRequest>(msg));
-  } else {
-    core_->on_sync_response(std::get<types::SyncResponse>(msg));
+  } catch (const CodecError&) {
+    transport_.stats().record_decode_drop();
   }
 }
 
@@ -130,22 +155,24 @@ void ByzantineReplica::equivocate(const Proposal& proposal) {
   coalition_->record_fork(proposal.round(), proposal.block.id, twin.block.id);
   ++coalition_->stats().equivocations;
 
+  // Serialize each fork once; per-recipient sends copy the payload instead
+  // of re-running the full (block-sized) canonical encode.
+  const Envelope original_env = pack_proposal(id_, proposal);
+  const Envelope twin_env = pack_proposal(id_, twin);
   for (ReplicaId to = 0; to < n_; ++to) {
     const bool both = coalition_->is_member(to);
     if (to == id_) {
       // Own core sees both forks (it is a coalition member): it votes its
       // own view once; the amnesia path votes the twin as well.
-      funnel_.send_self("proposal", proposal.wire_size(), Message{proposal});
-      funnel_.send_self("proposal", twin.wire_size(), Message{twin});
+      funnel_.send_self(original_env);
+      funnel_.send_self(twin_env);
       continue;
     }
     if (both || to % 2 == 0) {
-      funnel_.send(to, "proposal", proposal.wire_size(), Message{proposal},
-                   /*withholdable=*/true);
+      funnel_.send(to, original_env, /*withholdable=*/true);
     }
     if (both || to % 2 != 0) {
-      funnel_.send(to, "proposal", twin.wire_size(), Message{twin},
-                   /*withholdable=*/true);
+      funnel_.send(to, twin_env, /*withholdable=*/true);
     }
   }
 }
@@ -171,8 +198,8 @@ void ByzantineReplica::forge_vote_for(const types::Block& block) {
   }
   vote.sig = signer_.sign(vote.signing_bytes());
   ++coalition_->stats().forged_votes;
-  funnel_.send(election_.leader_of(block.round + 1), "vote",
-               vote.wire_size(), Message{vote}, /*withholdable=*/false);
+  funnel_.send(election_.leader_of(block.round + 1), pack_vote(id_, vote),
+               /*withholdable=*/false);
 }
 
 void ByzantineReplica::forge_history(Vote& vote) {

@@ -46,7 +46,7 @@ class ByzantineReplica final : public engine::ConsensusEngine {
   /// `coalition` must be shared with every other Byzantine engine of the
   /// deployment. `qc_tap` (optional) feeds the SafetyAuditor.
   ByzantineReplica(consensus::CoreConfig config,
-                   replica::DiemNetwork& network,
+                   net::Transport& transport,
                    std::shared_ptr<const crypto::KeyRegistry> registry,
                    mempool::WorkloadConfig workload, Rng workload_rng,
                    engine::FaultSpec fault,
@@ -82,7 +82,7 @@ class ByzantineReplica final : public engine::ConsensusEngine {
   [[nodiscard]] const Coalition& coalition() const { return *coalition_; }
 
  private:
-  void on_message(const types::Message& msg);
+  void on_envelope(const net::Envelope& env);
 
   // --- strategy implementations -------------------------------------------
   /// Splits `proposal` into twins and distributes them (EquivocatingLeader).
@@ -95,11 +95,11 @@ class ByzantineReplica final : public engine::ConsensusEngine {
 
   ReplicaId id_;
   std::uint32_t n_;
-  replica::DiemNetwork& network_;
+  net::Transport& transport_;
   engine::FaultSpec fault_;
   std::shared_ptr<Coalition> coalition_;
   /// Strategy-filtered delivery (shared with the Streamlet engine).
-  OutboundFunnel<types::Message> funnel_;
+  OutboundFunnel funnel_;
   crypto::Signer signer_;
   consensus::LeaderElection election_;
   std::uint64_t inbound_messages_ = 0;

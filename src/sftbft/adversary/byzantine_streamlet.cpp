@@ -2,19 +2,31 @@
 
 #include <stdexcept>
 #include <string>
-#include <variant>
 
 namespace sftbft::adversary {
 
-using streamlet::SMessage;
+using net::Envelope;
+using net::WireType;
 using streamlet::SProposal;
 using streamlet::SSyncRequest;
 using streamlet::SSyncResponse;
 using streamlet::StreamletCore;
 using streamlet::SVote;
 
+namespace {
+
+Envelope pack_proposal(ReplicaId sender, const SProposal& proposal) {
+  return Envelope::pack(WireType::kSProposal, sender, proposal);
+}
+
+Envelope pack_vote(ReplicaId sender, const SVote& vote) {
+  return Envelope::pack(WireType::kSVote, sender, vote);
+}
+
+}  // namespace
+
 ByzantineStreamlet::ByzantineStreamlet(
-    streamlet::StreamletConfig config, engine::StreamletNetwork& network,
+    streamlet::StreamletConfig config, net::Transport& transport,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng,
     engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
@@ -22,12 +34,13 @@ ByzantineStreamlet::ByzantineStreamlet(
     engine::StreamletEngine::VoteTap vote_tap)
     : id_(config.id),
       n_(config.n),
-      network_(network),
+      transport_(transport),
       fault_(std::move(fault)),
       coalition_(std::move(coalition)),
-      funnel_(config.id, network, fault_, *coalition_),
+      funnel_(config.id, transport, fault_, *coalition_),
       signer_(registry->signer_for(config.id)),
-      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)) {
+      workload_(transport.scheduler(), pool_, workload,
+                std::move(workload_rng)) {
   workload_.set_id_space(id_);
   coalition_->enlist(id_);
 
@@ -37,9 +50,8 @@ ByzantineStreamlet::ByzantineStreamlet(
       equivocate(proposal);
       return;
     }
-    funnel_.send_self("proposal", proposal.wire_size(), SMessage{proposal});
-    funnel_.send_peers("proposal", proposal.wire_size(), SMessage{proposal},
-                       /*withholdable=*/true);
+    funnel_.send_self(pack_proposal(id_, proposal));
+    funnel_.send_peers(pack_proposal(id_, proposal), /*withholdable=*/true);
   };
   hooks.broadcast_vote = [this](const SVote& vote) {
     SVote out = vote;
@@ -48,21 +60,19 @@ ByzantineStreamlet::ByzantineStreamlet(
       out.sig = signer_.sign(out.signing_bytes());
       ++coalition_->stats().forged_votes;
     }
-    funnel_.send_self("vote", out.wire_size(), SMessage{out});
-    funnel_.send_peers("vote", out.wire_size(), SMessage{out},
-                       /*withholdable=*/false);
+    funnel_.send_self(pack_vote(id_, out));
+    funnel_.send_peers(pack_vote(id_, out), /*withholdable=*/false);
   };
-  hooks.echo = [this](const SMessage& msg) {
-    const std::size_t size =
-        std::visit([](const auto& m) { return m.wire_size(); }, msg);
-    funnel_.send_peers("echo", size, msg, /*withholdable=*/false);
+  hooks.echo = [this](const streamlet::SMessage& msg) {
+    funnel_.send_peers(streamlet::to_envelope(id_, msg),
+                       /*withholdable=*/false, "echo");
   };
   hooks.send_sync_request = [this](ReplicaId to, const SSyncRequest& req) {
-    funnel_.send(to, "sync_req", req.wire_size(), SMessage{req},
+    funnel_.send(to, Envelope::pack(WireType::kSSyncRequest, id_, req),
                  /*withholdable=*/false);
   };
   hooks.send_sync_response = [this](ReplicaId to, const SSyncResponse& resp) {
-    funnel_.send(to, "sync_resp", resp.wire_size(), SMessage{resp},
+    funnel_.send(to, Envelope::pack(WireType::kSSyncResponse, id_, resp),
                  /*withholdable=*/false);
   };
   // No commit observer (see ByzantineReplica); the auditor taps stay wired
@@ -70,17 +80,17 @@ ByzantineStreamlet::ByzantineStreamlet(
   hooks.on_block_seen = std::move(block_tap);
   hooks.on_vote_seen = std::move(vote_tap);
 
-  core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
+  core_ = std::make_unique<StreamletCore>(config, transport.scheduler(),
                                           std::move(registry), pool_,
                                           std::move(hooks));
 }
 
 void ByzantineStreamlet::start() {
-  network_.set_handler(id_, [this](ReplicaId /*from*/, const SMessage& msg,
-                                   std::size_t wire_size) {
+  transport_.set_handler(id_, [this](const Envelope& env,
+                                     std::size_t frame_bytes) {
     ++inbound_messages_;
-    inbound_bytes_ += wire_size;
-    on_message(msg);
+    inbound_bytes_ += frame_bytes;
+    on_envelope(env);
   });
   workload_.top_up();
   workload_.start();
@@ -89,7 +99,7 @@ void ByzantineStreamlet::start() {
 
 void ByzantineStreamlet::stop() {
   core_->stop();
-  network_.disconnect(id_);
+  transport_.disconnect(id_);
 }
 
 void ByzantineStreamlet::restart() {
@@ -97,20 +107,32 @@ void ByzantineStreamlet::restart() {
       "ByzantineStreamlet::restart: Byzantine replicas do not recover");
 }
 
-void ByzantineStreamlet::on_message(const SMessage& msg) {
-  if (std::holds_alternative<SProposal>(msg)) {
-    const SProposal& proposal = std::get<SProposal>(msg);
-    if (fault_.byz.has(Strategy::AmnesiaVoter) &&
-        proposal.block.round + 1 >= core_->current_round()) {
-      forge_vote_for(proposal.block);
+void ByzantineStreamlet::on_envelope(const Envelope& env) {
+  try {
+    switch (env.type) {
+      case WireType::kSProposal: {
+        const SProposal proposal = env.unpack<SProposal>();
+        if (fault_.byz.has(Strategy::AmnesiaVoter) &&
+            proposal.block.round + 1 >= core_->current_round()) {
+          forge_vote_for(proposal.block);
+        }
+        core_->on_proposal(proposal);
+        break;
+      }
+      case WireType::kSVote:
+        core_->on_vote(env.unpack<SVote>());
+        break;
+      case WireType::kSSyncRequest:
+        core_->on_sync_request(env.unpack<SSyncRequest>());
+        break;
+      case WireType::kSSyncResponse:
+        core_->on_sync_response(env.unpack<SSyncResponse>());
+        break;
+      default:
+        throw CodecError("ByzantineStreamlet: wire type not in this stack");
     }
-    core_->on_proposal(proposal);
-  } else if (std::holds_alternative<SVote>(msg)) {
-    core_->on_vote(std::get<SVote>(msg));
-  } else if (std::holds_alternative<SSyncRequest>(msg)) {
-    core_->on_sync_request(std::get<SSyncRequest>(msg));
-  } else {
-    core_->on_sync_response(std::get<SSyncResponse>(msg));
+  } catch (const CodecError&) {
+    transport_.stats().record_decode_drop();
   }
 }
 
@@ -124,21 +146,22 @@ void ByzantineStreamlet::equivocate(const SProposal& proposal) {
                           twin.block.id);
   ++coalition_->stats().equivocations;
 
+  // Serialize each fork once; per-recipient sends copy the payload instead
+  // of re-running the full (block-sized) canonical encode.
+  const Envelope original_env = pack_proposal(id_, proposal);
+  const Envelope twin_env = pack_proposal(id_, twin);
   for (ReplicaId to = 0; to < n_; ++to) {
     const bool both = coalition_->is_member(to);
     if (to == id_) {
-      funnel_.send_self("proposal", proposal.wire_size(),
-                        SMessage{proposal});
-      funnel_.send_self("proposal", twin.wire_size(), SMessage{twin});
+      funnel_.send_self(original_env);
+      funnel_.send_self(twin_env);
       continue;
     }
     if (both || to % 2 == 0) {
-      funnel_.send(to, "proposal", proposal.wire_size(), SMessage{proposal},
-                   /*withholdable=*/true);
+      funnel_.send(to, original_env, /*withholdable=*/true);
     }
     if (both || to % 2 != 0) {
-      funnel_.send(to, "proposal", twin.wire_size(), SMessage{twin},
-                   /*withholdable=*/true);
+      funnel_.send(to, twin_env, /*withholdable=*/true);
     }
   }
 }
@@ -153,9 +176,8 @@ void ByzantineStreamlet::forge_vote_for(const types::Block& block) {
   vote.marker = 0;
   vote.sig = signer_.sign(vote.signing_bytes());
   ++coalition_->stats().forged_votes;
-  funnel_.send_self("vote", vote.wire_size(), SMessage{vote});
-  funnel_.send_peers("vote", vote.wire_size(), SMessage{vote},
-                     /*withholdable=*/false);
+  funnel_.send_self(pack_vote(id_, vote));
+  funnel_.send_peers(pack_vote(id_, vote), /*withholdable=*/false);
 }
 
 }  // namespace sftbft::adversary

@@ -34,7 +34,7 @@ class ByzantineStreamlet final : public engine::ConsensusEngine {
   /// `fault.kind` must be Kind::Byzantine with a validated spec; the taps
   /// (optional) feed a harness-level SafetyAuditor.
   ByzantineStreamlet(streamlet::StreamletConfig config,
-                     engine::StreamletNetwork& network,
+                     net::Transport& transport,
                      std::shared_ptr<const crypto::KeyRegistry> registry,
                      mempool::WorkloadConfig workload, Rng workload_rng,
                      engine::FaultSpec fault,
@@ -70,17 +70,17 @@ class ByzantineStreamlet final : public engine::ConsensusEngine {
   [[nodiscard]] streamlet::StreamletCore& core() { return *core_; }
 
  private:
-  void on_message(const streamlet::SMessage& msg);
+  void on_envelope(const net::Envelope& env);
   void equivocate(const streamlet::SProposal& proposal);
   void forge_vote_for(const types::Block& block);
 
   ReplicaId id_;
   std::uint32_t n_;
-  engine::StreamletNetwork& network_;
+  net::Transport& transport_;
   engine::FaultSpec fault_;
   std::shared_ptr<Coalition> coalition_;
   /// Strategy-filtered delivery (shared with the DiemBFT engine).
-  OutboundFunnel<streamlet::SMessage> funnel_;
+  OutboundFunnel funnel_;
   crypto::Signer signer_;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;

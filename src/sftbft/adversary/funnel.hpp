@@ -3,26 +3,27 @@
 // (twin proposals, forged votes); the delivery policy — SelectiveSender
 // drops, WithholdRelease delays certificate carriers, Coalition accounting
 // for both — lives here once, so a fix or a new delivery strategy lands in
-// one place for both protocols.
+// one place for both protocols. Since both stacks speak the same byte-level
+// transport, the funnel is a plain class over net::Envelope, not a
+// per-message-type template.
 #pragma once
 
-#include <string>
 #include <utility>
 
 #include "sftbft/adversary/coalition.hpp"
 #include "sftbft/engine/fault.hpp"
-#include "sftbft/net/sim_network.hpp"
+#include "sftbft/net/transport.hpp"
+#include "sftbft/sim/scheduler.hpp"
 
 namespace sftbft::adversary {
 
-template <typename Message>
 class OutboundFunnel {
  public:
   /// `fault` and `coalition` must outlive the funnel (both are members of
   /// the owning Byzantine engine / shared deployment state).
-  OutboundFunnel(ReplicaId id, net::SimNetwork<Message>& network,
+  OutboundFunnel(ReplicaId id, net::Transport& transport,
                  const engine::FaultSpec& fault, Coalition& coalition)
-      : id_(id), network_(network), fault_(fault), coalition_(coalition) {}
+      : id_(id), transport_(transport), fault_(fault), coalition_(coalition) {}
 
   [[nodiscard]] bool suppressed(ReplicaId to) const {
     if (!fault_.byz.has(Strategy::SelectiveSender)) return false;
@@ -35,44 +36,45 @@ class OutboundFunnel {
   /// Undelayed, unfiltered self-delivery: the replica's own core keeps
   /// seeing its own messages immediately even while withholding from peers
   /// (a withholding leader still certifies privately against its own view).
-  void send_self(const char* type, std::size_t wire_size, Message msg) {
-    network_.send(id_, id_, type, wire_size, std::move(msg));
+  void send_self(net::Envelope env, const char* label = nullptr) {
+    transport_.send(id_, std::move(env), label);
   }
 
   /// Unicast with SelectiveSender filtering; `withholdable` messages (the
   /// carriers of fresh certificates: proposals, and timeouts leaking
   /// qc_high) are additionally delayed by WithholdRelease.
-  void send(ReplicaId to, const char* type, std::size_t wire_size,
-            Message msg, bool withholdable) {
+  void send(ReplicaId to, net::Envelope env, bool withholdable,
+            const char* label = nullptr) {
     if (suppressed(to)) {
       ++coalition_.stats().suppressed;
       return;
     }
     if (withholdable && fault_.byz.has(Strategy::WithholdRelease)) {
       ++coalition_.stats().withheld;
-      network_.scheduler().schedule_after(
+      transport_.scheduler().schedule_after(
           fault_.byz.withhold_delay,
-          [this, to, type = std::string(type), wire_size,
-           msg = std::move(msg)] {
-            network_.send(id_, to, type, wire_size, msg);
+          [this, to, label, env = std::move(env)] {
+            transport_.send(to, env, label);
           });
       return;
     }
-    network_.send(id_, to, type, wire_size, std::move(msg));
+    transport_.send(to, std::move(env), label);
   }
 
-  /// Filtered fan-out to every peer except self.
-  void send_peers(const char* type, std::size_t wire_size, const Message& msg,
-                  bool withholdable) {
-    for (ReplicaId to = 0; to < network_.topology().size(); ++to) {
+  /// Filtered fan-out to every peer except self. (The strategy filter is
+  /// per-link, so this path sends per peer instead of using the transport's
+  /// shared-frame broadcast — adversarial traffic pays its own encoding.)
+  void send_peers(const net::Envelope& env, bool withholdable,
+                  const char* label = nullptr) {
+    for (ReplicaId to = 0; to < transport_.size(); ++to) {
       if (to == id_) continue;
-      send(to, type, wire_size, msg, withholdable);
+      send(to, env, withholdable, label);
     }
   }
 
  private:
   ReplicaId id_;
-  net::SimNetwork<Message>& network_;
+  net::Transport& transport_;
   const engine::FaultSpec& fault_;
   Coalition& coalition_;
 };

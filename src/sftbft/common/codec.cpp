@@ -72,4 +72,18 @@ Bytes Decoder::raw(std::size_t size) {
   return out;
 }
 
+void Decoder::skip(std::size_t size) {
+  need(size);
+  pos_ += size;
+}
+
+std::uint32_t Decoder::count(std::size_t min_element_bytes) {
+  const std::uint32_t c = u32();
+  if (min_element_bytes > 0 &&
+      static_cast<std::uint64_t>(c) * min_element_bytes > remaining()) {
+    throw CodecError("Decoder: element count exceeds remaining input");
+  }
+  return c;
+}
+
 }  // namespace sftbft

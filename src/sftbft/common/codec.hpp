@@ -41,6 +41,21 @@ class Encoder {
   /// Raw bytes with no length prefix (for fixed-size digests/signatures).
   void raw(BytesView data);
 
+  /// Pre-reserves capacity for `additional` more bytes. Message-sized
+  /// encodes (envelope framing, block payloads) call this with their exact
+  /// size so the hot broadcast path appends without reallocating — see
+  /// bench/micro_overhead.cpp for the before/after.
+  void reserve(std::size_t additional) { buf_.reserve(buf_.size() + additional); }
+
+  /// Appends `count` uninitialized bytes and returns a pointer to them, so
+  /// generated content (synthetic transaction bodies) can be written in
+  /// place instead of staged in a temporary buffer. The pointer is valid
+  /// until the next append.
+  [[nodiscard]] std::uint8_t* grow(std::size_t count) {
+    buf_.resize(buf_.size() + count);
+    return buf_.data() + (buf_.size() - count);
+  }
+
   [[nodiscard]] const Bytes& data() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }
 
@@ -65,6 +80,15 @@ class Decoder {
   std::string str();
   /// Reads exactly `size` raw bytes (no length prefix).
   Bytes raw(std::size_t size);
+  /// Skips `size` bytes (bounds-checked) without materializing them — used
+  /// for derived content (transaction bodies) that re-encoding regenerates.
+  void skip(std::size_t size);
+
+  /// Reads a u32 element count and rejects counts that could not possibly
+  /// fit in the remaining input (each element encodes to at least
+  /// `min_element_bytes`). Decoders of untrusted bytes use this before
+  /// `reserve(count)` so a garbage count cannot force a huge allocation.
+  std::uint32_t count(std::size_t min_element_bytes);
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// One implementation shared by every integrity frame in the system: the
+// storage WAL's record framing and the network transport's Envelope framing
+// both checksum with this function, so a frame written by one layer is
+// checkable with the same primitive everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "sftbft/common/bytes.hpp"
+
+namespace sftbft {
+
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+}  // namespace sftbft

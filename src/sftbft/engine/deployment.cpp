@@ -73,14 +73,34 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
     };
   };
 
-  // Seed derivations are kept per protocol (0xabcd / 0x51ee7 network
-  // streams) so existing seeded experiments replay bit-identically to the
-  // pre-engine-layer stacks.
+  // One byte-level transport for either protocol. Seed derivations are kept
+  // per protocol (0xabcd / 0x51ee7 network streams, matching the historical
+  // per-protocol SimNetwork seeds) so existing seeded experiments keep
+  // their delay geometry.
+  const std::uint64_t net_seed =
+      config_.seed ^
+      (config_.protocol == Protocol::DiemBft ? 0xabcdULL : 0x51ee7ULL);
+  transport_ = std::make_unique<net::SimTransport>(sched_, config_.topology,
+                                                   config_.net, net_seed);
+  // Corrupt faults are link-level: they live in the transport, and the
+  // replica itself runs the honest engine below. Corruption only acts
+  // before GST, so a synchronous-from-the-start network would make the
+  // fault a silent no-op — reject that the way validate_faults rejects
+  // other no-op specs (it cannot, lacking the net config).
+  for (ReplicaId id = 0; id < config_.faults.size(); ++id) {
+    if (config_.faults[id].kind != FaultSpec::Kind::Corrupt) continue;
+    if (config_.net.gst <= 0) {
+      throw std::invalid_argument(
+          "Deployment: replica " + std::to_string(id) +
+          " has a Corrupt fault but net.gst == 0 — pre-GST corruption "
+          "never fires on a synchronous-from-the-start network");
+    }
+    transport_->set_corruption(id, config_.faults[id].corrupt);
+  }
+
+  Rng workload_rng(config_.seed ^ 0x77aa);
   switch (config_.protocol) {
     case Protocol::DiemBft: {
-      diem_network_ = std::make_unique<replica::DiemNetwork>(
-          sched_, config_.topology, config_.net, config_.seed ^ 0xabcd);
-      Rng workload_rng(config_.seed ^ 0x77aa);
       for (ReplicaId id = 0; id < config_.n; ++id) {
         consensus::CoreConfig core = config_.diem;
         core.id = id;
@@ -88,21 +108,18 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
         const FaultSpec fault = fault_for(id);
         if (fault.kind == FaultSpec::Kind::Byzantine) {
           engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
-              core, *diem_network_, registry_, config_.workload,
+              core, *transport_, registry_, config_.workload,
               workload_rng.fork(), fault, coalition_, qc_tap_for(id)));
           continue;
         }
         engines_.push_back(std::make_unique<DiemEngine>(
-            core, *diem_network_, registry_, config_.workload,
+            core, *transport_, registry_, config_.workload,
             workload_rng.fork(), fault, observer, make_store(id, fault),
             qc_tap_for(id)));
       }
       break;
     }
     case Protocol::Streamlet: {
-      streamlet_network_ = std::make_unique<StreamletNetwork>(
-          sched_, config_.topology, config_.net, config_.seed ^ 0x51ee7);
-      Rng workload_rng(config_.seed ^ 0x77aa);
       for (ReplicaId id = 0; id < config_.n; ++id) {
         streamlet::StreamletConfig core = config_.streamlet;
         core.id = id;
@@ -110,13 +127,13 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
         const FaultSpec fault = fault_for(id);
         if (fault.kind == FaultSpec::Kind::Byzantine) {
           engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
-              core, *streamlet_network_, registry_, config_.workload,
+              core, *transport_, registry_, config_.workload,
               workload_rng.fork(), fault, coalition_, block_tap_for(id),
               vote_tap_for(id)));
           continue;
         }
         engines_.push_back(std::make_unique<StreamletEngine>(
-            core, *streamlet_network_, registry_, config_.workload,
+            core, *transport_, registry_, config_.workload,
             workload_rng.fork(), fault, observer, make_store(id, fault),
             block_tap_for(id), vote_tap_for(id)));
       }
@@ -153,26 +170,13 @@ const ConsensusEngine& Deployment::engine(ReplicaId id) const {
   return *engines_[id];
 }
 
-net::MessageStats& Deployment::net_stats() {
-  return diem_network_ ? diem_network_->stats() : streamlet_network_->stats();
-}
-
-const net::MessageStats& Deployment::net_stats() const {
-  return diem_network_ ? diem_network_->stats() : streamlet_network_->stats();
-}
-
-void Deployment::set_link_filter(net::LinkFilter filter) {
-  if (diem_network_) {
-    diem_network_->set_link_filter(std::move(filter));
-  } else {
-    streamlet_network_->set_link_filter(std::move(filter));
-  }
-}
-
 std::uint32_t Deployment::honest_count() const {
   std::uint32_t honest = 0;
   for (const auto& engine : engines_) {
-    if (engine->fault().kind == FaultSpec::Kind::Honest) ++honest;
+    const FaultSpec::Kind kind = engine->fault().kind;
+    if (kind == FaultSpec::Kind::Honest || kind == FaultSpec::Kind::Corrupt) {
+      ++honest;
+    }
   }
   return honest;
 }
@@ -201,11 +205,6 @@ const consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) const {
   return static_cast<const DiemEngine&>(*engines_[id]).core();
 }
 
-replica::DiemNetwork& Deployment::diem_network() {
-  if (!diem_network_) wrong_protocol(Protocol::DiemBft, config_.protocol);
-  return *diem_network_;
-}
-
 streamlet::StreamletCore& Deployment::streamlet_core(ReplicaId id) {
   if (config_.protocol != Protocol::Streamlet) {
     wrong_protocol(Protocol::Streamlet, config_.protocol);
@@ -221,13 +220,6 @@ const streamlet::StreamletCore& Deployment::streamlet_core(
   }
   require_honest_slot(*engines_[id], id);
   return static_cast<const StreamletEngine&>(*engines_[id]).core();
-}
-
-StreamletNetwork& Deployment::streamlet_network() {
-  if (!streamlet_network_) {
-    wrong_protocol(Protocol::Streamlet, config_.protocol);
-  }
-  return *streamlet_network_;
 }
 
 }  // namespace sftbft::engine

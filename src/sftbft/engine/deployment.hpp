@@ -3,14 +3,16 @@
 // and integration tests drive (it replaces the old per-protocol
 // replica::Cluster and streamlet::StreamletCluster stacks).
 //
-// A Deployment owns the scheduler, the PKI, the protocol-typed network, and
-// one ConsensusEngine per replica, and funnels every engine's commit
-// notifications into a single observer (which is how the harness computes
-// the paper's "average over all blocks over all replicas" metrics). The
-// protocol is selected by DeploymentConfig::protocol; everything else —
-// topology, network conditions, workload, the FaultSpec fault list, the
-// seed — is shared verbatim across protocols, so the same scenario runs
-// apples-to-apples on both stacks (the paper's genericity claim).
+// A Deployment owns the scheduler, the PKI, ONE byte-level transport
+// (net::SimTransport — both protocols speak net::Envelope over the same
+// wire), and one ConsensusEngine per replica, and funnels every engine's
+// commit notifications into a single observer (which is how the harness
+// computes the paper's "average over all blocks over all replicas"
+// metrics). The protocol is selected by DeploymentConfig::protocol;
+// everything else — topology, network conditions, workload, the FaultSpec
+// fault list, the seed — is shared verbatim across protocols, so the same
+// scenario runs apples-to-apples on both stacks (the paper's genericity
+// claim).
 #pragma once
 
 #include <memory>
@@ -20,7 +22,7 @@
 #include "sftbft/engine/diem_engine.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/engine/streamlet_engine.hpp"
-#include "sftbft/net/sim_network.hpp"
+#include "sftbft/net/sim_transport.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/mem_backend.hpp"
 #include "sftbft/storage/replica_store.hpp"
@@ -97,15 +99,28 @@ class Deployment {
     return registry_;
   }
 
-  /// Send-side traffic stats of the underlying network (either protocol).
-  [[nodiscard]] net::MessageStats& net_stats();
-  [[nodiscard]] const net::MessageStats& net_stats() const;
+  /// The deployment's byte-level transport (both protocols run over the
+  /// same instance). Tests use this for raw-frame / corruption probes.
+  [[nodiscard]] net::SimTransport& transport() { return *transport_; }
+  [[nodiscard]] const net::SimTransport& transport() const {
+    return *transport_;
+  }
+
+  /// Send-side traffic stats of the underlying transport.
+  [[nodiscard]] net::MessageStats& net_stats() { return transport_->stats(); }
+  [[nodiscard]] const net::MessageStats& net_stats() const {
+    return transport_->stats();
+  }
 
   /// Installs (or clears, if empty) an adversarial link filter on the
-  /// underlying network (either protocol).
-  void set_link_filter(net::LinkFilter filter);
+  /// underlying transport.
+  void set_link_filter(net::LinkFilter filter) {
+    transport_->set_link_filter(std::move(filter));
+  }
 
-  /// Count of replicas that are honest for liveness purposes.
+  /// Count of replicas that are honest for liveness purposes (Corrupt
+  /// replicas count: the replica follows the protocol, only its pre-GST
+  /// links are bad).
   [[nodiscard]] std::uint32_t honest_count() const;
 
   /// The Byzantine coalition's shared state, or nullptr when the fault list
@@ -124,15 +139,13 @@ class Deployment {
 
   // Protocol-typed escape hatches. Calling a mismatched accessor throws
   // std::logic_error — tests that need DiemBftCore internals (light-client
-  // proofs, endorsement state) or the raw typed network use these.
+  // proofs, endorsement state) use these.
   [[nodiscard]] replica::Replica& diem_replica(ReplicaId id);
   [[nodiscard]] consensus::DiemBftCore& diem_core(ReplicaId id);
   [[nodiscard]] const consensus::DiemBftCore& diem_core(ReplicaId id) const;
-  [[nodiscard]] replica::DiemNetwork& diem_network();
   [[nodiscard]] streamlet::StreamletCore& streamlet_core(ReplicaId id);
   [[nodiscard]] const streamlet::StreamletCore& streamlet_core(
       ReplicaId id) const;
-  [[nodiscard]] StreamletNetwork& streamlet_network();
 
  private:
   /// Builds (or skips) the durable store for one replica, pre-engine.
@@ -144,9 +157,8 @@ class Deployment {
   std::shared_ptr<const crypto::KeyRegistry> registry_;
   /// Shared state of all Byzantine replicas (null when there are none).
   std::shared_ptr<adversary::Coalition> coalition_;
-  /// Exactly one network is live, matching config_.protocol.
-  std::unique_ptr<replica::DiemNetwork> diem_network_;
-  std::unique_ptr<StreamletNetwork> streamlet_network_;
+  /// The one byte-level network both protocol stacks send through.
+  std::unique_ptr<net::SimTransport> transport_;
   /// Per-replica durable storage (simulation MemBackends); slots are null
   /// for replicas running without persistence.
   std::vector<std::unique_ptr<storage::MemBackend>> backends_;

@@ -5,16 +5,16 @@
 namespace sftbft::engine {
 
 DiemEngine::DiemEngine(consensus::CoreConfig config,
-                       replica::DiemNetwork& network,
+                       net::Transport& transport,
                        std::shared_ptr<const crypto::KeyRegistry> registry,
                        mempool::WorkloadConfig workload, Rng workload_rng,
                        FaultSpec fault, CommitObserver observer,
                        storage::ReplicaStore* store,
                        replica::Replica::QcTap qc_tap)
-    : network_(network),
+    : transport_(transport),
       store_(store),
       replica_(std::make_unique<replica::Replica>(
-          config, network, std::move(registry), workload,
+          config, transport, std::move(registry), workload,
           std::move(workload_rng), fault, std::move(observer), store,
           std::move(qc_tap))) {}
 
@@ -23,7 +23,7 @@ void DiemEngine::start() {
   // Crash-restart timers outlive the crash itself, so they live here, not
   // inside the replica (whose Kind::Crash timer semantics are unchanged).
   if (replica_->fault().kind == FaultSpec::Kind::CrashRestart) {
-    sim::Scheduler& sched = network_.scheduler();
+    sim::Scheduler& sched = transport_.scheduler();
     sched.schedule_at(replica_->fault().crash_at, [this] {
       replica_->crash();
       // The simulated power loss: unsynced storage writes are dropped (the

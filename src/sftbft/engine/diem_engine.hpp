@@ -11,11 +11,11 @@ namespace sftbft::engine {
 
 class DiemEngine final : public ConsensusEngine {
  public:
-  /// Wires one DiemBFT replica onto `network`. `config.id` must be set;
+  /// Wires one DiemBFT replica onto `transport`. `config.id` must be set;
   /// the observer may be null. `store` (optional) enables durable state —
   /// required for Kind::CrashRestart faults and for restart(); `qc_tap`
   /// (optional) feeds a harness-level SafetyAuditor.
-  DiemEngine(consensus::CoreConfig config, replica::DiemNetwork& network,
+  DiemEngine(consensus::CoreConfig config, net::Transport& transport,
              std::shared_ptr<const crypto::KeyRegistry> registry,
              mempool::WorkloadConfig workload, Rng workload_rng,
              FaultSpec fault, CommitObserver observer,
@@ -51,7 +51,7 @@ class DiemEngine final : public ConsensusEngine {
   [[nodiscard]] storage::ReplicaStore* store() override { return store_; }
 
  private:
-  replica::DiemNetwork& network_;
+  net::Transport& transport_;
   storage::ReplicaStore* store_;
   std::unique_ptr<replica::Replica> replica_;
 };

@@ -71,9 +71,9 @@ class ConsensusEngine {
   [[nodiscard]] virtual Round current_round() const = 0;
   [[nodiscard]] virtual const FaultSpec& fault() const = 0;
 
-  /// Inbound traffic actually delivered to this engine (wire bytes as
-  /// passed by SimNetwork to its handler) — the receive-side complement of
-  /// the network's send-side MessageStats.
+  /// Inbound traffic actually delivered to this engine (exact Envelope
+  /// frame bytes as passed by the Transport to its handler) — the
+  /// receive-side complement of the transport's send-side MessageStats.
   [[nodiscard]] virtual std::uint64_t inbound_messages() const = 0;
   [[nodiscard]] virtual std::uint64_t inbound_bytes() const = 0;
 };

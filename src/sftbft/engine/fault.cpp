@@ -69,6 +69,22 @@ void validate_faults(const std::vector<FaultSpec>& faults, std::uint32_t n) {
       case FaultSpec::Kind::Byzantine:
         validate_byzantine(id, fault.byz, n);
         break;
+      case FaultSpec::Kind::Corrupt: {
+        const net::CorruptSpec& spec = fault.corrupt;
+        if (spec.rate <= 0.0 || spec.rate > 1.0) {
+          reject(id, "has Corrupt rate outside (0, 1]");
+        }
+        if (spec.max_flips == 0) {
+          reject(id, "has Corrupt max_flips == 0 (a no-op)");
+        }
+        for (const ReplicaId to : spec.peers) {
+          if (to >= n) reject(id, "corrupts an out-of-range link");
+          if (to == id) {
+            reject(id, "corrupts its own loopback (self-sends skip links)");
+          }
+        }
+        break;
+      }
     }
   }
 }

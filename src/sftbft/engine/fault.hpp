@@ -19,6 +19,14 @@
 //             sftbft/adversary/strategy.hpp), coordinated with every other
 //             Byzantine replica in the deployment through one shared
 //             adversary::Coalition;
+//  * Corrupt — the replica itself is honest but its outbound *links* flip
+//             bits pre-GST (the partial-synchrony adversary controls the
+//             network before stabilization): frames it sends get seeded
+//             bit corruption per `corrupt` and receivers reject them at
+//             the Envelope CRC, counted as corrupt drops in the transport
+//             stats. After GST the links are clean, so liveness resumes —
+//             byte-level loss is a pre-GST network fault, not a replica
+//             fault;
 //  * stragglers are modelled in the network topology (extra per-replica
 //    delay), not here — see net::Topology::set_extra_delay.
 //
@@ -32,11 +40,12 @@
 
 #include "sftbft/adversary/strategy.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/net/corrupt.hpp"
 
 namespace sftbft::engine {
 
 struct FaultSpec {
-  enum class Kind { Honest, Crash, Silent, CrashRestart, Byzantine };
+  enum class Kind { Honest, Crash, Silent, CrashRestart, Byzantine, Corrupt };
   Kind kind = Kind::Honest;
   /// Crash time (Kind::Crash and Kind::CrashRestart).
   SimTime crash_at = 0;
@@ -44,6 +53,8 @@ struct FaultSpec {
   SimTime restart_at = 0;
   /// Attack programme (Kind::Byzantine only; must name >= 1 strategy).
   adversary::ByzantineSpec byz;
+  /// Pre-GST outbound link corruption (Kind::Corrupt only).
+  net::CorruptSpec corrupt;
 
   static FaultSpec honest() { return {}; }
   static FaultSpec crash_at_time(SimTime at) {
@@ -76,6 +87,12 @@ struct FaultSpec {
     spec.strategies = std::move(strategies);
     return byzantine(std::move(spec));
   }
+  static FaultSpec corrupt_links(net::CorruptSpec spec) {
+    FaultSpec fault;
+    fault.kind = Kind::Corrupt;
+    fault.corrupt = std::move(spec);
+    return fault;
+  }
 };
 
 /// Central FaultSpec validation, shared by every engine: throws
@@ -86,7 +103,10 @@ struct FaultSpec {
 ///  * a Byzantine spec names no strategy,
 ///  * WithholdRelease is requested with a non-positive withhold_delay,
 ///  * SelectiveSender's suppression set is empty, out of range, or contains
-///    the replica itself.
+///    the replica itself,
+///  * a Corrupt spec has rate outside (0, 1], zero max_flips, or a peer
+///    list that is out of range or names the replica itself (self-sends
+///    never touch a link).
 void validate_faults(const std::vector<FaultSpec>& faults, std::uint32_t n);
 
 }  // namespace sftbft::engine

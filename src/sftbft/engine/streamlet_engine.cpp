@@ -1,10 +1,11 @@
 #include "sftbft/engine/streamlet_engine.hpp"
 
 #include <stdexcept>
-#include <variant>
 
 namespace sftbft::engine {
 
+using net::Envelope;
+using net::WireType;
 using streamlet::SMessage;
 using streamlet::SProposal;
 using streamlet::SSyncRequest;
@@ -13,16 +14,17 @@ using streamlet::StreamletCore;
 using streamlet::SVote;
 
 StreamletEngine::StreamletEngine(
-    streamlet::StreamletConfig config, StreamletNetwork& network,
+    streamlet::StreamletConfig config, net::Transport& transport,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
     CommitObserver observer, storage::ReplicaStore* store, BlockTap block_tap,
     VoteTap vote_tap)
     : id_(config.id),
-      network_(network),
+      transport_(transport),
       fault_(fault),
       store_(store),
-      workload_(network.scheduler(), pool_, workload, std::move(workload_rng)),
+      workload_(transport.scheduler(), pool_, workload,
+                std::move(workload_rng)),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
 
@@ -30,29 +32,28 @@ StreamletEngine::StreamletEngine(
   StreamletCore::Hooks hooks;
   hooks.broadcast_proposal = [this, silent](const SProposal& proposal) {
     if (silent) return;
-    network_.multicast(id_, "proposal", proposal.wire_size(),
-                       SMessage{proposal}, /*include_self=*/true);
+    transport_.broadcast(Envelope::pack(WireType::kSProposal, id_, proposal),
+                         /*include_self=*/true);
   };
   hooks.broadcast_vote = [this, silent](const SVote& vote) {
     if (silent) return;
-    network_.multicast(id_, "vote", vote.wire_size(), SMessage{vote},
-                       /*include_self=*/true);
+    transport_.broadcast(Envelope::pack(WireType::kSVote, id_, vote),
+                         /*include_self=*/true);
   };
   hooks.echo = [this, silent](const SMessage& msg) {
     if (silent) return;
-    const std::size_t size =
-        std::visit([](const auto& m) { return m.wire_size(); }, msg);
-    network_.multicast(id_, "echo", size, msg, /*include_self=*/false);
+    transport_.broadcast(streamlet::to_envelope(id_, msg),
+                         /*include_self=*/false, "echo");
   };
   hooks.send_sync_request = [this, silent](ReplicaId to,
                                            const SSyncRequest& req) {
     if (silent) return;
-    network_.send(id_, to, "sync_req", req.wire_size(), SMessage{req});
+    transport_.send(to, Envelope::pack(WireType::kSSyncRequest, id_, req));
   };
   hooks.send_sync_response = [this, silent](ReplicaId to,
                                             const SSyncResponse& resp) {
     if (silent) return;
-    network_.send(id_, to, "sync_resp", resp.wire_size(), SMessage{resp});
+    transport_.send(to, Envelope::pack(WireType::kSSyncResponse, id_, resp));
   };
   hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
                            SimTime now) {
@@ -61,32 +62,47 @@ StreamletEngine::StreamletEngine(
   hooks.on_block_seen = std::move(block_tap);
   hooks.on_vote_seen = std::move(vote_tap);
 
-  core_ = std::make_unique<StreamletCore>(config, network.scheduler(),
+  core_ = std::make_unique<StreamletCore>(config, transport.scheduler(),
                                           std::move(registry), pool_,
                                           std::move(hooks), store);
 }
 
 void StreamletEngine::register_handler() {
-  network_.set_handler(id_, [this](ReplicaId, const SMessage& msg,
-                                   std::size_t wire_size) {
+  transport_.set_handler(id_, [this](const Envelope& env,
+                                     std::size_t frame_bytes) {
     ++inbound_messages_;
-    inbound_bytes_ += wire_size;
-    if (std::holds_alternative<SProposal>(msg)) {
-      core_->on_proposal(std::get<SProposal>(msg));
-    } else if (std::holds_alternative<SVote>(msg)) {
-      core_->on_vote(std::get<SVote>(msg));
-    } else if (std::holds_alternative<SSyncRequest>(msg)) {
-      core_->on_sync_request(std::get<SSyncRequest>(msg));
-    } else {
-      core_->on_sync_response(std::get<SSyncResponse>(msg));
-    }
+    inbound_bytes_ += frame_bytes;
+    on_envelope(env);
   });
+}
+
+void StreamletEngine::on_envelope(const Envelope& env) {
+  try {
+    switch (env.type) {
+      case WireType::kSProposal:
+        core_->on_proposal(env.unpack<SProposal>());
+        break;
+      case WireType::kSVote:
+        core_->on_vote(env.unpack<SVote>());
+        break;
+      case WireType::kSSyncRequest:
+        core_->on_sync_request(env.unpack<SSyncRequest>());
+        break;
+      case WireType::kSSyncResponse:
+        core_->on_sync_response(env.unpack<SSyncResponse>());
+        break;
+      default:
+        throw CodecError("StreamletEngine: wire type not in this stack");
+    }
+  } catch (const CodecError&) {
+    transport_.stats().record_decode_drop();
+  }
 }
 
 void StreamletEngine::start() {
   register_handler();
   workload_.top_up();
-  sim::Scheduler& sched = network_.scheduler();
+  sim::Scheduler& sched = transport_.scheduler();
   if (fault_.kind == FaultSpec::Kind::Crash) {
     sched.schedule_at(fault_.crash_at, [this] { stop(); });
   } else if (fault_.kind == FaultSpec::Kind::CrashRestart) {
@@ -101,7 +117,7 @@ void StreamletEngine::start() {
 
 void StreamletEngine::stop() {
   core_->stop();
-  network_.disconnect(id_);
+  transport_.disconnect(id_);
 }
 
 void StreamletEngine::restart() {

@@ -4,19 +4,19 @@
 // stay synced but suppress every outbound message (proposals, votes, and
 // echoes), and Crash replicas stop entirely at `crash_at` — identical
 // semantics to the DiemBFT stack, so the same FaultSpec list drives both.
+// Traffic crosses the same byte-level net::Transport as the DiemBFT stack,
+// as Envelopes with the Streamlet wire-type tags.
 #pragma once
 
 #include <memory>
 
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/mempool/mempool.hpp"
-#include "sftbft/net/sim_network.hpp"
+#include "sftbft/net/transport.hpp"
 #include "sftbft/storage/replica_store.hpp"
 #include "sftbft/streamlet/streamlet.hpp"
 
 namespace sftbft::engine {
-
-using StreamletNetwork = net::SimNetwork<streamlet::SMessage>;
 
 class StreamletEngine final : public ConsensusEngine {
  public:
@@ -25,11 +25,11 @@ class StreamletEngine final : public ConsensusEngine {
   using BlockTap = std::function<void(const types::Block&)>;
   using VoteTap = std::function<void(const streamlet::SVote&)>;
 
-  /// Wires one Streamlet replica onto `network`. `config.id` must be set;
+  /// Wires one Streamlet replica onto `transport`. `config.id` must be set;
   /// the observer may be null. `store` (optional) enables durable state —
   /// required for Kind::CrashRestart faults and for restart(); the taps
   /// (optional) feed a harness-level SafetyAuditor.
-  StreamletEngine(streamlet::StreamletConfig config, StreamletNetwork& network,
+  StreamletEngine(streamlet::StreamletConfig config, net::Transport& transport,
                   std::shared_ptr<const crypto::KeyRegistry> registry,
                   mempool::WorkloadConfig workload, Rng workload_rng,
                   FaultSpec fault, CommitObserver observer,
@@ -63,9 +63,10 @@ class StreamletEngine final : public ConsensusEngine {
 
  private:
   void register_handler();
+  void on_envelope(const net::Envelope& env);
 
   ReplicaId id_;
-  StreamletNetwork& network_;
+  net::Transport& transport_;
   FaultSpec fault_;
   storage::ReplicaStore* store_ = nullptr;
   std::uint64_t inbound_messages_ = 0;

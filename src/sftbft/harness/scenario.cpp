@@ -82,7 +82,9 @@ net::Topology Scenario::build_topology() const {
 
 std::vector<engine::FaultSpec> Scenario::effective_faults() const {
   std::vector<engine::FaultSpec> merged = faults;
-  if ((crash_restart_count == 0 && byzantine_count == 0) || n < 2) {
+  if ((crash_restart_count == 0 && byzantine_count == 0 &&
+       corrupt_count == 0) ||
+      n < 2) {
     return merged;
   }
   if (merged.size() < n) merged.resize(n, engine::FaultSpec::honest());
@@ -113,6 +115,12 @@ std::vector<engine::FaultSpec> Scenario::effective_faults() const {
     place(byzantine_count,
           [&](std::uint32_t) { return engine::FaultSpec::byzantine(byzantine); });
   }
+  // Corrupt links are a network fault, not a replica fault, but placement
+  // follows the same spread so affected senders rotate through leadership.
+  if (corrupt_count > 0) {
+    place(corrupt_count,
+          [&](std::uint32_t) { return engine::FaultSpec::corrupt_links(corrupt); });
+  }
   // Stagger the crashes so the cluster never loses more than one recovering
   // replica at a time unless asked to.
   if (crash_restart_count > 0) {
@@ -139,7 +147,7 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
   deployment.topology = build_topology();
   deployment.net.jitter = jitter;
   deployment.net.jitter_frac = jitter_frac;
-  deployment.net.gst = 0;
+  deployment.net.gst = gst;
   deployment.seed = seed;
   deployment.faults = effective_faults();
   deployment.storage.snapshot_interval_blocks = snapshot_interval_blocks;
@@ -209,6 +217,10 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.total_messages = stats.total_count();
   result.total_message_bytes = stats.total_bytes();
   result.extra_vote_messages = stats.for_type("extra_vote").count;
+  result.corrupt_injected = stats.corrupt_injected();
+  result.corrupt_drops = stats.corrupt_drops();
+  result.broadcast_saved_bytes = stats.broadcast_saved_bytes();
+  result.traffic_by_type = stats.by_type();
   const std::uint64_t blocks = deployment.ledger(0).committed_blocks();
   if (blocks > 0) {
     result.messages_per_block =

@@ -16,6 +16,7 @@
 // out at δ = 200 ms but not at δ = 100 ms — exactly the paper's observation.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ struct Scenario {
   SimDuration jitter = millis(40);
   /// Distance-proportional jitter fraction (see net::NetConfig::jitter_frac).
   double jitter_frac = 0.25;
+  /// Global Stabilization Time (0 = synchronous from the start). Pre-GST
+  /// the adversary owns the network: link filters, partitions, and the
+  /// Corrupt fault's bit flips all operate before this instant.
+  SimTime gst = 0;
 
   /// Persistent per-replica slowness (network/computation heterogeneity),
   /// two-tier. Fast replicas draw extra delay ~ U[0, hetero_fast_max]: the
@@ -103,6 +108,17 @@ struct Scenario {
   std::uint32_t byzantine_count = 0;
   adversary::ByzantineSpec byzantine;
 
+  /// Byte-corruption churn (transport layer): `corrupt_count` replicas,
+  /// spread over [1, n) like the Byzantine placement, whose outbound links
+  /// flip bits pre-GST per `corrupt` (FaultSpec::Kind::Corrupt). Receivers
+  /// reject the frames at the Envelope CRC and the transport counts them
+  /// (ScenarioResult::corrupt_drops). Requires `gst` > 0 — corruption is a
+  /// pre-GST network fault, and the Deployment rejects the no-op
+  /// combination. Merged into `faults` by to_deployment_config(); explicit
+  /// fault entries win.
+  std::uint32_t corrupt_count = 0;
+  net::CorruptSpec corrupt;
+
   /// Crash-recovery churn (storage layer): `crash_restart_count` replicas,
   /// spread over the id space (avoiding id 0, the metrics replica), crash
   /// at staggered times and restart `crash_restart_downtime` later from
@@ -154,6 +170,15 @@ struct ScenarioResult {
   std::uint64_t extra_vote_messages = 0;
   /// messages per committed block (the Sec. 3.2 complexity metric).
   double messages_per_block = 0;
+  /// Frames corrupted in flight / rejected at the receiver's Envelope
+  /// decode (Corrupt faults), and bytes the broadcast path saved by
+  /// encoding each frame once.
+  std::uint64_t corrupt_injected = 0;
+  std::uint64_t corrupt_drops = 0;
+  std::uint64_t broadcast_saved_bytes = 0;
+  /// Per-type traffic (exact frame bytes, keyed by stats label) — what
+  /// bench/tab_msg_complexity ships as BENCH_wire.json.
+  std::map<std::string, net::MessageStats::TypeStats> traffic_by_type;
 };
 
 ScenarioResult run_scenario(const Scenario& scenario);

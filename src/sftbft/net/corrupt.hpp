@@ -1,0 +1,37 @@
+// CorruptSpec: pre-GST link-level byte corruption (FaultSpec::Kind::Corrupt).
+//
+// Pure data in its own header: the fault model (engine/fault.hpp) needs
+// this struct and nothing else from the network layer, so including it must
+// not drag the transport interface, codec, or stats into every consumer of
+// FaultSpec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sftbft/common/types.hpp"
+
+namespace sftbft::net {
+
+/// Frames a replica sends before GST get seeded bit flips on the selected
+/// links; receivers reject them at the Envelope CRC (counted as corrupt
+/// drops, never delivered).
+struct CorruptSpec {
+  /// Probability a pre-GST outbound frame on an affected link is corrupted.
+  double rate = 1.0;
+  /// 1..max_flips random bit flips per corrupted frame (clamped to the
+  /// frame's bit count by the transport).
+  std::uint32_t max_flips = 3;
+  /// Affected destination replicas; empty = every outbound link.
+  std::vector<ReplicaId> peers;
+
+  [[nodiscard]] bool applies_to(ReplicaId to) const {
+    if (peers.empty()) return true;
+    for (const ReplicaId peer : peers) {
+      if (peer == to) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace sftbft::net

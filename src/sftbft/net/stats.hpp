@@ -16,13 +16,13 @@ namespace sftbft::net {
 
 class MessageStats {
  public:
-  /// Records one message of `type` with `wire_size` payload bytes.
-  void record(const std::string& type, std::size_t wire_size) {
+  /// Records one message of `type` with its exact on-wire frame size.
+  void record(const std::string& type, std::size_t frame_bytes) {
     auto& entry = per_type_[type];
     entry.count += 1;
-    entry.bytes += wire_size;
+    entry.bytes += frame_bytes;
     total_count_ += 1;
-    total_bytes_ += wire_size;
+    total_bytes_ += frame_bytes;
   }
 
   struct TypeStats {
@@ -32,6 +32,31 @@ class MessageStats {
 
   [[nodiscard]] std::uint64_t total_count() const { return total_count_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Frames the transport corrupted in flight (FaultSpec::Kind::Corrupt).
+  void record_corrupt_injected() { ++corrupt_injected_; }
+  [[nodiscard]] std::uint64_t corrupt_injected() const {
+    return corrupt_injected_;
+  }
+
+  /// Frames a receiver rejected at the byte level (Envelope::decode threw
+  /// CodecError: CRC mismatch, bad tag, truncation). Never delivered.
+  void record_corrupt_drop() { ++corrupt_drops_; }
+  [[nodiscard]] std::uint64_t corrupt_drops() const { return corrupt_drops_; }
+
+  /// Well-framed envelopes whose *payload* failed to decode as the claimed
+  /// message type (engine-level demux rejection).
+  void record_decode_drop() { ++decode_drops_; }
+  [[nodiscard]] std::uint64_t decode_drops() const { return decode_drops_; }
+
+  /// Bytes the broadcast path did NOT re-encode thanks to frame sharing
+  /// ((recipients - 1) x frame size per broadcast).
+  void record_broadcast_savings(std::uint64_t bytes) {
+    broadcast_saved_bytes_ += bytes;
+  }
+  [[nodiscard]] std::uint64_t broadcast_saved_bytes() const {
+    return broadcast_saved_bytes_;
+  }
 
   [[nodiscard]] TypeStats for_type(const std::string& type) const {
     auto it = per_type_.find(type);
@@ -46,12 +71,20 @@ class MessageStats {
     per_type_.clear();
     total_count_ = 0;
     total_bytes_ = 0;
+    corrupt_injected_ = 0;
+    corrupt_drops_ = 0;
+    decode_drops_ = 0;
+    broadcast_saved_bytes_ = 0;
   }
 
  private:
   std::map<std::string, TypeStats> per_type_;
   std::uint64_t total_count_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t corrupt_injected_ = 0;
+  std::uint64_t corrupt_drops_ = 0;
+  std::uint64_t decode_drops_ = 0;
+  std::uint64_t broadcast_saved_bytes_ = 0;
 };
 
 }  // namespace sftbft::net

@@ -3,22 +3,23 @@
 namespace sftbft::replica {
 
 using consensus::DiemBftCore;
-using types::Message;
+using net::Envelope;
+using net::WireType;
 using types::Proposal;
 using types::SyncRequest;
 using types::SyncResponse;
 using types::TimeoutMsg;
 using types::Vote;
 
-Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
+Replica::Replica(consensus::CoreConfig config, net::Transport& transport,
                  std::shared_ptr<const crypto::KeyRegistry> registry,
                  mempool::WorkloadConfig workload, Rng workload_rng,
                  FaultSpec fault, CommitObserver observer,
                  storage::ReplicaStore* store, QcTap qc_tap)
     : id_(config.id),
-      network_(network),
+      transport_(transport),
       fault_(fault),
-      workload_(network.scheduler(), pool_, workload, workload_rng),
+      workload_(transport.scheduler(), pool_, workload, workload_rng),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
 
@@ -26,32 +27,32 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
   DiemBftCore::Hooks hooks;
   hooks.send_vote = [this, silent](ReplicaId to, const Vote& vote) {
     if (silent) return;
-    network_.send(id_, to, "vote", vote.wire_size(), Message{vote});
+    transport_.send(to, Envelope::pack(WireType::kVote, id_, vote));
   };
   hooks.broadcast_proposal = [this, silent](const Proposal& proposal) {
     if (silent) return;
-    network_.multicast(id_, "proposal", proposal.wire_size(),
-                       Message{proposal}, /*include_self=*/true);
+    transport_.broadcast(Envelope::pack(WireType::kProposal, id_, proposal),
+                         /*include_self=*/true);
   };
   hooks.broadcast_timeout = [this, silent](const TimeoutMsg& msg) {
     if (silent) return;
-    network_.multicast(id_, "timeout", msg.wire_size(), Message{msg},
-                       /*include_self=*/true);
+    transport_.broadcast(Envelope::pack(WireType::kTimeout, id_, msg),
+                         /*include_self=*/true);
   };
   hooks.broadcast_extra_vote = [this, silent](const Vote& vote) {
     if (silent) return;
-    network_.multicast(id_, "extra_vote", vote.wire_size(), Message{vote},
-                       /*include_self=*/false);
+    transport_.broadcast(Envelope::pack(WireType::kVote, id_, vote),
+                         /*include_self=*/false, "extra_vote");
   };
   hooks.send_sync_request = [this, silent](ReplicaId to,
                                            const SyncRequest& req) {
     if (silent) return;
-    network_.send(id_, to, "sync_req", req.wire_size(), Message{req});
+    transport_.send(to, Envelope::pack(WireType::kSyncRequest, id_, req));
   };
   hooks.send_sync_response = [this, silent](ReplicaId to,
                                             const SyncResponse& resp) {
     if (silent) return;
-    network_.send(id_, to, "sync_resp", resp.wire_size(), Message{resp});
+    transport_.send(to, Envelope::pack(WireType::kSyncResponse, id_, resp));
   };
   hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
                            SimTime now) {
@@ -59,32 +60,32 @@ Replica::Replica(consensus::CoreConfig config, DiemNetwork& network,
   };
   hooks.on_canonical_qc = std::move(qc_tap);
 
-  core_ = std::make_unique<DiemBftCore>(config, network.scheduler(), registry,
-                                        pool_, std::move(hooks), store);
+  core_ = std::make_unique<DiemBftCore>(config, transport.scheduler(),
+                                        registry, pool_, std::move(hooks),
+                                        store);
+}
+
+void Replica::register_handler() {
+  transport_.set_handler(id_, [this](const Envelope& env,
+                                     std::size_t frame_bytes) {
+    ++inbound_messages_;
+    inbound_bytes_ += frame_bytes;
+    on_envelope(env);
+  });
 }
 
 void Replica::start() {
-  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
-                                   std::size_t wire_size) {
-    ++inbound_messages_;
-    inbound_bytes_ += wire_size;
-    on_message(msg);
-  });
+  register_handler();
   workload_.top_up();
   workload_.start();
   if (fault_.kind == FaultSpec::Kind::Crash) {
-    network_.scheduler().schedule_at(fault_.crash_at, [this] { crash(); });
+    transport_.scheduler().schedule_at(fault_.crash_at, [this] { crash(); });
   }
   core_->start();
 }
 
 void Replica::restart(const storage::RecoveredState& state) {
-  network_.set_handler(id_, [this](ReplicaId /*from*/, const Message& msg,
-                                   std::size_t wire_size) {
-    ++inbound_messages_;
-    inbound_bytes_ += wire_size;
-    on_message(msg);
-  });
+  register_handler();
   // A fresh mempool: in-flight bookkeeping died with the process.
   pool_ = mempool::Mempool();
   workload_.top_up();
@@ -92,23 +93,38 @@ void Replica::restart(const storage::RecoveredState& state) {
   core_->request_sync();
 }
 
-void Replica::on_message(const Message& msg) {
-  if (std::holds_alternative<Proposal>(msg)) {
-    core_->on_proposal(std::get<Proposal>(msg));
-  } else if (std::holds_alternative<Vote>(msg)) {
-    core_->on_vote(std::get<Vote>(msg));
-  } else if (std::holds_alternative<TimeoutMsg>(msg)) {
-    core_->on_timeout_msg(std::get<TimeoutMsg>(msg));
-  } else if (std::holds_alternative<SyncRequest>(msg)) {
-    core_->on_sync_request(std::get<SyncRequest>(msg));
-  } else {
-    core_->on_sync_response(std::get<SyncResponse>(msg));
+void Replica::on_envelope(const Envelope& env) {
+  try {
+    switch (env.type) {
+      case WireType::kProposal:
+        core_->on_proposal(env.unpack<Proposal>());
+        break;
+      case WireType::kVote:
+        core_->on_vote(env.unpack<Vote>());
+        break;
+      case WireType::kTimeout:
+        core_->on_timeout_msg(env.unpack<TimeoutMsg>());
+        break;
+      case WireType::kSyncRequest:
+        core_->on_sync_request(env.unpack<SyncRequest>());
+        break;
+      case WireType::kSyncResponse:
+        core_->on_sync_response(env.unpack<SyncResponse>());
+        break;
+      default:
+        // A Streamlet-stack tag reaching a DiemBFT replica is a payload
+        // this stack cannot parse — same treatment as a garbled payload.
+        throw CodecError("Replica: wire type not in the DiemBFT stack");
+    }
+  } catch (const CodecError&) {
+    // Well-framed envelope, unparseable payload: reject, count, carry on.
+    transport_.stats().record_decode_drop();
   }
 }
 
 void Replica::crash() {
   core_->stop();
-  network_.disconnect(id_);
+  transport_.disconnect(id_);
 }
 
 }  // namespace sftbft::replica

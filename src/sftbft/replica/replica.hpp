@@ -2,6 +2,11 @@
 // model. The fault behaviours (Honest / Crash / Silent) come from the shared
 // engine::FaultSpec — see sftbft/engine/fault.hpp — so the same fault list
 // drives both the DiemBFT and Streamlet stacks.
+//
+// All traffic crosses the byte-level net::Transport as Envelopes: outbound
+// hooks encode each message to its canonical bytes; the inbound handler
+// demuxes on the wire-type tag and decodes, dropping (and counting) frames
+// whose payload does not parse.
 #pragma once
 
 #include <memory>
@@ -9,13 +14,11 @@
 #include "sftbft/consensus/diembft.hpp"
 #include "sftbft/engine/fault.hpp"
 #include "sftbft/mempool/mempool.hpp"
-#include "sftbft/net/sim_network.hpp"
+#include "sftbft/net/transport.hpp"
 #include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/proposal.hpp"
 
 namespace sftbft::replica {
-
-using DiemNetwork = net::SimNetwork<types::Message>;
 
 /// Back-compat alias: the fault model is protocol-agnostic now.
 using FaultSpec = engine::FaultSpec;
@@ -34,15 +37,15 @@ class Replica {
 
   /// `store` (optional) enables durable state + crash recovery (restart());
   /// `qc_tap` (optional) feeds a harness-level auditor.
-  Replica(consensus::CoreConfig config, DiemNetwork& network,
+  Replica(consensus::CoreConfig config, net::Transport& transport,
           std::shared_ptr<const crypto::KeyRegistry> registry,
           mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
           CommitObserver observer,
           storage::ReplicaStore* store = nullptr, QcTap qc_tap = nullptr);
 
-  /// Registers the network handler, fills the mempool, arms the crash timer
-  /// (Kind::Crash only — CrashRestart timers belong to the engine layer),
-  /// and enters round 1.
+  /// Registers the transport handler, fills the mempool, arms the crash
+  /// timer (Kind::Crash only — CrashRestart timers belong to the engine
+  /// layer), and enters round 1.
   void start();
 
   /// Crash recovery: reconstructs the consensus core from `state` (the
@@ -59,17 +62,18 @@ class Replica {
   /// Simulates a crash now: stops the core and drops off the network.
   void crash();
 
-  /// Inbound traffic delivered to this replica (wire bytes).
+  /// Inbound traffic delivered to this replica (exact frame bytes).
   [[nodiscard]] std::uint64_t inbound_messages() const {
     return inbound_messages_;
   }
   [[nodiscard]] std::uint64_t inbound_bytes() const { return inbound_bytes_; }
 
  private:
-  void on_message(const types::Message& msg);
+  void register_handler();
+  void on_envelope(const net::Envelope& env);
 
   ReplicaId id_;
-  DiemNetwork& network_;
+  net::Transport& transport_;
   FaultSpec fault_;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;

@@ -1,38 +1,17 @@
 #include "sftbft/storage/wal.hpp"
 
-#include <array>
-
 #include "sftbft/common/codec.hpp"
+#include "sftbft/common/crc32.hpp"
 
 namespace sftbft::storage {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
-
 constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc
 
 }  // namespace
 
-std::uint32_t crc32(BytesView data) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t byte : data) {
-    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
+std::uint32_t crc32(BytesView data) { return sftbft::crc32(data); }
 
 Bytes Wal::frame(BytesView record) {
   Encoder enc;

@@ -18,11 +18,16 @@ Bytes SProposal::signing_bytes() const {
   return enc.take();
 }
 
-std::size_t SProposal::wire_size() const {
-  Encoder enc;
+void SProposal::encode(Encoder& enc) const {
   block.encode(enc);
   sig.encode(enc);
-  return enc.data().size() + block.payload.total_bytes();
+}
+
+SProposal SProposal::decode(Decoder& dec) {
+  SProposal proposal;
+  proposal.block = types::Block::decode(dec);
+  proposal.sig = crypto::Signature::decode(dec);
+  return proposal;
 }
 
 Bytes SVote::signing_bytes() const {
@@ -36,16 +41,75 @@ Bytes SVote::signing_bytes() const {
   return enc.take();
 }
 
-std::size_t SVote::wire_size() const {
-  // block id + round + height + voter + marker + signature.
-  return 32 + 8 + 8 + 4 + 8 + 36;
+void SVote::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u64(height);
+  enc.u32(voter);
+  enc.u64(marker);
+  sig.encode(enc);
 }
 
-std::size_t SSyncResponse::wire_size() const {
-  std::size_t size = 8;  // two counts
-  for (const types::Block& block : blocks) size += block.wire_size();
-  for (const SVote& vote : votes) size += vote.wire_size();
-  return size;
+SVote SVote::decode(Decoder& dec) {
+  SVote vote;
+  const Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), vote.block_id.bytes.begin());
+  vote.round = dec.u64();
+  vote.height = dec.u64();
+  vote.voter = dec.u32();
+  vote.marker = dec.u64();
+  vote.sig = crypto::Signature::decode(dec);
+  return vote;
+}
+
+void SSyncRequest::encode(Encoder& enc) const {
+  enc.u32(requester);
+  enc.u64(from_height);
+}
+
+SSyncRequest SSyncRequest::decode(Decoder& dec) {
+  SSyncRequest req;
+  req.requester = dec.u32();
+  req.from_height = dec.u64();
+  return req;
+}
+
+void SSyncResponse::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(blocks.size()));
+  for (const types::Block& block : blocks) block.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(votes.size()));
+  for (const SVote& vote : votes) vote.encode(enc);
+}
+
+net::Envelope to_envelope(ReplicaId sender, const SMessage& msg) {
+  using net::Envelope;
+  using net::WireType;
+  if (const auto* proposal = std::get_if<SProposal>(&msg)) {
+    return Envelope::pack(WireType::kSProposal, sender, *proposal);
+  }
+  if (const auto* vote = std::get_if<SVote>(&msg)) {
+    return Envelope::pack(WireType::kSVote, sender, *vote);
+  }
+  if (const auto* req = std::get_if<SSyncRequest>(&msg)) {
+    return Envelope::pack(WireType::kSSyncRequest, sender, *req);
+  }
+  return Envelope::pack(WireType::kSSyncResponse, sender,
+                        std::get<SSyncResponse>(msg));
+}
+
+SSyncResponse SSyncResponse::decode(Decoder& dec) {
+  SSyncResponse resp;
+  const std::uint32_t block_count = dec.count(types::Block::kMinEncodedBytes);
+  resp.blocks.reserve(block_count);
+  for (std::uint32_t i = 0; i < block_count; ++i) {
+    resp.blocks.push_back(types::Block::decode(dec));
+  }
+  const std::uint32_t vote_count = dec.count(SVote::kEncodedBytes);
+  resp.votes.reserve(vote_count);
+  for (std::uint32_t i = 0; i < vote_count; ++i) {
+    resp.votes.push_back(SVote::decode(dec));
+  }
+  return resp;
 }
 
 StreamletCore::StreamletCore(

@@ -38,6 +38,7 @@
 #include "sftbft/consensus/endorsement.hpp"
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/mempool/mempool.hpp"
+#include "sftbft/net/envelope.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/block.hpp"
@@ -67,13 +68,19 @@ struct StreamletConfig {
 };
 
 /// Streamlet messages: a proposal is just a signed block; votes carry a
-/// height marker in SFT mode.
+/// height marker in SFT mode. Every message has a canonical encoding (the
+/// same Encoder/Decoder codec as the DiemBFT stack) and travels in a
+/// net::Envelope; the encoded size is the wire size.
 struct SProposal {
   types::Block block;
   crypto::Signature sig{};
 
   [[nodiscard]] Bytes signing_bytes() const;
-  [[nodiscard]] std::size_t wire_size() const;
+
+  void encode(Encoder& enc) const;
+  static SProposal decode(Decoder& dec);
+
+  friend bool operator==(const SProposal&, const SProposal&) = default;
 };
 
 struct SVote {
@@ -86,7 +93,15 @@ struct SVote {
   crypto::Signature sig{};
 
   [[nodiscard]] Bytes signing_bytes() const;
-  [[nodiscard]] std::size_t wire_size() const;
+
+  void encode(Encoder& enc) const;
+  static SVote decode(Decoder& dec);
+
+  /// Exact encoded size (SVote is fixed-width): bounds untrusted vote
+  /// counts while decoding sync responses.
+  static constexpr std::size_t kEncodedBytes = 32 + 8 + 8 + 4 + 8 + (4 + 32);
+
+  friend bool operator==(const SVote&, const SVote&) = default;
 };
 
 /// Crash-recovery block sync (storage layer; not part of Appendix D): the
@@ -99,7 +114,8 @@ struct SSyncRequest {
   ReplicaId requester = kNoReplica;
   Height from_height = 0;
 
-  [[nodiscard]] std::size_t wire_size() const { return 4 + 8; }
+  void encode(Encoder& enc) const;
+  static SSyncRequest decode(Decoder& dec);
 
   friend bool operator==(const SSyncRequest&, const SSyncRequest&) = default;
 };
@@ -110,12 +126,17 @@ struct SSyncResponse {
   /// The responder's stored votes for those blocks (quorum per block).
   std::vector<SVote> votes;
 
-  [[nodiscard]] std::size_t wire_size() const;
+  void encode(Encoder& enc) const;
+  static SSyncResponse decode(Decoder& dec);
 
   friend bool operator==(const SSyncResponse&, const SSyncResponse&) = default;
 };
 
 using SMessage = std::variant<SProposal, SVote, SSyncRequest, SSyncResponse>;
+
+/// Wraps whichever alternative `msg` holds in its wire envelope (the echo
+/// path forwards previously-unseen messages of any type).
+[[nodiscard]] net::Envelope to_envelope(ReplicaId sender, const SMessage& msg);
 
 class StreamletCore {
  public:

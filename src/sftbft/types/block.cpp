@@ -12,10 +12,11 @@ crypto::Sha256Digest Block::compute_id() const {
   enc.u64(height);
   enc.u32(proposer);
   enc.raw(qc.digest().bytes);
-  // Payload is bound through its canonical encoding's digest so the block
-  // header hash stays O(1)-recomputable in tests regardless of batch size.
+  // Payload is bound through its *record* encoding's digest: the synthetic
+  // bodies are a pure function of the records, so this binds the full wire
+  // bytes while header hashing stays O(txns), not O(block bytes).
   Encoder payload_enc;
-  payload.encode(payload_enc);
+  payload.encode_records(payload_enc);
   enc.raw(crypto::Sha256::hash(payload_enc.data()).bytes);
   enc.raw(log_digest.bytes);
   enc.i64(created_at);
@@ -63,14 +64,6 @@ Block Block::decode(Decoder& dec) {
   std::copy(raw.begin(), raw.end(), block.log_digest.bytes.begin());
   block.created_at = dec.i64();
   return block;
-}
-
-std::size_t Block::wire_size() const {
-  Encoder enc;
-  encode(enc);
-  // The encoder carries transaction *records*; add the modelled bodies
-  // (~450 bytes each in the paper's workload) that we do not materialize.
-  return enc.data().size() + payload.total_bytes();
 }
 
 std::string Block::brief() const {

@@ -54,23 +54,13 @@ Proposal Proposal::decode(Decoder& dec) {
   Proposal proposal;
   proposal.block = Block::decode(dec);
   if (dec.boolean()) proposal.tc = TimeoutCert::decode(dec);
-  const std::uint32_t count = dec.u32();
+  const std::uint32_t count = dec.count(CommitLogEntry::kEncodedBytes);
   proposal.commit_log.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     proposal.commit_log.push_back(CommitLogEntry::decode(dec));
   }
   proposal.sig = crypto::Signature::decode(dec);
   return proposal;
-}
-
-std::size_t Proposal::wire_size() const {
-  Encoder enc;
-  enc.boolean(tc.has_value());
-  if (tc) tc->encode(enc);
-  enc.u32(static_cast<std::uint32_t>(commit_log.size()));
-  for (const CommitLogEntry& entry : commit_log) entry.encode(enc);
-  sig.encode(enc);
-  return enc.data().size() + block.wire_size();
 }
 
 void SyncRequest::encode(Encoder& enc) const {
@@ -85,10 +75,6 @@ SyncRequest SyncRequest::decode(Decoder& dec) {
   return req;
 }
 
-std::size_t SyncRequest::wire_size() const {
-  return 4 + 8;  // requester + from_height
-}
-
 void SyncResponse::encode(Encoder& enc) const {
   enc.u32(static_cast<std::uint32_t>(blocks.size()));
   for (const Block& block : blocks) block.encode(enc);
@@ -97,7 +83,7 @@ void SyncResponse::encode(Encoder& enc) const {
 
 SyncResponse SyncResponse::decode(Decoder& dec) {
   SyncResponse resp;
-  const std::uint32_t count = dec.u32();
+  const std::uint32_t count = dec.count(Block::kMinEncodedBytes);
   resp.blocks.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     resp.blocks.push_back(Block::decode(dec));
@@ -106,22 +92,12 @@ SyncResponse SyncResponse::decode(Decoder& dec) {
   return resp;
 }
 
-std::size_t SyncResponse::wire_size() const {
-  std::size_t size = 4 + high_qc.wire_size();
-  for (const Block& block : blocks) size += block.wire_size();
-  return size;
-}
-
 const char* message_type_name(const Message& msg) {
   if (std::holds_alternative<Proposal>(msg)) return "proposal";
   if (std::holds_alternative<Vote>(msg)) return "vote";
   if (std::holds_alternative<TimeoutMsg>(msg)) return "timeout";
   if (std::holds_alternative<SyncRequest>(msg)) return "sync_req";
   return "sync_resp";
-}
-
-std::size_t message_wire_size(const Message& msg) {
-  return std::visit([](const auto& m) { return m.wire_size(); }, msg);
 }
 
 }  // namespace sftbft::types

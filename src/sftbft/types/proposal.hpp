@@ -29,6 +29,8 @@ struct CommitLogEntry {
   void encode(Encoder& enc) const;
   static CommitLogEntry decode(Decoder& dec);
 
+  static constexpr std::size_t kEncodedBytes = 32 + 8 + 4;
+
   friend bool operator==(const CommitLogEntry&, const CommitLogEntry&) = default;
 };
 
@@ -54,7 +56,6 @@ struct Proposal {
 
   void encode(Encoder& enc) const;
   static Proposal decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
 
   friend bool operator==(const Proposal&, const Proposal&) = default;
 };
@@ -69,7 +70,6 @@ struct SyncRequest {
 
   void encode(Encoder& enc) const;
   static SyncRequest decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
 
   friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
 };
@@ -84,20 +84,17 @@ struct SyncResponse {
 
   void encode(Encoder& enc) const;
   static SyncResponse decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
 
   friend bool operator==(const SyncResponse&, const SyncResponse&) = default;
 };
 
-/// Everything a DiemBFT replica can receive.
+/// Everything a DiemBFT replica can receive (the demux set; on the wire
+/// each alternative travels as its own net::Envelope type tag).
 using Message = std::variant<Proposal, Vote, TimeoutMsg, SyncRequest,
                              SyncResponse>;
 
 /// Stats label for a message ("proposal" / "vote" / "timeout" / "sync_req" /
 /// "sync_resp").
 [[nodiscard]] const char* message_type_name(const Message& msg);
-
-/// Wire size of whichever alternative is held.
-[[nodiscard]] std::size_t message_wire_size(const Message& msg);
 
 }  // namespace sftbft::types

@@ -64,18 +64,12 @@ QuorumCert QuorumCert::decode(Decoder& dec) {
   raw = dec.raw(32);
   std::copy(raw.begin(), raw.end(), qc.parent_id.bytes.begin());
   qc.parent_round = dec.u64();
-  const std::uint32_t count = dec.u32();
+  const std::uint32_t count = dec.count(Vote::kMinEncodedBytes);
   qc.votes.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     qc.votes.push_back(Vote::decode(dec));
   }
   return qc;
-}
-
-std::size_t QuorumCert::wire_size() const {
-  Encoder enc;
-  encode(enc);
-  return enc.data().size();
 }
 
 bool ranks_higher(const QuorumCert& a, const QuorumCert& b) {

@@ -46,7 +46,9 @@ struct QuorumCert {
 
   void encode(Encoder& enc) const;
   static QuorumCert decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Minimum encoded size (no votes): bounds untrusted counts upstream.
+  static constexpr std::size_t kMinEncodedBytes = 32 + 8 + 32 + 8 + 4;
 
   friend bool operator==(const QuorumCert&, const QuorumCert&) = default;
 };

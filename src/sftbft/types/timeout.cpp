@@ -33,12 +33,6 @@ TimeoutMsg TimeoutMsg::decode(Decoder& dec) {
   return msg;
 }
 
-std::size_t TimeoutMsg::wire_size() const {
-  Encoder enc;
-  encode(enc);
-  return enc.data().size();
-}
-
 const QuorumCert& TimeoutCert::highest_qc() const {
   assert(!timeouts.empty());
   const TimeoutMsg* best = &timeouts.front();
@@ -70,18 +64,12 @@ void TimeoutCert::encode(Encoder& enc) const {
 TimeoutCert TimeoutCert::decode(Decoder& dec) {
   TimeoutCert tc;
   tc.round = dec.u64();
-  const std::uint32_t count = dec.u32();
+  const std::uint32_t count = dec.count(TimeoutMsg::kMinEncodedBytes);
   tc.timeouts.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     tc.timeouts.push_back(TimeoutMsg::decode(dec));
   }
   return tc;
-}
-
-std::size_t TimeoutCert::wire_size() const {
-  Encoder enc;
-  encode(enc);
-  return enc.data().size();
 }
 
 }  // namespace sftbft::types

@@ -30,7 +30,11 @@ struct TimeoutMsg {
 
   void encode(Encoder& enc) const;
   static TimeoutMsg decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Minimum encoded size (genesis high_qc): bounds untrusted timeout
+  /// counts while decoding certificates.
+  static constexpr std::size_t kMinEncodedBytes =
+      8 + 4 + QuorumCert::kMinEncodedBytes + (4 + 32);
 
   friend bool operator==(const TimeoutMsg&, const TimeoutMsg&) = default;
 };
@@ -47,7 +51,6 @@ struct TimeoutCert {
 
   void encode(Encoder& enc) const;
   static TimeoutCert decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
 
   friend bool operator==(const TimeoutCert&, const TimeoutCert&) = default;
 };

@@ -1,6 +1,35 @@
 #include "sftbft/types/transaction.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace sftbft::types {
+
+namespace {
+
+/// Synthetic body: the little-endian id repeated across `size` bytes. A
+/// pure function of the record, so decode can skip it and re-encode
+/// regenerates it bit-identically. Written in place into the encoder's
+/// buffer by doubling memcpys (every copy source is 8-aligned in the
+/// pattern) — this is the broadcast hot path, no staging copy.
+void append_body(Encoder& enc, std::uint64_t id, std::uint32_t size) {
+  if (size == 0) return;
+  std::uint8_t pattern[8];
+  for (int i = 0; i < 8; ++i) {
+    pattern[i] = static_cast<std::uint8_t>(id >> (8 * i));
+  }
+  std::uint8_t* body = enc.grow(size);
+  const std::size_t head = std::min<std::size_t>(8, size);
+  std::memcpy(body, pattern, head);
+  std::size_t filled = head;
+  while (filled < size) {
+    const std::size_t chunk = std::min<std::size_t>(filled, size - filled);
+    std::memcpy(body + filled, body, chunk);
+    filled += chunk;
+  }
+}
+
+}  // namespace
 
 void Transaction::encode(Encoder& enc) const {
   enc.u64(id);
@@ -23,18 +52,31 @@ std::uint64_t Payload::total_bytes() const {
 }
 
 void Payload::encode(Encoder& enc) const {
+  enc.reserve(4 + txns.size() * Transaction::kRecordBytes + total_bytes());
   enc.u32(static_cast<std::uint32_t>(txns.size()));
-  for (const Transaction& txn : txns) txn.encode(enc);
+  for (const Transaction& txn : txns) {
+    txn.encode(enc);
+    append_body(enc, txn.id, txn.size_bytes);
+  }
 }
 
 Payload Payload::decode(Decoder& dec) {
   Payload payload;
-  const std::uint32_t count = dec.u32();
+  const std::uint32_t count = dec.count(Transaction::kRecordBytes);
   payload.txns.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    payload.txns.push_back(Transaction::decode(dec));
+    Transaction txn = Transaction::decode(dec);
+    // The body is derived from the record; integrity of the raw bytes is
+    // the Envelope CRC's job, so skip instead of materializing ~450 KB.
+    dec.skip(txn.size_bytes);
+    payload.txns.push_back(txn);
   }
   return payload;
+}
+
+void Payload::encode_records(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const Transaction& txn : txns) txn.encode(enc);
 }
 
 }  // namespace sftbft::types

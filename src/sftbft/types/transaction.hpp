@@ -1,9 +1,13 @@
 // Client transactions and block payloads.
 //
-// The paper's workload batches ~1000 transactions (~450 KB) per block. The
+// The paper's workload batches ~100 transactions (~450 KB) per block. The
 // simulator tracks per-transaction identity and submission time (for
-// throughput / latency accounting) but does not materialize the 450 bytes of
-// body per transaction; payload wire size is modelled explicitly instead.
+// throughput / latency accounting) and keeps bodies *synthetic*: on the
+// wire each transaction is its record followed by `size_bytes` of body
+// bytes derived deterministically from the id, so encoded frames really
+// are block-sized — the transport charges exactly what it encodes — while
+// decoded blocks stay compact in memory (bodies are skipped on decode and
+// regenerated bit-identically on re-encode).
 #pragma once
 
 #include <cstdint>
@@ -17,9 +21,15 @@ namespace sftbft::types {
 struct Transaction {
   std::uint64_t id = 0;
   SimTime submitted_at = 0;
-  /// Modelled body size in bytes (counted toward proposal wire size).
+  /// Body size in bytes; the wire encoding carries this many synthetic
+  /// body bytes (derived from `id`) after the record.
   std::uint32_t size_bytes = 0;
 
+  /// Record bytes per transaction on the wire (id + submitted_at +
+  /// size_bytes), before the body.
+  static constexpr std::size_t kRecordBytes = 8 + 8 + 4;
+
+  /// Record only (no body) — the digest-input form.
   void encode(Encoder& enc) const;
   static Transaction decode(Decoder& dec);
 
@@ -32,8 +42,18 @@ struct Payload {
 
   [[nodiscard]] std::uint64_t total_bytes() const;
 
+  /// Canonical wire encoding: count, then per transaction the record
+  /// followed by `size_bytes` of deterministic body bytes. decode() skips
+  /// the bodies (they are a pure function of the record) and re-encoding a
+  /// decoded payload is byte-identical.
   void encode(Encoder& enc) const;
   static Payload decode(Decoder& dec);
+
+  /// Records only (count + per-txn record, no bodies): the block-header
+  /// digest input. Bodies are derived from the records, so binding the
+  /// records binds the full wire bytes while keeping header hashing O(txns)
+  /// instead of O(block bytes).
+  void encode_records(Encoder& enc) const;
 
   friend bool operator==(const Payload&, const Payload&) = default;
 };

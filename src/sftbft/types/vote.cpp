@@ -54,10 +54,4 @@ Vote Vote::decode(Decoder& dec) {
   return vote;
 }
 
-std::size_t Vote::wire_size() const {
-  Encoder enc;
-  encode(enc);
-  return enc.data().size();
-}
-
 }  // namespace sftbft::types

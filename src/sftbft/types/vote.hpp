@@ -52,7 +52,11 @@ struct Vote {
 
   void encode(Encoder& enc) const;
   static Vote decode(Decoder& dec);
-  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Minimum encoded size (empty interval set): used to bound untrusted
+  /// vote counts while decoding certificates.
+  static constexpr std::size_t kMinEncodedBytes =
+      32 + 8 + 4 + 1 + 8 + 4 + (4 + 32);
 
   friend bool operator==(const Vote&, const Vote&) = default;
 };

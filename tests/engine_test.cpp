@@ -105,6 +105,60 @@ TEST(Engine, SilentFaultSuppressesAllTrafficOnBothProtocols) {
   }
 }
 
+TEST(Engine, CorruptLinksDropFramesPreGstThenRecoverOnBothProtocols) {
+  // FaultSpec::Corrupt end to end: replica 1's outbound links flip bits
+  // until GST. Receivers reject the frames at the Envelope CRC (counted,
+  // never crashing), and once GST passes the cluster commits normally —
+  // byte-level loss is a pre-GST network fault, not a safety hazard.
+  for (const Protocol protocol : {Protocol::DiemBft, Protocol::Streamlet}) {
+    harness::Scenario s = crash_scenario(protocol);
+    s.faults.clear();
+    s.gst = seconds(2);
+    s.faults.resize(4);
+    s.faults[1] = FaultSpec::corrupt_links({.rate = 1.0, .max_flips = 3,
+                                            .peers = {}});
+    const harness::ScenarioResult result = run_scenario(s);
+    EXPECT_GT(result.corrupt_injected, 0u) << engine::protocol_name(protocol);
+    EXPECT_GT(result.corrupt_drops, 0u) << engine::protocol_name(protocol);
+    EXPECT_GT(result.summary.committed_blocks, 10u)
+        << engine::protocol_name(protocol);
+  }
+}
+
+TEST(Engine, CorruptSpecValidationRejectsNonsense) {
+  harness::Scenario s = crash_scenario(Protocol::DiemBft);
+  s.gst = seconds(1);
+  s.faults.assign(4, FaultSpec::honest());
+  s.faults[1] = FaultSpec::corrupt_links({.rate = 1.5, .max_flips = 1,
+                                          .peers = {}});
+  EXPECT_THROW(Deployment deployment(s.to_deployment_config()),
+               std::invalid_argument);
+  s.faults[1] = FaultSpec::corrupt_links({.rate = 1.0, .max_flips = 0,
+                                          .peers = {}});
+  EXPECT_THROW(Deployment deployment(s.to_deployment_config()),
+               std::invalid_argument);
+  s.faults[1] = FaultSpec::corrupt_links({.rate = 1.0, .max_flips = 2,
+                                          .peers = {9}});
+  EXPECT_THROW(Deployment deployment(s.to_deployment_config()),
+               std::invalid_argument);
+  s.faults[1] = FaultSpec::corrupt_links({.rate = 1.0, .max_flips = 2,
+                                          .peers = {1}});
+  EXPECT_THROW(Deployment deployment(s.to_deployment_config()),
+               std::invalid_argument);
+  // Corruption only acts pre-GST, so gst == 0 would make the fault a
+  // silent no-op — the Deployment rejects the combination.
+  s.faults[1] = FaultSpec::corrupt_links({.rate = 0.5, .max_flips = 2,
+                                          .peers = {0, 2}});
+  s.gst = 0;
+  EXPECT_THROW(Deployment deployment(s.to_deployment_config()),
+               std::invalid_argument);
+  // A well-formed spec passes, and the corrupt replica still counts as
+  // honest for liveness (the fault is in its links, not its behaviour).
+  s.gst = seconds(1);
+  Deployment deployment(s.to_deployment_config());
+  EXPECT_EQ(deployment.honest_count(), 4u);
+}
+
 TEST(Engine, EnginesReportProtocolAndInboundBandwidth) {
   harness::Scenario s = crash_scenario(Protocol::Streamlet);
   s.faults.clear();
@@ -139,7 +193,6 @@ TEST(Deployment, TypedAccessorsRejectWrongProtocol) {
   Deployment deployment(std::move(config));
   EXPECT_NO_THROW(deployment.diem_core(0));
   EXPECT_THROW(deployment.streamlet_core(0), std::logic_error);
-  EXPECT_THROW(deployment.streamlet_network(), std::logic_error);
 }
 
 }  // namespace
