@@ -1,10 +1,15 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,40 +22,113 @@ namespace sftbft::bench {
 ///   --smoke          shortened CI configuration
 ///   --seed <n>       overrides the scenario seed (reproducibility)
 ///   --json <path>    writes the result tables as a JSON artifact
+///   --jobs <n>       runs the sweep's independent scenarios on n threads
 /// Unknown flags abort loudly — a typo silently ignored is a wasted run.
 struct BenchArgs {
   bool smoke = false;
   std::uint64_t seed = 0;  ///< 0 = keep the bench's default seed
   std::string json_path;
+  std::uint32_t jobs = 1;  ///< sweep parallelism (1 = serial)
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   const auto usage = [argv]() {
     std::fprintf(stderr,
-                 "usage: %s [--smoke] [--seed <n>] [--json <path>]\n",
+                 "usage: %s [--smoke] [--seed <n>] [--json <path>] "
+                 "[--jobs <n>]\n",
                  argv[0]);
     std::exit(2);
+  };
+  const auto parse_positive = [&usage](const char* flag, const char* text) {
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || value == 0) {
+      std::fprintf(stderr, "%s wants a positive integer, got '%s'\n", flag,
+                   text);
+      usage();
+    }
+    return value;
   };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       args.smoke = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      const char* text = argv[++i];
-      char* end = nullptr;
-      args.seed = std::strtoull(text, &end, 10);
-      if (end == text || *end != '\0' || args.seed == 0) {
-        std::fprintf(stderr, "--seed wants a positive integer, got '%s'\n",
-                     text);
-        usage();
-      }
+      args.seed = parse_positive("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const std::uint64_t jobs = parse_positive("--jobs", argv[++i]);
+      if (jobs > 0xffffffffULL) {
+        std::fprintf(stderr, "--jobs value out of range\n");
+        usage();
+      }
+      args.jobs = static_cast<std::uint32_t>(jobs);
     } else {
       usage();
     }
   }
   return args;
+}
+
+/// Runs `fn(0) .. fn(count-1)` on up to `jobs` threads (`jobs <= 1` =
+/// inline, no threads spawned). Callers write each task's result into a
+/// pre-sized slot at its index and render output AFTER the sweep, so
+/// table/JSON ordering is byte-identical to the serial run regardless of
+/// completion order.
+///
+/// Safe because a Scenario run is hermetic: every run_scenario call builds
+/// its own Deployment (scheduler, PKI, transport, engines, storage
+/// backends) from value-typed config, and the library's only process-wide
+/// mutable state is the logger, which is thread-safe (common/logging).
+/// tests/conformance_test pins this with a concurrent-vs-serial
+/// determinism check.
+inline void parallel_sweep(std::uint32_t jobs, std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  // A throwing task (Deployment validation, bad_alloc on a huge cell) must
+  // not std::terminate from a worker; capture the first exception and
+  // rethrow after the join, matching the serial path's behaviour.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::uint32_t workers =
+      static_cast<std::uint32_t>(std::min<std::size_t>(jobs, count));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs every scenario of a sweep (deterministic, independent runs) with
+/// `jobs`-way parallelism; results come back in input order.
+inline std::vector<harness::ScenarioResult> run_scenarios(
+    const std::vector<harness::Scenario>& scenarios, std::uint32_t jobs) {
+  std::vector<harness::ScenarioResult> results(scenarios.size());
+  parallel_sweep(jobs, scenarios.size(), [&](std::size_t i) {
+    results[i] = run_scenario(scenarios[i]);
+  });
+  return results;
 }
 
 /// Writes the bench artifact: metadata + one named JSON section per result

@@ -6,8 +6,8 @@
 
 #include "sftbft/chain/block_tree.hpp"
 #include "sftbft/common/interval_set.hpp"
-#include "sftbft/consensus/endorsement.hpp"
-#include "sftbft/consensus/vote_history.hpp"
+#include "sftbft/core/strength.hpp"
+#include "sftbft/core/vote_history.hpp"
 #include "sftbft/crypto/sha256.hpp"
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/net/envelope.hpp"
@@ -88,7 +88,7 @@ chain::BlockTree make_chain(std::size_t length,
 void BM_MarkerComputation(benchmark::State& state) {
   std::vector<types::BlockId> ids;
   chain::BlockTree tree = make_chain(64, &ids);
-  consensus::VoteHistory history(tree);
+  core::VoteHistory history(tree);
   const types::Block* tip = tree.get(ids.back());
   // Vote along the chain so the frontier is realistic.
   for (std::size_t i = 0; i + 1 < ids.size(); i += 2) {
@@ -104,7 +104,7 @@ BENCHMARK(BM_MarkerComputation);
 void BM_IntervalComputation(benchmark::State& state) {
   std::vector<types::BlockId> ids;
   chain::BlockTree tree = make_chain(64, &ids);
-  consensus::VoteHistory history(tree);
+  core::VoteHistory history(tree);
   const types::Block* tip = tree.get(ids.back());
   for (std::size_t i = 0; i + 1 < ids.size(); i += 2) {
     history.record_vote(*tree.get(ids[i]));
@@ -139,30 +139,49 @@ void BM_EndorsementProcessQc(benchmark::State& state) {
   }
   for (auto _ : state) {
     state.PauseTiming();
-    consensus::EndorsementTracker tracker(tree, n, f);
+    core::StrengthTracker tracker(tree, n, f);
     state.ResumeTiming();
     benchmark::DoNotOptimize(tracker.process_qc(qc));
   }
 }
 BENCHMARK(BM_EndorsementProcessQc);
 
-void BM_QcDigest(benchmark::State& state) {
-  std::vector<types::BlockId> ids;
-  chain::BlockTree tree = make_chain(4, &ids);
+types::QuorumCert make_wide_qc() {
+  chain::BlockTree tree = make_chain(4);
   types::QuorumCert qc;
-  qc.block_id = ids.back();
-  qc.round = ids.size();
+  qc.round = 4;
   for (ReplicaId voter = 0; voter < 67; ++voter) {
     types::Vote vote;
-    vote.block_id = ids.back();
     vote.voter = voter;
     qc.votes.push_back(vote);
   }
+  return qc;
+}
+
+/// QC digest, cold: what every digest() call cost before memoization (the
+/// canonicalize() busts the memo, modelling a freshly assembled QC). A
+/// canonical QC's digest is taken 3-4x per replica per round (block-id
+/// sealing, strength-tracker dedupe, commit-log keying) — the "before" of
+/// the digest-memoization satellite.
+void BM_QcDigestCold(benchmark::State& state) {
+  types::QuorumCert qc = make_wide_qc();
+  for (auto _ : state) {
+    qc.canonicalize();  // memo refresh point: forces the full encode + hash
+    benchmark::DoNotOptimize(qc.digest());
+  }
+}
+BENCHMARK(BM_QcDigestCold);
+
+/// ...and warm: every repeat call on the same (or a copied) QC object now
+/// returns the memo — the "after".
+void BM_QcDigestMemoized(benchmark::State& state) {
+  types::QuorumCert qc = make_wide_qc();
+  benchmark::DoNotOptimize(qc.digest());  // prime
   for (auto _ : state) {
     benchmark::DoNotOptimize(qc.digest());
   }
 }
-BENCHMARK(BM_QcDigest);
+BENCHMARK(BM_QcDigestMemoized);
 
 /// A paper-calibrated proposal: 100 transactions x 4.5 KB -> ~450 KB frame.
 types::Proposal make_block_proposal() {
@@ -178,6 +197,38 @@ types::Proposal make_block_proposal() {
   proposal.block.seal();
   return proposal;
 }
+
+/// Sealing a block whose payload digest is cold (100-record re-encode +
+/// hash) — the "before" of the payload-digest memo on the proposer path.
+void BM_BlockSealColdPayload(benchmark::State& state) {
+  types::Proposal proposal = make_block_proposal();
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A copy with a fresh payload (clears the memo via reconstruction).
+    types::Block block = proposal.block;
+    types::Payload cold;
+    cold.txns = block.payload.txns;
+    block.payload = std::move(cold);
+    state.ResumeTiming();
+    block.seal();
+    benchmark::DoNotOptimize(block.id);
+  }
+}
+BENCHMARK(BM_BlockSealColdPayload);
+
+/// Re-sealing with a warm payload memo — the equivocation-twin / re-seal
+/// path after memoization: only the small header re-hashes.
+void BM_BlockSealWarmPayload(benchmark::State& state) {
+  types::Proposal proposal = make_block_proposal();
+  types::Block block = proposal.block;
+  block.seal();  // primes the payload records memo
+  for (auto _ : state) {
+    block.created_at += 1;  // the twin recipe
+    block.seal();
+    benchmark::DoNotOptimize(block.id);
+  }
+}
+BENCHMARK(BM_BlockSealWarmPayload);
 
 /// The broadcast hot path: one canonical encode of a ~450 KB proposal
 /// envelope (Encoder::reserve sizes the buffer exactly — compare with the

@@ -1,7 +1,8 @@
 // Beyond-figure scenario for the paper's core claim (Theorem 1 under live
 // attack): a programmable Byzantine coalition (sftbft::adversary) runs the
 // Appendix-C playbook — EquivocatingLeader forks + AmnesiaVoter forged
-// histories — through the *real* engines, on both DiemBFT and Streamlet,
+// histories — through the *real* engines, on all three engines (DiemBFT, chained
+// HotStuff, Streamlet),
 // while a global SafetyAuditor checks every honest commit claim and every
 // verified light-client proof against the ground-truth VoteHistory rule.
 //
@@ -85,19 +86,7 @@ CellResult run_cell(engine::Protocol protocol, consensus::CountingRule rule,
                             adversary::Strategy::AmnesiaVoter};
 
   harness::SafetyAuditor auditor({protocol, s.n});
-  engine::AuditTaps taps;
-  taps.diem_qc = [&auditor](ReplicaId replica, const types::Block& block,
-                            const types::QuorumCert& qc) {
-    auditor.on_qc(replica, block, qc);
-  };
-  taps.streamlet_block = [&auditor](ReplicaId replica,
-                                    const types::Block& block) {
-    auditor.on_block(replica, block);
-  };
-  taps.streamlet_vote = [&auditor](ReplicaId replica,
-                                   const streamlet::SVote& vote) {
-    auditor.on_vote(replica, vote);
-  };
+  engine::AuditTaps taps = auditor.taps();
 
   engine::Deployment deployment(
       s.to_deployment_config(),
@@ -114,12 +103,14 @@ CellResult run_cell(engine::Protocol protocol, consensus::CountingRule rule,
   // builds StrongCommitProofs for its freshest strong commits; every proof
   // that verifies (the client would accept it!) is fed to the auditor. With
   // naive counting the certified Log itself carries the overclaim — the
-  // proof verifies and the auditor flags the claim it certifies.
+  // proof verifies and the auditor flags the claim it certifies. The Log
+  // machinery is chained-kernel level, so the probe runs on DiemBFT and
+  // HotStuff alike.
   lightclient::LightClient client(deployment.registry(), s.n);
   std::function<void()> probe_proofs;
-  if (protocol == engine::Protocol::DiemBft) {
+  if (engine::is_chained(protocol)) {
     probe_proofs = [&] {
-      const auto& core = deployment.diem_core(0);
+      const auto& core = deployment.chained_core(0);
       const auto entries = core.ledger().snapshot();
       const std::size_t from = entries.size() > 8 ? entries.size() - 8 : 0;
       for (std::size_t i = from; i < entries.size(); ++i) {
@@ -184,20 +175,61 @@ int main(int argc, char** argv) {
   }
   headers.push_back("verdict");
 
+  // The full cell grid: engine x counting rule x coalition size. Each cell
+  // is a hermetic deployment + auditor, so --jobs N runs them on a thread
+  // pool; tables/JSON render afterwards in grid order, so stdout and the
+  // artifact are byte-identical to the serial sweep. (The stderr progress
+  // lines below are diagnostics and appear in claim order under --jobs.)
+  struct CellJob {
+    engine::Protocol protocol;
+    consensus::CountingRule rule;
+    std::uint32_t c;
+  };
+  std::vector<CellJob> grid;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    for (const consensus::CountingRule rule :
+         {consensus::CountingRule::Sft,
+          consensus::CountingRule::NaiveAllIndirect}) {
+      for (const std::uint32_t c : bench.coalition_sizes) {
+        grid.push_back({protocol, rule, c});
+      }
+    }
+  }
+  std::vector<CellResult> cells(grid.size());
+  bench::parallel_sweep(args.jobs, grid.size(), [&](std::size_t i) {
+    const CellJob& job = grid[i];
+    std::fprintf(stderr, "[tab_adversary] %s/%s c=%u...\n",
+                 engine::protocol_name(job.protocol),
+                 job.rule == consensus::CountingRule::NaiveAllIndirect
+                     ? "naive"
+                     : "votehistory",
+                 job.c);
+    cells[i] = run_cell(job.protocol, job.rule, job.c, bench);
+  });
+
   int failures = 0;
   std::vector<std::pair<std::string, harness::Table>> sections;
-  for (const engine::Protocol protocol :
-       {engine::Protocol::DiemBft, engine::Protocol::Streamlet}) {
+  std::size_t index = 0;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
     for (const consensus::CountingRule rule :
          {consensus::CountingRule::Sft,
           consensus::CountingRule::NaiveAllIndirect}) {
       const bool naive = rule == consensus::CountingRule::NaiveAllIndirect;
       harness::Table table(headers);
-      for (const std::uint32_t c : bench.coalition_sizes) {
-        std::fprintf(stderr, "[tab_adversary] %s/%s c=%u...\n",
-                     engine::protocol_name(protocol),
-                     naive ? "naive" : "votehistory", c);
-        const CellResult cell = run_cell(protocol, rule, c, bench);
+      for (std::size_t k = 0; k < bench.coalition_sizes.size();
+           ++k, ++index) {
+        // The render nesting must mirror the grid construction above; fail
+        // loudly if someone edits one loop without the other.
+        const CellJob& job = grid[index];
+        if (job.protocol != protocol || job.rule != rule ||
+            job.c != bench.coalition_sizes[k]) {
+          std::fprintf(stderr,
+                       "tab_adversary: render order out of sync with the "
+                       "cell grid at index %zu\n",
+                       index);
+          return 2;
+        }
+        const CellResult& cell = cells[index];
         // Acceptance: VoteHistory stays clean at every threshold >= c; the
         // strawman must be caught red-handed.
         const std::uint64_t total =

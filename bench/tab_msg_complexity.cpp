@@ -3,15 +3,16 @@
 // adapting FBFT to DiemBFT costs O(n^2) — the leader must multicast up to f
 // extra votes that arrive after the 2f+1-vote QC was sealed.
 //
-// This bench measures messages per committed block for both protocols over
-// a sweep of n. SFT should track ~3n (proposal multicast + votes + timeout
-// noise); FBFT grows quadratically as stragglers' late votes are
-// rebroadcast to everyone.
+// This bench measures messages per committed block over a sweep of n. SFT
+// should track ~3n (proposal multicast + votes + timeout noise); FBFT grows
+// quadratically as stragglers' late votes are rebroadcast to everyone.
 //
 // Since the Envelope refactor the byte numbers here are *exact*: every
-// message is charged its canonical encoded frame size, and --smoke
-// additionally writes BENCH_wire.json (per-type on-wire bytes from the SFT
-// run plus the broadcast encode-once savings) for CI to archive.
+// message is charged its canonical encoded frame size. The wire accounting
+// runs on ALL THREE engines (DiemBFT, chained HotStuff, Streamlet — the
+// HotStuff 0x2x tags included), and --smoke writes it as BENCH_wire.json
+// for CI to archive. Sweep cells are independent deterministic runs;
+// --jobs N executes them on a thread pool with stable output ordering.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -21,14 +22,19 @@ using namespace sftbft::bench;
 
 namespace {
 
-harness::Scenario complexity_scenario(std::uint32_t n, bool fbft,
+harness::Scenario complexity_scenario(engine::Protocol protocol,
+                                      std::uint32_t n, bool fbft,
                                       const BenchArgs& args) {
   harness::Scenario s = geo_scenario();
   s.name = "tab_msg_complexity";
+  s.protocol = protocol;
   s.n = n;
   s.topo = harness::Scenario::Topo::Symmetric3;
   s.delta = millis(100);
   s.fbft = fbft;
+  // Streamlet is lock-step: give rounds a realistic Δ and keep the echo on
+  // (its O(n^3) is the point of measuring it).
+  s.streamlet_delta_bound = millis(120);
   // Heterogeneity scaled to keep a comparable straggler share at every n.
   s.duration = args.smoke ? seconds(40) : seconds(90);
   s.tail = args.smoke ? seconds(10) : seconds(30);
@@ -49,15 +55,31 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> sizes =
       args.smoke ? std::vector<std::uint32_t>{16u, 31u}
                  : std::vector<std::uint32_t>{16u, 31u, 61u, 100u};
-  // Exact on-wire accounting from the largest SFT run (see BENCH_wire.json).
   const std::uint32_t wire_n = sizes.back();
-  harness::ScenarioResult wire_run;
+
+  // The whole grid up front: (sft, fbft) per n, plus one exact-wire run at
+  // n = wire_n for the OTHER engines — the DiemBFT wire section reuses the
+  // largest SFT complexity cell instead of re-simulating it. All cells are
+  // independent and --jobs parallelizable.
+  std::vector<harness::Scenario> sweep;
   for (const std::uint32_t n : sizes) {
-    const harness::ScenarioResult sft =
-        run_scenario(complexity_scenario(n, false, args));
-    if (n == sizes.back()) wire_run = sft;
-    const harness::ScenarioResult fbft =
-        run_scenario(complexity_scenario(n, true, args));
+    sweep.push_back(
+        complexity_scenario(engine::Protocol::DiemBft, n, false, args));
+    sweep.push_back(
+        complexity_scenario(engine::Protocol::DiemBft, n, true, args));
+  }
+  const std::size_t wire_base = sweep.size();
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    if (protocol == engine::Protocol::DiemBft) continue;  // reuse SFT cell
+    sweep.push_back(complexity_scenario(protocol, wire_n, false, args));
+  }
+  const std::vector<harness::ScenarioResult> results =
+      run_scenarios(sweep, args.jobs);
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint32_t n = sizes[i];
+    const harness::ScenarioResult& sft = results[2 * i];
+    const harness::ScenarioResult& fbft = results[2 * i + 1];
 
     // Extra-vote traffic is the quadratic term; report it separately.
     const double fbft_blocks =
@@ -79,54 +101,70 @@ int main(int argc, char** argv) {
   std::printf("Expected: 'SFT /n' stays ~flat (linear per decision); "
               "'FBFT /n' grows with n (quadratic per decision).\n");
 
-  // Byte-level wire accounting (SFT run at n = sizes.back()): per-type
-  // frame bytes are EXACT canonical Envelope sizes, not estimates, and the
-  // broadcast path encodes each frame once for all recipients.
-  harness::Table wire_table(
-      {"type", "frames", "total bytes", "avg frame bytes"});
-  for (const auto& [type, stats] : wire_run.traffic_by_type) {
-    wire_table.add_row(
-        {type, std::to_string(stats.count), std::to_string(stats.bytes),
+  // Byte-level wire accounting (SFT runs at n = wire_n, one per engine):
+  // per-type frame bytes are EXACT canonical Envelope sizes — the HotStuff
+  // stack's 0x2x tags included — and the broadcast path encodes each frame
+  // once for all recipients.
+  std::vector<std::pair<std::string, harness::Table>> sections;
+  sections.emplace_back("complexity", table);
+  harness::Table broadcast_table({"engine", "n", "charged bytes",
+                                  "encode-once saved bytes",
+                                  "saved/charged"});
+  std::printf("\n== On-wire bytes (exact, SFT n=%u, all engines) ==\n",
+              wire_n);
+  std::size_t extra_wire = 0;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    const harness::ScenarioResult& wire_run =
+        protocol == engine::Protocol::DiemBft
+            ? results[2 * (sizes.size() - 1)]  // the largest SFT cell
+            : results[wire_base + extra_wire++];
+    harness::Table wire_table(
+        {"type", "frames", "total bytes", "avg frame bytes"});
+    for (const auto& [type, stats] : wire_run.traffic_by_type) {
+      wire_table.add_row(
+          {type, std::to_string(stats.count), std::to_string(stats.bytes),
+           harness::Table::num(
+               stats.count > 0
+                   ? static_cast<double>(stats.bytes) /
+                         static_cast<double>(stats.count)
+                   : 0.0,
+               1)});
+    }
+    broadcast_table.add_row(
+        {engine::protocol_name(protocol), std::to_string(wire_n),
+         std::to_string(wire_run.total_message_bytes),
+         std::to_string(wire_run.broadcast_saved_bytes),
          harness::Table::num(
-             stats.count > 0
-                 ? static_cast<double>(stats.bytes) /
-                       static_cast<double>(stats.count)
+             wire_run.total_message_bytes > 0
+                 ? static_cast<double>(wire_run.broadcast_saved_bytes) /
+                       static_cast<double>(wire_run.total_message_bytes)
                  : 0.0,
-             1)});
+             3)});
+    std::printf("-- %s --\n%s\n", engine::protocol_name(protocol),
+                wire_table.render().c_str());
+    sections.emplace_back(
+        std::string("per_type_") + engine::protocol_name(protocol),
+        std::move(wire_table));
   }
-  harness::Table broadcast_table(
-      {"n", "charged bytes", "encode-once saved bytes", "saved/charged"});
-  broadcast_table.add_row(
-      {std::to_string(wire_n),
-       std::to_string(wire_run.total_message_bytes),
-       std::to_string(wire_run.broadcast_saved_bytes),
-       harness::Table::num(
-           wire_run.total_message_bytes > 0
-               ? static_cast<double>(wire_run.broadcast_saved_bytes) /
-                     static_cast<double>(wire_run.total_message_bytes)
-               : 0.0,
-           3)});
-  std::printf("\n== On-wire bytes (exact, SFT n=%u) ==\n%s\n%s\n",
-              wire_n, wire_table.render().c_str(),
-              broadcast_table.render().c_str());
+  std::printf("%s\n", broadcast_table.render().c_str());
+  sections.emplace_back("broadcast", broadcast_table);
 
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_msg_complexity",
                            args.seed != 0 ? args.seed : 42, args.smoke,
-                           {{"complexity", table},
-                            {"per_type", wire_table},
-                            {"broadcast", broadcast_table}})) {
+                           sections)) {
     return 1;
   }
-  // CI archives the exact wire accounting next to BENCH_adversary.json.
-  if (args.smoke &&
-      !write_json_artifact("BENCH_wire.json", "wire", args.seed != 0
-                                                          ? args.seed
-                                                          : 42,
-                           args.smoke,
-                           {{"per_type", wire_table},
-                            {"broadcast", broadcast_table}})) {
-    return 1;
+  // CI archives the exact wire accounting next to BENCH_adversary.json —
+  // all three engines' sections included.
+  if (args.smoke) {
+    std::vector<std::pair<std::string, harness::Table>> wire_sections(
+        sections.begin() + 1, sections.end());
+    if (!write_json_artifact("BENCH_wire.json", "wire",
+                             args.seed != 0 ? args.seed : 42, args.smoke,
+                             wire_sections)) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -57,11 +57,7 @@ Outcome run(consensus::CountingRule rule) {
                             adversary::Strategy::AmnesiaVoter};
 
   harness::SafetyAuditor auditor({s.protocol, s.n});
-  engine::AuditTaps taps;
-  taps.diem_qc = [&auditor](ReplicaId replica, const types::Block& block,
-                            const types::QuorumCert& qc) {
-    auditor.on_qc(replica, block, qc);
-  };
+  engine::AuditTaps taps = auditor.taps();
   engine::Deployment deployment(
       s.to_deployment_config(),
       [&auditor](ReplicaId replica, const types::Block& block,

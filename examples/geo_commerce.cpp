@@ -20,12 +20,12 @@ namespace {
 engine::DeploymentConfig geo_config(std::function<SimDuration(Round)> wait) {
   engine::DeploymentConfig config;
   config.n = 100;
-  config.diem.mode = consensus::CoreMode::SftMarker;
-  config.diem.leader_processing = millis(80);
-  config.diem.base_timeout = millis(900);
-  config.diem.max_batch = 100;
-  config.diem.extra_wait = std::move(wait);
-  config.diem.verify_signatures = false;  // keep the demo snappy
+  config.chained.mode = consensus::CoreMode::SftMarker;
+  config.chained.leader_processing = millis(80);
+  config.chained.base_timeout = millis(900);
+  config.chained.max_batch = 100;
+  config.chained.extra_wait = std::move(wait);
+  config.chained.verify_signatures = false;  // keep the demo snappy
   config.topology = net::Topology::symmetric3(100, millis(100), millis(1));
   // A handful of slow replicas, like any real deployment has.
   for (ReplicaId id = 10; id < 100; id += 20) {

@@ -16,10 +16,10 @@ using namespace sftbft;
 int main() {
   engine::DeploymentConfig config;
   config.n = 7;
-  config.diem.mode = consensus::CoreMode::SftMarker;
-  config.diem.base_timeout = millis(500);
-  config.diem.leader_processing = millis(5);
-  config.diem.max_batch = 20;
+  config.chained.mode = consensus::CoreMode::SftMarker;
+  config.chained.base_timeout = millis(500);
+  config.chained.leader_processing = millis(5);
+  config.chained.max_batch = 20;
   config.topology = net::Topology::uniform(7, millis(10));
   config.net.jitter = millis(2);
   config.seed = 3;

@@ -18,10 +18,10 @@ using namespace sftbft;
 int main() {
   engine::DeploymentConfig config;
   config.n = 4;
-  config.diem.mode = consensus::CoreMode::SftMarker;
-  config.diem.base_timeout = millis(500);
-  config.diem.leader_processing = millis(10);
-  config.diem.max_batch = 50;
+  config.chained.mode = consensus::CoreMode::SftMarker;
+  config.chained.base_timeout = millis(500);
+  config.chained.leader_processing = millis(10);
+  config.chained.max_batch = 50;
   config.topology = net::Topology::uniform(4, millis(10));
   config.net.jitter = millis(2);
   config.seed = 7;

@@ -3,34 +3,26 @@
 #include <stdexcept>
 #include <string>
 
+#include "sftbft/engine/chained_engine.hpp"
+
 namespace sftbft::adversary {
 
-using consensus::DiemBftCore;
+using core::ChainedCore;
 using net::Envelope;
-using net::WireType;
 using types::Proposal;
 using types::Vote;
 using types::VoteMode;
 
-namespace {
-
-Envelope pack_proposal(ReplicaId sender, const Proposal& proposal) {
-  return Envelope::pack(WireType::kProposal, sender, proposal);
-}
-
-Envelope pack_vote(ReplicaId sender, const Vote& vote) {
-  return Envelope::pack(WireType::kVote, sender, vote);
-}
-
-}  // namespace
-
 ByzantineReplica::ByzantineReplica(
-    consensus::CoreConfig config, net::Transport& transport,
+    engine::Protocol protocol, consensus::CoreConfig config,
+    net::Transport& transport,
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng,
     engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
     replica::Replica::QcTap qc_tap)
-    : id_(config.id),
+    : protocol_(protocol),
+      wires_(engine::chained_wires_for(protocol)),
+      id_(config.id),
       n_(config.n),
       transport_(transport),
       fault_(std::move(fault)),
@@ -42,47 +34,52 @@ ByzantineReplica::ByzantineReplica(
                 std::move(workload_rng)) {
   workload_.set_id_space(id_);
   coalition_->enlist(id_);
+  // The corrupted replica runs the real kernel under the real protocol
+  // rules — only its outbound behaviour lies.
+  config.rules = engine::chained_rules_for(protocol);
 
-  DiemBftCore::Hooks hooks;
+  ChainedCore::Hooks hooks;
   hooks.send_vote = [this](ReplicaId to, const Vote& vote) {
     Vote out = vote;
     if (fault_.byz.has(Strategy::AmnesiaVoter)) forge_history(out);
-    funnel_.send(to, pack_vote(id_, out), /*withholdable=*/false);
+    funnel_.send(to, Envelope::pack(wires_.vote, id_, out),
+                 /*withholdable=*/false);
   };
   hooks.broadcast_proposal = [this](const Proposal& proposal) {
     if (fault_.byz.has(Strategy::EquivocatingLeader)) {
       equivocate(proposal);
       return;
     }
-    funnel_.send_self(pack_proposal(id_, proposal));
-    funnel_.send_peers(pack_proposal(id_, proposal), /*withholdable=*/true);
+    funnel_.send_self(Envelope::pack(wires_.proposal, id_, proposal));
+    funnel_.send_peers(Envelope::pack(wires_.proposal, id_, proposal),
+                       /*withholdable=*/true);
   };
   hooks.broadcast_timeout = [this](const types::TimeoutMsg& msg) {
     // Timeout messages carry qc_high, so WithholdRelease delays them too —
     // otherwise the "private" certificate leaks on the next timeout.
-    funnel_.send_self(Envelope::pack(WireType::kTimeout, id_, msg));
-    funnel_.send_peers(Envelope::pack(WireType::kTimeout, id_, msg),
+    funnel_.send_self(Envelope::pack(wires_.timeout, id_, msg));
+    funnel_.send_peers(Envelope::pack(wires_.timeout, id_, msg),
                        /*withholdable=*/true);
   };
   hooks.broadcast_extra_vote = [this](const Vote& vote) {
-    funnel_.send_peers(pack_vote(id_, vote), /*withholdable=*/false,
-                       "extra_vote");
+    funnel_.send_peers(Envelope::pack(wires_.vote, id_, vote),
+                       /*withholdable=*/false, "extra_vote");
   };
   hooks.send_sync_request = [this](ReplicaId to,
                                    const types::SyncRequest& req) {
-    funnel_.send(to, Envelope::pack(WireType::kSyncRequest, id_, req),
+    funnel_.send(to, Envelope::pack(wires_.sync_request, id_, req),
                  /*withholdable=*/false);
   };
   hooks.send_sync_response = [this](ReplicaId to,
                                     const types::SyncResponse& resp) {
-    funnel_.send(to, Envelope::pack(WireType::kSyncResponse, id_, resp),
+    funnel_.send(to, Envelope::pack(wires_.sync_response, id_, resp),
                  /*withholdable=*/false);
   };
   // No commit observer: a corrupted replica's ledger claims are adversarial
   // by definition; the honest-commit stream is what the auditor audits.
   hooks.on_canonical_qc = std::move(qc_tap);
 
-  core_ = std::make_unique<DiemBftCore>(config, transport.scheduler(),
+  core_ = std::make_unique<ChainedCore>(config, transport.scheduler(),
                                         std::move(registry), pool_,
                                         std::move(hooks));
 }
@@ -111,30 +108,23 @@ void ByzantineReplica::restart() {
 
 void ByzantineReplica::on_envelope(const Envelope& env) {
   try {
-    switch (env.type) {
-      case WireType::kProposal: {
-        const Proposal proposal = env.unpack<Proposal>();
-        if (fault_.byz.has(Strategy::AmnesiaVoter) &&
-            proposal.round() >= core_->current_round()) {
-          forge_vote_for(proposal.block);
-        }
-        core_->on_proposal(proposal);
-        break;
+    if (env.type == wires_.proposal) {
+      const Proposal proposal = env.unpack<Proposal>();
+      if (fault_.byz.has(Strategy::AmnesiaVoter) &&
+          proposal.round() >= core_->current_round()) {
+        forge_vote_for(proposal.block);
       }
-      case WireType::kVote:
-        core_->on_vote(env.unpack<Vote>());
-        break;
-      case WireType::kTimeout:
-        core_->on_timeout_msg(env.unpack<types::TimeoutMsg>());
-        break;
-      case WireType::kSyncRequest:
-        core_->on_sync_request(env.unpack<types::SyncRequest>());
-        break;
-      case WireType::kSyncResponse:
-        core_->on_sync_response(env.unpack<types::SyncResponse>());
-        break;
-      default:
-        throw CodecError("ByzantineReplica: wire type not in this stack");
+      core_->on_proposal(proposal);
+    } else if (env.type == wires_.vote) {
+      core_->on_vote(env.unpack<Vote>());
+    } else if (env.type == wires_.timeout) {
+      core_->on_timeout_msg(env.unpack<types::TimeoutMsg>());
+    } else if (env.type == wires_.sync_request) {
+      core_->on_sync_request(env.unpack<types::SyncRequest>());
+    } else if (env.type == wires_.sync_response) {
+      core_->on_sync_response(env.unpack<types::SyncResponse>());
+    } else {
+      throw CodecError("ByzantineReplica: wire type not in this stack");
     }
   } catch (const CodecError&) {
     transport_.stats().record_decode_drop();
@@ -157,8 +147,9 @@ void ByzantineReplica::equivocate(const Proposal& proposal) {
 
   // Serialize each fork once; per-recipient sends copy the payload instead
   // of re-running the full (block-sized) canonical encode.
-  const Envelope original_env = pack_proposal(id_, proposal);
-  const Envelope twin_env = pack_proposal(id_, twin);
+  const Envelope original_env =
+      Envelope::pack(wires_.proposal, id_, proposal);
+  const Envelope twin_env = Envelope::pack(wires_.proposal, id_, twin);
   for (ReplicaId to = 0; to < n_; ++to) {
     const bool both = coalition_->is_member(to);
     if (to == id_) {
@@ -184,21 +175,22 @@ void ByzantineReplica::forge_vote_for(const types::Block& block) {
   vote.round = block.round;
   vote.voter = id_;
   switch (core_->config().mode) {
-    case consensus::CoreMode::Plain:
+    case core::CoreMode::Plain:
       vote.mode = VoteMode::Plain;
       break;
-    case consensus::CoreMode::SftMarker:
+    case core::CoreMode::SftMarker:
       vote.mode = VoteMode::Marker;
       vote.marker = 0;  // "I never voted a conflicting fork" — a lie
       break;
-    case consensus::CoreMode::SftIntervals:
+    case core::CoreMode::SftIntervals:
       vote.mode = VoteMode::Intervals;
       vote.endorsed = IntervalSet::single(1, block.round);  // endorse all
       break;
   }
   vote.sig = signer_.sign(vote.signing_bytes());
   ++coalition_->stats().forged_votes;
-  funnel_.send(election_.leader_of(block.round + 1), pack_vote(id_, vote),
+  funnel_.send(election_.leader_of(block.round + 1),
+               Envelope::pack(wires_.vote, id_, vote),
                /*withholdable=*/false);
 }
 

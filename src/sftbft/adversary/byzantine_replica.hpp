@@ -1,7 +1,9 @@
-// ByzantineReplica: an actively adversarial DiemBFT replica that plugs into
-// the engine::ConsensusEngine replica slot (paper Appendix C / Fig. 9).
+// ByzantineReplica: an actively adversarial chained-kernel replica (DiemBFT
+// or HotStuff — the strategies attack the kernel, so one adversary engine
+// covers the whole chained family) that plugs into the
+// engine::ConsensusEngine replica slot (paper Appendix C / Fig. 9).
 //
-// The replica runs a *real* DiemBftCore — that is what keeps it synced,
+// The replica runs a *real* ChainedCore — that is what keeps it synced,
 // lets it win its leadership rounds, collect votes, and form QCs exactly
 // like an honest replica would — but every outbound message passes through
 // the Strategy filter of its FaultSpec (see adversary/strategy.hpp):
@@ -42,10 +44,11 @@ namespace sftbft::adversary {
 
 class ByzantineReplica final : public engine::ConsensusEngine {
  public:
+  /// `protocol` selects the chained stack to corrupt (rules + wire tags);
   /// `fault.kind` must be Kind::Byzantine with a validated spec;
   /// `coalition` must be shared with every other Byzantine engine of the
   /// deployment. `qc_tap` (optional) feeds the SafetyAuditor.
-  ByzantineReplica(consensus::CoreConfig config,
+  ByzantineReplica(engine::Protocol protocol, consensus::CoreConfig config,
                    net::Transport& transport,
                    std::shared_ptr<const crypto::KeyRegistry> registry,
                    mempool::WorkloadConfig workload, Rng workload_rng,
@@ -54,7 +57,7 @@ class ByzantineReplica final : public engine::ConsensusEngine {
                    replica::Replica::QcTap qc_tap = nullptr);
 
   [[nodiscard]] engine::Protocol protocol() const override {
-    return engine::Protocol::DiemBft;
+    return protocol_;
   }
   [[nodiscard]] ReplicaId id() const override { return id_; }
   void start() override;
@@ -93,6 +96,8 @@ class ByzantineReplica final : public engine::ConsensusEngine {
   /// Rewrites a core-built vote to deny its own history and re-signs.
   void forge_history(types::Vote& vote);
 
+  engine::Protocol protocol_;
+  net::ChainedWireSet wires_;
   ReplicaId id_;
   std::uint32_t n_;
   net::Transport& transport_;

@@ -1,9 +1,18 @@
 #include "sftbft/common/logging.hpp"
 
+#include <atomic>
+#include <mutex>
+
 namespace sftbft::log {
 
 namespace {
-Level g_level = Level::Warn;
+// Thread-safe: bench sweeps run independent scenarios on a thread pool
+// (bench_util --jobs), and the logger is the only process-global state the
+// library touches. The level is a relaxed atomic (a torn read of an enum
+// would be UB; ordering between threads does not matter), and emission
+// serializes on a mutex so concurrent warnings never interleave mid-line.
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_emit_mutex;
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -17,12 +26,16 @@ const char* level_name(Level lvl) {
 }
 }  // namespace
 
-Level level() { return g_level; }
-void set_level(Level lvl) { g_level = lvl; }
-bool enabled(Level lvl) { return lvl >= g_level && g_level != Level::Off; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+bool enabled(Level lvl) {
+  const Level current = level();
+  return lvl >= current && current != Level::Off;
+}
 
 namespace detail {
 void emit(Level lvl, const std::string& msg) {
+  const std::scoped_lock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
 }
 }  // namespace detail

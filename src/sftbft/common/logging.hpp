@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded, so the logger needs no synchronization.
-// Logging defaults to Warn so tests and benches stay quiet; examples turn it
-// up to show protocol progress.
+// Each simulation is single-threaded, but bench sweeps run independent
+// scenarios concurrently (bench_util --jobs), so the logger — the one
+// process-global the library touches — is thread-safe: atomic level,
+// mutex-serialized emission. Logging defaults to Warn so tests and benches
+// stay quiet; examples turn it up to show protocol progress.
 #pragma once
 
 #include <cstdio>

@@ -1,296 +1,39 @@
-// DiemBFT replica core, with Strengthened Fault Tolerance (paper Secs. 2.2,
-// 3.2, 3.4).
+// DiemBFT as a rule set over the chained-BFT SFT kernel
+// (sftbft::core::ChainedCore).
 //
-// One class implements three protocol variants selected by CoreMode:
-//   * Plain        — original DiemBFT (Fig. 2): plain votes, regular 3-chain
-//                    commit only;
-//   * SftMarker    — SFT-DiemBFT (Fig. 4): strong-votes carry one marker,
-//                    strong 3-chain rule commits at strengths x in [f, 2f];
-//   * SftIntervals — Sec.-3.4 generalization: strong-votes carry an endorsed
-//                    interval set, buying liveness under Byzantine (not just
-//                    crash) faults (Theorem 3).
-// Sharing every other code path is what makes the DiemBFT-vs-SFT comparisons
-// in bench/ an apples-to-apples measurement.
+// DiemBFT is the kernel's reference protocol: its Fig. 2 voting rule
+// (vote for a round-r block iff r > r_vote and parent.round >= r_lock),
+// 2-chain locking rule, and consecutive-round 3-chain commit rule are the
+// kernel defaults, so diembft_rules() is the empty rule set. Compare
+// hotstuff::rules(), which swaps in the original HotStuff liveness rule —
+// everything else (message flow, SFT strong-votes, Sec.-5 logs, storage,
+// sync) is shared kernel machinery, which is the paper's genericity claim
+// (Secs. 3.2-3.4) made structural.
 //
-// The core is transport-agnostic: outbound traffic goes through Hooks, and
-// inbound messages are fed to on_proposal / on_vote / on_timeout_msg. The
-// replica module wires it to the simulated network.
+// This header also re-exports the kernel vocabulary under the historical
+// consensus:: names so protocol-agnostic call sites keep reading naturally.
 #pragma once
 
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
-#include <unordered_map>
-#include <vector>
-
-#include "sftbft/chain/block_tree.hpp"
-#include "sftbft/chain/ledger.hpp"
-#include "sftbft/common/types.hpp"
-#include "sftbft/consensus/endorsement.hpp"
-#include "sftbft/consensus/leader_election.hpp"
-#include "sftbft/consensus/pacemaker.hpp"
-#include "sftbft/consensus/safety.hpp"
-#include "sftbft/consensus/vote_history.hpp"
-#include "sftbft/crypto/signature.hpp"
-#include "sftbft/mempool/mempool.hpp"
-#include "sftbft/sim/scheduler.hpp"
-#include "sftbft/storage/replica_store.hpp"
-#include "sftbft/types/proposal.hpp"
+#include "sftbft/core/chained_core.hpp"
 
 namespace sftbft::consensus {
 
-enum class CoreMode {
-  Plain,         ///< original DiemBFT
-  SftMarker,     ///< SFT-DiemBFT with one marker (Fig. 4)
-  SftIntervals,  ///< SFT-DiemBFT with interval votes (Sec. 3.4)
-};
+using core::CoreConfig;
+using core::CoreMode;
+using core::CountingRule;
+using core::SafetyRules;
+using core::StrengthUpdate;
+using core::VoteHistory;
 
-struct CoreConfig {
-  ReplicaId id = 0;
-  std::uint32_t n = 4;
-  CoreMode mode = CoreMode::SftMarker;
-  CountingRule counting = CountingRule::Sft;
+/// The single strength-accounting implementation lives in core; DiemBFT's
+/// historical name for it remains for callers.
+using EndorsementTracker = core::StrengthTracker;
 
-  /// Round timer (Fig. 2 "predefined duration").
-  SimDuration base_timeout = millis(3000);
-  double timeout_backoff = 1.0;
+/// A DiemBFT replica core is the chained kernel running the default rules.
+using DiemBftCore = core::ChainedCore;
 
-  /// Modelled leader-side processing (block execution, batching, signature
-  /// checks) between QC availability and the proposal broadcast. This is the
-  /// calibration constant that puts absolute latencies in the paper's range
-  /// (see README.md "Calibration"); shapes do not depend on it.
-  SimDuration leader_processing = 0;
-
-  /// Fig. 8 knob: after reaching 2f + 1 votes the leader waits this long,
-  /// folding any further votes into the strong-QC ("QC diversity").
-  /// Called per round; return 0 for no wait. May be empty.
-  std::function<SimDuration(Round)> extra_wait;
-
-  /// Max transactions per block (paper: ~1000).
-  std::size_t max_batch = 1000;
-
-  /// Interval-vote window (Sec. 3.4): 0 = full history [1, r].
-  Round interval_window = 0;
-
-  /// Sec. 5: attach strong-commit Log entries to proposals / verify them
-  /// before voting.
-  bool attach_commit_log = true;
-  bool verify_commit_log = true;
-
-  /// Verify signatures on inbound messages. On by default; large-n sweeps
-  /// may disable to trade fidelity for wall-clock (noted per experiment).
-  bool verify_signatures = true;
-
-  /// Appendix-B FBFT baseline: the leader multicasts votes that arrive after
-  /// its QC sealed, and every replica counts *direct* votes per block toward
-  /// the strong commit rule (quadratic messages — the comparator for
-  /// bench/tab_msg_complexity). Use with mode == Plain.
-  bool fbft_mode = false;
-
-  [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
-  [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }
-};
-
-class DiemBftCore {
- public:
-  struct Hooks {
-    std::function<void(ReplicaId to, const types::Vote&)> send_vote;
-    std::function<void(const types::Proposal&)> broadcast_proposal;
-    std::function<void(const types::TimeoutMsg&)> broadcast_timeout;
-    /// FBFT baseline only: multicast of a late extra vote (Appendix B).
-    std::function<void(const types::Vote&)> broadcast_extra_vote;
-    /// Fired whenever a block's committed strength first reaches a level
-    /// (`strength` = x; the regular commit surfaces as x = f).
-    std::function<void(const types::Block&, std::uint32_t strength,
-                       SimTime now)>
-        on_commit;
-    /// Crash recovery: block-sync traffic (see types::SyncRequest). May be
-    /// empty when the deployment has no persistent replicas.
-    std::function<void(ReplicaId to, const types::SyncRequest&)>
-        send_sync_request;
-    std::function<void(ReplicaId to, const types::SyncResponse&)>
-        send_sync_response;
-    /// Auditing tap (harness::SafetyAuditor): fired for every canonical QC
-    /// this replica processes, together with the certified block, *before*
-    /// the local endorsement tracker consumes it — so a global observer is
-    /// always at least as informed as the replica whose commit claims it is
-    /// auditing. May be empty.
-    std::function<void(const types::Block&, const types::QuorumCert&)>
-        on_canonical_qc;
-  };
-
-  /// `store` (optional) enables durability: the safety envelope is WAL'd as
-  /// it changes and the ledger snapshotted on the store's cadence, making
-  /// the core restorable via restore() after a crash.
-  DiemBftCore(CoreConfig config, sim::Scheduler& sched,
-              std::shared_ptr<const crypto::KeyRegistry> registry,
-              mempool::Mempool& pool, Hooks hooks,
-              storage::ReplicaStore* store = nullptr);
-
-  /// Enters round 1 (the round-1 leader proposes off genesis).
-  void start();
-
-  /// Simulates a crash: stop timers and ignore all future events.
-  void stop();
-
-  /// Crash recovery: rebuilds the core from durable state — tree re-rooted
-  /// at the snapshot tip, ledger restored verbatim, SafetyRules seeded with
-  /// the WAL's voted round (so the replica can never vote twice in a round,
-  /// even before it re-learns the blocks it voted for), VoteHistory frontier
-  /// re-imported, pacemaker resumed at the recovered high-QC round. Call
-  /// request_sync() afterwards to fetch missed blocks from peers.
-  void restore(const storage::RecoveredState& state);
-
-  /// Asks a small rotating window of peers for blocks above the local tree
-  /// root, and re-asks (next window) whenever the ledger tip has not moved
-  /// by the next round timeout — a single fire-once request can race with a
-  /// block certified just after every response was built, and a crashed
-  /// peer in the window must not stall recovery.
-  void request_sync();
-
-  [[nodiscard]] bool stopped() const { return stopped_; }
-
-  // --- inbound ---
-  void on_proposal(const types::Proposal& proposal);
-  void on_vote(const types::Vote& vote);
-  void on_timeout_msg(const types::TimeoutMsg& msg);
-  void on_sync_request(const types::SyncRequest& req);
-  void on_sync_response(const types::SyncResponse& resp);
-
-  // --- introspection (tests, metrics, light clients) ---
-  [[nodiscard]] const CoreConfig& config() const { return config_; }
-  [[nodiscard]] Round current_round() const { return pacemaker_.current_round(); }
-  [[nodiscard]] const chain::BlockTree& tree() const { return tree_; }
-  [[nodiscard]] const chain::Ledger& ledger() const { return ledger_; }
-  [[nodiscard]] const SafetyRules& safety() const { return safety_; }
-  [[nodiscard]] const EndorsementTracker* endorsement() const {
-    return tracker_ ? tracker_.get() : nullptr;
-  }
-  [[nodiscard]] const VoteHistory& vote_history() const { return history_; }
-  /// Proposals this replica broadcast (ordered); used by light clients to
-  /// fetch certified Logs.
-  [[nodiscard]] const std::vector<types::Proposal>& sent_proposals() const {
-    return sent_proposals_;
-  }
-  /// Accepted proposals whose Sec.-5 commit Log is non-empty, by block id —
-  /// the raw material for light-client proofs.
-  [[nodiscard]] const std::unordered_map<types::BlockId, types::Proposal>&
-  logged_proposals() const {
-    return logged_proposals_;
-  }
-
- private:
-  // --- proposing (Fig. 2 proposing rule) ---
-  void on_round_entered(Round round);
-  void propose(Round round);
-
-  // --- voting (Fig. 2 voting rule + Fig. 4 strong-vote) ---
-  void maybe_vote(const types::Block& block);
-  [[nodiscard]] types::Vote build_vote(const types::Block& block);
-
-  // --- QC handling (locking rule, commit rules, round sync) ---
-  /// `canonical` — QC is embedded in a chain block (or formed by this
-  /// leader) and may feed the endorsement tracker; timeout-borne QCs are
-  /// observed for locking/sync only (keeps endorser sets identical across
-  /// replicas for commit-log verification).
-  void observe_qc(const types::QuorumCert& qc, bool canonical);
-  void check_regular_commit(const types::QuorumCert& qc);
-  void apply_strength_updates(const std::vector<StrengthUpdate>& updates);
-  void commit_chain(const types::Block& head, std::uint32_t strength);
-
-  // --- vote aggregation (next-round leader) ---
-  void add_to_aggregator(const types::Vote& vote);
-  void try_finalize_qc(Round round, const types::BlockId& block_id);
-  void finalize_qc(Round round, const types::BlockId& block_id);
-
-  // --- FBFT baseline (Appendix B) ---
-  void ingest_direct_vote(const types::Vote& vote);
-  void fbft_handle_late_vote(const types::Vote& vote);
-
-  // --- timeouts (Fig. 2 timeout rule) ---
-  void on_local_timeout(Round round);
-  void add_timeout(const types::TimeoutMsg& msg);
-
-  // --- validation ---
-  [[nodiscard]] bool validate_proposal(const types::Proposal& proposal) const;
-  [[nodiscard]] bool validate_commit_log(const types::Proposal& proposal);
-  void process_pending_proposals(const types::BlockId& parent_id);
-
-  // --- durability (no-ops when store_ == nullptr) ---
-  void persist_vote(const types::Block* block, Round round);
-  /// Records `qc` when it raised qc_high *or* the locked round past their
-  /// persisted watermarks (a QC below qc_high can still raise the lock, and
-  /// a regressed lock across restart breaks the Fig. 2 locking rule).
-  void persist_qc_watermarks(const types::QuorumCert& qc, Round prev_high);
-  void maybe_snapshot();
-
-  CoreConfig config_;
-  sim::Scheduler& sched_;
-  std::shared_ptr<const crypto::KeyRegistry> registry_;
-  crypto::Signer signer_;
-  mempool::Mempool& pool_;
-  Hooks hooks_;
-
-  LeaderElection election_;
-  chain::BlockTree tree_;
-  chain::Ledger ledger_;
-  SafetyRules safety_;
-  VoteHistory history_;
-  Pacemaker pacemaker_;
-  std::unique_ptr<EndorsementTracker> tracker_;  // null in Plain mode
-  storage::ReplicaStore* store_;  // null = no persistence
-
-  bool stopped_ = false;
-
-  /// Post-restore grace: accept proposals' Sec.-5 commit logs without local
-  /// re-derivation below this round. The endorsement tracker is rebuilt
-  /// from synced QCs and cannot justify strengths accumulated before the
-  /// snapshot tip; commit logs only feed light-client material (never the
-  /// ledger), so trusting them briefly is liveness-critical and safety-free.
-  Round trust_commit_log_below_ = 0;
-
-  /// Highest locked round already durable (avoids re-recording every QC).
-  Round persisted_locked_round_ = 0;
-
-  /// Rotates the sync peer window across retries (see request_sync()).
-  std::uint32_t sync_attempts_ = 0;
-
-  /// One orphan-repair timer at a time (see on_proposal's orphan branch).
-  bool orphan_repair_armed_ = false;
-
-  // Vote aggregation for rounds this replica leads (round -> block -> votes).
-  struct PendingVotes {
-    std::map<ReplicaId, types::Vote> by_voter;
-    sim::TimerId extra_wait_timer = sim::kInvalidTimer;
-    bool finalized = false;
-  };
-  std::map<Round, std::unordered_map<types::BlockId, PendingVotes>> votes_;
-
-  /// Highest round whose QC this replica sealed as collector — votes at or
-  /// below it are "late" (lost in SFT; multicast in the FBFT baseline).
-  Round last_sealed_round_ = 0;
-
-  // Timeout aggregation (round -> sender -> msg).
-  std::map<Round, std::map<ReplicaId, types::TimeoutMsg>> timeouts_;
-  std::optional<types::TimeoutCert> last_tc_;
-
-  // Proposals whose parent has not arrived yet.
-  std::unordered_map<types::BlockId, std::vector<types::Proposal>>
-      pending_proposals_;
-
-  // Sec. 5: per-QC strength updates, embedded into the next own proposal.
-  std::unordered_map<crypto::Sha256Digest, std::vector<StrengthUpdate>>
-      qc_updates_;
-
-  std::vector<types::Proposal> sent_proposals_;
-
-  // Sec. 5: accepted proposals carrying commit-log entries, by block id.
-  std::unordered_map<types::BlockId, types::Proposal> logged_proposals_;
-
-  // The payload of the block this replica last proposed but that never got
-  // certified (returned to the mempool on timeout).
-  std::optional<std::pair<Round, types::Payload>> last_proposed_payload_;
-};
+/// DiemBFT's rule set: the kernel defaults (null slots select the Fig. 2
+/// rules implemented in core::ChainedCore).
+[[nodiscard]] core::ChainedRules diembft_rules();
 
 }  // namespace sftbft::consensus

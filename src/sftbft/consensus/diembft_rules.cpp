@@ -1,0 +1,13 @@
+#include "sftbft/consensus/diembft.hpp"
+
+namespace sftbft::consensus {
+
+core::ChainedRules diembft_rules() {
+  core::ChainedRules rules;
+  rules.name = "diembft";
+  // The kernel's default rule IS the DiemBFT rule; name it explicitly.
+  rules.safe_to_vote = &core::diembft_safe_to_vote;
+  return rules;
+}
+
+}  // namespace sftbft::consensus

@@ -1,0 +1,44 @@
+// Audit taps: the protocol-agnostic feed every consensus core offers a
+// global observer (harness::SafetyAuditor). Each core fires its taps
+// *before* its own endorsement bookkeeping consumes the data, so a global
+// observer is always at least as informed as the replica whose commit
+// claims it is auditing.
+//
+// Two certificate vocabularies cover every supported engine:
+//  * canonical_qc — chained stacks (DiemBFT, HotStuff): every canonical QC
+//    a replica processes, with the certified block;
+//  * block_seen / vote_seen — lock-step stacks (Streamlet): every block
+//    admitted to the tree and every distinct height-marked vote ingested.
+#pragma once
+
+#include <functional>
+
+#include "sftbft/common/types.hpp"
+#include "sftbft/types/block.hpp"
+#include "sftbft/types/quorum_cert.hpp"
+
+namespace sftbft::core {
+
+/// One height-marked strong-vote observation (the protocol-neutral
+/// projection of a Streamlet-family vote).
+struct VoteSeen {
+  types::BlockId block_id{};
+  Round round = 0;
+  Height height = 0;
+  ReplicaId voter = kNoReplica;
+  /// Truthful Fig. 11 marker as carried on the wire (the auditor always
+  /// counts truthfully, whatever counting rule the replicas run).
+  Height marker = 0;
+};
+
+/// Replica-attributed observer hooks; only the taps matching a deployment's
+/// protocol fire. All may be empty.
+struct AuditTaps {
+  std::function<void(ReplicaId, const types::Block&,
+                     const types::QuorumCert&)>
+      canonical_qc;
+  std::function<void(ReplicaId, const types::Block&)> block_seen;
+  std::function<void(ReplicaId, const VoteSeen&)> vote_seen;
+};
+
+}  // namespace sftbft::core

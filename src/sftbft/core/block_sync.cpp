@@ -1,0 +1,23 @@
+#include "sftbft/core/block_sync.hpp"
+
+#include <algorithm>
+
+namespace sftbft::core {
+
+std::optional<std::vector<types::Block>> collect_chain(
+    const chain::BlockTree& tree, const types::BlockId& tip_id,
+    Height from_height) {
+  const types::Block* block = tree.get(tip_id);
+  std::vector<types::Block> chain_blocks;
+  while (block != nullptr && block->height > from_height) {
+    chain_blocks.push_back(*block);
+    block = tree.parent_of(block->id);
+  }
+  if (block == nullptr || block->height != from_height) {
+    return std::nullopt;  // rooted above the requested height
+  }
+  std::reverse(chain_blocks.begin(), chain_blocks.end());
+  return chain_blocks;
+}
+
+}  // namespace sftbft::core

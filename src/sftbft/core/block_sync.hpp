@@ -1,0 +1,101 @@
+// The block-sync protocol's shared half (crash recovery + orphan repair;
+// storage-layer machinery, not part of the paper's protocols).
+//
+// Every engine needs the same client policy — ask a small rotating window
+// of peers for the chain above a local height, and re-ask (next window)
+// until a caught-up predicate holds — and the same server-side chain walk
+// (tip down to the requested height, oldest first). What differs per
+// protocol is only how a response *certifies* its blocks: the chained
+// stacks ship QC-linked chains (types::SyncResponse), Streamlet ships a
+// certifying vote quorum per block (streamlet::SSyncResponse). The request
+// (types::SyncRequest) is shared by every stack — only the wire tag
+// differs — and the forked per-engine copies of this policy are gone.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/sim/scheduler.hpp"
+#include "sftbft/types/proposal.hpp"
+
+namespace sftbft::core {
+
+/// Client-side sync policy: rotating peer windows plus a watchdog retry.
+///
+/// One good response suffices, so each attempt asks a small window instead
+/// of all n — a broadcast would trigger n − 1 near-identical full-chain
+/// responses — and the window rotates per attempt, routing around
+/// crashed/behind peers. The watchdog re-requests while the caught-up
+/// predicate is false: a single fire-once request can race with a block
+/// certified just after every response was built, and a crashed peer in
+/// the window must not stall recovery.
+class SyncClient {
+ public:
+  struct Config {
+    ReplicaId id = 0;
+    std::uint32_t n = 0;
+    /// Watchdog delay between attempts (the owning core's round budget).
+    SimDuration retry_after = 0;
+    std::uint32_t fanout = 3;
+  };
+
+  using Send = std::function<void(ReplicaId to, const types::SyncRequest&)>;
+
+  /// `from_height` supplies the resume height per attempt (retries then
+  /// fetch only the residual gap); `caught_up` ends the retry loop — it
+  /// must also return true while the owning core is stopped. Both must
+  /// stay valid for the core's lifetime.
+  SyncClient(Config config, sim::Scheduler& sched, Send send,
+             std::function<Height()> from_height,
+             std::function<bool()> caught_up)
+      : config_(config),
+        sched_(&sched),
+        send_(std::move(send)),
+        from_height_(std::move(from_height)),
+        caught_up_(std::move(caught_up)) {}
+
+  /// Fans one request out to the current peer window and arms the watchdog.
+  void request() {
+    if (!send_ || config_.n < 2) return;
+    types::SyncRequest req;
+    req.requester = config_.id;
+    req.from_height = from_height_();
+    const std::uint32_t fanout =
+        std::min<std::uint32_t>(config_.fanout, config_.n - 1);
+    for (std::uint32_t k = 0; k < fanout; ++k) {
+      const ReplicaId to =
+          (config_.id + 1 + attempts_ * fanout + k) % config_.n;
+      if (to != config_.id) send_(to, req);
+    }
+    ++attempts_;
+    sched_->schedule_after(config_.retry_after, [this] {
+      if (!caught_up_()) request();
+    });
+  }
+
+  /// Restarts the window rotation (call on restore()).
+  void reset() { attempts_ = 0; }
+
+ private:
+  Config config_;
+  sim::Scheduler* sched_;
+  Send send_;
+  std::function<Height()> from_height_;
+  std::function<bool()> caught_up_;
+  std::uint32_t attempts_ = 0;
+};
+
+/// Server-side chain walk shared by every engine's sync responder: the
+/// blocks from (excluding) `from_height` up to (including) `tip_id`, oldest
+/// first. Returns nullopt when the responder's tree is rooted above the
+/// requested height (it also restored from a snapshot and cannot provide a
+/// linkable chain — the caller stays silent and lets a peer with deeper
+/// history answer).
+[[nodiscard]] std::optional<std::vector<types::Block>> collect_chain(
+    const chain::BlockTree& tree, const types::BlockId& tip_id,
+    Height from_height);
+
+}  // namespace sftbft::core

@@ -1,12 +1,14 @@
-#include "sftbft/consensus/diembft.hpp"
+#include "sftbft/core/chained_core.hpp"
 
 #include <algorithm>
 #include <cassert>
 
 #include "sftbft/common/logging.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 
+using consensus::Pacemaker;
+using consensus::PacemakerConfig;
 using types::Block;
 using types::BlockId;
 using types::Proposal;
@@ -16,7 +18,7 @@ using types::TimeoutMsg;
 using types::Vote;
 using types::VoteMode;
 
-DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
+ChainedCore::ChainedCore(CoreConfig config, sim::Scheduler& sched,
                          std::shared_ptr<const crypto::KeyRegistry> registry,
                          mempool::Mempool& pool, Hooks hooks,
                          storage::ReplicaStore* store)
@@ -36,7 +38,43 @@ DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
           Pacemaker::Callbacks{
               .on_round_entered = [this](Round r) { on_round_entered(r); },
               .on_local_timeout = [this](Round r) { on_local_timeout(r); }}),
+      committer_(tree_, ledger_, pool, sched),
+      sync_(SyncClient::Config{.id = config.id,
+                               .n = config.n,
+                               .retry_after = config.base_timeout},
+            sched,
+            [this](ReplicaId to, const types::SyncRequest& req) {
+              if (hooks_.send_sync_request) hooks_.send_sync_request(to, req);
+            },
+            [this] {
+              // Resume from the highest committed block we actually hold:
+              // retries then fetch only the residual gap, not the whole
+              // range again.
+              Height from = tree_.genesis().height;
+              if (const std::optional<Height> tip = ledger_.tip()) {
+                if (tree_.contains(ledger_.at(*tip).block_id)) {
+                  from = std::max(from, *tip);
+                }
+              }
+              return from;
+            },
+            [this] {
+              // Caught-up means the certified tip is a block we hold and
+              // nothing is parked waiting for a missing parent — partial
+              // progress is not enough (one block certified while responses
+              // were in flight can leave a permanent gap).
+              if (stopped_) return true;
+              return tree_.contains(safety_.high_qc().block_id) &&
+                     pending_proposals_.empty();
+            }),
       store_(store) {
+  committer_.set_store(store_);
+  committer_.set_on_commit([this](const Block& block, std::uint32_t strength,
+                                  SimTime now) {
+    if (hooks_.on_commit) hooks_.on_commit(block, strength, now);
+  });
+  committer_.set_snapshot_hook([this] { maybe_snapshot(); });
+
   // Seed qc_high with the genesis QC so round-1 proposals extend genesis.
   QuorumCert genesis_qc;
   genesis_qc.block_id = tree_.genesis_id();
@@ -46,15 +84,15 @@ DiemBftCore::DiemBftCore(CoreConfig config, sim::Scheduler& sched,
   safety_.init_high_qc(genesis_qc);
 
   if (config_.mode != CoreMode::Plain || config_.fbft_mode) {
-    tracker_ = std::make_unique<EndorsementTracker>(tree_, config_.n,
-                                                    config_.f(),
-                                                    config_.counting);
+    tracker_ = std::make_unique<StrengthTracker>(tree_, config_.n,
+                                                 config_.f(),
+                                                 config_.counting);
   }
 }
 
-void DiemBftCore::start() { pacemaker_.start(); }
+void ChainedCore::start() { pacemaker_.start(); }
 
-void DiemBftCore::stop() {
+void ChainedCore::stop() {
   stopped_ = true;
   pacemaker_.stop();
   // Cancel extra-wait timers so a later restore() cannot be surprised by a
@@ -69,7 +107,7 @@ void DiemBftCore::stop() {
 
 // ------------------------------------------------------------ crash recovery
 
-void DiemBftCore::restore(const storage::RecoveredState& state) {
+void ChainedCore::restore(const storage::RecoveredState& state) {
   // Volatile state is rebuilt from scratch; only the durable envelope and
   // the committed ledger survive.
   votes_.clear();
@@ -102,19 +140,19 @@ void DiemBftCore::restore(const storage::RecoveredState& state) {
   safety_.record_vote(state.voted_round);
   last_sealed_round_ = state.voted_round;
   persisted_locked_round_ = safety_.locked_round();
-  sync_attempts_ = 0;
+  sync_.reset();
 
   std::vector<VoteHistory::FrontierEntry> frontier;
   frontier.reserve(state.frontier.size());
   for (const storage::VoteRecord& record : state.frontier) {
-    frontier.push_back({record.block_id, record.round});
+    frontier.push_back({record.block_id, record.round, record.height});
   }
   history_.from_records(std::move(frontier));
 
   if (config_.mode != CoreMode::Plain || config_.fbft_mode) {
-    tracker_ = std::make_unique<EndorsementTracker>(tree_, config_.n,
-                                                    config_.f(),
-                                                    config_.counting);
+    tracker_ = std::make_unique<StrengthTracker>(tree_, config_.n,
+                                                 config_.f(),
+                                                 config_.counting);
   }
   // The rebuilt tracker cannot justify pre-crash strengths; trust peers'
   // commit logs for one leader rotation past the recovered frontier.
@@ -129,65 +167,25 @@ void DiemBftCore::restore(const storage::RecoveredState& state) {
   pacemaker_.resume(resume_past + 1);
 }
 
-void DiemBftCore::request_sync() {
-  if (!hooks_.send_sync_request || stopped_ || config_.n < 2) return;
-  types::SyncRequest req;
-  req.requester = config_.id;
-  // Resume from the highest committed block we actually hold: retries then
-  // fetch only the residual gap, not the whole range again.
-  req.from_height = tree_.genesis().height;
-  if (const std::optional<Height> tip = ledger_.tip()) {
-    if (tree_.contains(ledger_.at(*tip).block_id)) {
-      req.from_height = std::max(req.from_height, *tip);
-    }
-  }
-  // One good response suffices, so ask a small window instead of all n — a
-  // broadcast would trigger n - 1 near-identical full-chain responses. The
-  // window rotates per attempt, routing around crashed/behind peers.
-  const std::uint32_t fanout = std::min<std::uint32_t>(3, config_.n - 1);
-  for (std::uint32_t k = 0; k < fanout; ++k) {
-    const ReplicaId to =
-        (config_.id + 1 + sync_attempts_ * fanout + k) % config_.n;
-    if (to != config_.id) hooks_.send_sync_request(to, req);
-  }
-  ++sync_attempts_;
-  // Watchdog: partial progress is not enough to stop — one block certified
-  // while the responses were in flight can leave a permanent gap (qc_high
-  // learned from timeout messages but its block never delivered, every
-  // later proposal orphaned). Caught-up means the certified tip is a block
-  // we hold and nothing is parked waiting for a missing parent.
-  sched_.schedule_after(config_.base_timeout, [this] {
-    if (stopped_) return;
-    const bool caught_up = tree_.contains(safety_.high_qc().block_id) &&
-                           pending_proposals_.empty();
-    if (!caught_up) request_sync();
-  });
+void ChainedCore::request_sync() {
+  if (!hooks_.send_sync_request || stopped_) return;
+  sync_.request();
 }
 
-void DiemBftCore::on_sync_request(const types::SyncRequest& req) {
+void ChainedCore::on_sync_request(const types::SyncRequest& req) {
   if (stopped_ || !hooks_.send_sync_response) return;
   if (req.requester == config_.id) return;
   const QuorumCert& high_qc = safety_.high_qc();
-  const Block* block = tree_.get(high_qc.block_id);
-  std::vector<Block> chain_blocks;
-  while (block != nullptr && block->height > req.from_height) {
-    chain_blocks.push_back(*block);
-    block = tree_.parent_of(block->id);
-  }
-  if (block == nullptr || block->height != req.from_height) {
-    // Our own tree is rooted above the requested height (we also restored
-    // from a snapshot); we cannot provide a linkable chain — stay silent and
-    // let a peer with deeper history answer.
-    return;
-  }
-  std::reverse(chain_blocks.begin(), chain_blocks.end());
+  auto chain_blocks =
+      collect_chain(tree_, high_qc.block_id, req.from_height);
+  if (!chain_blocks) return;  // rooted above the requested height
   types::SyncResponse resp;
-  resp.blocks = std::move(chain_blocks);
+  resp.blocks = std::move(*chain_blocks);
   resp.high_qc = high_qc;
   hooks_.send_sync_response(req.requester, resp);
 }
 
-void DiemBftCore::on_sync_response(const types::SyncResponse& resp) {
+void ChainedCore::on_sync_response(const types::SyncResponse& resp) {
   if (stopped_) return;
   // Validate the chain without trusting the responder: each block's embedded
   // QC certifies its parent; the final block is certified by resp.high_qc.
@@ -209,7 +207,7 @@ void DiemBftCore::on_sync_response(const types::SyncResponse& resp) {
       continue;  // duplicate (another peer answered first) or orphan
     }
     // Chain-embedded QCs are canonical: peers processed them through their
-    // endorsement trackers when the blocks first arrived, so replaying them
+    // strength trackers when the blocks first arrived, so replaying them
     // here keeps endorser sets consistent across replicas (Sec. 5).
     observe_qc(block.qc, /*canonical=*/true);
     process_pending_proposals(block.id);
@@ -231,7 +229,7 @@ void DiemBftCore::on_sync_response(const types::SyncResponse& resp) {
 
 // ---------------------------------------------------------------- proposing
 
-void DiemBftCore::on_round_entered(Round round) {
+void ChainedCore::on_round_entered(Round round) {
   if (stopped_) return;
   // Fig. 2 timeout rule: entering round r stops voting for rounds < r.
   safety_.forbid_votes_below(round);
@@ -242,7 +240,7 @@ void DiemBftCore::on_round_entered(Round round) {
   });
 }
 
-void DiemBftCore::propose(Round round) {
+void ChainedCore::propose(Round round) {
   const QuorumCert& high_qc = safety_.high_qc();
   const Block* parent = tree_.get(high_qc.block_id);
   if (parent == nullptr) {
@@ -296,7 +294,7 @@ void DiemBftCore::propose(Round round) {
 
 // ------------------------------------------------------------------- voting
 
-void DiemBftCore::on_proposal(const Proposal& proposal) {
+void ChainedCore::on_proposal(const Proposal& proposal) {
   if (stopped_) return;
   if (!validate_proposal(proposal)) return;
   const Block& block = proposal.block;
@@ -381,11 +379,25 @@ void DiemBftCore::on_proposal(const Proposal& proposal) {
   process_pending_proposals(block.id);
 }
 
-void DiemBftCore::maybe_vote(const Block& block) {
+bool diembft_safe_to_vote(const Block& block, const SafetyRules& safety,
+                          const chain::BlockTree& /*tree*/) {
+  // block.qc certifies the parent, so qc.round is the parent's round.
+  return block.qc.round >= safety.locked_round();
+}
+
+bool ChainedCore::safe_to_vote(const Block& block) const {
+  if (!safety_.can_vote(block)) return false;
+  const auto rule = config_.rules.safe_to_vote != nullptr
+                        ? config_.rules.safe_to_vote
+                        : &diembft_safe_to_vote;
+  return rule(block, safety_, tree_);
+}
+
+void ChainedCore::maybe_vote(const Block& block) {
   if (block.round != pacemaker_.current_round() || pacemaker_.timed_out()) {
     return;
   }
-  if (!safety_.can_vote(block)) return;
+  if (!safe_to_vote(block)) return;
 
   const Vote vote = build_vote(block);
   safety_.record_vote(block.round);
@@ -396,7 +408,7 @@ void DiemBftCore::maybe_vote(const Block& block) {
   hooks_.send_vote(election_.leader_of(block.round + 1), vote);
 }
 
-Vote DiemBftCore::build_vote(const Block& block) {
+Vote ChainedCore::build_vote(const Block& block) {
   Vote vote;
   vote.block_id = block.id;
   vote.round = block.round;
@@ -420,7 +432,7 @@ Vote DiemBftCore::build_vote(const Block& block) {
 
 // ------------------------------------------------------------- QC handling
 
-void DiemBftCore::observe_qc(const QuorumCert& qc, bool canonical) {
+void ChainedCore::observe_qc(const QuorumCert& qc, bool canonical) {
   const Round prev_high = safety_.high_qc().round;
   safety_.observe_qc(qc);
   persist_qc_watermarks(qc, prev_high);
@@ -442,9 +454,11 @@ void DiemBftCore::observe_qc(const QuorumCert& qc, bool canonical) {
   }
 }
 
-void DiemBftCore::check_regular_commit(const QuorumCert& qc) {
+void ChainedCore::check_regular_commit(const QuorumCert& qc) {
   // Fig. 2 commit rule, phrased on QC receipt (Fig. 3): a QC for B_{k+2}
-  // commits B_k when B_k, B_{k+1}, B_{k+2} have consecutive rounds.
+  // commits B_k when B_k, B_{k+1}, B_{k+2} have consecutive rounds. The
+  // same 3-chain rule decides chained HotStuff's commit (its three phases
+  // laid out along the chain), so it is kernel machinery, not a rule slot.
   const Block* top = tree_.get(qc.block_id);
   if (top == nullptr) return;
   const Block* mid = tree_.parent_of(top->id);
@@ -453,38 +467,21 @@ void DiemBftCore::check_regular_commit(const QuorumCert& qc) {
   if (low == nullptr || low->height == 0 || low->round + 1 != mid->round) {
     return;
   }
-  commit_chain(*low, config_.f());
+  committer_.commit_chain(*low, config_.f());
 }
 
-void DiemBftCore::apply_strength_updates(
+void ChainedCore::apply_strength_updates(
     const std::vector<StrengthUpdate>& updates) {
   for (const StrengthUpdate& update : updates) {
     if (const Block* head = tree_.get(update.block_id)) {
-      commit_chain(*head, update.strength);
+      committer_.commit_chain(*head, update.strength);
     }
   }
-}
-
-void DiemBftCore::commit_chain(const Block& head, std::uint32_t strength) {
-  // Commit `head` and all its ancestors at `strength` (strong commit rule:
-  // "x-strong commits a block B_k and all its ancestors"). Stop as soon as a
-  // block already has the strength — deeper ancestors then do too.
-  for (const Block* block = &head; block != nullptr && block->height > 0;
-       block = tree_.parent_of(block->id)) {
-    const auto result = ledger_.commit(*block, strength, sched_.now());
-    if (result == chain::Ledger::CommitResult::NoChange) break;
-    if (result == chain::Ledger::CommitResult::New) {
-      pool_.mark_committed(block->payload);
-    }
-    if (store_) store_->record_commit(ledger_.at(block->height));
-    if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
-  }
-  maybe_snapshot();
 }
 
 // -------------------------------------------------------- vote aggregation
 
-void DiemBftCore::on_vote(const Vote& vote) {
+void ChainedCore::on_vote(const Vote& vote) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (vote.voter != vote.sig.signer ||
@@ -498,7 +495,7 @@ void DiemBftCore::on_vote(const Vote& vote) {
     return;
   }
   if (vote.round <= last_sealed_round_) {
-    // Arrived after we sealed the QC for its round. SFT-DiemBFT drops it
+    // Arrived after we sealed the QC for its round. SFT drops it
     // (Sec. 3.2); the FBFT baseline must multicast it (Appendix B).
     if (config_.fbft_mode) fbft_handle_late_vote(vote);
     return;
@@ -506,7 +503,7 @@ void DiemBftCore::on_vote(const Vote& vote) {
   add_to_aggregator(vote);
 }
 
-void DiemBftCore::add_to_aggregator(const Vote& vote) {
+void ChainedCore::add_to_aggregator(const Vote& vote) {
   PendingVotes& pending = votes_[vote.round][vote.block_id];
   if (pending.finalized) {
     // QC sealed but round not yet advanced (possible mid-event): same late-
@@ -518,17 +515,17 @@ void DiemBftCore::add_to_aggregator(const Vote& vote) {
   try_finalize_qc(vote.round, vote.block_id);
 }
 
-void DiemBftCore::ingest_direct_vote(const Vote& vote) {
+void ChainedCore::ingest_direct_vote(const Vote& vote) {
   if (!tracker_) return;
   apply_strength_updates(tracker_->process_extra_vote(vote));
 }
 
-void DiemBftCore::fbft_handle_late_vote(const Vote& vote) {
+void ChainedCore::fbft_handle_late_vote(const Vote& vote) {
   if (hooks_.broadcast_extra_vote) hooks_.broadcast_extra_vote(vote);
   ingest_direct_vote(vote);
 }
 
-void DiemBftCore::try_finalize_qc(Round round, const BlockId& block_id) {
+void ChainedCore::try_finalize_qc(Round round, const BlockId& block_id) {
   auto round_it = votes_.find(round);
   if (round_it == votes_.end()) return;
   auto block_it = round_it->second.find(block_id);
@@ -552,7 +549,7 @@ void DiemBftCore::try_finalize_qc(Round round, const BlockId& block_id) {
   finalize_qc(round, block_id);
 }
 
-void DiemBftCore::finalize_qc(Round round, const BlockId& block_id) {
+void ChainedCore::finalize_qc(Round round, const BlockId& block_id) {
   PendingVotes& pending = votes_[round][block_id];
   if (pending.finalized || stopped_) return;
   pending.finalized = true;
@@ -581,7 +578,7 @@ void DiemBftCore::finalize_qc(Round round, const BlockId& block_id) {
 
 // ----------------------------------------------------------------- timeouts
 
-void DiemBftCore::on_local_timeout(Round round) {
+void ChainedCore::on_local_timeout(Round round) {
   if (stopped_) return;
   // Fig. 2: stop voting for round r, multicast ⟨timeout, r, qc_high⟩.
   safety_.record_vote(round);
@@ -600,7 +597,7 @@ void DiemBftCore::on_local_timeout(Round round) {
   hooks_.broadcast_timeout(msg);
 }
 
-void DiemBftCore::on_timeout_msg(const TimeoutMsg& msg) {
+void ChainedCore::on_timeout_msg(const TimeoutMsg& msg) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (msg.sender != msg.sig.signer ||
@@ -621,7 +618,7 @@ void DiemBftCore::on_timeout_msg(const TimeoutMsg& msg) {
   add_timeout(msg);
 }
 
-void DiemBftCore::add_timeout(const TimeoutMsg& msg) {
+void ChainedCore::add_timeout(const TimeoutMsg& msg) {
   if (msg.round + 1 < pacemaker_.current_round()) return;  // stale
   auto& per_sender = timeouts_[msg.round];
   per_sender.emplace(msg.sender, msg);
@@ -641,7 +638,7 @@ void DiemBftCore::add_timeout(const TimeoutMsg& msg) {
 
 // --------------------------------------------------------------- validation
 
-bool DiemBftCore::validate_proposal(const Proposal& proposal) const {
+bool ChainedCore::validate_proposal(const Proposal& proposal) const {
   const Block& block = proposal.block;
   if (block.round == 0) return false;
   if (block.proposer != election_.leader_of(block.round)) return false;
@@ -664,7 +661,7 @@ bool DiemBftCore::validate_proposal(const Proposal& proposal) const {
   return true;
 }
 
-bool DiemBftCore::validate_commit_log(const Proposal& proposal) {
+bool ChainedCore::validate_commit_log(const Proposal& proposal) {
   if (!config_.verify_commit_log || !tracker_) return true;
   // Post-restore grace (see trust_commit_log_below_): the rebuilt tracker
   // cannot re-derive pre-crash strengths, and rejecting every log-bearing
@@ -679,7 +676,7 @@ bool DiemBftCore::validate_commit_log(const Proposal& proposal) {
   return true;
 }
 
-void DiemBftCore::process_pending_proposals(const BlockId& parent_id) {
+void ChainedCore::process_pending_proposals(const BlockId& parent_id) {
   auto it = pending_proposals_.find(parent_id);
   if (it == pending_proposals_.end()) return;
   const std::vector<Proposal> waiting = std::move(it->second);
@@ -689,7 +686,7 @@ void DiemBftCore::process_pending_proposals(const BlockId& parent_id) {
 
 // --------------------------------------------------------------- durability
 
-void DiemBftCore::persist_vote(const Block* block, Round round) {
+void ChainedCore::persist_vote(const Block* block, Round round) {
   if (!store_) return;
   storage::VoteRecord record;
   record.round = round;
@@ -700,7 +697,7 @@ void DiemBftCore::persist_vote(const Block* block, Round round) {
   store_->record_vote(record);
 }
 
-void DiemBftCore::persist_qc_watermarks(const QuorumCert& qc,
+void ChainedCore::persist_qc_watermarks(const QuorumCert& qc,
                                         Round prev_high) {
   if (!store_) return;
   const bool high_grew = qc.round > prev_high;
@@ -714,7 +711,7 @@ void DiemBftCore::persist_qc_watermarks(const QuorumCert& qc,
       std::max(persisted_locked_round_, qc.parent_round);
 }
 
-void DiemBftCore::maybe_snapshot() {
+void ChainedCore::maybe_snapshot() {
   if (!store_ || !store_->snapshot_due(ledger_.committed_blocks())) return;
   const std::optional<Height> tip_height = ledger_.tip();
   if (!tip_height) return;
@@ -727,11 +724,9 @@ void DiemBftCore::maybe_snapshot() {
   envelope.high_tc = last_tc_;
   envelope.frontier.reserve(history_.frontier().size());
   for (const VoteHistory::FrontierEntry& entry : history_.frontier()) {
-    const Block* voted = tree_.get(entry.block_id);
-    envelope.frontier.push_back(
-        {entry.block_id, entry.round, voted ? voted->height : 0});
+    envelope.frontier.push_back({entry.block_id, entry.round, entry.height});
   }
   store_->write_snapshot(*tip, ledger_.snapshot(), envelope);
 }
 
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

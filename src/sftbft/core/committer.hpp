@@ -1,0 +1,71 @@
+// The commit-chain walk (Sec. 2's "commit a block and all its ancestors",
+// strengthened by the Sec.-3 strong commit rules) and its side effects —
+// ledger append, mempool accounting, durable commit records, commit
+// notifications, snapshot cadence — in one place. Every consensus core
+// (chained or lock-step) used to carry a verbatim copy of this loop; they
+// now share this one.
+#pragma once
+
+#include <functional>
+
+#include "sftbft/chain/block_tree.hpp"
+#include "sftbft/chain/ledger.hpp"
+#include "sftbft/common/types.hpp"
+#include "sftbft/mempool/mempool.hpp"
+#include "sftbft/sim/scheduler.hpp"
+#include "sftbft/storage/replica_store.hpp"
+
+namespace sftbft::core {
+
+class Committer {
+ public:
+  /// Commit notification: (block, strength, now) — fired once per strength
+  /// level first reached per block, ancestors included.
+  using OnCommit =
+      std::function<void(const types::Block&, std::uint32_t, SimTime)>;
+
+  /// All references must outlive the committer. `store` may be null (no
+  /// persistence); `snapshot_hook` (may be empty) runs after each commit
+  /// walk so the owning core can write its protocol-specific snapshot
+  /// envelope on the store's cadence.
+  Committer(const chain::BlockTree& tree, chain::Ledger& ledger,
+            mempool::Mempool& pool, sim::Scheduler& sched)
+      : tree_(&tree), ledger_(&ledger), pool_(&pool), sched_(&sched) {}
+
+  void set_store(storage::ReplicaStore* store) { store_ = store; }
+  void set_on_commit(OnCommit hook) { on_commit_ = std::move(hook); }
+  void set_snapshot_hook(std::function<void()> hook) {
+    snapshot_hook_ = std::move(hook);
+  }
+
+  /// Commits `head` and all its ancestors at `strength` (strong commit
+  /// rule: "x-strong commits a block B_k and all its ancestors"). Stops as
+  /// soon as a block already has the strength — deeper ancestors then do
+  /// too. Ledger entries are WAL'd when a store is wired, and the snapshot
+  /// hook runs once afterwards.
+  void commit_chain(const types::Block& head, std::uint32_t strength) {
+    for (const types::Block* block = &head;
+         block != nullptr && block->height > 0;
+         block = tree_->parent_of(block->id)) {
+      const auto result = ledger_->commit(*block, strength, sched_->now());
+      if (result == chain::Ledger::CommitResult::NoChange) break;
+      if (result == chain::Ledger::CommitResult::New) {
+        pool_->mark_committed(block->payload);
+      }
+      if (store_) store_->record_commit(ledger_->at(block->height));
+      if (on_commit_) on_commit_(*block, strength, sched_->now());
+    }
+    if (snapshot_hook_) snapshot_hook_();
+  }
+
+ private:
+  const chain::BlockTree* tree_;
+  chain::Ledger* ledger_;
+  mempool::Mempool* pool_;
+  sim::Scheduler* sched_;
+  storage::ReplicaStore* store_ = nullptr;
+  OnCommit on_commit_;
+  std::function<void()> snapshot_hook_;
+};
+
+}  // namespace sftbft::core

@@ -1,30 +1,31 @@
-// DiemBFT safety rules (paper Fig. 2: voting rule + locking rule).
+// Chained-BFT safety state (paper Fig. 2: voting rule + locking rule).
 //
-// State per replica: highest voted round r_vote, highest locked round r_lock,
-// highest quorum certificate qc_high. The voting rule — vote for the first
-// valid round-r proposal iff r > r_vote and parent.round >= r_lock — plus the
-// 2-chain locking rule are what the SFT layer's safety proof (Lemmas 1–2)
-// builds on; this class implements them verbatim and nothing else.
+// State per replica: highest voted round r_vote, highest locked round r_lock
+// (with the locked block's id), highest quorum certificate qc_high. The
+// universal bookkeeping — record votes, lock on the 2-chain, rank QCs — is
+// protocol-independent across the chained family; the protocol-specific
+// part of the voting rule (DiemBFT's parent.round >= r_lock vs HotStuff's
+// extends-locked-or-higher-QC) is supplied by core::ChainedRules and
+// evaluated by the ChainedCore, not here.
 #pragma once
 
 #include "sftbft/common/types.hpp"
 #include "sftbft/types/block.hpp"
 #include "sftbft/types/quorum_cert.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 
 class SafetyRules {
  public:
   SafetyRules() = default;
 
-  /// Fig. 2 voting rule: may this replica vote for `block` in round
-  /// `block.round` given the parent's round? (`parent_round` comes from the
-  /// validated QC embedded in the block.)
+  /// The universal voting preconditions every chained protocol shares:
+  /// strictly increasing vote rounds (r > r_vote) and structurally
+  /// increasing rounds along the chain. Protocol rules add their locking
+  /// check on top (see ChainedRules::safe_to_vote).
   [[nodiscard]] bool can_vote(const types::Block& block) const {
-    // block.qc certifies the parent, so qc.round is the parent's round.
     return block.round > voted_round_ &&   // (1) r > r_vote
-           block.round > block.qc.round && // structural: rounds increase
-           block.qc.round >= locked_round_;  // (2) parent.round >= r_lock
+           block.round > block.qc.round;   // structural: rounds increase
   }
 
   /// Records that the replica voted in `round` (updates r_vote).
@@ -33,9 +34,13 @@ class SafetyRules {
   }
 
   /// Fig. 2 locking rule: on any valid QC, lock on the round of the parent
-  /// of the certified block, and track the highest QC.
+  /// of the certified block (remembering which block that is), and track
+  /// the highest QC.
   void observe_qc(const types::QuorumCert& qc) {
-    if (qc.parent_round > locked_round_) locked_round_ = qc.parent_round;
+    if (qc.parent_round > locked_round_) {
+      locked_round_ = qc.parent_round;
+      locked_block_ = qc.parent_id;
+    }
     if (qc.round > high_qc_.round) high_qc_ = qc;
   }
 
@@ -54,19 +59,28 @@ class SafetyRules {
   /// Crash recovery: re-arms the locking rule from the durable watermark.
   /// Restoring the lock from qc_high alone could *regress* it — a
   /// timeout-borne high QC may carry a lower parent round than an earlier
-  /// chain QC the replica locked against.
+  /// chain QC the replica locked against. The locked block id is not
+  /// persisted; it stays empty until the next QC raises the lock (rules
+  /// that use it must fall back to the round comparison — see
+  /// hotstuff::rules()).
   void restore_locked_round(Round round) {
     if (round > locked_round_) locked_round_ = round;
   }
 
   [[nodiscard]] Round voted_round() const { return voted_round_; }
   [[nodiscard]] Round locked_round() const { return locked_round_; }
+  /// The block the replica is locked on (empty id when never locked, or
+  /// when the lock was restored from durable state).
+  [[nodiscard]] const types::BlockId& locked_block() const {
+    return locked_block_;
+  }
   [[nodiscard]] const types::QuorumCert& high_qc() const { return high_qc_; }
 
  private:
   Round voted_round_ = 0;
   Round locked_round_ = 0;
+  types::BlockId locked_block_{};
   types::QuorumCert high_qc_{};  // genesis QC (round 0)
 };
 
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

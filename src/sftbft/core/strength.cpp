@@ -1,0 +1,276 @@
+#include "sftbft/core/strength.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sftbft::core {
+
+using types::Block;
+using types::BlockId;
+using types::QuorumCert;
+using types::Vote;
+
+StrengthTracker::StrengthTracker(const chain::BlockTree& tree, std::uint32_t n,
+                                 std::uint32_t f, CountingRule rule)
+    : tree_(&tree), n_(n), f_(f), rule_(rule) {}
+
+std::vector<StrengthUpdate> StrengthTracker::process_qc(const QuorumCert& qc) {
+  std::vector<StrengthUpdate> updates;
+  if (qc.is_genesis()) return updates;
+  if (!seen_qcs_.insert(qc.digest()).second) return updates;  // idempotent
+
+  std::vector<BlockId> touched;
+  for (const Vote& vote : qc.votes) {
+    ingest_chain_vote(vote, touched);
+  }
+
+  // Deduplicate before re-evaluating (votes often touch the same ancestors).
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const BlockId& id : touched) {
+    reevaluate(id, updates);
+  }
+  return updates;
+}
+
+std::vector<StrengthUpdate> StrengthTracker::process_extra_vote(
+    const Vote& vote) {
+  std::vector<StrengthUpdate> updates;
+  std::vector<BlockId> touched;
+  ingest_chain_vote(vote, touched);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const BlockId& id : touched) {
+    reevaluate(id, updates);
+  }
+  return updates;
+}
+
+void StrengthTracker::ingest_chain_vote(const Vote& vote,
+                                        std::vector<BlockId>& touched) {
+  const Block* block = tree_->get(vote.block_id);
+  // QCs are processed after their certified block is linked into the tree;
+  // an unknown block here means the caller violated that ordering, and the
+  // vote is conservatively ignored (under-counting never harms safety).
+  if (block == nullptr) return;
+
+  // Direct endorsement of the voted block itself (marker 0: endorses every
+  // threshold).
+  auto& own = min_marker_[block->id];
+  auto [own_it, own_fresh] = own.try_emplace(vote.voter, 0);
+  if (!own_fresh) {
+    own_it->second = 0;
+  } else {
+    touched.push_back(block->id);
+  }
+
+  // Indirect endorsements down the ancestor chain. Round-domain records are
+  // made only when the vote endorses the ancestor at its own round, so the
+  // recorded marker is what the vote carried (markers), or 0 (intervals /
+  // the naive strawman, whose endorsement is threshold-independent).
+  for (const Block* ancestor = tree_->parent_of(block->id);
+       ancestor != nullptr && ancestor->height > 0;
+       ancestor = tree_->parent_of(ancestor->id)) {
+    bool endorses = false;
+    switch (rule_) {
+      case CountingRule::NaiveAllIndirect:
+        endorses = true;  // Appendix C strawman — provably unsafe
+        break;
+      case CountingRule::Sft:
+        endorses = vote.endorses_round(ancestor->round);
+        break;
+    }
+    if (endorses) {
+      const std::uint64_t marker =
+          (rule_ == CountingRule::Sft && vote.mode == types::VoteMode::Marker)
+              ? vote.marker
+              : 0;
+      auto& markers = min_marker_[ancestor->id];
+      if (!markers.try_emplace(vote.voter, marker).second) {
+        // The voter already endorsed this ancestor through an earlier vote.
+        // A voter's endorsement power only shrinks over time (markers grow,
+        // intervals narrow), so that earlier — at least as permissive —
+        // vote already covered everything reachable below here. Stopping
+        // keeps the walk O(new blocks) amortized: the paper's "marginal
+        // bookkeeping overhead" (Sec. 3.2).
+        break;
+      }
+      touched.push_back(ancestor->id);
+      continue;
+    }
+    // Marker mode: rounds strictly decrease toward genesis, so once
+    // ancestor.round <= marker every deeper ancestor fails too.
+    if (vote.mode == types::VoteMode::Marker) break;
+    // Interval mode: gaps are possible, but nothing below the smallest
+    // endorsed round can match.
+    if (vote.mode == types::VoteMode::Intervals &&
+        (vote.endorsed.empty() || ancestor->round < vote.endorsed.min())) {
+      break;
+    }
+    if (vote.mode == types::VoteMode::Plain) break;  // no indirect power
+  }
+}
+
+void StrengthTracker::ingest_height_vote(const BlockId& block_id,
+                                         ReplicaId voter, Height marker) {
+  const Block* block = tree_->get(block_id);
+  if (block == nullptr) return;
+  // Appendix-C strawman: count every indirect vote as if it carried no
+  // history (marker 0 endorses every ancestor height).
+  const Height effective =
+      rule_ == CountingRule::NaiveAllIndirect ? 0 : marker;
+  // Direct votes always endorse their own block (the B = B' case).
+  auto& own = min_marker_[block->id];
+  auto [it, inserted] = own.try_emplace(voter, 0);
+  if (!inserted) it->second = 0;
+
+  for (const Block* ancestor = tree_->parent_of(block->id);
+       ancestor != nullptr && ancestor->height > 0;
+       ancestor = tree_->parent_of(ancestor->id)) {
+    auto& markers = min_marker_[ancestor->id];
+    auto [mit, fresh] = markers.try_emplace(voter, effective);
+    if (!fresh) {
+      if (mit->second <= effective) break;  // older vote was as permissive
+      mit->second = effective;
+    }
+  }
+}
+
+void StrengthTracker::reevaluate(const BlockId& id,
+                                 std::vector<StrengthUpdate>& updates) {
+  // A count change at `id` can complete 3-chains headed at `id`, its parent,
+  // or its grandparent.
+  const Block* block = tree_->get(id);
+  if (block == nullptr) return;
+  evaluate_head(*block, updates);
+  if (const Block* parent = tree_->parent_of(id)) {
+    if (parent->height > 0) evaluate_head(*parent, updates);
+    if (const Block* grandparent = tree_->parent_of(parent->id)) {
+      if (grandparent->height > 0) evaluate_head(*grandparent, updates);
+    }
+  }
+}
+
+void StrengthTracker::evaluate_head(const Block& head,
+                                    std::vector<StrengthUpdate>& updates) {
+  const std::uint32_t count_head = endorser_count(head.id);
+  if (count_head < 2 * f_ + 1) return;  // cannot reach even x = f
+
+  // Enumerate chains head -> c1 -> c2 with consecutive rounds; equivocation
+  // can create several, so take the best.
+  std::uint32_t best_min = 0;
+  for (const Block* c1 : tree_->children_of(head.id)) {
+    if (c1->round != head.round + 1) continue;
+    const std::uint32_t count1 = endorser_count(c1->id);
+    for (const Block* c2 : tree_->children_of(c1->id)) {
+      if (c2->round != c1->round + 1) continue;
+      const std::uint32_t count2 = endorser_count(c2->id);
+      best_min = std::max(best_min, std::min({count_head, count1, count2}));
+    }
+  }
+  if (best_min < f_ + 1) return;
+  const std::uint32_t x = std::min(best_min - f_ - 1, 2 * f_);
+  if (x < f_) return;  // strong commit rules start at the regular level
+
+  std::uint32_t& recorded = head_strength_[head.id];
+  if (x > recorded) {
+    recorded = x;
+    updates.push_back({head.id, head.round, x});
+  }
+}
+
+std::uint32_t StrengthTracker::endorser_count(const BlockId& id,
+                                              std::uint64_t threshold) const {
+  auto it = min_marker_.find(id);
+  if (it == min_marker_.end()) return 0;
+  std::uint32_t count = 0;
+  for (const auto& [voter, marker] : it->second) {
+    if (marker < threshold) ++count;
+  }
+  return count;
+}
+
+std::uint32_t StrengthTracker::endorser_count(const BlockId& id) const {
+  // Round-domain records are made only when the vote endorses the block at
+  // its own round (marker < round by construction, direct votes at 0), so
+  // the recorded-voter count IS the endorser count — O(1), the per-QC hot
+  // path (evaluate_head touches up to three blocks per ingested vote).
+  auto it = min_marker_.find(id);
+  return it == min_marker_.end() ? 0
+                                 : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::vector<ReplicaId> StrengthTracker::endorsers(
+    const BlockId& id, std::uint64_t threshold) const {
+  std::vector<ReplicaId> out;
+  auto it = min_marker_.find(id);
+  if (it != min_marker_.end()) {
+    for (const auto& [voter, marker] : it->second) {
+      if (marker < threshold) out.push_back(voter);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::vector<ReplicaId> StrengthTracker::endorsers(const BlockId& id) const {
+  const Block* block = tree_->get(id);
+  if (block == nullptr) return {};
+  return endorsers(id, block->round);
+}
+
+std::uint32_t StrengthTracker::head_strength(const BlockId& id) const {
+  auto it = head_strength_.find(id);
+  return it == head_strength_.end() ? 0 : it->second;
+}
+
+std::uint32_t StrengthTracker::effective_strength(const BlockId& id) const {
+  // Max head strength over the block itself and every descendant, found by
+  // DFS over children. Used for light-client log validation, where chains
+  // are short-lived frontiers; fine for simulation scale.
+  std::uint32_t best = head_strength(id);
+  for (const Block* child : tree_->children_of(id)) {
+    best = std::max(best, effective_strength(child->id));
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> streamlet_triple_strength(
+    const chain::BlockTree& tree, const StrengthTracker& tracker,
+    const Block& middle,
+    const std::function<bool(const types::BlockId&)>& certified,
+    std::uint32_t n, std::uint32_t f, bool sft) {
+  if (middle.height == 0) return std::nullopt;
+  const Block* parent = tree.parent_of(middle.id);
+  if (parent == nullptr) return std::nullopt;
+  if (parent->round + 1 != middle.round) return std::nullopt;
+  if (!certified(middle.id)) return std::nullopt;
+  if (parent->height > 0 && !certified(parent->id)) return std::nullopt;
+
+  std::optional<std::uint32_t> best;
+  for (const Block* child : tree.children_of(middle.id)) {
+    if (child->round != middle.round + 1) continue;
+    if (!certified(child->id)) continue;
+
+    // Plain Streamlet commit (strength f — 0 at n <= 3, still a commit).
+    std::uint32_t strength = f;
+    if (sft) {
+      // Strong commit rule (Fig. 11): x + f + 1 k-endorsers on all three
+      // blocks, with k the height of the committed (middle) block. Genesis
+      // as parent is endorsed by everyone by definition.
+      const Height k = middle.height;
+      const std::uint32_t count =
+          std::min({parent->height == 0 ? n
+                                        : tracker.endorser_count(parent->id, k),
+                    tracker.endorser_count(middle.id, k),
+                    tracker.endorser_count(child->id, k)});
+      if (count >= f + 1) {
+        strength = std::max(strength, std::min(count - f - 1, 2 * f));
+      }
+    }
+    best = std::max(best.value_or(0), strength);
+  }
+  return best;
+}
+
+}  // namespace sftbft::core

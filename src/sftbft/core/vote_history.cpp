@@ -1,9 +1,9 @@
-#include "sftbft/consensus/vote_history.hpp"
+#include "sftbft/core/vote_history.hpp"
 
 #include <algorithm>
 #include <cassert>
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 
 void VoteHistory::record_vote(const types::Block& block) {
   assert(tree_->contains(block.id));
@@ -12,7 +12,7 @@ void VoteHistory::record_vote(const types::Block& block) {
   std::erase_if(frontier_, [&](const FrontierEntry& entry) {
     return tree_->extends(block.id, entry.block_id);
   });
-  frontier_.push_back({block.id, block.round});
+  frontier_.push_back({block.id, block.round, block.height});
 }
 
 Round VoteHistory::marker_for(const types::Block& block) const {
@@ -20,8 +20,20 @@ Round VoteHistory::marker_for(const types::Block& block) const {
   for (const FrontierEntry& entry : frontier_) {
     // An entry conflicts with `block` iff `block` does not extend it (the
     // entry cannot extend `block`: its round is lower than any new vote's).
+    // Unknown entries (restored, not yet re-synced) never satisfy extends()
+    // and therefore count — the conservative floor.
     if (entry.round > marker && !tree_->extends(block.id, entry.block_id)) {
       marker = entry.round;
+    }
+  }
+  return marker;
+}
+
+Height VoteHistory::height_marker_for(const types::Block& block) const {
+  Height marker = 0;
+  for (const FrontierEntry& entry : frontier_) {
+    if (entry.height > marker && !tree_->extends(block.id, entry.block_id)) {
+      marker = entry.height;
     }
   }
   return marker;
@@ -74,4 +86,4 @@ void VoteHistory::from_records(std::vector<FrontierEntry> records) {
   }
 }
 
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

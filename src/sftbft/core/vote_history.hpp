@@ -1,4 +1,5 @@
-// Voting-history bookkeeping for strong-votes (paper Fig. 4 and Sec. 3.4).
+// Voting-history bookkeeping for strong-votes (paper Fig. 4, Sec. 3.4 and
+// Appendix D / Fig. 11).
 //
 // "For every fork in the blockchain, the replica additionally keeps the
 // highest voted block on that fork." This class maintains exactly that — the
@@ -7,24 +8,30 @@
 //
 //  * marker(B)   = max{B'.round | B' in frontier, B' conflicts with B}
 //                  (0 when the replica never voted on a conflicting fork);
+//  * height_marker(B) = the same quantity over block *heights* — the
+//    Fig. 11 strong-vote marker of SFT-Streamlet, which keys endorsement by
+//    chain position instead of pacemaker round;
 //  * intervals(B) = [lo, r] \ ∪_F D_F   with   D_F = [r_l + 1, r_h],
 //    where r_h is the highest voted round on fork F and r_l the round of the
 //    common ancestor of B and that fork's frontier block (Sec. 3.4). `lo` is
 //    1 for full history or r − window for the windowed variant the paper
 //    suggests ("the set of intervals for the last n rounds").
 //
-// Since the voting rule only allows strictly increasing vote rounds, a newly
-// voted block can never be an ancestor of a previously voted one, so frontier
-// maintenance is: drop entries the new block extends, then append it.
+// Since the voting rules of every supported protocol only allow strictly
+// increasing vote rounds, a newly voted block can never be an ancestor of a
+// previously voted one, so frontier maintenance is: drop entries the new
+// block extends, then append it.
 //
 // Crash recovery (sftbft::storage): the frontier round-trips through
 // to_records()/from_records(). Restored entries may reference blocks the
 // rebuilt tree does not contain yet (they arrive via peer sync); until then
 // such entries are treated *conservatively* — as conflicting with every
-// prospective vote — so a recovered replica's markers/intervals can only
-// under-endorse, never over-endorse (safe for Theorem 1, at a temporary cost
-// to strong-commit liveness that heals once sync completes and the next
-// record_vote collapses the frontier).
+// prospective vote, at their recorded round/height — so a recovered
+// replica's markers/intervals can only under-endorse, never over-endorse
+// (safe for Theorem 1, at a temporary cost to strong-commit liveness that
+// heals once sync completes and the next record_vote collapses the
+// frontier). This conservative floor is what StreamletCore's old
+// "unresolved frontier + marker floor" implemented by hand.
 #pragma once
 
 #include <vector>
@@ -34,7 +41,7 @@
 #include "sftbft/common/types.hpp"
 #include "sftbft/types/block.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 
 class VoteHistory {
  public:
@@ -46,6 +53,12 @@ class VoteHistory {
   /// Fig. 4 marker for a prospective vote on `block`.
   [[nodiscard]] Round marker_for(const types::Block& block) const;
 
+  /// Fig. 11 height marker for a prospective vote on `block`: the max height
+  /// of any conflicting frontier block (restored entries whose blocks were
+  /// never re-learned count at their recorded height — over-reporting a
+  /// marker only withholds endorsement, which is safe).
+  [[nodiscard]] Height height_marker_for(const types::Block& block) const;
+
   /// Sec. 3.4 endorsed intervals for a prospective vote on `block`.
   /// `window == 0` means full history ([1, r]); otherwise the last `window`
   /// rounds ([r − window, r], clipped at 1).
@@ -55,6 +68,7 @@ class VoteHistory {
   struct FrontierEntry {
     types::BlockId block_id{};
     Round round = 0;
+    Height height = 0;
 
     friend bool operator==(const FrontierEntry&, const FrontierEntry&) = default;
   };
@@ -79,4 +93,4 @@ class VoteHistory {
   std::vector<FrontierEntry> frontier_;
 };
 
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

@@ -1,0 +1,80 @@
+#include "sftbft/engine/chained_engine.hpp"
+
+#include <stdexcept>
+
+#include "sftbft/consensus/diembft.hpp"
+#include "sftbft/hotstuff/hotstuff.hpp"
+
+namespace sftbft::engine {
+
+core::ChainedRules chained_rules_for(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::DiemBft:
+      return consensus::diembft_rules();
+    case Protocol::HotStuff:
+      return hotstuff::rules();
+    case Protocol::Streamlet:
+      break;
+  }
+  throw std::logic_error("chained_rules_for: not a chained protocol");
+}
+
+net::ChainedWireSet chained_wires_for(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::DiemBft:
+      return net::kDiemBftWires;
+    case Protocol::HotStuff:
+      return net::kHotStuffWires;
+    case Protocol::Streamlet:
+      break;
+  }
+  throw std::logic_error("chained_wires_for: not a chained protocol");
+}
+
+ChainedEngine::ChainedEngine(Protocol protocol, consensus::CoreConfig config,
+                             net::Transport& transport,
+                             std::shared_ptr<const crypto::KeyRegistry> registry,
+                             mempool::WorkloadConfig workload,
+                             Rng workload_rng, FaultSpec fault,
+                             CommitObserver observer,
+                             storage::ReplicaStore* store,
+                             replica::Replica::QcTap qc_tap)
+    : protocol_(protocol),
+      transport_(transport),
+      store_(store) {
+  config.rules = chained_rules_for(protocol);
+  replica_ = std::make_unique<replica::Replica>(
+      config, transport, std::move(registry), workload,
+      std::move(workload_rng), fault, std::move(observer), store,
+      std::move(qc_tap), chained_wires_for(protocol));
+}
+
+void ChainedEngine::start() {
+  replica_->start();
+  // Crash-restart timers outlive the crash itself, so they live here, not
+  // inside the replica (whose Kind::Crash timer semantics are unchanged).
+  if (replica_->fault().kind == FaultSpec::Kind::CrashRestart) {
+    sim::Scheduler& sched = transport_.scheduler();
+    sched.schedule_at(replica_->fault().crash_at, [this] {
+      replica_->crash();
+      // The simulated power loss: unsynced storage writes are dropped (the
+      // MemBackend may leave a torn WAL tail for recovery to handle).
+      if (store_) store_->simulate_crash();
+    });
+    sched.schedule_at(replica_->fault().restart_at, [this] { restart(); });
+  }
+}
+
+void ChainedEngine::stop() { replica_->crash(); }
+
+void ChainedEngine::restart() {
+  if (store_ == nullptr) {
+    // Restarting without durable state would re-enter consensus with a
+    // clean voting history — an equivocation machine. Refuse.
+    throw std::logic_error(
+        "ChainedEngine::restart: no ReplicaStore wired for this replica");
+  }
+  replica_->restart(store_->recover());
+}
+
+}  // namespace sftbft::engine

@@ -1,0 +1,71 @@
+// ConsensusEngine adapter over the chained-kernel replica stack — one
+// adapter serves every core::ChainedCore protocol instance (DiemBFT and
+// chained HotStuff), differing only in the rule set stamped into the core
+// config and the Envelope tag set the replica speaks.
+#pragma once
+
+#include <memory>
+
+#include "sftbft/engine/engine.hpp"
+#include "sftbft/replica/replica.hpp"
+#include "sftbft/storage/replica_store.hpp"
+
+namespace sftbft::engine {
+
+class ChainedEngine final : public ConsensusEngine {
+ public:
+  /// Wires one chained replica onto `transport`. `protocol` must be a
+  /// chained protocol (is_chained); the matching rule set and wire tags are
+  /// stamped here. `config.id` must be set; the observer may be null.
+  /// `store` (optional) enables durable state — required for
+  /// Kind::CrashRestart faults and for restart(); `qc_tap` (optional) feeds
+  /// a harness-level SafetyAuditor.
+  ChainedEngine(Protocol protocol, consensus::CoreConfig config,
+                net::Transport& transport,
+                std::shared_ptr<const crypto::KeyRegistry> registry,
+                mempool::WorkloadConfig workload, Rng workload_rng,
+                FaultSpec fault, CommitObserver observer,
+                storage::ReplicaStore* store = nullptr,
+                replica::Replica::QcTap qc_tap = nullptr);
+
+  [[nodiscard]] Protocol protocol() const override { return protocol_; }
+  [[nodiscard]] ReplicaId id() const override { return replica_->id(); }
+  void start() override;
+  void stop() override;
+  void restart() override;
+  [[nodiscard]] const chain::Ledger& ledger() const override {
+    return replica_->core().ledger();
+  }
+  [[nodiscard]] Round current_round() const override {
+    return replica_->core().current_round();
+  }
+  [[nodiscard]] const FaultSpec& fault() const override {
+    return replica_->fault();
+  }
+  [[nodiscard]] std::uint64_t inbound_messages() const override {
+    return replica_->inbound_messages();
+  }
+  [[nodiscard]] std::uint64_t inbound_bytes() const override {
+    return replica_->inbound_bytes();
+  }
+
+  [[nodiscard]] replica::Replica& replica() { return *replica_; }
+  [[nodiscard]] core::ChainedCore& core() { return replica_->core(); }
+  [[nodiscard]] const core::ChainedCore& core() const {
+    return replica_->core();
+  }
+  [[nodiscard]] storage::ReplicaStore* store() override { return store_; }
+
+ private:
+  Protocol protocol_;
+  net::Transport& transport_;
+  storage::ReplicaStore* store_;
+  std::unique_ptr<replica::Replica> replica_;
+};
+
+/// The rule set and Envelope tag set of a chained protocol (shared with the
+/// adversary layer, which wires Byzantine engines onto the same stacks).
+[[nodiscard]] core::ChainedRules chained_rules_for(Protocol protocol);
+[[nodiscard]] net::ChainedWireSet chained_wires_for(Protocol protocol);
+
+}  // namespace sftbft::engine

@@ -10,10 +10,9 @@ namespace sftbft::engine {
 
 namespace {
 
-[[noreturn]] void wrong_protocol(Protocol want, Protocol have) {
+[[noreturn]] void wrong_protocol(const char* want, Protocol have) {
   throw std::logic_error(std::string("deployment runs ") +
-                         protocol_name(have) + ", not " +
-                         protocol_name(want));
+                         protocol_name(have) + ", not " + want);
 }
 
 /// The typed escape hatches downcast to the honest adapter classes; a
@@ -38,7 +37,7 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
         std::to_string(config_.topology.size()) + ") != n (" +
         std::to_string(config_.n) + ")");
   }
-  // The single shared fault validator (both engines, all fault kinds).
+  // The single shared fault validator (every engine, all fault kinds).
   validate_faults(config_.faults, config_.n);
   for (const FaultSpec& fault : config_.faults) {
     if (fault.kind == FaultSpec::Kind::Byzantine && !coalition_) {
@@ -54,32 +53,39 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
                                       : FaultSpec::honest();
   };
   auto qc_tap_for = [&taps](ReplicaId id) -> replica::Replica::QcTap {
-    if (!taps.diem_qc) return nullptr;
-    return [id, tap = taps.diem_qc](const types::Block& block,
-                                    const types::QuorumCert& qc) {
+    if (!taps.canonical_qc) return nullptr;
+    return [id, tap = taps.canonical_qc](const types::Block& block,
+                                         const types::QuorumCert& qc) {
       tap(id, block, qc);
     };
   };
   auto block_tap_for = [&taps](ReplicaId id) -> StreamletEngine::BlockTap {
-    if (!taps.streamlet_block) return nullptr;
-    return [id, tap = taps.streamlet_block](const types::Block& block) {
+    if (!taps.block_seen) return nullptr;
+    return [id, tap = taps.block_seen](const types::Block& block) {
       tap(id, block);
     };
   };
   auto vote_tap_for = [&taps](ReplicaId id) -> StreamletEngine::VoteTap {
-    if (!taps.streamlet_vote) return nullptr;
-    return [id, tap = taps.streamlet_vote](const streamlet::SVote& vote) {
-      tap(id, vote);
+    if (!taps.vote_seen) return nullptr;
+    return [id, tap = taps.vote_seen](const streamlet::SVote& vote) {
+      tap(id, core::VoteSeen{vote.block_id, vote.round, vote.height,
+                             vote.voter, vote.marker});
     };
   };
 
-  // One byte-level transport for either protocol. Seed derivations are kept
-  // per protocol (0xabcd / 0x51ee7 network streams, matching the historical
-  // per-protocol SimNetwork seeds) so existing seeded experiments keep
-  // their delay geometry.
+  // One byte-level transport for every protocol. Seed derivations are kept
+  // per protocol (0xabcd / 0x51ee7 network streams match the historical
+  // per-protocol SimNetwork seeds; HotStuff gets its own stream) so
+  // existing seeded experiments keep their delay geometry.
   const std::uint64_t net_seed =
-      config_.seed ^
-      (config_.protocol == Protocol::DiemBft ? 0xabcdULL : 0x51ee7ULL);
+      config_.seed ^ [&]() -> std::uint64_t {
+        switch (config_.protocol) {
+          case Protocol::DiemBft: return 0xabcdULL;
+          case Protocol::Streamlet: return 0x51ee7ULL;
+          case Protocol::HotStuff: return 0x407507ULL;
+        }
+        return 0;
+      }();
   transport_ = std::make_unique<net::SimTransport>(sched_, config_.topology,
                                                    config_.net, net_seed);
   // Corrupt faults are link-level: they live in the transport, and the
@@ -99,45 +105,40 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
   }
 
   Rng workload_rng(config_.seed ^ 0x77aa);
-  switch (config_.protocol) {
-    case Protocol::DiemBft: {
-      for (ReplicaId id = 0; id < config_.n; ++id) {
-        consensus::CoreConfig core = config_.diem;
-        core.id = id;
-        core.n = config_.n;
-        const FaultSpec fault = fault_for(id);
-        if (fault.kind == FaultSpec::Kind::Byzantine) {
-          engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
-              core, *transport_, registry_, config_.workload,
-              workload_rng.fork(), fault, coalition_, qc_tap_for(id)));
-          continue;
-        }
-        engines_.push_back(std::make_unique<DiemEngine>(
-            core, *transport_, registry_, config_.workload,
-            workload_rng.fork(), fault, observer, make_store(id, fault),
-            qc_tap_for(id)));
+  if (is_chained(config_.protocol)) {
+    for (ReplicaId id = 0; id < config_.n; ++id) {
+      consensus::CoreConfig core = config_.chained;
+      core.id = id;
+      core.n = config_.n;
+      const FaultSpec fault = fault_for(id);
+      if (fault.kind == FaultSpec::Kind::Byzantine) {
+        engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
+            config_.protocol, core, *transport_, registry_, config_.workload,
+            workload_rng.fork(), fault, coalition_, qc_tap_for(id)));
+        continue;
       }
-      break;
+      engines_.push_back(std::make_unique<ChainedEngine>(
+          config_.protocol, core, *transport_, registry_, config_.workload,
+          workload_rng.fork(), fault, observer, make_store(id, fault),
+          qc_tap_for(id)));
     }
-    case Protocol::Streamlet: {
-      for (ReplicaId id = 0; id < config_.n; ++id) {
-        streamlet::StreamletConfig core = config_.streamlet;
-        core.id = id;
-        core.n = config_.n;
-        const FaultSpec fault = fault_for(id);
-        if (fault.kind == FaultSpec::Kind::Byzantine) {
-          engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
-              core, *transport_, registry_, config_.workload,
-              workload_rng.fork(), fault, coalition_, block_tap_for(id),
-              vote_tap_for(id)));
-          continue;
-        }
-        engines_.push_back(std::make_unique<StreamletEngine>(
+  } else {
+    for (ReplicaId id = 0; id < config_.n; ++id) {
+      streamlet::StreamletConfig core = config_.streamlet;
+      core.id = id;
+      core.n = config_.n;
+      const FaultSpec fault = fault_for(id);
+      if (fault.kind == FaultSpec::Kind::Byzantine) {
+        engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
             core, *transport_, registry_, config_.workload,
-            workload_rng.fork(), fault, observer, make_store(id, fault),
-            block_tap_for(id), vote_tap_for(id)));
+            workload_rng.fork(), fault, coalition_, block_tap_for(id),
+            vote_tap_for(id)));
+        continue;
       }
-      break;
+      engines_.push_back(std::make_unique<StreamletEngine>(
+          core, *transport_, registry_, config_.workload,
+          workload_rng.fork(), fault, observer, make_store(id, fault),
+          block_tap_for(id), vote_tap_for(id)));
     }
   }
 }
@@ -181,33 +182,33 @@ std::uint32_t Deployment::honest_count() const {
   return honest;
 }
 
-replica::Replica& Deployment::diem_replica(ReplicaId id) {
-  if (config_.protocol != Protocol::DiemBft) {
-    wrong_protocol(Protocol::DiemBft, config_.protocol);
+replica::Replica& Deployment::chained_replica(ReplicaId id) {
+  if (!is_chained(config_.protocol)) {
+    wrong_protocol("a chained protocol", config_.protocol);
   }
   require_honest_slot(*engines_[id], id);
-  return static_cast<DiemEngine&>(*engines_[id]).replica();
+  return static_cast<ChainedEngine&>(*engines_[id]).replica();
 }
 
-consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) {
-  if (config_.protocol != Protocol::DiemBft) {
-    wrong_protocol(Protocol::DiemBft, config_.protocol);
+core::ChainedCore& Deployment::chained_core(ReplicaId id) {
+  if (!is_chained(config_.protocol)) {
+    wrong_protocol("a chained protocol", config_.protocol);
   }
   require_honest_slot(*engines_[id], id);
-  return static_cast<DiemEngine&>(*engines_[id]).core();
+  return static_cast<ChainedEngine&>(*engines_[id]).core();
 }
 
-const consensus::DiemBftCore& Deployment::diem_core(ReplicaId id) const {
-  if (config_.protocol != Protocol::DiemBft) {
-    wrong_protocol(Protocol::DiemBft, config_.protocol);
+const core::ChainedCore& Deployment::chained_core(ReplicaId id) const {
+  if (!is_chained(config_.protocol)) {
+    wrong_protocol("a chained protocol", config_.protocol);
   }
   require_honest_slot(*engines_[id], id);
-  return static_cast<const DiemEngine&>(*engines_[id]).core();
+  return static_cast<const ChainedEngine&>(*engines_[id]).core();
 }
 
 streamlet::StreamletCore& Deployment::streamlet_core(ReplicaId id) {
   if (config_.protocol != Protocol::Streamlet) {
-    wrong_protocol(Protocol::Streamlet, config_.protocol);
+    wrong_protocol("streamlet", config_.protocol);
   }
   require_honest_slot(*engines_[id], id);
   return static_cast<StreamletEngine&>(*engines_[id]).core();
@@ -216,7 +217,7 @@ streamlet::StreamletCore& Deployment::streamlet_core(ReplicaId id) {
 const streamlet::StreamletCore& Deployment::streamlet_core(
     ReplicaId id) const {
   if (config_.protocol != Protocol::Streamlet) {
-    wrong_protocol(Protocol::Streamlet, config_.protocol);
+    wrong_protocol("streamlet", config_.protocol);
   }
   require_honest_slot(*engines_[id], id);
   return static_cast<const StreamletEngine&>(*engines_[id]).core();

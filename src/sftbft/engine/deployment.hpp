@@ -1,25 +1,27 @@
-// Deployment: a full n-replica deployment of either chained-BFT protocol on
-// one simulated network — the single top-level object experiments, benches,
-// and integration tests drive (it replaces the old per-protocol
-// replica::Cluster and streamlet::StreamletCluster stacks).
+// Deployment: a full n-replica deployment of any supported chained-BFT
+// protocol on one simulated network — the single top-level object
+// experiments, benches, and integration tests drive.
 //
 // A Deployment owns the scheduler, the PKI, ONE byte-level transport
-// (net::SimTransport — both protocols speak net::Envelope over the same
+// (net::SimTransport — every protocol speaks net::Envelope over the same
 // wire), and one ConsensusEngine per replica, and funnels every engine's
 // commit notifications into a single observer (which is how the harness
 // computes the paper's "average over all blocks over all replicas"
-// metrics). The protocol is selected by DeploymentConfig::protocol;
-// everything else — topology, network conditions, workload, the FaultSpec
-// fault list, the seed — is shared verbatim across protocols, so the same
-// scenario runs apples-to-apples on both stacks (the paper's genericity
-// claim).
+// metrics). The protocol is selected by DeploymentConfig::protocol —
+// DiemBFT and chained HotStuff run the shared core::ChainedCore kernel
+// under their own rule sets and wire tags; Streamlet runs the lock-step
+// stack. Everything else — topology, network conditions, workload, the
+// FaultSpec fault list, the seed — is shared verbatim across protocols, so
+// the same scenario runs apples-to-apples on all of them (the paper's
+// genericity claim).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "sftbft/adversary/coalition.hpp"
-#include "sftbft/engine/diem_engine.hpp"
+#include "sftbft/core/audit.hpp"
+#include "sftbft/engine/chained_engine.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/engine/streamlet_engine.hpp"
 #include "sftbft/net/sim_transport.hpp"
@@ -29,22 +31,20 @@
 
 namespace sftbft::engine {
 
-/// Audit taps for a global observer (harness::SafetyAuditor): every replica
-/// reports the certificates and votes it processes, attributed by replica
-/// id. Only the taps matching the deployment's protocol fire.
-struct AuditTaps {
-  std::function<void(ReplicaId, const types::Block&, const types::QuorumCert&)>
-      diem_qc;
-  std::function<void(ReplicaId, const types::Block&)> streamlet_block;
-  std::function<void(ReplicaId, const streamlet::SVote&)> streamlet_vote;
-};
+/// Audit taps for a global observer (harness::SafetyAuditor) — the kernel's
+/// protocol-neutral vocabulary: chained stacks report canonical QCs,
+/// lock-step stacks report blocks + height-marked votes, all attributed by
+/// replica id. Only the taps matching the deployment's protocol fire.
+using AuditTaps = core::AuditTaps;
 
 struct DeploymentConfig {
   Protocol protocol = Protocol::DiemBft;
   std::uint32_t n = 4;
-  /// Template for every DiemBFT replica's core config (id/n filled in per
-  /// replica; used when protocol == Protocol::DiemBft).
-  consensus::CoreConfig diem;
+  /// Template for every chained-kernel replica's core config (id/n filled
+  /// in per replica; the protocol's rule set is stamped by the engine).
+  /// Used when is_chained(protocol) — i.e. DiemBFT and HotStuff share one
+  /// knob surface, which is what keeps their comparisons honest.
+  consensus::CoreConfig chained;
   /// Template for every Streamlet replica's core config (id/n filled in per
   /// replica; used when protocol == Protocol::Streamlet).
   streamlet::StreamletConfig streamlet;
@@ -72,7 +72,7 @@ class Deployment {
   /// `config.topology.size() != config.n` (a silently mismatched topology
   /// was the old ClusterConfig's footgun) or if any FaultSpec is malformed
   /// (see validate_faults in engine/fault.hpp — the single shared
-  /// validator for both engines).
+  /// validator for every engine).
   explicit Deployment(DeploymentConfig config, CommitObserver observer = nullptr,
                       AuditTaps taps = {});
   ~Deployment();
@@ -99,7 +99,7 @@ class Deployment {
     return registry_;
   }
 
-  /// The deployment's byte-level transport (both protocols run over the
+  /// The deployment's byte-level transport (every protocol runs over the
   /// same instance). Tests use this for raw-frame / corruption probes.
   [[nodiscard]] net::SimTransport& transport() { return *transport_; }
   [[nodiscard]] const net::SimTransport& transport() const {
@@ -138,11 +138,22 @@ class Deployment {
   }
 
   // Protocol-typed escape hatches. Calling a mismatched accessor throws
-  // std::logic_error — tests that need DiemBftCore internals (light-client
-  // proofs, endorsement state) use these.
-  [[nodiscard]] replica::Replica& diem_replica(ReplicaId id);
-  [[nodiscard]] consensus::DiemBftCore& diem_core(ReplicaId id);
-  [[nodiscard]] const consensus::DiemBftCore& diem_core(ReplicaId id) const;
+  // std::logic_error — tests that need kernel internals (light-client
+  // proofs, strength/endorsement state) use these. The chained accessors
+  // serve both DiemBFT and HotStuff deployments; diem_* are the historical
+  // names for the same thing.
+  [[nodiscard]] replica::Replica& chained_replica(ReplicaId id);
+  [[nodiscard]] core::ChainedCore& chained_core(ReplicaId id);
+  [[nodiscard]] const core::ChainedCore& chained_core(ReplicaId id) const;
+  [[nodiscard]] replica::Replica& diem_replica(ReplicaId id) {
+    return chained_replica(id);
+  }
+  [[nodiscard]] consensus::DiemBftCore& diem_core(ReplicaId id) {
+    return chained_core(id);
+  }
+  [[nodiscard]] const consensus::DiemBftCore& diem_core(ReplicaId id) const {
+    return chained_core(id);
+  }
   [[nodiscard]] streamlet::StreamletCore& streamlet_core(ReplicaId id);
   [[nodiscard]] const streamlet::StreamletCore& streamlet_core(
       ReplicaId id) const;
@@ -157,7 +168,7 @@ class Deployment {
   std::shared_ptr<const crypto::KeyRegistry> registry_;
   /// Shared state of all Byzantine replicas (null when there are none).
   std::shared_ptr<adversary::Coalition> coalition_;
-  /// The one byte-level network both protocol stacks send through.
+  /// The one byte-level network every protocol stack sends through.
   std::unique_ptr<net::SimTransport> transport_;
   /// Per-replica durable storage (simulation MemBackends); slots are null
   /// for replicas running without persistence.

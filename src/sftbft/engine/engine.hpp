@@ -1,7 +1,8 @@
 // ConsensusEngine: the protocol-agnostic per-replica interface every
 // chained-BFT backend implements (paper claim: SFT applies *generically*
-// across chained-BFT protocols — Secs. 3.2-3.4 for DiemBFT, Appendix D for
-// Streamlet).
+// across chained-BFT protocols — Secs. 3.2-3.4 for DiemBFT and HotStuff,
+// Appendix D for Streamlet; all three are instantiated here over the
+// sftbft::core kernel).
 //
 // An engine owns one replica's full stack (consensus core + mempool +
 // workload + fault model) and is wired to a simulated network by a
@@ -9,7 +10,7 @@
 // need uniformly: lifecycle (start/stop), commit notifications (via the
 // Deployment's CommitObserver), ledger access, and inbound-bandwidth
 // metrics. Protocol-specific internals stay reachable through the
-// Deployment's typed escape hatches (diem_core / streamlet_core).
+// Deployment's typed escape hatches (chained_core / streamlet_core).
 #pragma once
 
 #include <cstdint>
@@ -29,11 +30,28 @@ namespace sftbft::engine {
 enum class Protocol {
   DiemBft,    ///< (SFT-)DiemBFT — responsive, round-locked (Secs. 2-3)
   Streamlet,  ///< (SFT-)Streamlet — lock-step, longest-chain (Appendix D)
+  HotStuff,   ///< (SFT-)chained HotStuff — responsive, extends-locked rule
 };
 
 [[nodiscard]] constexpr const char* protocol_name(Protocol protocol) {
-  return protocol == Protocol::DiemBft ? "diembft" : "streamlet";
+  switch (protocol) {
+    case Protocol::DiemBft: return "diembft";
+    case Protocol::Streamlet: return "streamlet";
+    case Protocol::HotStuff: return "hotstuff";
+  }
+  return "unknown";
 }
+
+/// The responsive chained-QC family (everything running the
+/// core::ChainedCore kernel, as opposed to the lock-step Streamlet stack).
+[[nodiscard]] constexpr bool is_chained(Protocol protocol) {
+  return protocol == Protocol::DiemBft || protocol == Protocol::HotStuff;
+}
+
+/// All protocols, in sweep order (benches and conformance suites iterate
+/// this instead of hand-listing engines).
+inline constexpr Protocol kAllProtocols[] = {
+    Protocol::DiemBft, Protocol::HotStuff, Protocol::Streamlet};
 
 /// Commit observer: (replica, block, strength, time). Fired once per
 /// strength level first reached per block; the regular commit surfaces as

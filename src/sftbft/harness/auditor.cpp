@@ -11,8 +11,7 @@ using types::QuorumCert;
 
 SafetyAuditor::SafetyAuditor(Config config)
     : config_(config),
-      sft_tracker_(tree_, config.n, config.f(),
-                   consensus::CountingRule::Sft) {
+      sft_tracker_(tree_, config.n, config.f(), core::CountingRule::Sft) {
   // Genesis is certified by definition (Streamlet grounding).
   certified_.insert(tree_.genesis_id());
 }
@@ -40,10 +39,12 @@ void SafetyAuditor::on_block(ReplicaId /*replica*/, const Block& block) {
 }
 
 void SafetyAuditor::on_vote(ReplicaId /*replica*/,
-                            const streamlet::SVote& vote) {
+                            const core::VoteSeen& vote) {
   auto& per_voter = svotes_[vote.block_id];
   if (!per_voter.emplace(vote.voter, vote).second) return;  // global dedupe
-  streamlet_record(vote);
+  // Ground the endorsement with the truthful on-wire marker (the tracker's
+  // walk no-ops while the block is unknown; ingest_block replays then).
+  sft_tracker_.ingest_height_vote(vote.block_id, vote.voter, vote.marker);
   streamlet_try_certify(vote.block_id);
   if (tree_.contains(vote.block_id)) streamlet_check_commits(vote.block_id);
 }
@@ -53,6 +54,21 @@ void SafetyAuditor::on_proof(const lightclient::StrongCommitProof& proof,
   ingest_block(proof.carrier.block);
   for (const Block& block : proof.path) ingest_block(block);
   audit_claim(proof.target, proof.strength, kNoReplica, now);
+}
+
+core::AuditTaps SafetyAuditor::taps() {
+  core::AuditTaps taps;
+  taps.canonical_qc = [this](ReplicaId replica, const Block& block,
+                             const QuorumCert& qc) {
+    on_qc(replica, block, qc);
+  };
+  taps.block_seen = [this](ReplicaId replica, const Block& block) {
+    on_block(replica, block);
+  };
+  taps.vote_seen = [this](ReplicaId replica, const core::VoteSeen& vote) {
+    on_vote(replica, vote);
+  };
+  return taps;
 }
 
 void SafetyAuditor::ingest_block(const Block& block) {
@@ -81,7 +97,8 @@ void SafetyAuditor::ingest_block(const Block& block) {
       auto votes = svotes_.find(current->id);
       if (votes != svotes_.end()) {
         for (const auto& [voter, vote] : votes->second) {
-          streamlet_record(vote);
+          sft_tracker_.ingest_height_vote(vote.block_id, vote.voter,
+                                          vote.marker);
         }
       }
       streamlet_try_certify(current->id);
@@ -155,7 +172,7 @@ void SafetyAuditor::audit_claim(const BlockId& id, std::uint32_t strength,
 
 std::uint32_t SafetyAuditor::supported_strength(const BlockId& id) const {
   std::uint32_t supported = config_.f();  // the regular commit's baseline
-  if (config_.protocol == engine::Protocol::DiemBft) {
+  if (engine::is_chained(config_.protocol)) {
     supported = std::max(supported, sft_tracker_.effective_strength(id));
   } else {
     auto it = streamlet_supported_.find(id);
@@ -196,26 +213,6 @@ std::string SafetyAuditor::Violation::describe() const {
 
 // --------------------------------------- Streamlet ground truth (Fig. 11)
 
-void SafetyAuditor::streamlet_record(const streamlet::SVote& vote) {
-  const Block* block = tree_.get(vote.block_id);
-  if (block == nullptr) return;  // re-grounded by ingest_block later
-  // Mirrors StreamletCore::record_endorsement, truthful markers only.
-  auto& own = min_marker_[block->id];
-  auto [it, inserted] = own.try_emplace(vote.voter, 0);
-  if (!inserted) it->second = 0;
-
-  for (const Block* ancestor = tree_.parent_of(block->id);
-       ancestor != nullptr && ancestor->height > 0;
-       ancestor = tree_.parent_of(ancestor->id)) {
-    auto& markers = min_marker_[ancestor->id];
-    auto [mit, fresh] = markers.try_emplace(vote.voter, vote.marker);
-    if (!fresh) {
-      if (mit->second <= vote.marker) break;
-      mit->second = vote.marker;
-    }
-  }
-}
-
 void SafetyAuditor::streamlet_try_certify(const BlockId& id) {
   if (certified_.contains(id)) return;
   auto it = svotes_.find(id);
@@ -224,17 +221,6 @@ void SafetyAuditor::streamlet_try_certify(const BlockId& id) {
   if (!tree_.contains(id)) return;
   certified_.insert(id);
   streamlet_check_commits(id);
-}
-
-std::uint32_t SafetyAuditor::streamlet_k_endorsers(const BlockId& id,
-                                                   Height k) const {
-  auto it = min_marker_.find(id);
-  if (it == min_marker_.end()) return 0;
-  std::uint32_t count = 0;
-  for (const auto& [voter, marker] : it->second) {
-    if (marker < k) ++count;
-  }
-  return count;
 }
 
 void SafetyAuditor::streamlet_check_commits(const BlockId& id) {
@@ -250,38 +236,22 @@ void SafetyAuditor::streamlet_check_commits(const BlockId& id) {
 }
 
 void SafetyAuditor::streamlet_evaluate_triple(const Block& middle) {
-  // Mirrors StreamletCore::evaluate_triple under the truthful-marker rule.
-  if (middle.height == 0) return;
-  const Block* parent = tree_.parent_of(middle.id);
-  if (parent == nullptr) return;
-  if (parent->round + 1 != middle.round) return;
-  if (!certified_.contains(middle.id)) return;
-  if (parent->height > 0 && !certified_.contains(parent->id)) return;
-
-  const std::uint32_t f = config_.f();
-  for (const Block* child : tree_.children_of(middle.id)) {
-    if (child->round != middle.round + 1) continue;
-    if (!certified_.contains(child->id)) continue;
-
-    std::uint32_t strength = f;
-    const Height k = middle.height;
-    const std::uint32_t count =
-        std::min({parent->height == 0 ? config_.n
-                                      : streamlet_k_endorsers(parent->id, k),
-                  streamlet_k_endorsers(middle.id, k),
-                  streamlet_k_endorsers(child->id, k)});
-    if (count >= f + 1) {
-      strength = std::max(strength, std::min(count - f - 1, 2 * f));
-    }
-    // Propagate down the chain (the strong commit rule covers ancestors);
-    // stop once an ancestor already holds at least this strength.
-    for (const Block* covered = &middle;
-         covered != nullptr && covered->height > 0;
-         covered = tree_.parent_of(covered->id)) {
-      std::uint32_t& recorded = streamlet_supported_[covered->id];
-      if (recorded >= strength) break;
-      recorded = strength;
-    }
+  // The kernel's single Fig. 11 rule, applied to the auditor's global
+  // evidence under truthful markers.
+  const std::optional<std::uint32_t> strength =
+      core::streamlet_triple_strength(
+          tree_, sft_tracker_, middle,
+          [this](const BlockId& id) { return certified_.contains(id); },
+          config_.n, config_.f(), /*sft=*/true);
+  if (!strength || *strength == 0) return;  // supported floor is already f
+  // Propagate down the chain (the strong commit rule covers ancestors);
+  // stop once an ancestor already holds at least this strength.
+  for (const Block* covered = &middle;
+       covered != nullptr && covered->height > 0;
+       covered = tree_.parent_of(covered->id)) {
+    std::uint32_t& recorded = streamlet_supported_[covered->id];
+    if (recorded >= *strength) break;
+    recorded = *strength;
   }
 }
 

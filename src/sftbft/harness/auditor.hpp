@@ -7,20 +7,21 @@
 //
 //  * every honest commit (the Deployment's CommitObserver): the claim
 //    "block B is x-strong committed";
-//  * every certificate any replica processes (engine::AuditTaps): canonical
-//    QCs on DiemBFT, blocks + votes on Streamlet. Because each core fires
-//    its tap *before* its own endorsement bookkeeping consumes the data,
-//    the auditor's global view is always a superset of any single replica's
-//    view at the moment that replica makes a claim;
+//  * every certificate any replica processes (core::AuditTaps): canonical
+//    QCs on the chained protocols (DiemBFT, HotStuff), blocks + votes on
+//    Streamlet. Because each core fires its tap *before* its own strength
+//    bookkeeping consumes the data, the auditor's global view is always a
+//    superset of any single replica's view at the moment that replica makes
+//    a claim;
 //  * every lightclient::StrongCommitProof presented to it (the Sec. 5
 //    trust path) — callers verify the proof cryptographically first; the
 //    auditor audits the *claim* the proof certifies.
 //
 // From the certificate feed the auditor maintains the ground-truth
-// VoteHistory accounting (the paper's Fig. 4 / Fig. 11 rule — on DiemBFT it
-// literally reuses consensus::EndorsementTracker with CountingRule::Sft; on
-// Streamlet it mirrors StreamletCore's height-marker bookkeeping), and it
-// flags two kinds of violations:
+// VoteHistory accounting — one core::StrengthTracker in the protocol's
+// marker domain, the same single implementation the engines themselves run
+// (with CountingRule::Sft, whatever rule the replicas were configured
+// with) — and it flags two kinds of violations:
 //
 //  * ConflictingCommit — two conflicting blocks both claimed committed.
 //    The violation's threshold is the *smaller* claimed strength: an
@@ -47,10 +48,10 @@
 #include <vector>
 
 #include "sftbft/chain/block_tree.hpp"
-#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/core/audit.hpp"
+#include "sftbft/core/strength.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/lightclient/light_client.hpp"
-#include "sftbft/streamlet/streamlet.hpp"
 
 namespace sftbft::harness {
 
@@ -69,16 +70,21 @@ class SafetyAuditor {
   /// Honest commit claim (Deployment CommitObserver signature).
   void on_commit(ReplicaId replica, const types::Block& block,
                  std::uint32_t strength, SimTime now);
-  /// DiemBFT certificate tap (engine::AuditTaps::diem_qc).
+  /// Chained-stack certificate tap (core::AuditTaps::canonical_qc).
   void on_qc(ReplicaId replica, const types::Block& block,
              const types::QuorumCert& qc);
-  /// Streamlet taps (engine::AuditTaps::{streamlet_block,streamlet_vote}).
+  /// Streamlet taps (core::AuditTaps::{block_seen,vote_seen}).
   void on_block(ReplicaId replica, const types::Block& block);
-  void on_vote(ReplicaId replica, const streamlet::SVote& vote);
+  void on_vote(ReplicaId replica, const core::VoteSeen& vote);
   /// A cryptographically verified light-client claim (callers run
   /// LightClient::verify first; feeding an unverified proof audits a claim
   /// nobody certified).
   void on_proof(const lightclient::StrongCommitProof& proof, SimTime now);
+
+  /// The deployment-facing tap bundle, feeding this auditor (pass to
+  /// engine::Deployment's `taps` parameter). The auditor must outlive the
+  /// deployment.
+  [[nodiscard]] core::AuditTaps taps();
 
   // --- verdicts ------------------------------------------------------------
   struct Violation {
@@ -123,35 +129,30 @@ class SafetyAuditor {
   void ingest_block(const types::Block& block);
   void audit_claim(const types::BlockId& id, std::uint32_t strength,
                    ReplicaId replica, SimTime now);
-
-  // --- Streamlet ground truth (mirrors StreamletCore's SFT bookkeeping) ---
-  void streamlet_record(const streamlet::SVote& vote);
   void streamlet_try_certify(const types::BlockId& id);
   void streamlet_check_commits(const types::BlockId& id);
   void streamlet_evaluate_triple(const types::Block& middle);
-  [[nodiscard]] std::uint32_t streamlet_k_endorsers(const types::BlockId& id,
-                                                    Height k) const;
 
   Config config_;
   chain::BlockTree tree_;
 
-  // DiemBFT grounding: the real thing, fed with every canonical QC.
-  consensus::EndorsementTracker sft_tracker_;
+  /// Ground truth: the engines' own single strength-accounting
+  /// implementation, fed truthful markers under CountingRule::Sft — in the
+  /// round domain (canonical QCs) for the chained protocols, the height
+  /// domain (individual votes) for Streamlet.
+  core::StrengthTracker sft_tracker_;
   /// QCs whose certified block was still orphaned on arrival, keyed by the
-  /// block id they wait for.
+  /// block id they wait for (chained protocols).
   std::unordered_map<types::BlockId, std::vector<types::QuorumCert>>
       pending_qcs_;
 
   // Streamlet grounding.
   std::unordered_map<types::BlockId,
-                     std::unordered_map<ReplicaId, Height>>
-      min_marker_;
-  std::unordered_map<types::BlockId, std::unordered_map<ReplicaId,
-                                                        streamlet::SVote>>
+                     std::unordered_map<ReplicaId, core::VoteSeen>>
       svotes_;
   std::unordered_set<types::BlockId> certified_;
   /// Highest sound strength per block, self-or-descendant heads included
-  /// (the Streamlet analogue of EndorsementTracker::effective_strength,
+  /// (the Streamlet analogue of StrengthTracker::effective_strength,
   /// maintained incrementally via commit-chain propagation).
   std::unordered_map<types::BlockId, std::uint32_t> streamlet_supported_;
 

@@ -80,6 +80,29 @@ net::Topology Scenario::build_topology() const {
   return topology;
 }
 
+std::vector<ReplicaId> spread_placements(
+    std::uint32_t n, std::uint32_t count,
+    const std::function<bool(ReplicaId)>& taken) {
+  std::vector<ReplicaId> placed;
+  if (n < 2 || count == 0) return placed;
+  const std::uint32_t span = n - 1;
+  const std::uint32_t stride = std::max(1u, span / count);
+  std::vector<bool> chosen(n, false);
+  const auto claimed = [&](ReplicaId id) { return chosen[id] || taken(id); };
+  for (std::uint32_t k = 0; k < count; ++k) {
+    ReplicaId id = 1 + (k * stride) % span;
+    std::uint32_t probes = 0;
+    while (claimed(id) && probes < span) {
+      id = 1 + (id % span);
+      ++probes;
+    }
+    if (probes == span) break;  // every candidate replica already claimed
+    chosen[id] = true;
+    placed.push_back(id);
+  }
+  return placed;
+}
+
 std::vector<engine::FaultSpec> Scenario::effective_faults() const {
   std::vector<engine::FaultSpec> merged = faults;
   if ((crash_restart_count == 0 && byzantine_count == 0 &&
@@ -88,24 +111,15 @@ std::vector<engine::FaultSpec> Scenario::effective_faults() const {
     return merged;
   }
   if (merged.size() < n) merged.resize(n, engine::FaultSpec::honest());
-  // Spread placed replicas over [1, n) — id 0 stays up as the metrics
-  // anchor. Preferred ids are stride-spaced; an occupied slot (explicit
-  // fault, or a collision when count > n - 1) probes forward to the next
-  // honest id rather than silently producing fewer placements, and
-  // placement stops only when every non-anchor replica is already faulted.
-  const std::uint32_t span = n - 1;
+  // One shared placement policy (spread_placements): stride-spaced over
+  // [1, n) with id 0 kept honest as the metrics anchor; explicit fault
+  // entries win (they count as taken).
   const auto place = [&](std::uint32_t count, auto&& make_spec) {
-    const std::uint32_t stride = std::max(1u, span / count);
-    for (std::uint32_t k = 0; k < count; ++k) {
-      ReplicaId id = 1 + (k * stride) % span;
-      std::uint32_t probes = 0;
-      while (merged[id].kind != engine::FaultSpec::Kind::Honest &&
-             probes < span) {
-        id = 1 + (id % span);
-        ++probes;
-      }
-      if (probes == span) break;  // every candidate replica already faulted
-      merged[id] = make_spec(k);
+    const auto ids = spread_placements(n, count, [&](ReplicaId id) {
+      return merged[id].kind != engine::FaultSpec::Kind::Honest;
+    });
+    for (std::uint32_t k = 0; k < ids.size(); ++k) {
+      merged[ids[k]] = make_spec(k);
     }
   };
 
@@ -144,6 +158,9 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
   engine::DeploymentConfig deployment;
   deployment.protocol = protocol;
   deployment.n = n;
+  // The chained template serves both chained protocols (DiemBFT and
+  // HotStuff) — identical knobs, apples-to-apples sweeps; the Deployment
+  // stamps the protocol's rule set per engine.
   deployment.topology = build_topology();
   deployment.net.jitter = jitter;
   deployment.net.jitter_frac = jitter_frac;
@@ -153,24 +170,24 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
   deployment.storage.snapshot_interval_blocks = snapshot_interval_blocks;
   deployment.persist_all = persist_all;
 
-  deployment.diem.mode = fbft ? consensus::CoreMode::Plain : mode;
-  deployment.diem.fbft_mode = fbft;
-  deployment.diem.counting = counting;
-  deployment.diem.base_timeout =
+  deployment.chained.mode = fbft ? consensus::CoreMode::Plain : mode;
+  deployment.chained.fbft_mode = fbft;
+  deployment.chained.counting = counting;
+  deployment.chained.base_timeout =
       base_timeout > 0 ? base_timeout : default_timeout();
-  deployment.diem.leader_processing = leader_processing;
+  deployment.chained.leader_processing = leader_processing;
   if (extra_wait > 0) {
     const SimDuration wait = extra_wait;
-    deployment.diem.extra_wait = [wait](Round) { return wait; };
+    deployment.chained.extra_wait = [wait](Round) { return wait; };
   }
-  deployment.diem.max_batch = max_batch;
-  deployment.diem.interval_window = interval_window;
+  deployment.chained.max_batch = max_batch;
+  deployment.chained.interval_window = interval_window;
   // The FBFT baseline's endorser sets depend on extra-vote arrival order,
   // which differs per replica, so its proposals cannot carry a Log that
   // every honest replica can validate — disable Sec. 5 there.
-  deployment.diem.attach_commit_log = attach_commit_log && !fbft;
-  deployment.diem.verify_commit_log = attach_commit_log && !fbft;
-  deployment.diem.verify_signatures = verify_signatures;
+  deployment.chained.attach_commit_log = attach_commit_log && !fbft;
+  deployment.chained.verify_commit_log = attach_commit_log && !fbft;
+  deployment.chained.verify_signatures = verify_signatures;
 
   deployment.streamlet.delta_bound = streamlet_delta_bound;
   deployment.streamlet.sft = mode != consensus::CoreMode::Plain;

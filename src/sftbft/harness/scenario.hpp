@@ -1,10 +1,11 @@
 // Scenario configuration: paper Sec. 4 experimental setups as data.
 //
 // A Scenario is engine-agnostic: the `protocol` selector picks which
-// chained-BFT backend (DiemBFT or Streamlet) the same topology, workload,
-// fault list, and measurement window run on — the paper's genericity claim
-// (Appendix D) made operational. run_scenario() drives either protocol
-// through the unified engine::Deployment API.
+// chained-BFT backend (DiemBFT, chained HotStuff, or Streamlet) the same
+// topology, workload, fault list, and measurement window run on — the
+// paper's genericity claim (Secs. 3.2-3.4, Appendix D) made operational.
+// run_scenario() drives any protocol through the unified
+// engine::Deployment API.
 //
 // Calibration (see README.md "Calibration"): we use a lean per-round leader
 // processing budget (default 80 ms) rather than Diem production's ~1.5 s
@@ -16,6 +17,7 @@
 // out at δ = 200 ms but not at δ = 100 ms — exactly the paper's observation.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,11 +27,27 @@
 
 namespace sftbft::harness {
 
+/// Spreads `count` placements over the replica id space [1, n), keeping
+/// id 0 free (the metrics/proof anchor every bench reads). Preferred ids
+/// are stride-spaced; an id already claimed (an explicit fault, or a
+/// collision when count > n - 1) probes forward to the next free id rather
+/// than silently producing fewer placements, and placement stops only when
+/// every non-anchor id is claimed. `taken(id)` reports ids that are
+/// unavailable; chosen ids are reported back through it implicitly — the
+/// caller marks them. Returns the chosen ids in placement order.
+///
+/// This is the single placement policy behind Scenario's byzantine_count,
+/// corrupt_count, and crash_restart_count knobs (formerly three hand-rolled
+/// copies of the loop).
+[[nodiscard]] std::vector<ReplicaId> spread_placements(
+    std::uint32_t n, std::uint32_t count,
+    const std::function<bool(ReplicaId)>& taken);
+
 struct Scenario {
   std::string name = "scenario";
   /// Which chained-BFT engine runs the scenario. Everything below applies
-  /// to both; fields marked "DiemBFT" or "Streamlet" only affect that
-  /// engine.
+  /// to every protocol; fields marked "DiemBFT"/"chained" or "Streamlet"
+  /// only affect that family.
   engine::Protocol protocol = engine::Protocol::DiemBft;
   std::uint32_t n = 100;
   /// Protocol variant; for Streamlet, Plain = textbook Streamlet and any

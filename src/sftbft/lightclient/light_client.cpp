@@ -70,7 +70,7 @@ bool LightClient::verify(const StrongCommitProof& proof) const {
 }
 
 std::optional<StrongCommitProof> build_proof(
-    const consensus::DiemBftCore& replica, const BlockId& target,
+    const core::ChainedCore& replica, const BlockId& target,
     std::uint32_t strength) {
   const chain::BlockTree& tree = replica.tree();
   if (!tree.contains(target)) return std::nullopt;

@@ -62,9 +62,10 @@ class LightClient {
 /// Builds a proof from a (trusted, local) replica's state: finds a stored
 /// proposal whose Log covers `target` at >= `strength`, the certifying QC
 /// from the block tree, and the ancestry path. Returns nullopt when the
-/// replica cannot (yet) prove the claim.
+/// replica cannot (yet) prove the claim. Works against any chained-kernel
+/// core (DiemBFT or HotStuff — the Sec. 5 Log machinery is kernel-level).
 std::optional<StrongCommitProof> build_proof(
-    const consensus::DiemBftCore& replica, const types::BlockId& target,
+    const core::ChainedCore& replica, const types::BlockId& target,
     std::uint32_t strength);
 
 }  // namespace sftbft::lightclient

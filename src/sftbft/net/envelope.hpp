@@ -27,7 +27,10 @@
 namespace sftbft::net {
 
 /// The wire-protocol type registry. Tags are part of the on-wire format —
-/// never renumber, only append. 0x0x = DiemBFT stack, 0x1x = Streamlet.
+/// never renumber, only append. 0x0x = DiemBFT stack, 0x1x = Streamlet,
+/// 0x2x = chained HotStuff (same payload codecs as the 0x0x tags — the
+/// chained stacks share the kernel's message types; the tag tells mixed
+/// tooling which protocol a frame belongs to).
 enum class WireType : std::uint8_t {
   kProposal = 0x01,      ///< types::Proposal
   kVote = 0x02,          ///< types::Vote (regular and FBFT extra votes)
@@ -36,9 +39,29 @@ enum class WireType : std::uint8_t {
   kSyncResponse = 0x05,  ///< types::SyncResponse
   kSProposal = 0x11,     ///< streamlet::SProposal
   kSVote = 0x12,         ///< streamlet::SVote
-  kSSyncRequest = 0x13,  ///< streamlet::SSyncRequest
+  kSSyncRequest = 0x13,  ///< streamlet::SSyncRequest (= types::SyncRequest)
   kSSyncResponse = 0x14, ///< streamlet::SSyncResponse
+  kHProposal = 0x21,     ///< types::Proposal (HotStuff stack)
+  kHVote = 0x22,         ///< types::Vote (HotStuff stack)
+  kHTimeout = 0x23,      ///< types::TimeoutMsg (HotStuff stack)
+  kHSyncRequest = 0x24,  ///< types::SyncRequest (HotStuff stack)
+  kHSyncResponse = 0x25, ///< types::SyncResponse (HotStuff stack)
 };
+
+/// The tag set one chained-kernel replica speaks (DiemBFT or HotStuff
+/// protocol instance; see replica::Replica).
+struct ChainedWireSet {
+  WireType proposal = WireType::kProposal;
+  WireType vote = WireType::kVote;
+  WireType timeout = WireType::kTimeout;
+  WireType sync_request = WireType::kSyncRequest;
+  WireType sync_response = WireType::kSyncResponse;
+};
+
+inline constexpr ChainedWireSet kDiemBftWires{};
+inline constexpr ChainedWireSet kHotStuffWires{
+    WireType::kHProposal, WireType::kHVote, WireType::kHTimeout,
+    WireType::kHSyncRequest, WireType::kHSyncResponse};
 
 /// True iff `tag` names a registered wire type.
 [[nodiscard]] bool wire_type_known(std::uint8_t tag);

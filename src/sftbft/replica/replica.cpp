@@ -2,9 +2,8 @@
 
 namespace sftbft::replica {
 
-using consensus::DiemBftCore;
+using core::ChainedCore;
 using net::Envelope;
-using net::WireType;
 using types::Proposal;
 using types::SyncRequest;
 using types::SyncResponse;
@@ -15,44 +14,46 @@ Replica::Replica(consensus::CoreConfig config, net::Transport& transport,
                  std::shared_ptr<const crypto::KeyRegistry> registry,
                  mempool::WorkloadConfig workload, Rng workload_rng,
                  FaultSpec fault, CommitObserver observer,
-                 storage::ReplicaStore* store, QcTap qc_tap)
+                 storage::ReplicaStore* store, QcTap qc_tap,
+                 net::ChainedWireSet wires)
     : id_(config.id),
       transport_(transport),
+      wires_(wires),
       fault_(fault),
       workload_(transport.scheduler(), pool_, workload, workload_rng),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
 
   const bool silent = fault_.kind == FaultSpec::Kind::Silent;
-  DiemBftCore::Hooks hooks;
+  ChainedCore::Hooks hooks;
   hooks.send_vote = [this, silent](ReplicaId to, const Vote& vote) {
     if (silent) return;
-    transport_.send(to, Envelope::pack(WireType::kVote, id_, vote));
+    transport_.send(to, Envelope::pack(wires_.vote, id_, vote));
   };
   hooks.broadcast_proposal = [this, silent](const Proposal& proposal) {
     if (silent) return;
-    transport_.broadcast(Envelope::pack(WireType::kProposal, id_, proposal),
+    transport_.broadcast(Envelope::pack(wires_.proposal, id_, proposal),
                          /*include_self=*/true);
   };
   hooks.broadcast_timeout = [this, silent](const TimeoutMsg& msg) {
     if (silent) return;
-    transport_.broadcast(Envelope::pack(WireType::kTimeout, id_, msg),
+    transport_.broadcast(Envelope::pack(wires_.timeout, id_, msg),
                          /*include_self=*/true);
   };
   hooks.broadcast_extra_vote = [this, silent](const Vote& vote) {
     if (silent) return;
-    transport_.broadcast(Envelope::pack(WireType::kVote, id_, vote),
+    transport_.broadcast(Envelope::pack(wires_.vote, id_, vote),
                          /*include_self=*/false, "extra_vote");
   };
   hooks.send_sync_request = [this, silent](ReplicaId to,
                                            const SyncRequest& req) {
     if (silent) return;
-    transport_.send(to, Envelope::pack(WireType::kSyncRequest, id_, req));
+    transport_.send(to, Envelope::pack(wires_.sync_request, id_, req));
   };
   hooks.send_sync_response = [this, silent](ReplicaId to,
                                             const SyncResponse& resp) {
     if (silent) return;
-    transport_.send(to, Envelope::pack(WireType::kSyncResponse, id_, resp));
+    transport_.send(to, Envelope::pack(wires_.sync_response, id_, resp));
   };
   hooks.on_commit = [this](const types::Block& block, std::uint32_t strength,
                            SimTime now) {
@@ -60,7 +61,7 @@ Replica::Replica(consensus::CoreConfig config, net::Transport& transport,
   };
   hooks.on_canonical_qc = std::move(qc_tap);
 
-  core_ = std::make_unique<DiemBftCore>(config, transport.scheduler(),
+  core_ = std::make_unique<ChainedCore>(config, transport.scheduler(),
                                         registry, pool_, std::move(hooks),
                                         store);
 }
@@ -95,26 +96,20 @@ void Replica::restart(const storage::RecoveredState& state) {
 
 void Replica::on_envelope(const Envelope& env) {
   try {
-    switch (env.type) {
-      case WireType::kProposal:
-        core_->on_proposal(env.unpack<Proposal>());
-        break;
-      case WireType::kVote:
-        core_->on_vote(env.unpack<Vote>());
-        break;
-      case WireType::kTimeout:
-        core_->on_timeout_msg(env.unpack<TimeoutMsg>());
-        break;
-      case WireType::kSyncRequest:
-        core_->on_sync_request(env.unpack<SyncRequest>());
-        break;
-      case WireType::kSyncResponse:
-        core_->on_sync_response(env.unpack<SyncResponse>());
-        break;
-      default:
-        // A Streamlet-stack tag reaching a DiemBFT replica is a payload
-        // this stack cannot parse — same treatment as a garbled payload.
-        throw CodecError("Replica: wire type not in the DiemBFT stack");
+    if (env.type == wires_.proposal) {
+      core_->on_proposal(env.unpack<Proposal>());
+    } else if (env.type == wires_.vote) {
+      core_->on_vote(env.unpack<Vote>());
+    } else if (env.type == wires_.timeout) {
+      core_->on_timeout_msg(env.unpack<TimeoutMsg>());
+    } else if (env.type == wires_.sync_request) {
+      core_->on_sync_request(env.unpack<SyncRequest>());
+    } else if (env.type == wires_.sync_response) {
+      core_->on_sync_response(env.unpack<SyncResponse>());
+    } else {
+      // Another stack's tag reaching this replica is a payload this stack
+      // cannot parse — same treatment as a garbled payload.
+      throw CodecError("Replica: wire type not in this protocol's stack");
     }
   } catch (const CodecError&) {
     // Well-framed envelope, unparseable payload: reject, count, carry on.

@@ -1,12 +1,14 @@
-// A full DiemBFT replica: consensus core + network wiring + mempool + fault
-// model. The fault behaviours (Honest / Crash / Silent) come from the shared
-// engine::FaultSpec — see sftbft/engine/fault.hpp — so the same fault list
-// drives both the DiemBFT and Streamlet stacks.
+// A full chained-kernel replica: consensus core (core::ChainedCore running
+// either the DiemBFT or the HotStuff rule set) + network wiring + mempool +
+// fault model. The fault behaviours (Honest / Crash / Silent) come from the
+// shared engine::FaultSpec — see sftbft/engine/fault.hpp — so the same
+// fault list drives every stack.
 //
 // All traffic crosses the byte-level net::Transport as Envelopes: outbound
-// hooks encode each message to its canonical bytes; the inbound handler
-// demuxes on the wire-type tag and decodes, dropping (and counting) frames
-// whose payload does not parse.
+// hooks encode each message to its canonical bytes under the protocol's
+// wire-tag set (net::ChainedWireSet — DiemBFT 0x0x, HotStuff 0x2x); the
+// inbound handler demuxes on the same tags and decodes, dropping (and
+// counting) frames whose payload does not parse.
 #pragma once
 
 #include <memory>
@@ -36,12 +38,15 @@ class Replica {
       std::function<void(const types::Block&, const types::QuorumCert&)>;
 
   /// `store` (optional) enables durable state + crash recovery (restart());
-  /// `qc_tap` (optional) feeds a harness-level auditor.
+  /// `qc_tap` (optional) feeds a harness-level auditor. `wires` selects the
+  /// protocol's Envelope tag set (DiemBFT by default; pass
+  /// net::kHotStuffWires together with a hotstuff-ruled config).
   Replica(consensus::CoreConfig config, net::Transport& transport,
           std::shared_ptr<const crypto::KeyRegistry> registry,
           mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
           CommitObserver observer,
-          storage::ReplicaStore* store = nullptr, QcTap qc_tap = nullptr);
+          storage::ReplicaStore* store = nullptr, QcTap qc_tap = nullptr,
+          net::ChainedWireSet wires = net::kDiemBftWires);
 
   /// Registers the transport handler, fills the mempool, arms the crash
   /// timer (Kind::Crash only — CrashRestart timers belong to the engine
@@ -74,6 +79,7 @@ class Replica {
 
   ReplicaId id_;
   net::Transport& transport_;
+  net::ChainedWireSet wires_;
   FaultSpec fault_;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;

@@ -62,18 +62,6 @@ SVote SVote::decode(Decoder& dec) {
   return vote;
 }
 
-void SSyncRequest::encode(Encoder& enc) const {
-  enc.u32(requester);
-  enc.u64(from_height);
-}
-
-SSyncRequest SSyncRequest::decode(Decoder& dec) {
-  SSyncRequest req;
-  req.requester = dec.u32();
-  req.from_height = dec.u64();
-  return req;
-}
-
 void SSyncResponse::encode(Encoder& enc) const {
   enc.u32(static_cast<std::uint32_t>(blocks.size()));
   for (const types::Block& block : blocks) block.encode(enc);
@@ -122,7 +110,40 @@ StreamletCore::StreamletCore(
       signer_(registry_->signer_for(config.id)),
       pool_(pool),
       hooks_(std::move(hooks)),
-      store_(store) {
+      store_(store),
+      history_(tree_),
+      committer_(tree_, ledger_, pool, sched),
+      sync_(core::SyncClient::Config{.id = config.id,
+                                     .n = config.n,
+                                     .retry_after = 8 * config.delta_bound},
+            sched,
+            [this](ReplicaId to, const SSyncRequest& req) {
+              if (hooks_.send_sync_request) hooks_.send_sync_request(to, req);
+            },
+            // Resume from the certified tip we hold: retries fetch only the
+            // residual gap.
+            [this] { return longest_height_; },
+            [this] {
+              // Re-request while the certified tip lags the lock-step
+              // clock — a one-shot request can race with a block certified
+              // right after the responses were built, and Streamlet has no
+              // orphan buffer to self-heal a mid-chain gap from (every
+              // later proposal fails the longest-chain check until the gap
+              // block arrives).
+              if (stopped_) return true;
+              const Block* tip = tree_.get(longest_tip_);
+              return !awaiting_sync_ && tip != nullptr &&
+                     tip->round + 8 >= round_;
+            }) {
+  committer_.set_store(store_);
+  committer_.set_on_commit([this](const Block& block, std::uint32_t strength,
+                                  SimTime now) {
+    if (hooks_.on_commit) hooks_.on_commit(block, strength, now);
+  });
+  committer_.set_snapshot_hook([this] { maybe_snapshot(); });
+  endorsements_ = std::make_unique<core::StrengthTracker>(
+      tree_, config_.n, config_.f(), config_.counting);
+
   // Genesis is certified by definition and roots the longest chain.
   certified_.insert(tree_.genesis_id());
   longest_tip_ = tree_.genesis_id();
@@ -154,8 +175,6 @@ void StreamletCore::schedule_tick(SimTime at) {
 void StreamletCore::restore(const storage::RecoveredState& state) {
   votes_.clear();
   certified_.clear();
-  min_marker_.clear();
-  voted_frontier_.clear();
   triple_strength_.clear();
 
   tree_ = state.tip ? chain::BlockTree::rooted_at(*state.tip)
@@ -164,73 +183,46 @@ void StreamletCore::restore(const storage::RecoveredState& state) {
   certified_.insert(tree_.genesis_id());  // the root is trusted/certified
   longest_tip_ = tree_.genesis_id();
   longest_height_ = tree_.genesis().height;
+  endorsements_ = std::make_unique<core::StrengthTracker>(
+      tree_, config_.n, config_.f(), config_.counting);
 
   // Voted frontier: entries with known blocks are restored exactly; the
-  // rest wait for sync behind a conservative marker floor.
+  // rest stay in the frontier as the kernel's conservative marker floor
+  // until sync re-delivers their blocks.
   voted_round_ = state.voted_round;
-  unresolved_frontier_.clear();
+  std::vector<core::VoteHistory::FrontierEntry> records;
+  records.reserve(state.frontier.size());
   for (const storage::VoteRecord& record : state.frontier) {
     if (record.block_id == types::BlockId{}) continue;  // timeout record
-    unresolved_frontier_.push_back(record);
+    records.push_back({record.block_id, record.round, record.height});
   }
-  resolve_frontier();
+  history_.from_records(std::move(records));
 
   // Re-align to the global lock-step clock: round r spans [2Δ(r-1), 2Δr).
   const SimDuration span = 2 * config_.delta_bound;
   round_ = static_cast<Round>(sched_.now() / span) + 1;
   voted_this_round_ = voted_round_ >= round_;  // crashed mid-round, re-voted?
   awaiting_sync_ = true;  // no voting/proposing until a peer refreshes us
-  sync_attempts_ = 0;
+  sync_.reset();
   stopped_ = false;
   schedule_tick(static_cast<SimTime>(round_) * span);
 }
 
 void StreamletCore::request_sync() {
-  if (!hooks_.send_sync_request || stopped_ || config_.n < 2) return;
-  SSyncRequest req;
-  req.requester = config_.id;
-  // Resume from the certified tip we hold: retries fetch only the residual
-  // gap.
-  req.from_height = longest_height_;
-  // Small rotating peer window (one good response suffices; a broadcast
-  // would trigger n - 1 near-identical full-chain responses, and rotation
-  // routes around crashed peers on retry).
-  const std::uint32_t fanout = std::min<std::uint32_t>(3, config_.n - 1);
-  for (std::uint32_t k = 0; k < fanout; ++k) {
-    const ReplicaId to =
-        (config_.id + 1 + sync_attempts_ * fanout + k) % config_.n;
-    if (to != config_.id) hooks_.send_sync_request(to, req);
-  }
-  ++sync_attempts_;
-  // Watchdog: re-request while the certified tip lags the lock-step clock —
-  // a one-shot request can race with a block certified right after the
-  // responses were built, and Streamlet has no orphan buffer to self-heal
-  // a mid-chain gap from (every later proposal fails the longest-chain
-  // check until the gap block arrives).
-  sched_.schedule_after(8 * config_.delta_bound, [this] {
-    if (stopped_) return;
-    const Block* tip = tree_.get(longest_tip_);
-    const bool caught_up =
-        !awaiting_sync_ && tip != nullptr && tip->round + 8 >= round_;
-    if (!caught_up) request_sync();
-  });
+  if (!hooks_.send_sync_request || stopped_) return;
+  sync_.request();
 }
 
 void StreamletCore::on_sync_request(const SSyncRequest& req) {
   if (stopped_ || !hooks_.send_sync_response) return;
   if (req.requester == config_.id) return;
-  const Block* block = tree_.get(longest_tip_);
-  std::vector<Block> chain_blocks;
-  while (block != nullptr && block->height > req.from_height) {
-    chain_blocks.push_back(*block);
-    block = tree_.parent_of(block->id);
-  }
-  if (block == nullptr || block->height != req.from_height) {
+  auto chain_blocks =
+      core::collect_chain(tree_, longest_tip_, req.from_height);
+  if (!chain_blocks) {
     return;  // our tree is rooted above the requested height; stay silent
   }
-  std::reverse(chain_blocks.begin(), chain_blocks.end());
   SSyncResponse resp;
-  for (const Block& b : chain_blocks) {
+  for (const Block& b : *chain_blocks) {
     auto it = votes_.find(b.id);
     if (it == votes_.end()) continue;
     std::uint32_t sent = 0;
@@ -239,7 +231,7 @@ void StreamletCore::on_sync_request(const SSyncRequest& req) {
       if (++sent >= config_.quorum()) break;  // quorum re-certifies; enough
     }
   }
-  resp.blocks = std::move(chain_blocks);
+  resp.blocks = std::move(*chain_blocks);
   hooks_.send_sync_response(req.requester, resp);
 }
 
@@ -265,20 +257,7 @@ void StreamletCore::on_sync_response(const SSyncResponse& resp) {
   for (const Block& block : resp.blocks) {
     try_certify(block.id);
   }
-  resolve_frontier();
   awaiting_sync_ = false;
-}
-
-void StreamletCore::resolve_frontier() {
-  std::erase_if(unresolved_frontier_, [&](const storage::VoteRecord& record) {
-    if (!tree_.contains(record.block_id)) return false;
-    voted_frontier_.push_back(record.block_id);
-    return true;
-  });
-  marker_floor_ = 0;
-  for (const storage::VoteRecord& record : unresolved_frontier_) {
-    if (record.height > marker_floor_) marker_floor_ = record.height;
-  }
 }
 
 const Block& StreamletCore::longest_certified_tip() const {
@@ -361,7 +340,7 @@ void StreamletCore::maybe_vote(const Block& block) {
   voted_this_round_ = true;
   voted_round_ = block.round;
   if (store_) {
-    // WAL before wire (same rule as the DiemBFT core).
+    // WAL before wire (same rule as the chained cores).
     store_->record_vote({block.id, block.round, block.height});
   }
 
@@ -370,28 +349,14 @@ void StreamletCore::maybe_vote(const Block& block) {
   vote.round = block.round;
   vote.height = block.height;
   vote.voter = config_.id;
-  vote.marker = config_.sft ? marker_for(block) : 0;
+  vote.marker = config_.sft ? history_.height_marker_for(block) : 0;
   vote.sig = signer_.sign(vote.signing_bytes());
 
-  // Update the voted frontier (one entry per fork).
-  std::erase_if(voted_frontier_, [&](const BlockId& entry) {
-    return tree_.extends(block.id, entry);
-  });
-  voted_frontier_.push_back(block.id);
+  // Update the voted frontier (one entry per fork) — the kernel maintains
+  // it and derives markers for later votes.
+  history_.record_vote(block);
 
   hooks_.broadcast_vote(vote);
-}
-
-Height StreamletCore::marker_for(const Block& block) const {
-  // Restored frontier entries whose blocks were never re-learned act as a
-  // floor — over-reporting a marker only withholds endorsement (safe).
-  Height marker = marker_floor_;
-  for (const BlockId& entry : voted_frontier_) {
-    if (tree_.extends(block.id, entry)) continue;  // same fork
-    const Block* voted = tree_.get(entry);
-    if (voted != nullptr && voted->height > marker) marker = voted->height;
-  }
-  return marker;
 }
 
 void StreamletCore::on_vote(const SVote& vote) {
@@ -409,7 +374,9 @@ void StreamletCore::ingest_vote(const SVote& vote, bool allow_echo) {
   if (!per_voter.emplace(vote.voter, vote).second) return;  // duplicate
   if (hooks_.on_vote_seen) hooks_.on_vote_seen(vote);
   if (allow_echo && config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
-  if (config_.sft) record_endorsement(vote);
+  if (config_.sft) {
+    endorsements_->ingest_height_vote(vote.block_id, vote.voter, vote.marker);
+  }
   try_certify(vote.block_id);
   // New endorsements can raise strengths of already-certified triples.
   if (config_.sft && tree_.contains(vote.block_id)) {
@@ -432,43 +399,9 @@ void StreamletCore::try_certify(const BlockId& id) {
   check_commits(id);
 }
 
-void StreamletCore::record_endorsement(const SVote& vote) {
-  const Block* block = tree_.get(vote.block_id);
-  if (block == nullptr) return;
-  // Appendix-C strawman: count every indirect vote as if it carried no
-  // history (marker 0 endorses every ancestor height). Provably unsafe —
-  // exists only so bench/tab_adversary can demonstrate the break.
-  const Height marker =
-      config_.counting == consensus::CountingRule::NaiveAllIndirect
-          ? 0
-          : vote.marker;
-  // Direct votes always endorse their own block (the B = B' case): record
-  // marker 0 so every k > 0 counts it.
-  auto& own = min_marker_[block->id];
-  auto [it, inserted] = own.try_emplace(vote.voter, 0);
-  if (!inserted) it->second = 0;
-
-  for (const Block* ancestor = tree_.parent_of(block->id);
-       ancestor != nullptr && ancestor->height > 0;
-       ancestor = tree_.parent_of(ancestor->id)) {
-    auto& markers = min_marker_[ancestor->id];
-    auto [mit, fresh] = markers.try_emplace(vote.voter, marker);
-    if (!fresh) {
-      if (mit->second <= marker) break;  // older vote was as permissive
-      mit->second = marker;
-    }
-  }
-}
-
 std::uint32_t StreamletCore::k_endorser_count(const BlockId& id,
                                               Height k) const {
-  auto it = min_marker_.find(id);
-  if (it == min_marker_.end()) return 0;
-  std::uint32_t count = 0;
-  for (const auto& [voter, marker] : it->second) {
-    if (marker < k) ++count;
-  }
-  return count;
+  return endorsements_->endorser_count(id, k);
 }
 
 void StreamletCore::check_commits(const BlockId& id) {
@@ -481,53 +414,21 @@ void StreamletCore::check_commits(const BlockId& id) {
 }
 
 void StreamletCore::evaluate_triple(const Block& middle) {
-  if (middle.height == 0) return;
-  const Block* parent = tree_.parent_of(middle.id);
-  if (parent == nullptr) return;
-  if (parent->round + 1 != middle.round) return;
-  if (!certified_.contains(middle.id)) return;
-  if (parent->height > 0 && !certified_.contains(parent->id)) return;
-
-  for (const Block* child : tree_.children_of(middle.id)) {
-    if (child->round != middle.round + 1) continue;
-    if (!certified_.contains(child->id)) continue;
-
-    // Plain Streamlet commit (strength f).
-    std::uint32_t strength = config_.f();
-    if (config_.sft) {
-      // Strong commit rule: x + f + 1 k-endorsers on all three blocks,
-      // with k the height of the committed (middle) block.
-      const Height k = middle.height;
-      const std::uint32_t count =
-          std::min({parent->height == 0 ? config_.n
-                                        : k_endorser_count(parent->id, k),
-                    k_endorser_count(middle.id, k),
-                    k_endorser_count(child->id, k)});
-      if (count >= config_.f() + 1) {
-        strength = std::max(
-            strength, std::min(count - config_.f() - 1, 2 * config_.f()));
-      }
-    }
-    std::uint32_t& recorded = triple_strength_[middle.id];
-    if (strength > recorded || recorded == 0) {
-      recorded = std::max(recorded, strength);
-      commit_chain(middle, strength);
-    }
+  // The Fig. 11 rule itself is kernel machinery (shared with the auditor's
+  // ground truth); this driver only ratchets and commits. nullopt = no
+  // certified triple; a valid triple at strength f == 0 (n <= 3) still
+  // commits.
+  const std::optional<std::uint32_t> strength =
+      core::streamlet_triple_strength(
+          tree_, *endorsements_, middle,
+          [this](const BlockId& id) { return certified_.contains(id); },
+          config_.n, config_.f(), config_.sft);
+  if (!strength) return;
+  std::uint32_t& recorded = triple_strength_[middle.id];
+  if (*strength > recorded || recorded == 0) {
+    recorded = std::max(recorded, *strength);
+    committer_.commit_chain(middle, *strength);
   }
-}
-
-void StreamletCore::commit_chain(const Block& head, std::uint32_t strength) {
-  for (const Block* block = &head; block != nullptr && block->height > 0;
-       block = tree_.parent_of(block->id)) {
-    const auto result = ledger_.commit(*block, strength, sched_.now());
-    if (result == chain::Ledger::CommitResult::NoChange) break;
-    if (result == chain::Ledger::CommitResult::New) {
-      pool_.mark_committed(block->payload);
-    }
-    if (store_) store_->record_commit(ledger_.at(block->height));
-    if (hooks_.on_commit) hooks_.on_commit(*block, strength, sched_.now());
-  }
-  maybe_snapshot();
 }
 
 void StreamletCore::maybe_snapshot() {
@@ -537,23 +438,16 @@ void StreamletCore::maybe_snapshot() {
   const Block* tip = tree_.get(ledger_.at(*tip_height).block_id);
   if (tip == nullptr) return;  // tip below the restored root; wait for sync
   // Streamlet has no chain-embedded QC or TC; the envelope carries stubs so
-  // the shared snapshot format stays uniform.
+  // the shared snapshot format stays uniform. The kernel frontier includes
+  // restored-but-never-resynced records, which must survive further
+  // snapshots — a second crash would otherwise lose the marker floor they
+  // impose (and reopen the over-endorsement hole the floor plugs).
   storage::Envelope envelope;
   envelope.voted_round = voted_round_;
-  envelope.frontier.reserve(voted_frontier_.size() +
-                            unresolved_frontier_.size());
-  for (const BlockId& id : voted_frontier_) {
-    const Block* voted = tree_.get(id);
-    if (voted != nullptr) {
-      envelope.frontier.push_back({id, voted->round, voted->height});
-    }
+  envelope.frontier.reserve(history_.frontier().size());
+  for (const core::VoteHistory::FrontierEntry& entry : history_.frontier()) {
+    envelope.frontier.push_back({entry.block_id, entry.round, entry.height});
   }
-  // Restored-but-never-resynced records must survive further snapshots, or
-  // a second crash would lose the marker floor they impose (and reopen the
-  // over-endorsement hole the floor exists to plug).
-  envelope.frontier.insert(envelope.frontier.end(),
-                           unresolved_frontier_.begin(),
-                           unresolved_frontier_.end());
   store_->write_snapshot(*tip, ledger_.snapshot(), envelope);
 }
 

@@ -20,13 +20,18 @@
 // D.4: because honest replicas vote only for the longest certified chain,
 // reverting an x-strong committed block h blocks deep requires > x
 // corruptions for ~h rounds (vs a single round in SFT-DiemBFT).
+//
+// The SFT machinery itself — vote-history frontier + markers, k-endorser
+// strength accounting, the commit-chain walk, block-sync policy — is the
+// shared sftbft::core kernel; this module keeps only Streamlet's lock-step
+// protocol rules (round ticking, longest-chain voting, certification, the
+// triple commit rule's driver).
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <variant>
@@ -35,7 +40,10 @@
 #include "sftbft/chain/block_tree.hpp"
 #include "sftbft/chain/ledger.hpp"
 #include "sftbft/common/types.hpp"
-#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/core/block_sync.hpp"
+#include "sftbft/core/committer.hpp"
+#include "sftbft/core/strength.hpp"
+#include "sftbft/core/vote_history.hpp"
 #include "sftbft/crypto/signature.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/envelope.hpp"
@@ -54,10 +62,10 @@ struct StreamletConfig {
   bool sft = true;
   /// How k-endorsers are counted (sft mode only): the Fig. 11 height-marker
   /// rule, or the Appendix-C NaiveAllIndirect strawman (every indirect vote
-  /// counts, markers ignored) — the same comparison knob the DiemBFT core
-  /// exposes, here so bench/tab_adversary can break the strawman on both
-  /// engines. Markers are still *sent* truthfully; only counting changes.
-  consensus::CountingRule counting = consensus::CountingRule::Sft;
+  /// counts, markers ignored) — the same comparison knob the chained cores
+  /// expose, here so bench/tab_adversary can break the strawman on every
+  /// engine. Markers are still *sent* truthfully; only counting changes.
+  core::CountingRule counting = core::CountingRule::Sft;
   /// Forward unseen messages to all (the protocol's echo; expensive).
   bool echo = true;
   std::size_t max_batch = 100;
@@ -69,7 +77,7 @@ struct StreamletConfig {
 
 /// Streamlet messages: a proposal is just a signed block; votes carry a
 /// height marker in SFT mode. Every message has a canonical encoding (the
-/// same Encoder/Decoder codec as the DiemBFT stack) and travels in a
+/// same Encoder/Decoder codec as the chained stacks) and travels in a
 /// net::Envelope; the encoded size is the wire size.
 struct SProposal {
   types::Block block;
@@ -106,19 +114,12 @@ struct SVote {
 
 /// Crash-recovery block sync (storage layer; not part of Appendix D): the
 /// restarted replica asks peers for the certified chain above its durable
-/// tip. Streamlet has no chain-embedded QCs, so the response carries the
-/// responder's stored *votes* for the blocks — the votes are individually
-/// signature-checked and 2f + 1 of them re-certify each block, so the
-/// responder needs no trust.
-struct SSyncRequest {
-  ReplicaId requester = kNoReplica;
-  Height from_height = 0;
-
-  void encode(Encoder& enc) const;
-  static SSyncRequest decode(Decoder& dec);
-
-  friend bool operator==(const SSyncRequest&, const SSyncRequest&) = default;
-};
+/// tip. The request is the kernel's shared types::SyncRequest (travelling
+/// under the Streamlet wire tag); Streamlet has no chain-embedded QCs, so
+/// the *response* carries the responder's stored votes for the blocks —
+/// individually signature-checked, 2f + 1 of them re-certify each block, so
+/// the responder needs no trust.
+using SSyncRequest = types::SyncRequest;
 
 struct SSyncResponse {
   /// Longest-certified-chain blocks above from_height, oldest first.
@@ -154,7 +155,7 @@ class StreamletCore {
         send_sync_response;
     /// Auditing taps (harness::SafetyAuditor): every block admitted to the
     /// tree and every distinct vote ingested, fired *before* the vote feeds
-    /// the local endorsement bookkeeping — a global observer is always at
+    /// the local strength bookkeeping — a global observer is always at
     /// least as informed as the replica it audits. May be empty.
     std::function<void(const types::Block&)> on_block_seen;
     std::function<void(const SVote&)> on_vote_seen;
@@ -174,16 +175,17 @@ class StreamletCore {
   /// Crash recovery: rebuilds from durable state — tree re-rooted at the
   /// snapshot tip, ledger restored, the voted-round fence re-armed (never
   /// vote twice in a round), voted-frontier records re-imported (entries
-  /// whose blocks are missing become a conservative marker floor). The round
+  /// whose blocks are missing become a conservative marker floor — the
+  /// kernel VoteHistory's standard conservative treatment). The round
   /// counter realigns to the global lock-step clock (round = ⌊now/2Δ⌋ + 1).
   /// Voting stays suppressed until a sync response refreshes the longest
   /// certified chain — an honest replica must not vote for stale tips.
   void restore(const storage::RecoveredState& state);
 
-  /// Asks a small rotating window of peers for blocks above the local tip;
-  /// re-asks (next window) while the replica is still awaiting a response
-  /// or its ledger has not advanced (same retry rationale as the DiemBFT
-  /// core's request_sync).
+  /// Asks a small rotating window of peers for blocks above the local tip,
+  /// retrying on the kernel SyncClient's watchdog while the replica is
+  /// still awaiting a response or its certified tip lags the lock-step
+  /// clock.
   void request_sync();
 
   void on_proposal(const SProposal& proposal);
@@ -213,15 +215,9 @@ class StreamletCore {
   /// them would flood the network with stale traffic).
   void ingest_vote(const SVote& vote, bool allow_echo);
   void try_certify(const types::BlockId& id);
-  void record_endorsement(const SVote& vote);
   void check_commits(const types::BlockId& id);
   void evaluate_triple(const types::Block& middle);
-  void commit_chain(const types::Block& head, std::uint32_t strength);
   void maybe_snapshot();
-  /// Moves unresolved frontier records whose blocks arrived into the live
-  /// frontier and recomputes the marker floor from what remains.
-  void resolve_frontier();
-  [[nodiscard]] Height marker_for(const types::Block& block) const;
 
   StreamletConfig config_;
   sim::Scheduler& sched_;
@@ -233,6 +229,12 @@ class StreamletCore {
 
   chain::BlockTree tree_;
   chain::Ledger ledger_;
+  /// Kernel pieces: voted-fork frontier (height markers), k-endorser
+  /// strength accounting, commit-chain walks, sync policy.
+  core::VoteHistory history_;
+  std::unique_ptr<core::StrengthTracker> endorsements_;
+  core::Committer committer_;
+  core::SyncClient sync_;
   Round round_ = 0;
   bool stopped_ = false;
   bool voted_this_round_ = false;
@@ -242,29 +244,13 @@ class StreamletCore {
   /// Restored-but-not-yet-synced: suppress voting (the longest certified
   /// chain known locally is stale until a peer responds).
   bool awaiting_sync_ = false;
-  /// Rotates the sync peer window across retries (see request_sync()).
-  std::uint32_t sync_attempts_ = 0;
   /// One orphan-repair timer at a time (see on_proposal).
   bool orphan_repair_armed_ = false;
-  /// Restored frontier records whose blocks are not in the tree yet. Until
-  /// sync resolves them they act as a conservative marker floor (markers
-  /// reported to peers are at least the max unresolved height; over-
-  /// reporting can only under-endorse — safe).
-  std::vector<storage::VoteRecord> unresolved_frontier_;
-  Height marker_floor_ = 0;
   sim::TimerId tick_timer_ = sim::kInvalidTimer;
 
   /// votes per block (by voter), and the certified set.
   std::unordered_map<types::BlockId, std::map<ReplicaId, SVote>> votes_;
   std::unordered_set<types::BlockId> certified_;
-
-  /// SFT bookkeeping: per block, each voter's minimum marker over votes for
-  /// the block or its descendants ("can k-endorse for any k > marker").
-  std::unordered_map<types::BlockId, std::unordered_map<ReplicaId, Height>>
-      min_marker_;
-
-  /// Voted-block frontier (one entry per fork), for marker computation.
-  std::vector<types::BlockId> voted_frontier_;
 
   /// Longest certified tip (ties broken by lower id for determinism).
   types::BlockId longest_tip_{};

@@ -12,12 +12,11 @@ crypto::Sha256Digest Block::compute_id() const {
   enc.u64(height);
   enc.u32(proposer);
   enc.raw(qc.digest().bytes);
-  // Payload is bound through its *record* encoding's digest: the synthetic
-  // bodies are a pure function of the records, so this binds the full wire
-  // bytes while header hashing stays O(txns), not O(block bytes).
-  Encoder payload_enc;
-  payload.encode_records(payload_enc);
-  enc.raw(crypto::Sha256::hash(payload_enc.data()).bytes);
+  // Payload is bound through its *record* encoding's digest (memoized in
+  // the payload): the synthetic bodies are a pure function of the records,
+  // so this binds the full wire bytes while header hashing stays O(txns),
+  // not O(block bytes) — and only runs once per payload object.
+  enc.raw(payload.records_digest().bytes);
   enc.raw(log_digest.bytes);
   enc.i64(created_at);
   return crypto::Sha256::hash(enc.data());
@@ -25,7 +24,14 @@ crypto::Sha256Digest Block::compute_id() const {
 
 void Block::seal() { id = compute_id(); }
 
-bool Block::id_is_valid() const { return id == compute_id(); }
+bool Block::id_is_valid() const {
+  // Verifier side: never trust the payload memo — an in-process tamper of
+  // the batch must be caught (decoded blocks arrive memo-less anyway, so
+  // the honest receive path pays this exactly once; repeat calls and the
+  // proposer-side seal reuse the now-fresh memo).
+  payload.refresh_records_digest();
+  return id == compute_id();
+}
 
 Block Block::genesis() {
   Block genesis_block;

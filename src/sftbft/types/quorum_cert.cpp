@@ -10,6 +10,7 @@ namespace sftbft::types {
 void QuorumCert::canonicalize() {
   std::sort(votes.begin(), votes.end(),
             [](const Vote& a, const Vote& b) { return a.voter < b.voter; });
+  digest_memo_.reset();  // content may have changed; recompute lazily
 }
 
 bool QuorumCert::verify(const crypto::KeyRegistry& registry,
@@ -27,6 +28,7 @@ bool QuorumCert::verify(const crypto::KeyRegistry& registry,
 }
 
 crypto::Sha256Digest QuorumCert::digest() const {
+  if (digest_memo_) return *digest_memo_;
   // Identity digest: binds the certified block, the parent linkage, and the
   // voter set with per-vote markers. The votes' full contents (interval
   // sets, signatures) are individually attested by the vote signatures that
@@ -44,7 +46,10 @@ crypto::Sha256Digest QuorumCert::digest() const {
     enc.u8(static_cast<std::uint8_t>(vote.mode));
     enc.u64(vote.marker);
   }
-  return crypto::Sha256::hash(enc.data());
+  digest_memo_ =
+      std::make_shared<const crypto::Sha256Digest>(
+          crypto::Sha256::hash(enc.data()));
+  return *digest_memo_;
 }
 
 void QuorumCert::encode(Encoder& enc) const {

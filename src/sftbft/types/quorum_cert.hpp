@@ -7,6 +7,7 @@
 // (up to n), which is what accelerates strong commits.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sftbft/common/codec.hpp"
@@ -32,7 +33,10 @@ struct QuorumCert {
   [[nodiscard]] bool is_genesis() const { return round == 0; }
 
   /// Sorts votes by voter id — call after assembly so equal QCs encode
-  /// identically regardless of vote arrival order.
+  /// identically regardless of vote arrival order. Also the memo refresh
+  /// point: mutating a QC after its digest() was computed requires a
+  /// canonicalize() before digest() is meaningful again (the receive path
+  /// never mutates, so decoded QCs need nothing).
   void canonicalize();
 
   /// Structural + cryptographic validity: >= quorum distinct voters, every
@@ -41,7 +45,11 @@ struct QuorumCert {
   [[nodiscard]] bool verify(const crypto::KeyRegistry& registry,
                             std::size_t quorum) const;
 
-  /// Digest binding the QC content (used inside block ids).
+  /// Digest binding the QC content (used inside block ids and as the
+  /// identity key of per-QC bookkeeping). Memoized per object: a canonical
+  /// QC's digest is taken several times on the hot path (block-id sealing,
+  /// strength-tracker dedupe, commit-log keying), and the memo survives
+  /// copies (tree insertion, proposal embedding) so each QC encodes once.
   [[nodiscard]] crypto::Sha256Digest digest() const;
 
   void encode(Encoder& enc) const;
@@ -50,7 +58,15 @@ struct QuorumCert {
   /// Minimum encoded size (no votes): bounds untrusted counts upstream.
   static constexpr std::size_t kMinEncodedBytes = 32 + 8 + 32 + 8 + 4;
 
-  friend bool operator==(const QuorumCert&, const QuorumCert&) = default;
+  /// Semantic equality (the digest memo is identity-irrelevant).
+  friend bool operator==(const QuorumCert& a, const QuorumCert& b) {
+    return a.block_id == b.block_id && a.round == b.round &&
+           a.parent_id == b.parent_id && a.parent_round == b.parent_round &&
+           a.votes == b.votes;
+  }
+
+ private:
+  mutable std::shared_ptr<const crypto::Sha256Digest> digest_memo_;
 };
 
 /// QCs (certified blocks) are ranked by round number (paper Sec. 2).

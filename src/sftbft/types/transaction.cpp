@@ -79,4 +79,18 @@ void Payload::encode_records(Encoder& enc) const {
   for (const Transaction& txn : txns) txn.encode(enc);
 }
 
+crypto::Sha256Digest Payload::records_digest() const {
+  if (records_memo_) return *records_memo_;
+  refresh_records_digest();
+  return *records_memo_;
+}
+
+void Payload::refresh_records_digest() const {
+  Encoder enc;
+  enc.reserve(4 + txns.size() * Transaction::kRecordBytes);
+  encode_records(enc);
+  records_memo_ = std::make_shared<const crypto::Sha256Digest>(
+      crypto::Sha256::hash(enc.data()));
+}
+
 }  // namespace sftbft::types

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sftbft/common/codec.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/crypto/sha256.hpp"
 
 namespace sftbft::types {
 
@@ -55,7 +57,24 @@ struct Payload {
   /// instead of O(block bytes).
   void encode_records(Encoder& enc) const;
 
-  friend bool operator==(const Payload&, const Payload&) = default;
+  /// Digest of the record encoding — the quantity Block::compute_id binds.
+  /// Memoized per object and preserved across copies. Producers (sealing a
+  /// block whose payload they built) trust the memo — re-sealing an edited
+  /// header, or an equivocation twin sharing the payload, skips the
+  /// re-encode; verifiers (Block::id_is_valid) always refresh first so a
+  /// tampered batch can never hide behind a stale digest.
+  [[nodiscard]] crypto::Sha256Digest records_digest() const;
+
+  /// Recomputes the memo unconditionally (the seal-time refresh point).
+  void refresh_records_digest() const;
+
+  /// Semantic equality (the digest memo is identity-irrelevant).
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.txns == b.txns;
+  }
+
+ private:
+  mutable std::shared_ptr<const crypto::Sha256Digest> records_memo_;
 };
 
 }  // namespace sftbft::types

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sftbft/common/codec.hpp"
 #include "sftbft/common/interval_set.hpp"
@@ -43,6 +44,12 @@ struct Vote {
   crypto::Signature sig{};
 
   /// Canonical bytes covered by the signature (everything except `sig`).
+  /// Deliberately NOT memoized: signature verification must re-derive the
+  /// bytes from the fields actually present, or an in-process tamper (the
+  /// adversary layer's history forging, tests' lie-without-resigning
+  /// probes) could verify against stale bytes. Digest memoization lives on
+  /// the identity digests (QuorumCert::digest, Payload::records_digest)
+  /// where no signature check depends on it.
   [[nodiscard]] Bytes signing_bytes() const;
 
   /// Whether this vote endorses an ancestor block at `ancestor_round`.

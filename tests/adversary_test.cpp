@@ -128,19 +128,7 @@ AuditedRun run_coalition(Protocol protocol, consensus::CountingRule counting,
   run.auditor = std::make_unique<harness::SafetyAuditor>(
       harness::SafetyAuditor::Config{protocol, n});
   harness::SafetyAuditor& auditor = *run.auditor;
-  engine::AuditTaps taps;
-  taps.diem_qc = [&auditor](ReplicaId replica, const types::Block& block,
-                            const types::QuorumCert& qc) {
-    auditor.on_qc(replica, block, qc);
-  };
-  taps.streamlet_block = [&auditor](ReplicaId replica,
-                                    const types::Block& block) {
-    auditor.on_block(replica, block);
-  };
-  taps.streamlet_vote = [&auditor](ReplicaId replica,
-                                   const streamlet::SVote& vote) {
-    auditor.on_vote(replica, vote);
-  };
+  engine::AuditTaps taps = auditor.taps();
   run.deployment = std::make_unique<Deployment>(
       s.to_deployment_config(),
       [&auditor](ReplicaId replica, const types::Block& block,

@@ -1,11 +1,11 @@
-// EndorsementTracker: the strong commit rule's bookkeeping (Fig. 4/5) —
+// StrengthTracker: the strong commit rule's bookkeeping (Fig. 4/5) —
 // endorser counting across modes, the strong 3-chain rule, ancestor pruning,
 // idempotency, and the paper's Lemma-1 quorum-intersection arithmetic.
 #include <gtest/gtest.h>
 
-#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/core/strength.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 namespace {
 
 using types::Block;
@@ -76,14 +76,14 @@ class EndorsementTest : public ::testing::Test {
 };
 
 TEST_F(EndorsementTest, DirectVotesEndorse) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   tracker.process_qc(full_qc(b1, 5));
   EXPECT_EQ(tracker.endorser_count(b1.id), 5u);
 }
 
 TEST_F(EndorsementTest, IndirectVotesEndorseAncestors) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   tracker.process_qc(full_qc(b1, 5));
@@ -93,7 +93,7 @@ TEST_F(EndorsementTest, IndirectVotesEndorseAncestors) {
 }
 
 TEST_F(EndorsementTest, MarkerBlocksConflictedEndorsement) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   const Block& b3 = add(b2, 3);
@@ -112,7 +112,7 @@ TEST_F(EndorsementTest, MarkerBlocksConflictedEndorsement) {
 }
 
 TEST_F(EndorsementTest, IntervalVotesCanSkipMiddleRounds) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b3 = add(b1, 3);
   const Block& b5 = add(b3, 5);
@@ -128,7 +128,7 @@ TEST_F(EndorsementTest, IntervalVotesCanSkipMiddleRounds) {
 }
 
 TEST_F(EndorsementTest, StrongThreeChainRule) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   const Block& b3 = add(b2, 3);
@@ -154,7 +154,7 @@ TEST_F(EndorsementTest, StrongThreeChainRule) {
 }
 
 TEST_F(EndorsementTest, StrengthNeedsAllThreeBlocks) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   const Block& b3 = add(b2, 3);
@@ -181,7 +181,7 @@ TEST_F(EndorsementTest, StrengthNeedsAllThreeBlocks) {
 }
 
 TEST_F(EndorsementTest, NonConsecutiveRoundsNeverCommit) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   const Block& b4 = add(b2, 4);  // gap: 2 -> 4
@@ -192,7 +192,7 @@ TEST_F(EndorsementTest, NonConsecutiveRoundsNeverCommit) {
 }
 
 TEST_F(EndorsementTest, ProcessQcIsIdempotent) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const QuorumCert qc = full_qc(b1, 5);
   EXPECT_TRUE(tracker.process_qc(qc).empty());
@@ -201,7 +201,7 @@ TEST_F(EndorsementTest, ProcessQcIsIdempotent) {
 }
 
 TEST_F(EndorsementTest, DifferentQcsForSameBlockUnion) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   std::vector<Vote> first, second;
   for (ReplicaId voter = 0; voter < 5; ++voter) {
@@ -217,7 +217,7 @@ TEST_F(EndorsementTest, DifferentQcsForSameBlockUnion) {
 
 TEST_F(EndorsementTest, ExtraVoteIngestion) {
   // FBFT baseline: direct-only counting via process_extra_vote.
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   tracker.process_qc(full_qc(b2, 5, 0, VoteMode::Plain));
@@ -230,7 +230,7 @@ TEST_F(EndorsementTest, ExtraVoteIngestion) {
 }
 
 TEST_F(EndorsementTest, EffectiveStrengthSeesDescendantHeads) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& b2 = add(b1, 2);
   const Block& b3 = add(b2, 3);
@@ -253,7 +253,7 @@ TEST_F(EndorsementTest, EffectiveStrengthSeesDescendantHeads) {
 // honest (marker-truthful) voters of a conflicting block never appear in the
 // endorser set.
 TEST_F(EndorsementTest, Lemma1HonestConflictVotersNeverEndorse) {
-  EndorsementTracker tracker(tree_, kN, kF);
+  StrengthTracker tracker(tree_, kN, kF);
   const Block& b1 = add(genesis_, 1);
   const Block& main2 = add(b1, 2);
   const Block& fork2 = add(b1, 3);  // conflicting branch
@@ -282,4 +282,4 @@ TEST_F(EndorsementTest, Lemma1HonestConflictVotersNeverEndorse) {
 }
 
 }  // namespace
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

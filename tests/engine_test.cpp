@@ -45,7 +45,7 @@ harness::Scenario crash_scenario(Protocol protocol) {
 }
 
 TEST(Engine, SameCrashScenarioRunsOnBothProtocols) {
-  for (const Protocol protocol : {Protocol::DiemBft, Protocol::Streamlet}) {
+  for (const Protocol protocol : engine::kAllProtocols) {
     const harness::ScenarioResult result =
         run_scenario(crash_scenario(protocol));
     EXPECT_GT(result.summary.committed_blocks, 10u)
@@ -63,7 +63,7 @@ TEST(Engine, CrossProtocolAgreementUnderSharedFaults) {
   // Drive the Deployment directly: both engines, same config shape, same
   // FaultSpec list; every surviving replica must agree on the committed
   // prefix within each deployment.
-  for (const Protocol protocol : {Protocol::DiemBft, Protocol::Streamlet}) {
+  for (const Protocol protocol : engine::kAllProtocols) {
     const harness::Scenario s = crash_scenario(protocol);
     Deployment deployment(s.to_deployment_config());
     deployment.start();
@@ -87,7 +87,7 @@ TEST(Engine, CrossProtocolAgreementUnderSharedFaults) {
 }
 
 TEST(Engine, SilentFaultSuppressesAllTrafficOnBothProtocols) {
-  for (const Protocol protocol : {Protocol::DiemBft, Protocol::Streamlet}) {
+  for (const Protocol protocol : engine::kAllProtocols) {
     harness::Scenario s = crash_scenario(protocol);
     s.n = 7;
     s.faults.assign(7, FaultSpec::honest());
@@ -110,7 +110,7 @@ TEST(Engine, CorruptLinksDropFramesPreGstThenRecoverOnBothProtocols) {
   // until GST. Receivers reject the frames at the Envelope CRC (counted,
   // never crashing), and once GST passes the cluster commits normally —
   // byte-level loss is a pre-GST network fault, not a safety hazard.
-  for (const Protocol protocol : {Protocol::DiemBft, Protocol::Streamlet}) {
+  for (const Protocol protocol : engine::kAllProtocols) {
     harness::Scenario s = crash_scenario(protocol);
     s.faults.clear();
     s.gst = seconds(2);
@@ -173,12 +173,31 @@ TEST(Engine, EnginesReportProtocolAndInboundBandwidth) {
   EXPECT_GE(e.inbound_bytes(), e.inbound_messages());  // every msg >= 1 byte
 }
 
-TEST(Engine, FbftBaselineRejectedOnStreamlet) {
-  // The Appendix-B FBFT baseline is DiemBFT-specific; asking for it on the
-  // Streamlet engine must fail loudly rather than silently run SFT.
+TEST(Engine, FbftBaselineRejectedOffDiemBft) {
+  // The Appendix-B FBFT baseline is DiemBFT-specific; asking for it on any
+  // other engine must fail loudly rather than silently run SFT.
+  for (const Protocol protocol : {Protocol::Streamlet, Protocol::HotStuff}) {
+    harness::Scenario s = crash_scenario(protocol);
+    s.fbft = true;
+    EXPECT_THROW(s.to_deployment_config(), std::invalid_argument)
+        << engine::protocol_name(protocol);
+  }
+}
+
+TEST(Engine, ChainedAccessorsServeBothChainedProtocols) {
+  for (const Protocol protocol : {Protocol::DiemBft, Protocol::HotStuff}) {
+    harness::Scenario s = crash_scenario(protocol);
+    s.faults.clear();
+    Deployment deployment(s.to_deployment_config());
+    EXPECT_NO_THROW(deployment.chained_core(0));
+    EXPECT_STREQ(deployment.chained_core(0).config().rules.name,
+                 engine::protocol_name(protocol));
+    EXPECT_THROW(deployment.streamlet_core(0), std::logic_error);
+  }
   harness::Scenario s = crash_scenario(Protocol::Streamlet);
-  s.fbft = true;
-  EXPECT_THROW(s.to_deployment_config(), std::invalid_argument);
+  s.faults.clear();
+  Deployment deployment(s.to_deployment_config());
+  EXPECT_THROW(deployment.chained_core(0), std::logic_error);
 }
 
 TEST(Deployment, RejectsTopologySizeMismatch) {

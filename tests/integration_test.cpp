@@ -20,10 +20,10 @@ DeploymentConfig small_cluster(std::uint32_t n, CoreMode mode,
                                std::uint64_t seed = 1) {
   DeploymentConfig config;
   config.n = n;
-  config.diem.mode = mode;
-  config.diem.base_timeout = millis(500);
-  config.diem.leader_processing = millis(5);
-  config.diem.max_batch = 10;
+  config.chained.mode = mode;
+  config.chained.base_timeout = millis(500);
+  config.chained.leader_processing = millis(5);
+  config.chained.max_batch = 10;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(2);
   config.workload.target_pool_size = 100;

@@ -19,10 +19,10 @@ class LightClientTest : public ::testing::Test {
   void SetUp() override {
     DeploymentConfig config;
     config.n = kN;
-    config.diem.mode = consensus::CoreMode::SftMarker;
-    config.diem.base_timeout = millis(500);
-    config.diem.leader_processing = millis(5);
-    config.diem.max_batch = 10;
+    config.chained.mode = consensus::CoreMode::SftMarker;
+    config.chained.base_timeout = millis(500);
+    config.chained.leader_processing = millis(5);
+    config.chained.max_batch = 10;
     config.topology = net::Topology::uniform(kN, millis(10));
     config.net.jitter = millis(2);
     config.seed = 9;

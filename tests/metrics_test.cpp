@@ -120,11 +120,11 @@ TEST(Scenario, DeploymentConfigReflectsFields) {
   EXPECT_EQ(config.protocol, engine::Protocol::DiemBft);
   EXPECT_EQ(config.n, 10u);
   EXPECT_EQ(config.topology.size(), 10u);
-  EXPECT_TRUE(config.diem.fbft_mode);
-  EXPECT_EQ(config.diem.mode, consensus::CoreMode::Plain);  // forced
-  ASSERT_TRUE(config.diem.extra_wait);
-  EXPECT_EQ(config.diem.extra_wait(1), millis(30));
-  EXPECT_FALSE(config.diem.attach_commit_log);  // disabled under FBFT
+  EXPECT_TRUE(config.chained.fbft_mode);
+  EXPECT_EQ(config.chained.mode, consensus::CoreMode::Plain);  // forced
+  ASSERT_TRUE(config.chained.extra_wait);
+  EXPECT_EQ(config.chained.extra_wait(1), millis(30));
+  EXPECT_FALSE(config.chained.attach_commit_log);  // disabled under FBFT
 }
 
 TEST(Scenario, DeploymentConfigCarriesStreamletFields) {

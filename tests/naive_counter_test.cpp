@@ -4,9 +4,9 @@
 // keep it green forever.
 #include <gtest/gtest.h>
 
-#include "sftbft/consensus/endorsement.hpp"
+#include "sftbft/core/strength.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 namespace {
 
 using types::Block;
@@ -71,7 +71,7 @@ class Figure9 : public ::testing::Test {
 
   /// Runs the Figure 9 vote schedule through a tracker with `rule`.
   std::uint32_t run_figure9(CountingRule rule) {
-    EndorsementTracker tracker(tree_, kN, kF, rule);
+    StrengthTracker tracker(tree_, kN, kF, rule);
 
     // Rounds r, r+1: h1..hf and b1..b_{f+1} vote the main branch.
     std::vector<Vote> votes_r, votes_r1;
@@ -134,4 +134,4 @@ TEST_F(Figure9, ForkCanMatchNaiveStrengthLater) {
 }
 
 }  // namespace
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core

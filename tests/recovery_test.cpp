@@ -24,10 +24,10 @@ DeploymentConfig small_cluster(Protocol protocol, std::uint32_t n,
   DeploymentConfig config;
   config.protocol = protocol;
   config.n = n;
-  config.diem.mode = CoreMode::SftMarker;
-  config.diem.base_timeout = millis(500);
-  config.diem.leader_processing = millis(5);
-  config.diem.max_batch = 10;
+  config.chained.mode = CoreMode::SftMarker;
+  config.chained.base_timeout = millis(500);
+  config.chained.leader_processing = millis(5);
+  config.chained.max_batch = 10;
   config.streamlet.delta_bound = millis(25);
   config.streamlet.sft = true;
   config.topology = net::Topology::uniform(n, millis(10));

@@ -25,10 +25,10 @@ using engine::FaultSpec;
 DeploymentConfig base_config(std::uint32_t n, CoreMode mode) {
   DeploymentConfig config;
   config.n = n;
-  config.diem.mode = mode;
-  config.diem.base_timeout = millis(400);
-  config.diem.leader_processing = millis(5);
-  config.diem.max_batch = 10;
+  config.chained.mode = mode;
+  config.chained.base_timeout = millis(400);
+  config.chained.leader_processing = millis(5);
+  config.chained.max_batch = 10;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(2);
   config.seed = 5;

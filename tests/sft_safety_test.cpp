@@ -38,12 +38,12 @@ DeploymentConfig stress_config(std::uint32_t n, CoreMode mode,
                             std::uint64_t seed) {
   DeploymentConfig config;
   config.n = n;
-  config.diem.mode = mode;
+  config.chained.mode = mode;
   // Deliberately tight timeout: rounds race the timer, forks and timeouts
   // are common — the adversarial-scheduling regime for safety.
-  config.diem.base_timeout = millis(45);
-  config.diem.leader_processing = millis(3);
-  config.diem.max_batch = 5;
+  config.chained.base_timeout = millis(45);
+  config.chained.leader_processing = millis(3);
+  config.chained.max_batch = 5;
   config.topology = net::Topology::uniform(n, millis(10));
   config.net.jitter = millis(8);
   config.seed = seed;
@@ -137,8 +137,8 @@ TEST(Safety, CommitLogOverstatementsBlockVotes) {
   // never trigger the rejection (logs are consistent), via progress.
   SafetyAuditor auditor;
   auto config = stress_config(7, CoreMode::SftMarker, 13);
-  config.diem.attach_commit_log = true;
-  config.diem.verify_commit_log = true;
+  config.chained.attach_commit_log = true;
+  config.chained.verify_commit_log = true;
   Deployment cluster(config, auditor.observer());
   cluster.start();
   cluster.run_for(seconds(10));

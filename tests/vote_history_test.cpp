@@ -2,9 +2,9 @@
 // and interval computation (Sec. 3.4) on constructed fork trees.
 #include <gtest/gtest.h>
 
-#include "sftbft/consensus/vote_history.hpp"
+#include "sftbft/core/vote_history.hpp"
 
-namespace sftbft::consensus {
+namespace sftbft::core {
 namespace {
 
 using types::Block;
@@ -210,4 +210,4 @@ TEST_F(VoteHistoryTest, MultipleForksAllSubtracted) {
 }
 
 }  // namespace
-}  // namespace sftbft::consensus
+}  // namespace sftbft::core
