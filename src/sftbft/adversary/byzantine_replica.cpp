@@ -19,7 +19,7 @@ ByzantineReplica::ByzantineReplica(
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng,
     engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
-    replica::Replica::QcTap qc_tap)
+    replica::Replica::QcTap qc_tap, dissem::DissemConfig dissem)
     : protocol_(protocol),
       wires_(engine::chained_wires_for(protocol)),
       id_(config.id),
@@ -30,13 +30,28 @@ ByzantineReplica::ByzantineReplica(
       funnel_(config.id, transport, fault_, *coalition_),
       signer_(registry->signer_for(config.id)),
       election_(config.n),
-      workload_(transport.scheduler(), pool_, workload,
-                std::move(workload_rng)) {
+      workload_(transport.scheduler(), pool_, workload, workload_rng),
+      dissem_(dissem) {
   workload_.set_id_space(id_);
   coalition_->enlist(id_);
   // The corrupted replica runs the real kernel under the real protocol
   // rules — only its outbound behaviour lies.
   config.rules = engine::chained_rules_for(protocol);
+
+  if (dissem_.enabled) {
+    batches_ = std::make_unique<dissem::BatchStore>();
+    broadcaster_ = std::make_unique<dissem::BatchBroadcaster>(
+        id_, transport_, pool_, *batches_, dissem_,
+        [this] { core_->retry_awaiting_payloads(); },
+        dissem::BatchBroadcaster::Options{
+            .silent = false,
+            .withhold_push = fault_.byz.has(Strategy::BatchWithholder)});
+    frontend_ = std::make_unique<dissem::AdmissionFrontend>(pool_, dissem_);
+    swarm_ = std::make_unique<dissem::ClientSwarm>(
+        transport.scheduler(), *frontend_, workload, dissem_,
+        workload_rng.fork());
+    swarm_->set_id_space(id_);
+  }
 
   ChainedCore::Hooks hooks;
   hooks.send_vote = [this](ReplicaId to, const Vote& vote) {
@@ -79,9 +94,43 @@ ByzantineReplica::ByzantineReplica(
   // by definition; the honest-commit stream is what the auditor audits.
   hooks.on_canonical_qc = std::move(qc_tap);
 
+  if (dissem_.enabled) {
+    // The data-plane seams run honestly — the kernel keeps the corrupted
+    // replica synced, which is what lets its attacks land. The withholding
+    // happens one layer down, in the broadcaster's push suppression.
+    hooks.make_payload = [this](std::size_t /*max_batch*/) {
+      return batches_->make_payload(dissem_.max_batches_per_proposal,
+                                    transport_.scheduler().now(),
+                                    dissem_.repropose_after);
+    };
+    hooks.requeue_payload = [this](const types::Payload& payload) {
+      if (payload.is_digests()) {
+        batches_->requeue(payload);
+      } else {
+        pool_.requeue(payload);
+      }
+    };
+    hooks.payload_available = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return true;
+      batches_->observe_reference(payload, transport_.scheduler().now());
+      return batches_->missing(payload).empty();
+    };
+    hooks.fetch_payload = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return;
+      const auto missing = batches_->missing(payload);
+      if (!missing.empty()) broadcaster_->want(missing);
+    };
+  }
+
   core_ = std::make_unique<ChainedCore>(config, transport.scheduler(),
                                         std::move(registry), pool_,
                                         std::move(hooks));
+  if (dissem_.enabled) {
+    core_->attach_batch_store(
+        batches_.get(), [this](const std::vector<crypto::Sha256Digest>& m) {
+          broadcaster_->want(m);
+        });
+  }
 }
 
 void ByzantineReplica::start() {
@@ -91,13 +140,22 @@ void ByzantineReplica::start() {
     inbound_bytes_ += frame_bytes;
     on_envelope(env);
   });
-  workload_.top_up();
-  workload_.start();
+  if (dissem_.enabled) {
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+    workload_.start();
+  }
   core_->start();
 }
 
 void ByzantineReplica::stop() {
   core_->stop();
+  if (dissem_.enabled) {
+    broadcaster_->stop();
+    swarm_->stop();
+  }
   transport_.disconnect(id_);
 }
 
@@ -123,6 +181,12 @@ void ByzantineReplica::on_envelope(const Envelope& env) {
       core_->on_sync_request(env.unpack<types::SyncRequest>());
     } else if (env.type == wires_.sync_response) {
       core_->on_sync_response(env.unpack<types::SyncResponse>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchPush) {
+      broadcaster_->on_push(env.unpack<dissem::BatchPush>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchRequest) {
+      broadcaster_->on_request(env.unpack<dissem::BatchRequest>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchResponse) {
+      broadcaster_->on_response(env.unpack<dissem::BatchResponse>());
     } else {
       throw CodecError("ByzantineReplica: wire type not in this stack");
     }

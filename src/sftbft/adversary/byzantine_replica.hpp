@@ -36,6 +36,9 @@
 #include "sftbft/adversary/funnel.hpp"
 #include "sftbft/consensus/diembft.hpp"
 #include "sftbft/consensus/leader_election.hpp"
+#include "sftbft/dissem/admission.hpp"
+#include "sftbft/dissem/broadcaster.hpp"
+#include "sftbft/dissem/config.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/replica/replica.hpp"
@@ -48,13 +51,17 @@ class ByzantineReplica final : public engine::ConsensusEngine {
   /// `fault.kind` must be Kind::Byzantine with a validated spec;
   /// `coalition` must be shared with every other Byzantine engine of the
   /// deployment. `qc_tap` (optional) feeds the SafetyAuditor.
+  /// `dissem.enabled` runs the data plane on the corrupted replica too —
+  /// with Strategy::BatchWithholder it packs batches and serves pulls but
+  /// never pushes (the lazy disseminator the pull fallback defeats).
   ByzantineReplica(engine::Protocol protocol, consensus::CoreConfig config,
                    net::Transport& transport,
                    std::shared_ptr<const crypto::KeyRegistry> registry,
                    mempool::WorkloadConfig workload, Rng workload_rng,
                    engine::FaultSpec fault,
                    std::shared_ptr<Coalition> coalition,
-                   replica::Replica::QcTap qc_tap = nullptr);
+                   replica::Replica::QcTap qc_tap = nullptr,
+                   dissem::DissemConfig dissem = {});
 
   [[nodiscard]] engine::Protocol protocol() const override {
     return protocol_;
@@ -111,6 +118,12 @@ class ByzantineReplica final : public engine::ConsensusEngine {
   std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;
   mempool::WorkloadGenerator workload_;
+  dissem::DissemConfig dissem_;
+  /// Data plane (dissem_.enabled only).
+  std::unique_ptr<dissem::BatchStore> batches_;
+  std::unique_ptr<dissem::BatchBroadcaster> broadcaster_;
+  std::unique_ptr<dissem::AdmissionFrontend> frontend_;
+  std::unique_ptr<dissem::ClientSwarm> swarm_;
   std::unique_ptr<consensus::DiemBftCore> core_;
   /// Blocks already amnesia-voted (one forged vote per block).
   std::unordered_set<types::BlockId> forged_for_;

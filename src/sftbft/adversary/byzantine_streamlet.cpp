@@ -31,7 +31,7 @@ ByzantineStreamlet::ByzantineStreamlet(
     mempool::WorkloadConfig workload, Rng workload_rng,
     engine::FaultSpec fault, std::shared_ptr<Coalition> coalition,
     engine::StreamletEngine::BlockTap block_tap,
-    engine::StreamletEngine::VoteTap vote_tap)
+    engine::StreamletEngine::VoteTap vote_tap, dissem::DissemConfig dissem)
     : id_(config.id),
       n_(config.n),
       transport_(transport),
@@ -39,10 +39,25 @@ ByzantineStreamlet::ByzantineStreamlet(
       coalition_(std::move(coalition)),
       funnel_(config.id, transport, fault_, *coalition_),
       signer_(registry->signer_for(config.id)),
-      workload_(transport.scheduler(), pool_, workload,
-                std::move(workload_rng)) {
+      workload_(transport.scheduler(), pool_, workload, workload_rng),
+      dissem_(dissem) {
   workload_.set_id_space(id_);
   coalition_->enlist(id_);
+
+  if (dissem_.enabled) {
+    batches_ = std::make_unique<dissem::BatchStore>();
+    broadcaster_ = std::make_unique<dissem::BatchBroadcaster>(
+        id_, transport_, pool_, *batches_, dissem_,
+        [this] { core_->retry_awaiting_payloads(); },
+        dissem::BatchBroadcaster::Options{
+            .silent = false,
+            .withhold_push = fault_.byz.has(Strategy::BatchWithholder)});
+    frontend_ = std::make_unique<dissem::AdmissionFrontend>(pool_, dissem_);
+    swarm_ = std::make_unique<dissem::ClientSwarm>(
+        transport.scheduler(), *frontend_, workload, dissem_,
+        workload_rng.fork());
+    swarm_->set_id_space(id_);
+  }
 
   StreamletCore::Hooks hooks;
   hooks.broadcast_proposal = [this](const SProposal& proposal) {
@@ -80,9 +95,33 @@ ByzantineStreamlet::ByzantineStreamlet(
   hooks.on_block_seen = std::move(block_tap);
   hooks.on_vote_seen = std::move(vote_tap);
 
+  if (dissem_.enabled) {
+    hooks.make_payload = [this](std::size_t /*max_batch*/) {
+      return batches_->make_payload(dissem_.max_batches_per_proposal,
+                                    transport_.scheduler().now(),
+                                    dissem_.repropose_after);
+    };
+    hooks.payload_available = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return true;
+      batches_->observe_reference(payload, transport_.scheduler().now());
+      return batches_->missing(payload).empty();
+    };
+    hooks.fetch_payload = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return;
+      const auto missing = batches_->missing(payload);
+      if (!missing.empty()) broadcaster_->want(missing);
+    };
+  }
+
   core_ = std::make_unique<StreamletCore>(config, transport.scheduler(),
                                           std::move(registry), pool_,
                                           std::move(hooks));
+  if (dissem_.enabled) {
+    core_->attach_batch_store(
+        batches_.get(), [this](const std::vector<crypto::Sha256Digest>& m) {
+          broadcaster_->want(m);
+        });
+  }
 }
 
 void ByzantineStreamlet::start() {
@@ -92,13 +131,22 @@ void ByzantineStreamlet::start() {
     inbound_bytes_ += frame_bytes;
     on_envelope(env);
   });
-  workload_.top_up();
-  workload_.start();
+  if (dissem_.enabled) {
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+    workload_.start();
+  }
   core_->start();
 }
 
 void ByzantineStreamlet::stop() {
   core_->stop();
+  if (dissem_.enabled) {
+    broadcaster_->stop();
+    swarm_->stop();
+  }
   transport_.disconnect(id_);
 }
 
@@ -127,6 +175,18 @@ void ByzantineStreamlet::on_envelope(const Envelope& env) {
         break;
       case WireType::kSSyncResponse:
         core_->on_sync_response(env.unpack<SSyncResponse>());
+        break;
+      case WireType::kBatchPush:
+        if (!broadcaster_) throw CodecError("ByzantineStreamlet: dissem off");
+        broadcaster_->on_push(env.unpack<dissem::BatchPush>());
+        break;
+      case WireType::kBatchRequest:
+        if (!broadcaster_) throw CodecError("ByzantineStreamlet: dissem off");
+        broadcaster_->on_request(env.unpack<dissem::BatchRequest>());
+        break;
+      case WireType::kBatchResponse:
+        if (!broadcaster_) throw CodecError("ByzantineStreamlet: dissem off");
+        broadcaster_->on_response(env.unpack<dissem::BatchResponse>());
         break;
       default:
         throw CodecError("ByzantineStreamlet: wire type not in this stack");

@@ -33,6 +33,9 @@ class ByzantineStreamlet final : public engine::ConsensusEngine {
  public:
   /// `fault.kind` must be Kind::Byzantine with a validated spec; the taps
   /// (optional) feed a harness-level SafetyAuditor.
+  /// `dissem.enabled` runs the data plane on the corrupted replica too —
+  /// with Strategy::BatchWithholder it packs batches and serves pulls but
+  /// never pushes proactively.
   ByzantineStreamlet(streamlet::StreamletConfig config,
                      net::Transport& transport,
                      std::shared_ptr<const crypto::KeyRegistry> registry,
@@ -40,7 +43,8 @@ class ByzantineStreamlet final : public engine::ConsensusEngine {
                      engine::FaultSpec fault,
                      std::shared_ptr<Coalition> coalition,
                      engine::StreamletEngine::BlockTap block_tap = nullptr,
-                     engine::StreamletEngine::VoteTap vote_tap = nullptr);
+                     engine::StreamletEngine::VoteTap vote_tap = nullptr,
+                     dissem::DissemConfig dissem = {});
 
   [[nodiscard]] engine::Protocol protocol() const override {
     return engine::Protocol::Streamlet;
@@ -86,6 +90,12 @@ class ByzantineStreamlet final : public engine::ConsensusEngine {
   std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;
   mempool::WorkloadGenerator workload_;
+  dissem::DissemConfig dissem_;
+  /// Data plane (dissem_.enabled only).
+  std::unique_ptr<dissem::BatchStore> batches_;
+  std::unique_ptr<dissem::BatchBroadcaster> broadcaster_;
+  std::unique_ptr<dissem::AdmissionFrontend> frontend_;
+  std::unique_ptr<dissem::ClientSwarm> swarm_;
   std::unique_ptr<streamlet::StreamletCore> core_;
   std::unordered_set<types::BlockId> forged_for_;
 };

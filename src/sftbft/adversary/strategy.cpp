@@ -12,6 +12,8 @@ const char* strategy_name(Strategy strategy) {
       return "withhold_release";
     case Strategy::SelectiveSender:
       return "selective_sender";
+    case Strategy::BatchWithholder:
+      return "batch_withholder";
   }
   return "unknown";
 }

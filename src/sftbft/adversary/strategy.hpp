@@ -45,6 +45,7 @@ enum class Strategy : std::uint8_t {
   AmnesiaVoter,        ///< history-denying votes (forged markers, cross-fork)
   WithholdRelease,     ///< certify privately, release the QC later
   SelectiveSender,     ///< per-peer outbound suppression
+  BatchWithholder,     ///< dissemination: never push batches, only serve pulls
 };
 
 [[nodiscard]] const char* strategy_name(Strategy strategy);

@@ -116,6 +116,7 @@ void ChainedCore::restore(const storage::RecoveredState& state) {
   qc_updates_.clear();
   sent_proposals_.clear();
   logged_proposals_.clear();
+  awaiting_batches_.clear();
   last_proposed_payload_.reset();
   last_tc_ = state.high_tc;
 
@@ -206,6 +207,13 @@ void ChainedCore::on_sync_response(const types::SyncResponse& resp) {
     if (tree_.insert(block) != chain::BlockTree::InsertResult::Inserted) {
       continue;  // duplicate (another peer answered first) or orphan
     }
+    // Synced blocks are already certified — no vote gate, but their digest
+    // payloads may reference batches that never reached this replica (it was
+    // down during dissemination). Kick the pull protocol so the ledger's
+    // transaction materialization completes.
+    if (hooks_.fetch_payload && block.payload.is_digests()) {
+      hooks_.fetch_payload(block.payload);
+    }
     // Chain-embedded QCs are canonical: peers processed them through their
     // strength trackers when the blocks first arrived, so replaying them
     // here keeps endorser sets consistent across replicas (Sec. 5).
@@ -276,7 +284,8 @@ void ChainedCore::propose(Round round) {
   block.height = parent->height + 1;
   block.proposer = config_.id;
   block.qc = high_qc;
-  block.payload = pool_.make_batch(config_.max_batch);
+  block.payload = hooks_.make_payload ? hooks_.make_payload(config_.max_batch)
+                                      : pool_.make_batch(config_.max_batch);
   block.log_digest = types::commit_log_digest(commit_log);
   block.created_at = sched_.now();
   block.seal();
@@ -374,9 +383,38 @@ void ChainedCore::on_proposal(const Proposal& proposal) {
     logged_proposals_.emplace(block.id, proposal);
   }
 
-  maybe_vote(block);
+  // Vote-availability gate (dissemination mode): never vote for a block
+  // whose referenced batches we do not hold — a strong-QC then proves 2f+1
+  // replicas can materialize the payload at commit time. The control plane
+  // above (tree insert, QC observation, round sync) proceeded normally;
+  // only this replica's vote waits for the data plane.
+  if (hooks_.payload_available && !hooks_.payload_available(block.payload)) {
+    awaiting_batches_.emplace(block.id, block);
+    if (hooks_.fetch_payload) hooks_.fetch_payload(block.payload);
+  } else {
+    maybe_vote(block);
+  }
 
   process_pending_proposals(block.id);
+}
+
+void ChainedCore::retry_awaiting_payloads() {
+  if (stopped_ || awaiting_batches_.empty()) return;
+  std::vector<types::Block> ready;
+  for (auto it = awaiting_batches_.begin(); it != awaiting_batches_.end();) {
+    if (it->second.round < pacemaker_.current_round()) {
+      it = awaiting_batches_.erase(it);  // stale — no longer votable
+    } else if (!hooks_.payload_available ||
+               hooks_.payload_available(it->second.payload)) {
+      ready.push_back(it->second);
+      it = awaiting_batches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // maybe_vote re-checks round/voted state itself, so a parked block whose
+  // moment has passed is a silent no-op.
+  for (const types::Block& block : ready) maybe_vote(block);
 }
 
 bool diembft_safe_to_vote(const Block& block, const SafetyRules& safety,
@@ -586,7 +624,11 @@ void ChainedCore::on_local_timeout(Round round) {
   // vote in a round this replica already timed out of.
   persist_vote(nullptr, round);
   if (last_proposed_payload_ && last_proposed_payload_->first == round) {
-    pool_.requeue(last_proposed_payload_->second);
+    if (hooks_.requeue_payload) {
+      hooks_.requeue_payload(last_proposed_payload_->second);
+    } else {
+      pool_.requeue(last_proposed_payload_->second);
+    }
     last_proposed_payload_.reset();
   }
   TimeoutMsg msg;

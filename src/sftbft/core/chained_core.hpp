@@ -156,6 +156,20 @@ class ChainedCore {
     /// auditing. May be empty.
     std::function<void(const types::Block&, const types::QuorumCert&)>
         on_canonical_qc;
+    /// --- dissemination (all four may be empty = inline payloads) ---
+    /// Leader-side payload source: return a digest-referencing Payload built
+    /// from the local BatchStore instead of pool_.make_batch.
+    std::function<types::Payload(std::size_t max_batch)> make_payload;
+    /// Round timed out before certification: return the payload's batches to
+    /// the proposable set (the inline path uses pool_.requeue instead).
+    std::function<void(const types::Payload&)> requeue_payload;
+    /// Vote-availability gate: do all batches a payload references exist
+    /// locally? (Implementations also mark them Proposed.) Blocks whose
+    /// payload is unavailable are parked, not voted — the SFT guarantee that
+    /// 2f+1 voters hold the data by commit time rests on this check.
+    std::function<bool(const types::Payload&)> payload_available;
+    /// Kick the pull protocol for a payload's missing batches.
+    std::function<void(const types::Payload&)> fetch_payload;
   };
 
   /// `store` (optional) enables durability: the safety envelope is WAL'd as
@@ -183,6 +197,20 @@ class ChainedCore {
   /// Asks a small rotating window of peers for blocks above the local tree
   /// root, retrying on the SyncClient's watchdog until caught up.
   void request_sync();
+
+  /// Dissemination mode: wires the committer to resolve digest payloads
+  /// against `batches` before ledger appends; `pull` fetches batches that
+  /// sync brought in certified but undisseminated.
+  void attach_batch_store(
+      dissem::BatchStore* batches,
+      std::function<void(const std::vector<crypto::Sha256Digest>&)> pull) {
+    committer_.set_batch_store(batches, std::move(pull));
+  }
+
+  /// Re-runs the vote path for proposals parked on missing batches (call
+  /// when new batches arrive). Entries that fell behind the current round
+  /// are dropped — their round can no longer be voted anyway.
+  void retry_awaiting_payloads();
 
   [[nodiscard]] bool stopped() const { return stopped_; }
 
@@ -312,6 +340,11 @@ class ChainedCore {
   // Proposals whose parent has not arrived yet.
   std::unordered_map<types::BlockId, std::vector<types::Proposal>>
       pending_proposals_;
+
+  // Dissemination: blocks inserted in the tree but not voted because a
+  // referenced batch had not arrived (vote-availability gate). Keyed by
+  // block id; retry_awaiting_payloads re-runs maybe_vote when batches land.
+  std::unordered_map<types::BlockId, types::Block> awaiting_batches_;
 
   // Sec. 5: per-QC strength updates, embedded into the next own proposal.
   std::unordered_map<crypto::Sha256Digest, std::vector<StrengthUpdate>>

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "sftbft/chain/block_tree.hpp"
 #include "sftbft/chain/ledger.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/dissem/batch_store.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/replica_store.hpp"
@@ -38,6 +40,20 @@ class Committer {
     snapshot_hook_ = std::move(hook);
   }
 
+  /// Dissemination mode: digest-referencing payloads are resolved against
+  /// `batches` before the ledger append (so committed-transaction counts
+  /// and mempool accounting stay exact). `pull` (may be empty) is invoked
+  /// with any digests whose batches have not arrived yet — possible only on
+  /// the block-sync path, since the vote-availability gate guarantees 2f+1
+  /// voters held the data; the store files those batches as committed when
+  /// the pull completes.
+  void set_batch_store(
+      dissem::BatchStore* batches,
+      std::function<void(const std::vector<crypto::Sha256Digest>&)> pull) {
+    batch_store_ = batches;
+    pull_batches_ = std::move(pull);
+  }
+
   /// Commits `head` and all its ancestors at `strength` (strong commit
   /// rule: "x-strong commits a block B_k and all its ancestors"). Stops as
   /// soon as a block already has the strength — deeper ancestors then do
@@ -47,10 +63,25 @@ class Committer {
     for (const types::Block* block = &head;
          block != nullptr && block->height > 0;
          block = tree_->parent_of(block->id)) {
-      const auto result = ledger_->commit(*block, strength, sched_->now());
+      // Digest payloads materialize to their transactions exactly once (at
+      // first commit): the store dedups by digest, so a batch referenced by
+      // competing forks counts toward exactly one ledger entry.
+      const types::Block* target = block;
+      types::Block materialized;
+      if (batch_store_ && block->payload.is_digests() &&
+          !ledger_->is_committed(block->height)) {
+        std::vector<crypto::Sha256Digest> missing;
+        materialized = *block;
+        materialized.payload = types::Payload{};
+        materialized.payload.txns =
+            batch_store_->resolve_committed(block->payload, missing);
+        if (!missing.empty() && pull_batches_) pull_batches_(missing);
+        target = &materialized;
+      }
+      const auto result = ledger_->commit(*target, strength, sched_->now());
       if (result == chain::Ledger::CommitResult::NoChange) break;
       if (result == chain::Ledger::CommitResult::New) {
-        pool_->mark_committed(block->payload);
+        pool_->mark_committed(target->payload);
       }
       if (store_) store_->record_commit(ledger_->at(block->height));
       if (on_commit_) on_commit_(*block, strength, sched_->now());
@@ -64,6 +95,8 @@ class Committer {
   mempool::Mempool* pool_;
   sim::Scheduler* sched_;
   storage::ReplicaStore* store_ = nullptr;
+  dissem::BatchStore* batch_store_ = nullptr;
+  std::function<void(const std::vector<crypto::Sha256Digest>&)> pull_batches_;
   OnCommit on_commit_;
   std::function<void()> snapshot_hook_;
 };

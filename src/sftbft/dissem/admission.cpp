@@ -1,0 +1,118 @@
+#include "sftbft/dissem/admission.hpp"
+
+#include <algorithm>
+
+namespace sftbft::dissem {
+
+AdmissionFrontend::AdmissionFrontend(mempool::Mempool& pool,
+                                     DissemConfig config)
+    : pool_(pool), config_(config) {
+  pool_.set_capacity(config_.mempool_capacity);
+}
+
+AdmissionFrontend::Outcome AdmissionFrontend::submit(std::uint64_t client,
+                                                     types::Transaction txn,
+                                                     SimTime now) {
+  ClientState& state = clients_[client];
+
+  if (state.recent.contains(txn.id)) {
+    ++stats_.duplicates;
+    return Outcome::kDuplicate;
+  }
+
+  if (config_.client_rate_limit > 0) {
+    if (now - state.window_start >= seconds(1)) {
+      state.window_start = now;
+      state.window_used = 0;
+    }
+    if (state.window_used >= config_.client_rate_limit) {
+      ++stats_.rate_limited;
+      return Outcome::kRateLimited;
+    }
+  }
+
+  switch (pool_.submit(txn)) {
+    case mempool::Mempool::Admit::kDuplicate:
+      ++stats_.duplicates;
+      return Outcome::kDuplicate;
+    case mempool::Mempool::Admit::kFull:
+      ++stats_.backpressured;
+      return Outcome::kBackpressure;
+    case mempool::Mempool::Admit::kAccepted:
+      break;
+  }
+
+  ++state.window_used;
+  state.recent.insert(txn.id);
+  state.recent_order.push_back(txn.id);
+  while (state.recent_order.size() > config_.client_dedup_window) {
+    state.recent.erase(state.recent_order.front());
+    state.recent_order.pop_front();
+  }
+  ++stats_.admitted;
+  return Outcome::kAdmitted;
+}
+
+ClientSwarm::ClientSwarm(sim::Scheduler& sched, AdmissionFrontend& frontend,
+                         mempool::WorkloadConfig workload, DissemConfig config,
+                         Rng rng)
+    : sched_(sched),
+      frontend_(frontend),
+      workload_(workload),
+      config_(config),
+      rng_(rng),
+      client_seq_(std::max<std::uint32_t>(1, config.clients), 0) {}
+
+void ClientSwarm::top_up() {
+  const std::uint32_t clients =
+      static_cast<std::uint32_t>(client_seq_.size());
+  // Round-robin over the population; every submission is a distinct client
+  // transaction (id space: replica | client | per-client sequence).
+  std::size_t rejected_streak = 0;
+  while (frontend_.backlog() < workload_.target_pool_size) {
+    const std::uint32_t client = next_client_;
+    next_client_ = (next_client_ + 1) % clients;
+    const std::uint64_t id = (id_space_ << 40) |
+                             (static_cast<std::uint64_t>(client) << 26) |
+                             client_seq_[client]++;
+    const auto outcome = frontend_.submit(
+        client,
+        types::Transaction{.id = id,
+                           .submitted_at = sched_.now(),
+                           .size_bytes = workload_.txn_size_bytes},
+        sched_.now());
+    if (outcome == AdmissionFrontend::Outcome::kAdmitted) {
+      ++submitted_;
+      rejected_streak = 0;
+      continue;
+    }
+    // Backpressure / rate limits reject the whole population eventually —
+    // stop instead of spinning (the next refill tick retries).
+    if (++rejected_streak >= clients) break;
+  }
+}
+
+void ClientSwarm::start() {
+  if (running_) return;
+  running_ = true;
+  top_up();
+  schedule_refill();
+}
+
+void ClientSwarm::schedule_refill() {
+  // Refill cadence: Poisson with the configured mean, or lockstep with the
+  // batch interval when arrivals are "saturating" (mean 0).
+  SimDuration wait = config_.batch_interval;
+  if (workload_.mean_interarrival > 0) {
+    wait = std::max<SimDuration>(
+        1, static_cast<SimDuration>(rng_.exponential(
+               static_cast<double>(workload_.mean_interarrival))));
+  }
+  sched_.schedule_after(wait, [this] {
+    if (!running_) return;
+    top_up();
+    schedule_refill();
+  });
+}
+
+}  // namespace sftbft::dissem

@@ -38,7 +38,8 @@ ChainedEngine::ChainedEngine(Protocol protocol, consensus::CoreConfig config,
                              Rng workload_rng, FaultSpec fault,
                              CommitObserver observer,
                              storage::ReplicaStore* store,
-                             replica::Replica::QcTap qc_tap)
+                             replica::Replica::QcTap qc_tap,
+                             dissem::DissemConfig dissem)
     : protocol_(protocol),
       transport_(transport),
       store_(store) {
@@ -46,7 +47,7 @@ ChainedEngine::ChainedEngine(Protocol protocol, consensus::CoreConfig config,
   replica_ = std::make_unique<replica::Replica>(
       config, transport, std::move(registry), workload,
       std::move(workload_rng), fault, std::move(observer), store,
-      std::move(qc_tap), chained_wires_for(protocol));
+      std::move(qc_tap), chained_wires_for(protocol), dissem);
 }
 
 void ChainedEngine::start() {

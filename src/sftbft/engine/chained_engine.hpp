@@ -20,13 +20,16 @@ class ChainedEngine final : public ConsensusEngine {
   /// `store` (optional) enables durable state — required for
   /// Kind::CrashRestart faults and for restart(); `qc_tap` (optional) feeds
   /// a harness-level SafetyAuditor.
+  /// `dissem.enabled` switches the replica to the batch data plane (see
+  /// replica::Replica).
   ChainedEngine(Protocol protocol, consensus::CoreConfig config,
                 net::Transport& transport,
                 std::shared_ptr<const crypto::KeyRegistry> registry,
                 mempool::WorkloadConfig workload, Rng workload_rng,
                 FaultSpec fault, CommitObserver observer,
                 storage::ReplicaStore* store = nullptr,
-                replica::Replica::QcTap qc_tap = nullptr);
+                replica::Replica::QcTap qc_tap = nullptr,
+                dissem::DissemConfig dissem = {});
 
   [[nodiscard]] Protocol protocol() const override { return protocol_; }
   [[nodiscard]] ReplicaId id() const override { return replica_->id(); }

@@ -114,13 +114,14 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
       if (fault.kind == FaultSpec::Kind::Byzantine) {
         engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
             config_.protocol, core, *transport_, registry_, config_.workload,
-            workload_rng.fork(), fault, coalition_, qc_tap_for(id)));
+            workload_rng.fork(), fault, coalition_, qc_tap_for(id),
+            config_.dissem));
         continue;
       }
       engines_.push_back(std::make_unique<ChainedEngine>(
           config_.protocol, core, *transport_, registry_, config_.workload,
           workload_rng.fork(), fault, observer, make_store(id, fault),
-          qc_tap_for(id)));
+          qc_tap_for(id), config_.dissem));
     }
   } else {
     for (ReplicaId id = 0; id < config_.n; ++id) {
@@ -132,13 +133,13 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
         engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
             core, *transport_, registry_, config_.workload,
             workload_rng.fork(), fault, coalition_, block_tap_for(id),
-            vote_tap_for(id)));
+            vote_tap_for(id), config_.dissem));
         continue;
       }
       engines_.push_back(std::make_unique<StreamletEngine>(
           core, *transport_, registry_, config_.workload,
           workload_rng.fork(), fault, observer, make_store(id, fault),
-          block_tap_for(id), vote_tap_for(id)));
+          block_tap_for(id), vote_tap_for(id), config_.dissem));
     }
   }
 }

@@ -21,6 +21,7 @@
 
 #include "sftbft/adversary/coalition.hpp"
 #include "sftbft/core/audit.hpp"
+#include "sftbft/dissem/config.hpp"
 #include "sftbft/engine/chained_engine.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/engine/streamlet_engine.hpp"
@@ -51,6 +52,10 @@ struct DeploymentConfig {
   net::Topology topology = net::Topology::uniform(4, millis(1));
   net::NetConfig net;
   mempool::WorkloadConfig workload;
+  /// Batch dissemination data plane (dissem.enabled switches every replica
+  /// to digest-referencing proposals + the admission front-end). Applies to
+  /// all three protocols.
+  dissem::DissemConfig dissem;
   /// Per-replica faults; empty = all honest. Indexed by replica id.
   std::vector<FaultSpec> faults;
   std::uint64_t seed = 1;

@@ -18,17 +18,28 @@ StreamletEngine::StreamletEngine(
     std::shared_ptr<const crypto::KeyRegistry> registry,
     mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
     CommitObserver observer, storage::ReplicaStore* store, BlockTap block_tap,
-    VoteTap vote_tap)
+    VoteTap vote_tap, dissem::DissemConfig dissem)
     : id_(config.id),
       transport_(transport),
       fault_(fault),
+      dissem_(dissem),
       store_(store),
-      workload_(transport.scheduler(), pool_, workload,
-                std::move(workload_rng)),
+      workload_(transport.scheduler(), pool_, workload, workload_rng),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
 
   const bool silent = fault_.kind == FaultSpec::Kind::Silent;
+
+  if (dissem_.enabled) {
+    batches_ = std::make_unique<dissem::BatchStore>();
+    make_broadcaster();
+    frontend_ = std::make_unique<dissem::AdmissionFrontend>(pool_, dissem_);
+    swarm_ = std::make_unique<dissem::ClientSwarm>(
+        transport.scheduler(), *frontend_, workload, dissem_,
+        workload_rng.fork());
+    swarm_->set_id_space(id_);
+  }
+
   StreamletCore::Hooks hooks;
   hooks.broadcast_proposal = [this, silent](const SProposal& proposal) {
     if (silent) return;
@@ -62,9 +73,42 @@ StreamletEngine::StreamletEngine(
   hooks.on_block_seen = std::move(block_tap);
   hooks.on_vote_seen = std::move(vote_tap);
 
+  if (dissem_.enabled) {
+    hooks.make_payload = [this](std::size_t /*max_batch*/) {
+      return batches_->make_payload(dissem_.max_batches_per_proposal,
+                                    transport_.scheduler().now(),
+                                    dissem_.repropose_after);
+    };
+    hooks.payload_available = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return true;
+      batches_->observe_reference(payload, transport_.scheduler().now());
+      return batches_->missing(payload).empty();
+    };
+    hooks.fetch_payload = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return;
+      const auto missing = batches_->missing(payload);
+      if (!missing.empty()) broadcaster_->want(missing);
+    };
+  }
+
   core_ = std::make_unique<StreamletCore>(config, transport.scheduler(),
                                           std::move(registry), pool_,
                                           std::move(hooks), store);
+  if (dissem_.enabled) {
+    core_->attach_batch_store(
+        batches_.get(), [this](const std::vector<crypto::Sha256Digest>& m) {
+          broadcaster_->want(m);
+        });
+  }
+}
+
+void StreamletEngine::make_broadcaster() {
+  broadcaster_ = std::make_unique<dissem::BatchBroadcaster>(
+      id_, transport_, pool_, *batches_, dissem_,
+      [this] { core_->retry_awaiting_payloads(); },
+      dissem::BatchBroadcaster::Options{
+          .silent = fault_.kind == FaultSpec::Kind::Silent,
+          .withhold_push = false});
 }
 
 void StreamletEngine::register_handler() {
@@ -91,6 +135,18 @@ void StreamletEngine::on_envelope(const Envelope& env) {
       case WireType::kSSyncResponse:
         core_->on_sync_response(env.unpack<SSyncResponse>());
         break;
+      case WireType::kBatchPush:
+        if (!broadcaster_) throw CodecError("StreamletEngine: dissem off");
+        broadcaster_->on_push(env.unpack<dissem::BatchPush>());
+        break;
+      case WireType::kBatchRequest:
+        if (!broadcaster_) throw CodecError("StreamletEngine: dissem off");
+        broadcaster_->on_request(env.unpack<dissem::BatchRequest>());
+        break;
+      case WireType::kBatchResponse:
+        if (!broadcaster_) throw CodecError("StreamletEngine: dissem off");
+        broadcaster_->on_response(env.unpack<dissem::BatchResponse>());
+        break;
       default:
         throw CodecError("StreamletEngine: wire type not in this stack");
     }
@@ -101,7 +157,12 @@ void StreamletEngine::on_envelope(const Envelope& env) {
 
 void StreamletEngine::start() {
   register_handler();
-  workload_.top_up();
+  if (dissem_.enabled) {
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+  }
   sim::Scheduler& sched = transport_.scheduler();
   if (fault_.kind == FaultSpec::Kind::Crash) {
     sched.schedule_at(fault_.crash_at, [this] { stop(); });
@@ -117,6 +178,10 @@ void StreamletEngine::start() {
 
 void StreamletEngine::stop() {
   core_->stop();
+  if (dissem_.enabled) {
+    broadcaster_->stop();
+    swarm_->stop();
+  }
   transport_.disconnect(id_);
 }
 
@@ -129,7 +194,15 @@ void StreamletEngine::restart() {
   // A fresh mempool: in-flight bookkeeping died with the process (same rule
   // as replica::Replica::restart).
   pool_ = mempool::Mempool();
-  workload_.top_up();
+  if (dissem_.enabled) {
+    pool_.set_capacity(dissem_.mempool_capacity);
+    *batches_ = dissem::BatchStore();
+    make_broadcaster();
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+  }
   core_->restore(store_->recover());
   core_->request_sync();
 }

@@ -10,6 +10,9 @@
 
 #include <memory>
 
+#include "sftbft/dissem/admission.hpp"
+#include "sftbft/dissem/broadcaster.hpp"
+#include "sftbft/dissem/config.hpp"
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/transport.hpp"
@@ -29,12 +32,16 @@ class StreamletEngine final : public ConsensusEngine {
   /// the observer may be null. `store` (optional) enables durable state —
   /// required for Kind::CrashRestart faults and for restart(); the taps
   /// (optional) feed a harness-level SafetyAuditor.
+  /// `dissem.enabled` switches the replica to the batch data plane (same
+  /// semantics as replica::Replica — digest proposals, vote-availability
+  /// gate, admission front-end).
   StreamletEngine(streamlet::StreamletConfig config, net::Transport& transport,
                   std::shared_ptr<const crypto::KeyRegistry> registry,
                   mempool::WorkloadConfig workload, Rng workload_rng,
                   FaultSpec fault, CommitObserver observer,
                   storage::ReplicaStore* store = nullptr,
-                  BlockTap block_tap = nullptr, VoteTap vote_tap = nullptr);
+                  BlockTap block_tap = nullptr, VoteTap vote_tap = nullptr,
+                  dissem::DissemConfig dissem = {});
 
   [[nodiscard]] Protocol protocol() const override {
     return Protocol::Streamlet;
@@ -61,18 +68,37 @@ class StreamletEngine final : public ConsensusEngine {
   [[nodiscard]] const streamlet::StreamletCore& core() const { return *core_; }
   [[nodiscard]] storage::ReplicaStore* store() override { return store_; }
 
+  /// Dissemination components (null unless dissem.enabled).
+  [[nodiscard]] const dissem::BatchStore* batch_store() const {
+    return batches_.get();
+  }
+  [[nodiscard]] const dissem::BatchBroadcaster* broadcaster() const {
+    return broadcaster_.get();
+  }
+  [[nodiscard]] const dissem::AdmissionFrontend* frontend() const {
+    return frontend_.get();
+  }
+
  private:
   void register_handler();
   void on_envelope(const net::Envelope& env);
+  void make_broadcaster();
 
   ReplicaId id_;
   net::Transport& transport_;
   FaultSpec fault_;
+  dissem::DissemConfig dissem_;
   storage::ReplicaStore* store_ = nullptr;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;
   mempool::WorkloadGenerator workload_;
+  // Data plane (dissem_.enabled only); same reset-by-assignment rule as
+  // replica::Replica (the core aims a raw pointer at *batches_).
+  std::unique_ptr<dissem::BatchStore> batches_;
+  std::unique_ptr<dissem::BatchBroadcaster> broadcaster_;
+  std::unique_ptr<dissem::AdmissionFrontend> frontend_;
+  std::unique_ptr<dissem::ClientSwarm> swarm_;
   std::unique_ptr<streamlet::StreamletCore> core_;
   CommitObserver observer_;
 };

@@ -198,6 +198,10 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
 
   deployment.workload.txn_size_bytes = txn_size_bytes;
   deployment.workload.target_pool_size = max_batch * 4;
+  deployment.workload.mean_interarrival = mean_interarrival;
+
+  deployment.dissem = dissem;
+  deployment.dissem.enabled = dissemination;
   return deployment;
 }
 
@@ -238,6 +242,8 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.corrupt_drops = stats.corrupt_drops();
   result.broadcast_saved_bytes = stats.broadcast_saved_bytes();
   result.traffic_by_type = stats.by_type();
+  result.egress_by_replica = stats.egress_by_replica();
+  result.max_egress_bytes = stats.max_egress_bytes();
   const std::uint64_t blocks = deployment.ledger(0).committed_blocks();
   if (blocks > 0) {
     result.messages_per_block =

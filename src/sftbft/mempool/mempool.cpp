@@ -2,8 +2,23 @@
 
 namespace sftbft::mempool {
 
-void Mempool::submit(types::Transaction txn) {
+Mempool::Admit Mempool::submit(types::Transaction txn) {
+  if (known_.contains(txn.id) || committed_set_.contains(txn.id)) {
+    return Admit::kDuplicate;
+  }
+  if (capacity_ != 0 && queue_.size() >= capacity_) return Admit::kFull;
+  known_.insert(txn.id);
   queue_.push_back(std::move(txn));
+  return Admit::kAccepted;
+}
+
+void Mempool::remember_committed(std::uint64_t id) {
+  if (!committed_set_.insert(id).second) return;
+  committed_order_.push_back(id);
+  while (committed_order_.size() > kCommittedMemory) {
+    committed_set_.erase(committed_order_.front());
+    committed_order_.pop_front();
+  }
 }
 
 types::Payload Mempool::make_batch(std::size_t max_txns) {
@@ -22,6 +37,8 @@ types::Payload Mempool::make_batch(std::size_t max_txns) {
 void Mempool::mark_committed(const types::Payload& payload) {
   for (const types::Transaction& txn : payload.txns) {
     in_flight_.erase(txn.id);
+    known_.erase(txn.id);
+    remember_committed(txn.id);
   }
 }
 
@@ -58,11 +75,13 @@ void WorkloadGenerator::schedule_next() {
 
 void WorkloadGenerator::top_up() {
   while (pool_.pending() < config_.target_pool_size) {
-    pool_.submit(types::Transaction{
+    const Mempool::Admit admit = pool_.submit(types::Transaction{
         .id = (id_space_ << 40) | next_id_++,
         .submitted_at = sched_.now(),
         .size_bytes = config_.txn_size_bytes,
     });
+    // A bounded pool below the target would otherwise spin here forever.
+    if (admit == Mempool::Admit::kFull) break;
   }
 }
 

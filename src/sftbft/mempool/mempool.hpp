@@ -20,7 +20,22 @@ namespace sftbft::mempool {
 
 class Mempool {
  public:
-  void submit(types::Transaction txn);
+  /// Outcome of a submission — the mempool's backpressure signal.
+  enum class Admit : std::uint8_t {
+    kAccepted,   ///< queued
+    kDuplicate,  ///< id already pending, in flight, or recently committed
+    kFull,       ///< bounded capacity reached; resubmit later
+  };
+
+  /// Admits a transaction. Duplicates (by id, across the pending queue,
+  /// in-flight batches, and a bounded window of recent commits) and
+  /// over-capacity submissions are rejected, never silently double-queued.
+  Admit submit(types::Transaction txn);
+
+  /// Bounds the pending queue (0 = unbounded, the default). When full,
+  /// submit returns kFull — the AdmissionFrontend's backpressure source.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Takes up to `max_txns` pending transactions, oldest first. Transactions
   /// in flight (already proposed but not committed) are not re-proposed.
@@ -37,8 +52,21 @@ class Mempool {
   [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
 
  private:
+  void remember_committed(std::uint64_t id);
+
+  /// How many committed ids the dedup window remembers (FIFO eviction):
+  /// enough to cover every in-flight client retry horizon in the sims
+  /// without growing with ledger length.
+  static constexpr std::size_t kCommittedMemory = 1 << 14;
+
   std::deque<types::Transaction> queue_;
   std::unordered_set<std::uint64_t> in_flight_;
+  /// Ids currently pending or in flight (the live dedup set).
+  std::unordered_set<std::uint64_t> known_;
+  /// Recently committed ids (bounded FIFO window).
+  std::unordered_set<std::uint64_t> committed_set_;
+  std::deque<std::uint64_t> committed_order_;
+  std::size_t capacity_ = 0;
 };
 
 struct WorkloadConfig {

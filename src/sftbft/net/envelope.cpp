@@ -20,6 +20,9 @@ bool wire_type_known(std::uint8_t tag) {
     case WireType::kHTimeout:
     case WireType::kHSyncRequest:
     case WireType::kHSyncResponse:
+    case WireType::kBatchPush:
+    case WireType::kBatchRequest:
+    case WireType::kBatchResponse:
       return true;
   }
   return false;
@@ -46,6 +49,12 @@ const char* wire_type_name(WireType type) {
     case WireType::kSSyncResponse:
     case WireType::kHSyncResponse:
       return "sync_resp";
+    case WireType::kBatchPush:
+      return "batch_push";
+    case WireType::kBatchRequest:
+      return "batch_req";
+    case WireType::kBatchResponse:
+      return "batch_resp";
   }
   return "unknown";
 }

@@ -30,7 +30,10 @@ namespace sftbft::net {
 /// never renumber, only append. 0x0x = DiemBFT stack, 0x1x = Streamlet,
 /// 0x2x = chained HotStuff (same payload codecs as the 0x0x tags — the
 /// chained stacks share the kernel's message types; the tag tells mixed
-/// tooling which protocol a frame belongs to).
+/// tooling which protocol a frame belongs to), 0x4x = the dissemination
+/// data plane (sftbft::dissem), protocol-agnostic: every engine speaks the
+/// same batch tags because payload distribution is independent of the
+/// consensus rules ordering the digests.
 enum class WireType : std::uint8_t {
   kProposal = 0x01,      ///< types::Proposal
   kVote = 0x02,          ///< types::Vote (regular and FBFT extra votes)
@@ -46,6 +49,9 @@ enum class WireType : std::uint8_t {
   kHTimeout = 0x23,      ///< types::TimeoutMsg (HotStuff stack)
   kHSyncRequest = 0x24,  ///< types::SyncRequest (HotStuff stack)
   kHSyncResponse = 0x25, ///< types::SyncResponse (HotStuff stack)
+  kBatchPush = 0x41,     ///< dissem::BatchPush (all engines)
+  kBatchRequest = 0x42,  ///< dissem::BatchRequest (all engines)
+  kBatchResponse = 0x43, ///< dissem::BatchResponse (all engines)
 };
 
 /// The tag set one chained-kernel replica speaks (DiemBFT or HotStuff

@@ -50,6 +50,7 @@ void SimTransport::route(ReplicaId from, ReplicaId to, const char* label,
                          const std::shared_ptr<const Bytes>& frame,
                          const std::shared_ptr<const Envelope>& env) {
   stats_.record(label, frame->size());
+  if (from != to) stats_.record_egress(from, frame->size());
   if (filter_ && !filter_(from, to)) return;
   if (from == to) {
     // Self-sends never touch a physical link: immediate, uncorrupted.

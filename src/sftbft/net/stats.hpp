@@ -7,6 +7,7 @@
 // messages-per-committed-block directly instead of asserting the asymptotics.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -32,6 +33,29 @@ class MessageStats {
 
   [[nodiscard]] std::uint64_t total_count() const { return total_count_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Records `frame_bytes` of egress charged to sending replica `from`
+  /// (one call per recipient — a broadcast to n-1 peers charges the sender
+  /// n-1 frames, which is precisely the leader-bandwidth cost the
+  /// dissemination layer attacks).
+  void record_egress(std::uint32_t from, std::size_t frame_bytes) {
+    if (egress_bytes_.size() <= from) egress_bytes_.resize(from + 1, 0);
+    egress_bytes_[from] += frame_bytes;
+  }
+
+  /// Egress bytes per sending replica (index = replica id; may be shorter
+  /// than n if trailing replicas never sent).
+  [[nodiscard]] const std::vector<std::uint64_t>& egress_by_replica() const {
+    return egress_bytes_;
+  }
+
+  /// The busiest sender's egress — with round-robin leadership this is the
+  /// per-leader bandwidth bound the scale-out claims are about.
+  [[nodiscard]] std::uint64_t max_egress_bytes() const {
+    std::uint64_t max = 0;
+    for (const std::uint64_t bytes : egress_bytes_) max = std::max(max, bytes);
+    return max;
+  }
 
   /// Frames the transport corrupted in flight (FaultSpec::Kind::Corrupt).
   void record_corrupt_injected() { ++corrupt_injected_; }
@@ -75,10 +99,12 @@ class MessageStats {
     corrupt_drops_ = 0;
     decode_drops_ = 0;
     broadcast_saved_bytes_ = 0;
+    egress_bytes_.clear();
   }
 
  private:
   std::map<std::string, TypeStats> per_type_;
+  std::vector<std::uint64_t> egress_bytes_;
   std::uint64_t total_count_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t corrupt_injected_ = 0;

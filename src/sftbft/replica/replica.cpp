@@ -15,16 +15,27 @@ Replica::Replica(consensus::CoreConfig config, net::Transport& transport,
                  mempool::WorkloadConfig workload, Rng workload_rng,
                  FaultSpec fault, CommitObserver observer,
                  storage::ReplicaStore* store, QcTap qc_tap,
-                 net::ChainedWireSet wires)
+                 net::ChainedWireSet wires, dissem::DissemConfig dissem)
     : id_(config.id),
       transport_(transport),
       wires_(wires),
       fault_(fault),
+      dissem_(dissem),
       workload_(transport.scheduler(), pool_, workload, workload_rng),
       observer_(std::move(observer)) {
   workload_.set_id_space(id_);
 
   const bool silent = fault_.kind == FaultSpec::Kind::Silent;
+
+  if (dissem_.enabled) {
+    batches_ = std::make_unique<dissem::BatchStore>();
+    make_broadcaster();
+    frontend_ = std::make_unique<dissem::AdmissionFrontend>(pool_, dissem_);
+    swarm_ = std::make_unique<dissem::ClientSwarm>(
+        transport.scheduler(), *frontend_, workload, dissem_,
+        workload_rng.fork());
+    swarm_->set_id_space(id_);
+  }
   ChainedCore::Hooks hooks;
   hooks.send_vote = [this, silent](ReplicaId to, const Vote& vote) {
     if (silent) return;
@@ -61,9 +72,54 @@ Replica::Replica(consensus::CoreConfig config, net::Transport& transport,
   };
   hooks.on_canonical_qc = std::move(qc_tap);
 
+  if (dissem_.enabled) {
+    // Control plane ↔ data plane seams. Leaders draw digest payloads from
+    // the batch store; voters gate on availability and pull what's missing;
+    // timed-out references revert to proposable.
+    hooks.make_payload = [this](std::size_t /*max_batch*/) {
+      return batches_->make_payload(dissem_.max_batches_per_proposal,
+                                    transport_.scheduler().now(),
+                                    dissem_.repropose_after);
+    };
+    hooks.requeue_payload = [this](const types::Payload& payload) {
+      if (payload.is_digests()) {
+        batches_->requeue(payload);
+      } else {
+        pool_.requeue(payload);
+      }
+    };
+    hooks.payload_available = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return true;
+      // Present batches go Proposed either way — another leader claimed
+      // them; re-proposing them here would only waste block space.
+      batches_->observe_reference(payload, transport_.scheduler().now());
+      return batches_->missing(payload).empty();
+    };
+    hooks.fetch_payload = [this](const types::Payload& payload) {
+      if (!payload.is_digests()) return;
+      const auto missing = batches_->missing(payload);
+      if (!missing.empty()) broadcaster_->want(missing);
+    };
+  }
+
   core_ = std::make_unique<ChainedCore>(config, transport.scheduler(),
                                         registry, pool_, std::move(hooks),
                                         store);
+  if (dissem_.enabled) {
+    core_->attach_batch_store(
+        batches_.get(), [this](const std::vector<crypto::Sha256Digest>& m) {
+          broadcaster_->want(m);
+        });
+  }
+}
+
+void Replica::make_broadcaster() {
+  broadcaster_ = std::make_unique<dissem::BatchBroadcaster>(
+      id_, transport_, pool_, *batches_, dissem_,
+      [this] { core_->retry_awaiting_payloads(); },
+      dissem::BatchBroadcaster::Options{
+          .silent = fault_.kind == FaultSpec::Kind::Silent,
+          .withhold_push = false});
 }
 
 void Replica::register_handler() {
@@ -77,8 +133,13 @@ void Replica::register_handler() {
 
 void Replica::start() {
   register_handler();
-  workload_.top_up();
-  workload_.start();
+  if (dissem_.enabled) {
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+    workload_.start();
+  }
   if (fault_.kind == FaultSpec::Kind::Crash) {
     transport_.scheduler().schedule_at(fault_.crash_at, [this] { crash(); });
   }
@@ -89,7 +150,18 @@ void Replica::restart(const storage::RecoveredState& state) {
   register_handler();
   // A fresh mempool: in-flight bookkeeping died with the process.
   pool_ = mempool::Mempool();
-  workload_.top_up();
+  if (dissem_.enabled) {
+    // Volatile data plane died too: reset the store in place (the committer
+    // aims a raw pointer at it) and rebuild the broadcaster's pull state.
+    // Certified-but-missing batches re-arrive via the sync path's pull.
+    pool_.set_capacity(dissem_.mempool_capacity);
+    *batches_ = dissem::BatchStore();
+    make_broadcaster();
+    swarm_->start();
+    broadcaster_->start();
+  } else {
+    workload_.top_up();
+  }
   core_->restore(state);
   core_->request_sync();
 }
@@ -106,6 +178,12 @@ void Replica::on_envelope(const Envelope& env) {
       core_->on_sync_request(env.unpack<SyncRequest>());
     } else if (env.type == wires_.sync_response) {
       core_->on_sync_response(env.unpack<SyncResponse>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchPush) {
+      broadcaster_->on_push(env.unpack<dissem::BatchPush>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchRequest) {
+      broadcaster_->on_request(env.unpack<dissem::BatchRequest>());
+    } else if (broadcaster_ && env.type == net::WireType::kBatchResponse) {
+      broadcaster_->on_response(env.unpack<dissem::BatchResponse>());
     } else {
       // Another stack's tag reaching this replica is a payload this stack
       // cannot parse — same treatment as a garbled payload.
@@ -119,6 +197,10 @@ void Replica::on_envelope(const Envelope& env) {
 
 void Replica::crash() {
   core_->stop();
+  if (dissem_.enabled) {
+    broadcaster_->stop();
+    swarm_->stop();
+  }
   transport_.disconnect(id_);
 }
 

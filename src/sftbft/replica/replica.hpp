@@ -14,6 +14,9 @@
 #include <memory>
 
 #include "sftbft/consensus/diembft.hpp"
+#include "sftbft/dissem/admission.hpp"
+#include "sftbft/dissem/broadcaster.hpp"
+#include "sftbft/dissem/config.hpp"
 #include "sftbft/engine/fault.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/transport.hpp"
@@ -41,12 +44,17 @@ class Replica {
   /// `qc_tap` (optional) feeds a harness-level auditor. `wires` selects the
   /// protocol's Envelope tag set (DiemBFT by default; pass
   /// net::kHotStuffWires together with a hotstuff-ruled config).
+  /// `dissem.enabled` switches the replica to the batch data plane: the
+  /// AdmissionFrontend + ClientSwarm replace the bench WorkloadGenerator,
+  /// the BatchBroadcaster pushes content-addressed batches off the critical
+  /// path, and the core proposes/votes/commits digest-referencing payloads.
   Replica(consensus::CoreConfig config, net::Transport& transport,
           std::shared_ptr<const crypto::KeyRegistry> registry,
           mempool::WorkloadConfig workload, Rng workload_rng, FaultSpec fault,
           CommitObserver observer,
           storage::ReplicaStore* store = nullptr, QcTap qc_tap = nullptr,
-          net::ChainedWireSet wires = net::kDiemBftWires);
+          net::ChainedWireSet wires = net::kDiemBftWires,
+          dissem::DissemConfig dissem = {});
 
   /// Registers the transport handler, fills the mempool, arms the crash
   /// timer (Kind::Crash only — CrashRestart timers belong to the engine
@@ -64,6 +72,17 @@ class Replica {
   [[nodiscard]] ReplicaId id() const { return id_; }
   [[nodiscard]] const FaultSpec& fault() const { return fault_; }
 
+  /// Dissemination components (null unless dissem.enabled).
+  [[nodiscard]] const dissem::BatchStore* batch_store() const {
+    return batches_.get();
+  }
+  [[nodiscard]] const dissem::BatchBroadcaster* broadcaster() const {
+    return broadcaster_.get();
+  }
+  [[nodiscard]] const dissem::AdmissionFrontend* frontend() const {
+    return frontend_.get();
+  }
+
   /// Simulates a crash now: stops the core and drops off the network.
   void crash();
 
@@ -76,15 +95,23 @@ class Replica {
  private:
   void register_handler();
   void on_envelope(const net::Envelope& env);
+  void make_broadcaster();
 
   ReplicaId id_;
   net::Transport& transport_;
   net::ChainedWireSet wires_;
   FaultSpec fault_;
+  dissem::DissemConfig dissem_;
   std::uint64_t inbound_messages_ = 0;
   std::uint64_t inbound_bytes_ = 0;
   mempool::Mempool pool_;
   mempool::WorkloadGenerator workload_;
+  // Data plane (dissem_.enabled only). The core holds a raw pointer into
+  // *batches_, so the store object is reset by assignment, never re-seated.
+  std::unique_ptr<dissem::BatchStore> batches_;
+  std::unique_ptr<dissem::BatchBroadcaster> broadcaster_;
+  std::unique_ptr<dissem::AdmissionFrontend> frontend_;
+  std::unique_ptr<dissem::ClientSwarm> swarm_;
   std::unique_ptr<consensus::DiemBftCore> core_;
   CommitObserver observer_;
 };

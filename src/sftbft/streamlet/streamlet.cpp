@@ -162,6 +162,7 @@ void StreamletCore::on_round_tick() {
   if (stopped_) return;
   ++round_;
   voted_this_round_ = false;
+  awaiting_batches_.reset();  // a deferred vote cannot cross rounds
   if (round_ % config_.n == config_.id && !awaiting_sync_) propose();
   schedule_tick(sched_.now() + 2 * config_.delta_bound);
 }
@@ -176,6 +177,7 @@ void StreamletCore::restore(const storage::RecoveredState& state) {
   votes_.clear();
   certified_.clear();
   triple_strength_.clear();
+  awaiting_batches_.reset();
 
   tree_ = state.tip ? chain::BlockTree::rooted_at(*state.tip)
                     : chain::BlockTree();
@@ -242,9 +244,13 @@ void StreamletCore::on_sync_response(const SSyncResponse& resp) {
   // an uncertified synced block is inert.
   for (const Block& block : resp.blocks) {
     if (!block.id_is_valid()) return;
-    if (tree_.insert(block) == chain::BlockTree::InsertResult::Inserted &&
-        hooks_.on_block_seen) {
-      hooks_.on_block_seen(block);
+    if (tree_.insert(block) == chain::BlockTree::InsertResult::Inserted) {
+      if (hooks_.on_block_seen) hooks_.on_block_seen(block);
+      // Synced digest payloads may reference batches this replica missed
+      // while down — pull them so commit-time materialization completes.
+      if (hooks_.fetch_payload && block.payload.is_digests()) {
+        hooks_.fetch_payload(block.payload);
+      }
     }
   }
   for (const SVote& vote : resp.votes) {
@@ -258,6 +264,15 @@ void StreamletCore::on_sync_response(const SSyncResponse& resp) {
     try_certify(block.id);
   }
   awaiting_sync_ = false;
+}
+
+void StreamletCore::retry_awaiting_payloads() {
+  if (stopped_ || !awaiting_batches_) return;
+  const Block block = *awaiting_batches_;
+  awaiting_batches_.reset();
+  // maybe_vote re-checks round/voted state (and may re-defer if still
+  // incomplete — it re-registers the block itself in that case).
+  maybe_vote(block);
 }
 
 const Block& StreamletCore::longest_certified_tip() const {
@@ -278,7 +293,8 @@ void StreamletCore::propose() {
   block.qc.block_id = parent.id;
   block.qc.round = parent.round;
   block.qc.parent_id = parent.parent_id;
-  block.payload = pool_.make_batch(config_.max_batch);
+  block.payload = hooks_.make_payload ? hooks_.make_payload(config_.max_batch)
+                                      : pool_.make_batch(config_.max_batch);
   block.created_at = sched_.now();
   block.seal();
 
@@ -335,6 +351,15 @@ void StreamletCore::maybe_vote(const Block& block) {
   const Block* parent = tree_.get(block.parent_id);
   if (parent == nullptr) return;
   if (!certified_.contains(parent->id) || parent->height != longest_height_) {
+    return;
+  }
+  // Vote-availability gate (dissemination mode): the vote waits for the
+  // data plane to deliver every referenced batch. Deferred, not dropped —
+  // retry_awaiting_payloads re-runs this when batches land, and the round
+  // tick lapses a deferral that missed its window.
+  if (hooks_.payload_available && !hooks_.payload_available(block.payload)) {
+    awaiting_batches_ = block;
+    if (hooks_.fetch_payload) hooks_.fetch_payload(block.payload);
     return;
   }
   voted_this_round_ = true;

@@ -159,6 +159,15 @@ class StreamletCore {
     /// least as informed as the replica it audits. May be empty.
     std::function<void(const types::Block&)> on_block_seen;
     std::function<void(const SVote&)> on_vote_seen;
+    /// --- dissemination (all may be empty = inline payloads) ---
+    /// Leader-side payload source (digest-referencing proposals from the
+    /// local BatchStore); no requeue twin: Streamlet is lock-step, an
+    /// uncertified round's batches revert via the store's repropose window.
+    std::function<types::Payload(std::size_t max_batch)> make_payload;
+    /// Vote-availability gate: all referenced batches held locally?
+    std::function<bool(const types::Payload&)> payload_available;
+    /// Kick the pull protocol for a payload's missing batches.
+    std::function<void(const types::Payload&)> fetch_payload;
   };
 
   /// `store` (optional) enables durability (WAL'd votes + ledger snapshots)
@@ -187,6 +196,20 @@ class StreamletCore {
   /// still awaiting a response or its certified tip lags the lock-step
   /// clock.
   void request_sync();
+
+  /// Dissemination mode: the committer resolves digest payloads against
+  /// `batches` before ledger appends; `pull` fetches batches that sync
+  /// delivered certified but undisseminated.
+  void attach_batch_store(
+      dissem::BatchStore* batches,
+      std::function<void(const std::vector<crypto::Sha256Digest>&)> pull) {
+    committer_.set_batch_store(batches, std::move(pull));
+  }
+
+  /// Re-runs the vote path for a proposal deferred on missing batches (call
+  /// when new batches arrive). Lock-step rounds mean at most one proposal
+  /// can be waiting; a deferral that missed its round lapses silently.
+  void retry_awaiting_payloads();
 
   void on_proposal(const SProposal& proposal);
   void on_vote(const SVote& vote);
@@ -246,6 +269,9 @@ class StreamletCore {
   bool awaiting_sync_ = false;
   /// One orphan-repair timer at a time (see on_proposal).
   bool orphan_repair_armed_ = false;
+  /// Dissemination: this round's proposal, vote deferred until its batches
+  /// arrive (vote-availability gate). Cleared on every round tick.
+  std::optional<types::Block> awaiting_batches_;
   sim::TimerId tick_timer_ = sim::kInvalidTimer;
 
   /// votes per block (by voter), and the certified set.

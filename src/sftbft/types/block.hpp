@@ -52,7 +52,7 @@ struct Block {
   /// Minimum encoded size (empty QC/payload): bounds untrusted block counts
   /// while decoding sync responses.
   static constexpr std::size_t kMinEncodedBytes =
-      32 + 32 + 8 + 8 + 4 + QuorumCert::kMinEncodedBytes + 4 + 32 + 8;
+      32 + 32 + 8 + 8 + 4 + QuorumCert::kMinEncodedBytes + 5 + 32 + 8;
 
   [[nodiscard]] std::string brief() const;  ///< "B(r=5,h=3,id=1a2b3c4d)"
 

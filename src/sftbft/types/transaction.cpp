@@ -5,14 +5,13 @@
 
 namespace sftbft::types {
 
-namespace {
-
 /// Synthetic body: the little-endian id repeated across `size` bytes. A
 /// pure function of the record, so decode can skip it and re-encode
 /// regenerates it bit-identically. Written in place into the encoder's
 /// buffer by doubling memcpys (every copy source is 8-aligned in the
 /// pattern) — this is the broadcast hot path, no staging copy.
-void append_body(Encoder& enc, std::uint64_t id, std::uint32_t size) {
+void append_synthetic_body(Encoder& enc, std::uint64_t id,
+                           std::uint32_t size) {
   if (size == 0) return;
   std::uint8_t pattern[8];
   for (int i = 0; i < 8; ++i) {
@@ -29,8 +28,6 @@ void append_body(Encoder& enc, std::uint64_t id, std::uint32_t size) {
   }
 }
 
-}  // namespace
-
 void Transaction::encode(Encoder& enc) const {
   enc.u64(id);
   enc.i64(submitted_at);
@@ -45,6 +42,13 @@ Transaction Transaction::decode(Decoder& dec) {
   return txn;
 }
 
+Payload Payload::referencing(std::vector<crypto::Sha256Digest> digests) {
+  Payload payload;
+  payload.mode = Mode::kDigests;
+  payload.batch_digests = std::move(digests);
+  return payload;
+}
+
 std::uint64_t Payload::total_bytes() const {
   std::uint64_t total = 0;
   for (const Transaction& txn : txns) total += txn.size_bytes;
@@ -52,16 +56,43 @@ std::uint64_t Payload::total_bytes() const {
 }
 
 void Payload::encode(Encoder& enc) const {
-  enc.reserve(4 + txns.size() * Transaction::kRecordBytes + total_bytes());
+  if (mode == Mode::kDigests) {
+    enc.reserve(1 + 4 + batch_digests.size() * 32);
+    enc.u8(static_cast<std::uint8_t>(mode));
+    enc.u32(static_cast<std::uint32_t>(batch_digests.size()));
+    for (const crypto::Sha256Digest& digest : batch_digests) {
+      enc.raw(digest.bytes);
+    }
+    return;
+  }
+  enc.reserve(1 + 4 + txns.size() * Transaction::kRecordBytes +
+              total_bytes());
+  enc.u8(static_cast<std::uint8_t>(mode));
   enc.u32(static_cast<std::uint32_t>(txns.size()));
   for (const Transaction& txn : txns) {
     txn.encode(enc);
-    append_body(enc, txn.id, txn.size_bytes);
+    append_synthetic_body(enc, txn.id, txn.size_bytes);
   }
 }
 
 Payload Payload::decode(Decoder& dec) {
   Payload payload;
+  const std::uint8_t mode = dec.u8();
+  if (mode > static_cast<std::uint8_t>(Mode::kDigests)) {
+    throw CodecError("Payload: unknown mode tag");
+  }
+  payload.mode = static_cast<Mode>(mode);
+  if (payload.mode == Mode::kDigests) {
+    const std::uint32_t count = dec.count(32);
+    payload.batch_digests.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      crypto::Sha256Digest digest;
+      const Bytes raw = dec.raw(32);
+      std::copy(raw.begin(), raw.end(), digest.bytes.begin());
+      payload.batch_digests.push_back(digest);
+    }
+    return payload;
+  }
   const std::uint32_t count = dec.count(Transaction::kRecordBytes);
   payload.txns.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -75,6 +106,14 @@ Payload Payload::decode(Decoder& dec) {
 }
 
 void Payload::encode_records(Encoder& enc) const {
+  enc.u8(static_cast<std::uint8_t>(mode));
+  if (mode == Mode::kDigests) {
+    enc.u32(static_cast<std::uint32_t>(batch_digests.size()));
+    for (const crypto::Sha256Digest& digest : batch_digests) {
+      enc.raw(digest.bytes);
+    }
+    return;
+  }
   enc.u32(static_cast<std::uint32_t>(txns.size()));
   for (const Transaction& txn : txns) txn.encode(enc);
 }
@@ -87,7 +126,8 @@ crypto::Sha256Digest Payload::records_digest() const {
 
 void Payload::refresh_records_digest() const {
   Encoder enc;
-  enc.reserve(4 + txns.size() * Transaction::kRecordBytes);
+  enc.reserve(1 + 4 + txns.size() * Transaction::kRecordBytes +
+              batch_digests.size() * 32);
   encode_records(enc);
   records_memo_ = std::make_shared<const crypto::Sha256Digest>(
       crypto::Sha256::hash(enc.data()));

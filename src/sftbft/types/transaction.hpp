@@ -38,23 +38,48 @@ struct Transaction {
   friend bool operator==(const Transaction&, const Transaction&) = default;
 };
 
-/// The ordered batch of transactions inside one block.
+/// Appends `size` synthetic body bytes for transaction `id` to the encoder
+/// (the little-endian id repeated). A pure function of the record, so
+/// decoders skip the body and re-encoding regenerates it bit-identically.
+/// Shared by Payload and dissem::Batch — the two wire containers that carry
+/// full transaction bodies.
+void append_synthetic_body(Encoder& enc, std::uint64_t id, std::uint32_t size);
+
+/// The ordered batch of transactions inside one block — either carried
+/// inline (the classic mode: full transaction records + synthetic bodies on
+/// the wire) or referenced by content digest (dissemination mode: the block
+/// names batches already pushed through sftbft::dissem, so proposals shrink
+/// from ~450 KB to a handful of 32-byte digests).
 struct Payload {
+  enum class Mode : std::uint8_t { kInline = 0, kDigests = 1 };
+
+  Mode mode = Mode::kInline;
+  /// Inline mode: the transactions themselves.
   std::vector<Transaction> txns;
+  /// Digest mode: content addresses of dissem::Batch objects, in order.
+  std::vector<crypto::Sha256Digest> batch_digests;
+
+  [[nodiscard]] bool is_digests() const { return mode == Mode::kDigests; }
+
+  /// Builds a digest-mode payload referencing `digests`, in order.
+  static Payload referencing(std::vector<crypto::Sha256Digest> digests);
 
   [[nodiscard]] std::uint64_t total_bytes() const;
 
-  /// Canonical wire encoding: count, then per transaction the record
-  /// followed by `size_bytes` of deterministic body bytes. decode() skips
-  /// the bodies (they are a pure function of the record) and re-encoding a
-  /// decoded payload is byte-identical.
+  /// Canonical wire encoding: a one-byte mode tag, then either the inline
+  /// form (count, then per transaction the record followed by `size_bytes`
+  /// of deterministic body bytes) or the digest form (count + 32-byte batch
+  /// digests). decode() skips inline bodies (they are a pure function of
+  /// the record) and re-encoding a decoded payload is byte-identical.
   void encode(Encoder& enc) const;
   static Payload decode(Decoder& dec);
 
-  /// Records only (count + per-txn record, no bodies): the block-header
-  /// digest input. Bodies are derived from the records, so binding the
-  /// records binds the full wire bytes while keeping header hashing O(txns)
-  /// instead of O(block bytes).
+  /// Digest input form (no bodies): mode tag + per-txn records in inline
+  /// mode, mode tag + batch digests in digest mode. Bodies are derived from
+  /// the records, so binding the records binds the full wire bytes while
+  /// keeping header hashing O(txns) instead of O(block bytes); in digest
+  /// mode the batch digests themselves are content addresses, so binding
+  /// them binds every referenced transaction.
   void encode_records(Encoder& enc) const;
 
   /// Digest of the record encoding — the quantity Block::compute_id binds.
@@ -70,7 +95,8 @@ struct Payload {
 
   /// Semantic equality (the digest memo is identity-irrelevant).
   friend bool operator==(const Payload& a, const Payload& b) {
-    return a.txns == b.txns;
+    return a.mode == b.mode && a.txns == b.txns &&
+           a.batch_digests == b.batch_digests;
   }
 
  private:

@@ -57,6 +57,54 @@ TEST(Mempool, RequeueAfterCommitIsNoop) {
   EXPECT_EQ(pool.pending(), 0u);
 }
 
+TEST(Mempool, SubmitDedupsById) {
+  Mempool pool;
+  EXPECT_EQ(pool.submit(txn(7)), Mempool::Admit::kAccepted);
+  EXPECT_EQ(pool.submit(txn(7)), Mempool::Admit::kDuplicate);
+  EXPECT_EQ(pool.pending(), 1u);
+  // Still a duplicate while the txn is in flight...
+  const types::Payload batch = pool.make_batch(1);
+  EXPECT_EQ(pool.submit(txn(7)), Mempool::Admit::kDuplicate);
+  // ...and after it committed (the bounded committed window).
+  pool.mark_committed(batch);
+  EXPECT_EQ(pool.submit(txn(7)), Mempool::Admit::kDuplicate);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Mempool, RequeuedTxnStaysDeduped) {
+  Mempool pool;
+  pool.submit(txn(3));
+  const types::Payload batch = pool.make_batch(1);
+  pool.requeue(batch);
+  EXPECT_EQ(pool.submit(txn(3)), Mempool::Admit::kDuplicate);
+  EXPECT_EQ(pool.pending(), 1u);
+}
+
+TEST(Mempool, BoundedCapacityBackpressure) {
+  Mempool pool;
+  pool.set_capacity(3);
+  EXPECT_EQ(pool.submit(txn(0)), Mempool::Admit::kAccepted);
+  EXPECT_EQ(pool.submit(txn(1)), Mempool::Admit::kAccepted);
+  EXPECT_EQ(pool.submit(txn(2)), Mempool::Admit::kAccepted);
+  EXPECT_EQ(pool.submit(txn(3)), Mempool::Admit::kFull);
+  EXPECT_EQ(pool.pending(), 3u);
+  // Draining the queue (even into in-flight) frees capacity: the bound is
+  // on the pending backlog, not on total outstanding work.
+  (void)pool.make_batch(2);
+  EXPECT_EQ(pool.submit(txn(3)), Mempool::Admit::kAccepted);
+  // Duplicate check runs before the capacity check — a retry of a queued
+  // txn must not read as backpressure.
+  EXPECT_EQ(pool.submit(txn(3)), Mempool::Admit::kDuplicate);
+}
+
+TEST(Mempool, CapacityZeroIsUnbounded) {
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(pool.submit(txn(i)), Mempool::Admit::kAccepted);
+  }
+  EXPECT_EQ(pool.pending(), 5000u);
+}
+
 TEST(Workload, TopUpFillsToTarget) {
   sim::Scheduler sched;
   Mempool pool;

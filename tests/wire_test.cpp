@@ -13,6 +13,7 @@
 
 #include "sftbft/common/rng.hpp"
 #include "sftbft/crypto/signature.hpp"
+#include "sftbft/dissem/batch.hpp"
 #include "sftbft/net/sim_transport.hpp"
 #include "sftbft/streamlet/streamlet.hpp"
 #include "sftbft/types/proposal.hpp"
@@ -78,6 +79,12 @@ types::QuorumCert random_qc(Rng& rng, const types::BlockId& block_id,
   return qc;
 }
 
+crypto::Sha256Digest random_digest(Rng& rng) {
+  crypto::Sha256Digest digest;
+  for (auto& byte : digest.bytes) byte = static_cast<std::uint8_t>(rng.next());
+  return digest;
+}
+
 types::Block random_block(Rng& rng) {
   types::Block block;
   block.parent_id = random_id(rng);
@@ -85,16 +92,55 @@ types::Block random_block(Rng& rng) {
   block.height = static_cast<Height>(rng.uniform(1, 100));
   block.proposer = static_cast<ReplicaId>(rng.uniform(0, 6));
   block.qc = random_qc(rng, block.parent_id, block.round - 1);
-  const int txns = static_cast<int>(rng.uniform(0, 6));
-  for (int i = 0; i < txns; ++i) {
-    block.payload.txns.push_back(
-        {.id = rng.next(),
-         .submitted_at = static_cast<SimTime>(rng.uniform(0, 1'000'000)),
-         .size_bytes = static_cast<std::uint32_t>(rng.uniform(0, 600))});
+  if (rng.chance(0.3)) {
+    // Dissemination mode: the payload is a batch-digest list.
+    block.payload.mode = types::Payload::Mode::kDigests;
+    const int digests = static_cast<int>(rng.uniform(0, 5));
+    for (int i = 0; i < digests; ++i) {
+      block.payload.batch_digests.push_back(random_digest(rng));
+    }
+  } else {
+    const int txns = static_cast<int>(rng.uniform(0, 6));
+    for (int i = 0; i < txns; ++i) {
+      block.payload.txns.push_back(
+          {.id = rng.next(),
+           .submitted_at = static_cast<SimTime>(rng.uniform(0, 1'000'000)),
+           .size_bytes = static_cast<std::uint32_t>(rng.uniform(0, 600))});
+    }
   }
   block.created_at = static_cast<SimTime>(rng.uniform(0, 1'000'000));
   block.seal();
   return block;
+}
+
+dissem::Batch random_batch(Rng& rng) {
+  dissem::Batch batch;
+  batch.creator = static_cast<ReplicaId>(rng.uniform(0, 6));
+  batch.seq = rng.next() % 1000;
+  const int txns = static_cast<int>(rng.uniform(0, 8));
+  for (int i = 0; i < txns; ++i) {
+    batch.txns.push_back(
+        {.id = rng.next(),
+         .submitted_at = static_cast<SimTime>(rng.uniform(0, 1'000'000)),
+         .size_bytes = static_cast<std::uint32_t>(rng.uniform(0, 600))});
+  }
+  batch.seal();
+  return batch;
+}
+
+dissem::BatchRequest random_batch_request(Rng& rng) {
+  dissem::BatchRequest req;
+  req.requester = static_cast<ReplicaId>(rng.uniform(0, 6));
+  const int digests = 1 + static_cast<int>(rng.uniform(0, 7));
+  for (int i = 0; i < digests; ++i) req.digests.push_back(random_digest(rng));
+  return req;
+}
+
+dissem::BatchResponse random_batch_response(Rng& rng) {
+  dissem::BatchResponse resp;
+  const int batches = static_cast<int>(rng.uniform(0, 3));
+  for (int i = 0; i < batches; ++i) resp.batches.push_back(random_batch(rng));
+  return resp;
 }
 
 types::Proposal random_proposal(Rng& rng) {
@@ -190,6 +236,12 @@ std::vector<Envelope> all_message_envelopes(Rng& rng) {
                                              .from_height = rng.next() % 1000}),
       Envelope::pack(WireType::kSSyncResponse, sender,
                      random_ssync_response(rng)),
+      Envelope::pack(WireType::kBatchPush, sender,
+                     dissem::BatchPush{random_batch(rng)}),
+      Envelope::pack(WireType::kBatchRequest, sender,
+                     random_batch_request(rng)),
+      Envelope::pack(WireType::kBatchResponse, sender,
+                     random_batch_response(rng)),
   };
 }
 
@@ -292,6 +344,18 @@ TEST(WireRoundTrip, AllTypesReencodeByteIdentically) {
           rebuilt = Envelope::pack(env.type, env.sender,
                                    env.unpack<streamlet::SSyncResponse>());
           break;
+        case WireType::kBatchPush:
+          rebuilt = Envelope::pack(env.type, env.sender,
+                                   env.unpack<dissem::BatchPush>());
+          break;
+        case WireType::kBatchRequest:
+          rebuilt = Envelope::pack(env.type, env.sender,
+                                   env.unpack<dissem::BatchRequest>());
+          break;
+        case WireType::kBatchResponse:
+          rebuilt = Envelope::pack(env.type, env.sender,
+                                   env.unpack<dissem::BatchResponse>());
+          break;
       }
       EXPECT_EQ(rebuilt.encode(), frame);
     }
@@ -373,7 +437,33 @@ TEST(WireRobustness, GarbagePayloadsNeverUbInTypedDecoders) {
     poke(streamlet::SVote{});
     poke(streamlet::SSyncRequest{});
     poke(streamlet::SSyncResponse{});
+    poke(dissem::BatchPush{});
+    poke(dissem::BatchRequest{});
+    poke(dissem::BatchResponse{});
   }
+}
+
+TEST(WireRobustness, BatchCountClampRejectsHugeCountsWithoutAllocating) {
+  // A Byzantine peer can frame any payload with a valid CRC; the typed
+  // decoders must reject element counts that cannot fit the remaining bytes
+  // (Decoder::count) instead of reserving gigabytes.
+  Encoder resp;
+  resp.u32(0xFFFFFFFFu);  // "4 billion batches", then nothing
+  const Envelope resp_env{WireType::kBatchResponse, 0, resp.data()};
+  EXPECT_THROW((void)resp_env.unpack<dissem::BatchResponse>(), CodecError);
+
+  Encoder req;
+  req.u32(3);              // requester
+  req.u32(0x10000000u);    // "268M digests" in an 8-byte payload
+  const Envelope req_env{WireType::kBatchRequest, 0, req.data()};
+  EXPECT_THROW((void)req_env.unpack<dissem::BatchRequest>(), CodecError);
+
+  // Same clamp inside a digest-mode block payload.
+  Encoder payload;
+  payload.u8(1);           // Payload::Mode::kDigests
+  payload.u32(0x0FFFFFFFu);
+  Decoder dec(payload.data());
+  EXPECT_THROW((void)types::Payload::decode(dec), CodecError);
 }
 
 TEST(WireRobustness, UnknownTagRejected) {
