@@ -107,9 +107,11 @@ int main(int argc, char** argv) {
   // once for all recipients.
   std::vector<std::pair<std::string, harness::Table>> sections;
   sections.emplace_back("complexity", table);
+  // decode_drops must read 0 on every clean run: any frame a replica could
+  // not decode back to the message it encoded is a codec bug, not noise.
   harness::Table broadcast_table({"engine", "n", "charged bytes",
-                                  "encode-once saved bytes",
-                                  "saved/charged"});
+                                  "encode-once saved bytes", "saved/charged",
+                                  "decode drops"});
   std::printf("\n== On-wire bytes (exact, SFT n=%u, all engines) ==\n",
               wire_n);
   std::size_t extra_wire = 0;
@@ -139,7 +141,8 @@ int main(int argc, char** argv) {
                  ? static_cast<double>(wire_run.broadcast_saved_bytes) /
                        static_cast<double>(wire_run.total_message_bytes)
                  : 0.0,
-             3)});
+             3),
+         std::to_string(wire_run.decode_drops)});
     std::printf("-- %s --\n%s\n", engine::protocol_name(protocol),
                 wire_table.render().c_str());
     sections.emplace_back(

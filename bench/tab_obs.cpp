@@ -1,0 +1,179 @@
+// Observability bench (sftbft::obs): two jobs, one binary.
+//
+//  * default mode — runs the SAME smoke scenario on all three engines with
+//    tracing on, writes each run's Chrome-trace JSON (TRACE_<engine>.json,
+//    Perfetto-loadable), checks the merged counter snapshots expose an
+//    identical key set across engines (the conformance property the enum
+//    vocabulary guarantees by construction — this is the executable pin),
+//    and ships the counters + latency percentiles as BENCH_obs.json.
+//
+//  * --overhead mode — the "near-zero-cost when off" guard: medians of
+//    interleaved repeats of the identical scenario with observability off
+//    (no Observer, every site a null test) vs on (metrics + flight
+//    recorder, trace off). Fails if the instrumented run exceeds the
+//    baseline by more than 5% plus a small absolute slack for timer noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace sftbft;
+using namespace sftbft::bench;
+
+namespace {
+
+harness::Scenario obs_scenario(engine::Protocol protocol,
+                               const BenchArgs& args) {
+  harness::Scenario s = geo_scenario();
+  s.name = "tab_obs";
+  s.protocol = protocol;
+  s.n = 16;
+  s.topo = harness::Scenario::Topo::Symmetric3;
+  s.delta = millis(100);
+  // Streamlet's lock-step Δ must cover the worst one-way delay (δ=100ms +
+  // 40ms jitter + distance-proportional jitter), or no vote lands in its
+  // round and nothing ever commits.
+  s.streamlet_delta_bound = millis(200);
+  s.duration = args.smoke ? seconds(30) : seconds(60);
+  s.tail = seconds(10);
+  if (args.seed != 0) s.seed = args.seed;
+  return s;
+}
+
+double wall_seconds(const harness::Scenario& s) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)harness::run_scenario(s);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int run_overhead(const BenchArgs& args) {
+  std::printf("== Observability overhead guard: off (null checks) vs on "
+              "(metrics + flight, no trace) ==\n\n");
+  harness::Scenario off = obs_scenario(engine::Protocol::DiemBft, args);
+  harness::Scenario on = off;
+  on.obs.enabled = true;
+  on.obs.trace = false;
+
+  // Interleave the repeats so machine-load drift hits both variants alike.
+  constexpr int kRepeats = 5;
+  std::vector<double> off_samples, on_samples;
+  (void)wall_seconds(off);  // warm caches/allocator outside the measurement
+  for (int i = 0; i < kRepeats; ++i) {
+    off_samples.push_back(wall_seconds(off));
+    on_samples.push_back(wall_seconds(on));
+  }
+  const double off_median = median(off_samples);
+  const double on_median = median(on_samples);
+  const double overhead =
+      off_median > 0 ? (on_median - off_median) / off_median : 0.0;
+  std::printf("off median: %.3fs   on median: %.3fs   overhead: %+.1f%%\n",
+              off_median, on_median, overhead * 100.0);
+  // 5% relative plus 50ms absolute: short smoke runs put single-scheduler
+  // ticks within timer noise, and the absolute term keeps CI honest without
+  // flaking on a 20ms blip.
+  if (on_median > off_median * 1.05 + 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: observability-on run exceeds the 5%% overhead "
+                 "budget\n");
+    return 1;
+  }
+  std::printf("OK: within the 5%% budget\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our one extra flag before the shared parser (which aborts on
+  // unknown flags by contract).
+  bool overhead = false;
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--overhead") == 0) {
+      overhead = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchArgs args = parse_args(static_cast<int>(rest.size()), rest.data());
+  if (overhead) return run_overhead(args);
+
+  std::printf("== Traced conformance smoke: one scenario, three engines, "
+              "identical metric vocabulary ==\n\n");
+
+  std::uint64_t seed = 42;
+  std::vector<harness::Scenario> sweep;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    harness::Scenario s = obs_scenario(protocol, args);
+    s.obs.enabled = true;
+    s.obs.trace = true;
+    s.trace_path =
+        std::string("TRACE_") + engine::protocol_name(protocol) + ".json";
+    seed = s.seed;
+    sweep.push_back(std::move(s));
+  }
+  const std::vector<harness::ScenarioResult> results =
+      run_scenarios(sweep, args.jobs);
+
+  // The executable conformance pin: every engine's merged snapshot carries
+  // the full vocabulary, so the key sets must be byte-identical.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    auto keys = [](const harness::ScenarioResult& r) {
+      std::vector<std::string> out;
+      for (const auto& [name, value] : r.counters) out.push_back(name);
+      return out;
+    };
+    if (keys(results[i]) != keys(results[0])) {
+      std::fprintf(stderr, "FAIL: metric key sets differ between %s and %s\n",
+                   engine::protocol_name(sweep[0].protocol),
+                   engine::protocol_name(sweep[i].protocol));
+      return 1;
+    }
+  }
+
+  harness::Table counters_table({"metric", "DiemBFT", "HotStuff", "Streamlet"});
+  for (const auto& [name, value] : results[0].counters) {
+    std::vector<std::string> row{name};
+    for (const harness::ScenarioResult& r : results) {
+      row.push_back(std::to_string(r.counters.at(name)));
+    }
+    counters_table.add_row(std::move(row));
+  }
+
+  harness::Table latency_table({"engine", "commit p50 (s)", "commit p99 (s)",
+                                "strongest p50 (s)", "strongest p99 (s)"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const harness::ScenarioResult& r = results[i];
+    const obs::HistogramSummary strongest =
+        r.latency.empty() ? obs::HistogramSummary{} : r.latency.back().hist;
+    latency_table.add_row(
+        {engine::protocol_name(sweep[i].protocol),
+         harness::Table::num(to_seconds(r.commit_latency.p50), 3),
+         harness::Table::num(to_seconds(r.commit_latency.p99), 3),
+         harness::Table::num(to_seconds(strongest.p50), 3),
+         harness::Table::num(to_seconds(strongest.p99), 3)});
+  }
+
+  std::printf("%s\n%s\n", counters_table.render().c_str(),
+              latency_table.render().c_str());
+  std::printf("Wrote TRACE_<engine>.json for each run — load them in "
+              "Perfetto (ui.perfetto.dev) or chrome://tracing.\n");
+  if (!args.json_path.empty() &&
+      !write_json_artifact(args.json_path, "tab_obs", seed, args.smoke,
+                           {{"counters", counters_table},
+                            {"latency", latency_table}})) {
+    return 1;
+  }
+  return 0;
+}

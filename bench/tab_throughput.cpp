@@ -45,7 +45,12 @@ int main(int argc, char** argv) {
   };
 
   harness::Table table({"protocol", "blocks/s", "txn/s", "regular lat (s)",
-                        "wire MB/s", "msgs/block"});
+                        "commit p50 (s)", "commit p99 (s)", "wire MB/s",
+                        "msgs/block"});
+  // Percentile companion to the Fig. 7 means: the creation->reach latency
+  // distribution at the weakest (1.0f) and strongest (2.0f) levels.
+  harness::Table strength_table({"protocol", "level", "mean (s)", "p50 (s)",
+                                 "p90 (s)", "p99 (s)", "samples"});
 
   std::uint64_t seed = 42;
   std::vector<harness::Scenario> sweep;
@@ -78,13 +83,28 @@ int main(int argc, char** argv) {
          harness::Table::num(static_cast<double>(r.summary.committed_blocks) / secs, 2),
          harness::Table::num(static_cast<double>(r.summary.committed_txns) / secs, 1),
          harness::Table::num(r.summary.mean_regular_latency_s, 3),
+         harness::Table::num(to_seconds(r.commit_latency.p50), 3),
+         harness::Table::num(to_seconds(r.commit_latency.p99), 3),
          harness::Table::num(static_cast<double>(r.total_message_bytes) /
                                  to_seconds(s.duration) / 1e6,
                              1),
          harness::Table::num(r.messages_per_block, 1)});
+    if (!r.latency.empty()) {
+      const std::uint32_t f = s.f();
+      for (const auto* level : {&r.latency.front(), &r.latency.back()}) {
+        strength_table.add_row(
+            {variants[i].name, level_label(level->level, f),
+             harness::Table::num(level->mean_latency_s, 3),
+             harness::Table::num(to_seconds(level->hist.p50), 3),
+             harness::Table::num(to_seconds(level->hist.p90), 3),
+             harness::Table::num(to_seconds(level->hist.p99), 3),
+             harness::Table::num(static_cast<double>(level->hist.count), 0)});
+      }
+    }
   }
 
   std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", strength_table.render().c_str());
   std::printf("Expected: near-identical columns within each engine — the "
               "SFT machinery costs one marker (or a short interval list) per "
               "vote — and closely matched numbers across the two chained "
@@ -93,7 +113,8 @@ int main(int argc, char** argv) {
               "~1000-txn / ~450 KB batches.\n");
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_throughput", seed, args.smoke,
-                           {{"throughput", table}})) {
+                           {{"throughput", table},
+                            {"strength_latency", strength_table}})) {
     return 1;
   }
   return 0;

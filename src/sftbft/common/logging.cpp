@@ -1,6 +1,8 @@
 #include "sftbft/common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 
 namespace sftbft::log {
@@ -13,6 +15,15 @@ namespace {
 // serializes on a mutex so concurrent warnings never interleave mid-line.
 std::atomic<Level> g_level{Level::Warn};
 std::mutex g_emit_mutex;
+
+// The current log context (sim time + replica id), thread-local so
+// concurrent bench scenarios never see each other's replicas.
+struct Context {
+  bool active = false;
+  SimTime now = 0;
+  ReplicaId id = 0;
+};
+thread_local Context t_context;
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -33,11 +44,53 @@ bool enabled(Level lvl) {
   return lvl >= current && current != Level::Off;
 }
 
-namespace detail {
-void emit(Level lvl, const std::string& msg) {
-  const std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+Scope::Scope(SimTime now, ReplicaId id)
+    : prev_active_(t_context.active),
+      prev_now_(t_context.now),
+      prev_id_(t_context.id) {
+  t_context = {true, now, id};
 }
+
+Scope::~Scope() { t_context = {prev_active_, prev_now_, prev_id_}; }
+
+namespace detail {
+
+void vlogf(Level lvl, const char* fmt, std::va_list args) {
+  if (!enabled(lvl)) return;
+  char buf[1024];
+  const int written = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  if (written < 0) return;  // encoding error; nothing sensible to emit
+  if (static_cast<std::size_t>(written) >= sizeof(buf)) {
+    // Truncated: make it visible instead of silently losing the tail.
+    static constexpr char kMarker[] = "...[truncated]";
+    std::memcpy(buf + sizeof(buf) - sizeof(kMarker), kMarker, sizeof(kMarker));
+  }
+  const Context ctx = t_context;  // copy: emission must not race the scope
+  const std::scoped_lock lock(g_emit_mutex);
+  if (ctx.active) {
+    std::fprintf(stderr, "[%s] [%.6fs r%u] %s\n", level_name(lvl),
+                 static_cast<double>(ctx.now) / 1e6, ctx.id, buf);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), buf);
+  }
+}
+
 }  // namespace detail
+
+#define SFTBFT_DEFINE_LOG_FN(fn, lvl)            \
+  void fn(const char* fmt, ...) {                \
+    if (!enabled(lvl)) return;                   \
+    std::va_list args;                           \
+    va_start(args, fmt);                         \
+    detail::vlogf(lvl, fmt, args);               \
+    va_end(args);                                \
+  }
+
+SFTBFT_DEFINE_LOG_FN(trace, Level::Trace)
+SFTBFT_DEFINE_LOG_FN(debug, Level::Debug)
+SFTBFT_DEFINE_LOG_FN(info, Level::Info)
+SFTBFT_DEFINE_LOG_FN(warn, Level::Warn)
+
+#undef SFTBFT_DEFINE_LOG_FN
 
 }  // namespace sftbft::log

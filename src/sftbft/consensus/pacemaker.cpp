@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sftbft/obs/observer.hpp"
+
 namespace sftbft::consensus {
 
 Pacemaker::Pacemaker(sim::Scheduler& sched, PacemakerConfig config,
@@ -28,6 +30,7 @@ void Pacemaker::resume(Round round) {
   consecutive_timeouts_ = 0;
   round_ = round > 0 ? round : 1;
   arm_timer();
+  note_round_entered(round_);
   if (callbacks_.on_round_entered) callbacks_.on_round_entered(round_);
 }
 
@@ -44,7 +47,20 @@ void Pacemaker::enter(Round round) {
   round_ = round;
   timed_out_ = false;
   arm_timer();
+  note_round_entered(round);
   if (callbacks_.on_round_entered) callbacks_.on_round_entered(round);
+}
+
+void Pacemaker::note_round_entered(Round round) {
+  obs::Observer* obs = config_.observer;
+  if (obs == nullptr) return;
+  obs->count(config_.id, obs::Counter::kRoundsEntered);
+  obs->gauge(config_.id, obs::Gauge::kRound,
+             static_cast<std::int64_t>(round));
+  if (obs->recording()) {
+    obs->emit(obs::instant_event("pacemaker", "round_enter", config_.id,
+                                 sched_.now(), {"round", round}));
+  }
 }
 
 void Pacemaker::arm_timer() {
@@ -60,6 +76,13 @@ void Pacemaker::arm_timer() {
     timed_out_ = true;
     ++consecutive_timeouts_;
     const Round expired = round_;
+    if (obs::Observer* obs = config_.observer) {
+      obs->count(config_.id, obs::Counter::kTimeoutsLocal);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event("pacemaker", "timeout", config_.id,
+                                     sched_.now(), {"round", expired}));
+      }
+    }
     if (callbacks_.on_local_timeout) callbacks_.on_local_timeout(expired);
   });
 }

@@ -15,6 +15,10 @@
 #include "sftbft/common/types.hpp"
 #include "sftbft/sim/scheduler.hpp"
 
+namespace sftbft::obs {
+class Observer;
+}  // namespace sftbft::obs
+
 namespace sftbft::consensus {
 
 struct PacemakerConfig {
@@ -23,6 +27,10 @@ struct PacemakerConfig {
   double backoff = 1.0;
   /// Cap on the backoff exponent.
   int max_backoff_steps = 6;
+  /// Observability (round entries / timeouts, attributed to `id`); null =
+  /// off. The Observer outlives the core that owns this pacemaker.
+  obs::Observer* observer = nullptr;
+  ReplicaId id = 0;
 };
 
 class Pacemaker {
@@ -62,6 +70,7 @@ class Pacemaker {
  private:
   void enter(Round round);
   void arm_timer();
+  void note_round_entered(Round round);
 
   sim::Scheduler& sched_;
   PacemakerConfig config_;

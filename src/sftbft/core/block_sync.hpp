@@ -18,6 +18,7 @@
 
 #include "sftbft/chain/block_tree.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/obs/observer.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/types/proposal.hpp"
 
@@ -40,6 +41,8 @@ class SyncClient {
     /// Watchdog delay between attempts (the owning core's round budget).
     SimDuration retry_after = 0;
     std::uint32_t fanout = 3;
+    /// Observability (sync rounds, attributed to `id`); null = off.
+    obs::Observer* observer = nullptr;
   };
 
   using Send = std::function<void(ReplicaId to, const types::SyncRequest&)>;
@@ -63,6 +66,14 @@ class SyncClient {
     types::SyncRequest req;
     req.requester = config_.id;
     req.from_height = from_height_();
+    if (obs::Observer* obs = config_.observer) {
+      obs->count(config_.id, obs::Counter::kSyncRounds);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event("sync", "sync_round", config_.id,
+                                     sched_->now(), {"attempt", attempts_},
+                                     {"from_height", req.from_height}));
+      }
+    }
     const std::uint32_t fanout =
         std::min<std::uint32_t>(config_.fanout, config_.n - 1);
     for (std::uint32_t k = 0; k < fanout; ++k) {

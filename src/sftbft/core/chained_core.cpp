@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sftbft/common/logging.hpp"
+#include "sftbft/obs/observer.hpp"
 
 namespace sftbft::core {
 
@@ -34,14 +35,17 @@ ChainedCore::ChainedCore(CoreConfig config, sim::Scheduler& sched,
       pacemaker_(
           sched,
           PacemakerConfig{.base_timeout = config.base_timeout,
-                          .backoff = config.timeout_backoff},
+                          .backoff = config.timeout_backoff,
+                          .observer = config.observer,
+                          .id = config.id},
           Pacemaker::Callbacks{
               .on_round_entered = [this](Round r) { on_round_entered(r); },
               .on_local_timeout = [this](Round r) { on_local_timeout(r); }}),
       committer_(tree_, ledger_, pool, sched),
       sync_(SyncClient::Config{.id = config.id,
                                .n = config.n,
-                               .retry_after = config.base_timeout},
+                               .retry_after = config.base_timeout,
+                               .observer = config.observer},
             sched,
             [this](ReplicaId to, const types::SyncRequest& req) {
               if (hooks_.send_sync_request) hooks_.send_sync_request(to, req);
@@ -71,6 +75,22 @@ ChainedCore::ChainedCore(CoreConfig config, sim::Scheduler& sched,
   committer_.set_store(store_);
   committer_.set_on_commit([this](const Block& block, std::uint32_t strength,
                                   SimTime now) {
+    if (obs::Observer* obs = config_.observer) {
+      const SimDuration latency = now - block.created_at;
+      if (strength <= config_.f()) {
+        obs->count(config_.id, obs::Counter::kCommits);
+        obs->observe(config_.id, obs::Hist::kCommitLatencyUs, latency);
+      } else {
+        obs->count(config_.id, obs::Counter::kStrongCommits);
+        obs->observe(config_.id, obs::Hist::kStrongCommitLatencyUs, latency);
+      }
+      if (obs->recording()) {
+        obs->emit(obs::span_event(
+            "block", strength <= config_.f() ? "committed" : "strong_commit",
+            config_.id, block.height, block.created_at, now,
+            {"round", block.round}, {"strength", strength}));
+      }
+    }
     if (hooks_.on_commit) hooks_.on_commit(block, strength, now);
   });
   committer_.set_snapshot_hook([this] { maybe_snapshot(); });
@@ -117,6 +137,7 @@ void ChainedCore::restore(const storage::RecoveredState& state) {
   sent_proposals_.clear();
   logged_proposals_.clear();
   awaiting_batches_.clear();
+  obs_certified_.clear();
   last_proposed_payload_.reset();
   last_tc_ = state.high_tc;
 
@@ -249,6 +270,7 @@ void ChainedCore::on_round_entered(Round round) {
 }
 
 void ChainedCore::propose(Round round) {
+  const log::Scope log_scope(sched_.now(), config_.id);
   const QuorumCert& high_qc = safety_.high_qc();
   const Block* parent = tree_.get(high_qc.block_id);
   if (parent == nullptr) {
@@ -258,8 +280,8 @@ void ChainedCore::propose(Round round) {
     // missing chain so a later leadership round can produce a block again —
     // timeout/vote-borne QCs can re-wedge us faster than the orphan-repair
     // timer alone heals.
-    log::warn("replica %u: cannot propose in round %llu, parent missing",
-              config_.id, static_cast<unsigned long long>(round));
+    log::warn("cannot propose in round %llu, parent missing",
+              static_cast<unsigned long long>(round));
     request_sync();
     return;
   }
@@ -298,6 +320,14 @@ void ChainedCore::propose(Round round) {
 
   last_proposed_payload_ = {round, block.payload};
   sent_proposals_.push_back(proposal);
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kProposalsSent);
+    if (obs->recording()) {
+      obs->emit(obs::span_event("block", "proposed", config_.id, block.height,
+                                block.created_at, sched_.now(),
+                                {"round", round}, {"height", block.height}));
+    }
+  }
   hooks_.broadcast_proposal(proposal);
 }
 
@@ -305,6 +335,7 @@ void ChainedCore::propose(Round round) {
 
 void ChainedCore::on_proposal(const Proposal& proposal) {
   if (stopped_) return;
+  const log::Scope log_scope(sched_.now(), config_.id);
   if (!validate_proposal(proposal)) return;
   const Block& block = proposal.block;
 
@@ -374,8 +405,7 @@ void ChainedCore::on_proposal(const Proposal& proposal) {
 
   // Sec. 5: refuse to vote for proposals overstating commit strengths.
   if (!validate_commit_log(proposal)) {
-    log::warn("replica %u: rejecting proposal with overstated commit log",
-              config_.id);
+    log::warn("rejecting proposal with overstated commit log");
     return;
   }
 
@@ -443,6 +473,14 @@ void ChainedCore::maybe_vote(const Block& block) {
   // WAL before wire: the vote must be durable before it can reach anyone,
   // or a crash-restart could vote twice in the round.
   persist_vote(&block, block.round);
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kVotesSent);
+    if (obs->recording()) {
+      obs->emit(obs::span_event("block", "voted", config_.id, block.height,
+                                block.created_at, sched_.now(),
+                                {"round", block.round}));
+    }
+  }
   hooks_.send_vote(election_.leader_of(block.round + 1), vote);
 }
 
@@ -477,6 +515,20 @@ void ChainedCore::observe_qc(const QuorumCert& qc, bool canonical) {
   if (canonical && hooks_.on_canonical_qc && !qc.is_genesis()) {
     if (const Block* certified = tree_.get(qc.block_id)) {
       hooks_.on_canonical_qc(*certified, qc);
+    }
+  }
+  if (obs::Observer* obs = config_.observer;
+      obs != nullptr && canonical && !qc.is_genesis()) {
+    if (const Block* certified = tree_.get(qc.block_id);
+        certified != nullptr && obs_certified_.insert(qc.block_id).second) {
+      obs->count(config_.id, obs::Counter::kBlocksCertified);
+      obs->observe(config_.id, obs::Hist::kCertifyLatencyUs,
+                   sched_.now() - certified->created_at);
+      if (obs->recording()) {
+        obs->emit(obs::span_event("block", "certified", config_.id,
+                                  certified->height, certified->created_at,
+                                  sched_.now(), {"round", certified->round}));
+      }
     }
   }
   if (canonical && tracker_) {
@@ -618,6 +670,7 @@ void ChainedCore::finalize_qc(Round round, const BlockId& block_id) {
 
 void ChainedCore::on_local_timeout(Round round) {
   if (stopped_) return;
+  const log::Scope log_scope(sched_.now(), config_.id);
   // Fig. 2: stop voting for round r, multicast ⟨timeout, r, qc_high⟩.
   safety_.record_vote(round);
   // Persist the abandoned round (no frontier entry): a restart must not

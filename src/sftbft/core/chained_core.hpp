@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sftbft/chain/block_tree.hpp"
@@ -52,6 +53,10 @@
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/replica_store.hpp"
 #include "sftbft/types/proposal.hpp"
+
+namespace sftbft::obs {
+class Observer;
+}  // namespace sftbft::obs
 
 namespace sftbft::core {
 
@@ -125,6 +130,11 @@ struct CoreConfig {
   /// the strong commit rule (quadratic messages — the comparator for
   /// bench/tab_msg_complexity). Use with mode == Plain.
   bool fbft_mode = false;
+
+  /// Observability hub (metrics + trace + flight recorder), stamped by the
+  /// Deployment; null = off (every instrumentation site is one pointer
+  /// check). Must outlive the core.
+  obs::Observer* observer = nullptr;
 
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
   [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }
@@ -358,6 +368,11 @@ class ChainedCore {
   // The payload of the block this replica last proposed but that never got
   // certified (returned to the mempool on timeout).
   std::optional<std::pair<Round, types::Payload>> last_proposed_payload_;
+
+  /// Blocks whose certification was already counted/traced — observe_qc
+  /// legitimately replays canonical QCs on the sync path, and replays must
+  /// not double-count. Populated only when an observer is attached.
+  std::unordered_set<types::BlockId> obs_certified_;
 };
 
 }  // namespace sftbft::core

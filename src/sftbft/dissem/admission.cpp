@@ -2,7 +2,45 @@
 
 #include <algorithm>
 
+#include "sftbft/obs/observer.hpp"
+
 namespace sftbft::dissem {
+
+namespace {
+
+// Counters always; trace instants only for rejections (admissions are too
+// frequent to trace individually — the admitted volume is in the counter).
+void note_outcome(const DissemConfig& config, AdmissionFrontend::Outcome out,
+                  std::size_t backlog, SimTime now) {
+  obs::Observer* obs = config.observer;
+  if (obs == nullptr) return;
+  obs->gauge(config.self, obs::Gauge::kMempoolBacklog,
+             static_cast<std::int64_t>(backlog));
+  switch (out) {
+    case AdmissionFrontend::Outcome::kAdmitted:
+      obs->count(config.self, obs::Counter::kAdmitted);
+      return;
+    case AdmissionFrontend::Outcome::kDuplicate:
+      obs->count(config.self, obs::Counter::kAdmissionDuplicate);
+      break;
+    case AdmissionFrontend::Outcome::kRateLimited:
+      obs->count(config.self, obs::Counter::kAdmissionRateLimited);
+      break;
+    case AdmissionFrontend::Outcome::kBackpressure:
+      obs->count(config.self, obs::Counter::kAdmissionBackpressure);
+      break;
+  }
+  if (obs->recording()) {
+    const char* name =
+        out == AdmissionFrontend::Outcome::kDuplicate     ? "reject_duplicate"
+        : out == AdmissionFrontend::Outcome::kRateLimited ? "reject_rate_limit"
+                                                          : "reject_backpressure";
+    obs->emit(obs::instant_event("admission", name, config.self, now,
+                                 {"backlog", backlog}));
+  }
+}
+
+}  // namespace
 
 AdmissionFrontend::AdmissionFrontend(mempool::Mempool& pool,
                                      DissemConfig config)
@@ -13,6 +51,14 @@ AdmissionFrontend::AdmissionFrontend(mempool::Mempool& pool,
 AdmissionFrontend::Outcome AdmissionFrontend::submit(std::uint64_t client,
                                                      types::Transaction txn,
                                                      SimTime now) {
+  const Outcome out = classify(client, std::move(txn), now);
+  note_outcome(config_, out, pool_.pending(), now);
+  return out;
+}
+
+AdmissionFrontend::Outcome AdmissionFrontend::classify(std::uint64_t client,
+                                                       types::Transaction txn,
+                                                       SimTime now) {
   ClientState& state = clients_[client];
 
   if (state.recent.contains(txn.id)) {

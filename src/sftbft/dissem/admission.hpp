@@ -55,6 +55,9 @@ class AdmissionFrontend {
   [[nodiscard]] std::size_t backlog() const { return pool_.pending(); }
 
  private:
+  /// The decision logic; submit() wraps it with observability reporting.
+  Outcome classify(std::uint64_t client, types::Transaction txn, SimTime now);
+
   struct ClientState {
     /// Recently admitted ids, FIFO-bounded to client_dedup_window.
     std::unordered_set<std::uint64_t> recent;

@@ -1,5 +1,6 @@
 #include "sftbft/dissem/broadcaster.hpp"
 
+#include "sftbft/obs/observer.hpp"
 #include "sftbft/sim/scheduler.hpp"
 
 namespace sftbft::dissem {
@@ -49,6 +50,14 @@ void BatchBroadcaster::pack_and_push() {
   batch.seal();
   store_.add(batch);
   ++batches_packed_;
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(id_, obs::Counter::kBatchesPacked);
+    if (obs->recording()) {
+      obs->emit(obs::instant_event(
+          "dissem", "batch_packed", id_, transport_.scheduler().now(),
+          {"seq", batch.seq}, {"txns", batch.txns.size()}));
+    }
+  }
   if (options_.silent || options_.withhold_push) return;
   transport_.broadcast(Envelope::pack(WireType::kBatchPush, id_,
                                       BatchPush{std::move(batch)}),
@@ -61,8 +70,16 @@ void BatchBroadcaster::ingest(const Batch& batch, bool& any_new) {
   // it.
   if (!batch.digest_is_valid()) return;
   if (!store_.add(batch)) return;
-  missing_.erase(batch.digest);
+  const bool was_missing = missing_.erase(batch.digest) > 0;
   any_new = true;
+  if (obs::Observer* obs = config_.observer; obs != nullptr && was_missing) {
+    obs->count(id_, obs::Counter::kBatchesResolved);
+    if (obs->recording()) {
+      obs->emit(obs::instant_event("dissem", "batch_resolved", id_,
+                                   transport_.scheduler().now(),
+                                   {"still_missing", missing_.size()}));
+    }
+  }
 }
 
 void BatchBroadcaster::on_push(const BatchPush& push) {
@@ -133,6 +150,14 @@ void BatchBroadcaster::pull_round() {
       ++pull_requests_sent_;
     }
     ++pull_attempts_;
+    if (obs::Observer* obs = config_.observer) {
+      obs->count(id_, obs::Counter::kBatchPullRounds);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event(
+            "dissem", "batch_pull", id_, transport_.scheduler().now(),
+            {"missing", missing_.size()}, {"attempt", pull_attempts_}));
+      }
+    }
   }
 
   pull_watchdog_armed_ = true;

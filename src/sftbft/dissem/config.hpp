@@ -6,6 +6,10 @@
 
 #include "sftbft/common/types.hpp"
 
+namespace sftbft::obs {
+class Observer;
+}  // namespace sftbft::obs
+
 namespace sftbft::dissem {
 
 struct DissemConfig {
@@ -47,6 +51,14 @@ struct DissemConfig {
   /// Mempool bound; admissions beyond it are rejected with backpressure
   /// (0 = unbounded).
   std::size_t mempool_capacity = 0;
+
+  // ---------------------------------------------------------- observability
+  /// Metrics + trace events (batch lifecycle, admission outcomes); null =
+  /// off. Stamped per replica by the Deployment; outlives the data plane.
+  obs::Observer* observer = nullptr;
+  /// The owning replica (trace/metric attribution for components that are
+  /// not otherwise id-aware, e.g. the AdmissionFrontend).
+  ReplicaId self = 0;
 };
 
 }  // namespace sftbft::dissem

@@ -88,6 +88,9 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
       }();
   transport_ = std::make_unique<net::SimTransport>(sched_, config_.topology,
                                                    config_.net, net_seed);
+  if (config_.obs.enabled) {
+    observer_ = std::make_unique<obs::Observer>(config_.obs, config_.n);
+  }
   // Corrupt faults are link-level: they live in the transport, and the
   // replica itself runs the honest engine below. Corruption only acts
   // before GST, so a synchronous-from-the-start network would make the
@@ -104,42 +107,53 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
     transport_->set_corruption(id, config_.faults[id].corrupt);
   }
 
+  // Per-replica dissem copy: observability attribution (the frontend and
+  // data plane are not otherwise id-aware).
+  auto dissem_for = [this](ReplicaId id) {
+    dissem::DissemConfig dcfg = config_.dissem;
+    dcfg.observer = observer_.get();
+    dcfg.self = id;
+    return dcfg;
+  };
+
   Rng workload_rng(config_.seed ^ 0x77aa);
   if (is_chained(config_.protocol)) {
     for (ReplicaId id = 0; id < config_.n; ++id) {
       consensus::CoreConfig core = config_.chained;
       core.id = id;
       core.n = config_.n;
+      core.observer = observer_.get();
       const FaultSpec fault = fault_for(id);
       if (fault.kind == FaultSpec::Kind::Byzantine) {
         engines_.push_back(std::make_unique<adversary::ByzantineReplica>(
             config_.protocol, core, *transport_, registry_, config_.workload,
             workload_rng.fork(), fault, coalition_, qc_tap_for(id),
-            config_.dissem));
+            dissem_for(id)));
         continue;
       }
       engines_.push_back(std::make_unique<ChainedEngine>(
           config_.protocol, core, *transport_, registry_, config_.workload,
           workload_rng.fork(), fault, observer, make_store(id, fault),
-          qc_tap_for(id), config_.dissem));
+          qc_tap_for(id), dissem_for(id)));
     }
   } else {
     for (ReplicaId id = 0; id < config_.n; ++id) {
       streamlet::StreamletConfig core = config_.streamlet;
       core.id = id;
       core.n = config_.n;
+      core.observer = observer_.get();
       const FaultSpec fault = fault_for(id);
       if (fault.kind == FaultSpec::Kind::Byzantine) {
         engines_.push_back(std::make_unique<adversary::ByzantineStreamlet>(
             core, *transport_, registry_, config_.workload,
             workload_rng.fork(), fault, coalition_, block_tap_for(id),
-            vote_tap_for(id), config_.dissem));
+            vote_tap_for(id), dissem_for(id)));
         continue;
       }
       engines_.push_back(std::make_unique<StreamletEngine>(
           core, *transport_, registry_, config_.workload,
           workload_rng.fork(), fault, observer, make_store(id, fault),
-          block_tap_for(id), vote_tap_for(id), config_.dissem));
+          block_tap_for(id), vote_tap_for(id), dissem_for(id)));
     }
   }
 }
@@ -155,8 +169,11 @@ storage::ReplicaStore* Deployment::make_store(ReplicaId id,
   // replica's crash never perturb another's stream.
   backends_[id] = std::make_unique<storage::MemBackend>(
       config_.seed ^ 0x5708AC4EDULL ^ id);
+  storage::StoreConfig store_config = config_.storage;
+  store_config.observer = observer_.get();
+  store_config.sched = &sched_;
   stores_[id] = std::make_unique<storage::ReplicaStore>(*backends_[id], id,
-                                                        config_.storage);
+                                                        store_config);
   return stores_[id].get();
 }
 

@@ -26,6 +26,7 @@
 #include "sftbft/engine/engine.hpp"
 #include "sftbft/engine/streamlet_engine.hpp"
 #include "sftbft/net/sim_transport.hpp"
+#include "sftbft/obs/observer.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/mem_backend.hpp"
 #include "sftbft/storage/replica_store.hpp"
@@ -66,6 +67,10 @@ struct DeploymentConfig {
   /// just the CrashRestart ones — for persistence-overhead experiments and
   /// manual ConsensusEngine::restart() from tests.
   bool persist_all = false;
+  /// Observability (metrics registry, trace layer, flight recorder). Off by
+  /// default: no Observer is built, every instrumented component holds a
+  /// null pointer, and the hot path pays one pointer test per event site.
+  obs::ObsConfig obs;
 };
 
 class Deployment {
@@ -142,6 +147,14 @@ class Deployment {
     return engines_[id]->store();
   }
 
+  /// The deployment-wide Observer, or nullptr when `config.obs.enabled` is
+  /// false. Per-deployment (never process-global): bench sweeps run many
+  /// deployments concurrently on worker threads.
+  [[nodiscard]] obs::Observer* observer() { return observer_.get(); }
+  [[nodiscard]] const obs::Observer* observer() const {
+    return observer_.get();
+  }
+
   // Protocol-typed escape hatches. Calling a mismatched accessor throws
   // std::logic_error — tests that need kernel internals (light-client
   // proofs, strength/endorsement state) use these. The chained accessors
@@ -175,6 +188,9 @@ class Deployment {
   std::shared_ptr<adversary::Coalition> coalition_;
   /// The one byte-level network every protocol stack sends through.
   std::unique_ptr<net::SimTransport> transport_;
+  /// Deployment-wide metrics/trace sink; declared before the engines so it
+  /// outlives every component holding a raw Observer*.
+  std::unique_ptr<obs::Observer> observer_;
   /// Per-replica durable storage (simulation MemBackends); slots are null
   /// for replicas running without persistence.
   std::vector<std::unique_ptr<storage::MemBackend>> backends_;

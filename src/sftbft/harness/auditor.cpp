@@ -140,7 +140,7 @@ void SafetyAuditor::audit_claim(const BlockId& id, std::uint32_t strength,
       violation.threshold = std::min(strength, violation.supported);
       violation.replica = replica;
       violation.at = now;
-      violations_.push_back(violation);
+      record_violation(std::move(violation));
     }
     if (std::find(at_height.begin(), at_height.end(), id) ==
         at_height.end()) {
@@ -163,11 +163,16 @@ void SafetyAuditor::audit_claim(const BlockId& id, std::uint32_t strength,
       violation.threshold = strength;
       violation.replica = replica;
       violation.at = now;
-      violations_.push_back(violation);
+      record_violation(std::move(violation));
     }
   }
 
   claimed_[id] = strength;
+}
+
+void SafetyAuditor::record_violation(Violation violation) {
+  violations_.push_back(violation);
+  if (violation_hook_) violation_hook_(violations_.back());
 }
 
 std::uint32_t SafetyAuditor::supported_strength(const BlockId& id) const {

@@ -42,6 +42,7 @@
 // commits for all thresholds >= x".
 #pragma once
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -106,6 +107,12 @@ class SafetyAuditor {
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return violations_;
   }
+  /// Fired the moment a violation is recorded — the harness uses this to
+  /// snapshot the flight recorder *at* the violation instant, before further
+  /// events evict the incriminating timeline. May be empty.
+  void set_violation_hook(std::function<void(const Violation&)> hook) {
+    violation_hook_ = std::move(hook);
+  }
   /// Number of violations breaking tolerance threshold x (or above is NOT
   /// implied — a violation at threshold t breaks every x <= t).
   [[nodiscard]] std::uint64_t violations_at(std::uint32_t x) const;
@@ -126,6 +133,7 @@ class SafetyAuditor {
   [[nodiscard]] const chain::BlockTree& tree() const { return tree_; }
 
  private:
+  void record_violation(Violation violation);
   void ingest_block(const types::Block& block);
   void audit_claim(const types::BlockId& id, std::uint32_t strength,
                    ReplicaId replica, SimTime now);
@@ -162,6 +170,7 @@ class SafetyAuditor {
   std::unordered_map<Height, std::vector<types::BlockId>> committed_at_;
 
   std::vector<Violation> violations_;
+  std::function<void(const Violation&)> violation_hook_;
   std::uint64_t claims_ = 0;
   std::uint32_t max_claimed_ = 0;
 };

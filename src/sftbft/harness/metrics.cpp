@@ -7,7 +7,7 @@ namespace sftbft::harness {
 
 StrengthLatencyTracker::StrengthLatencyTracker(
     std::uint32_t n, std::vector<std::uint32_t> levels)
-    : n_(n), levels_(std::move(levels)) {
+    : n_(n), levels_(std::move(levels)), level_hist_(levels_.size()) {
   assert(std::is_sorted(levels_.begin(), levels_.end()));
 }
 
@@ -19,14 +19,24 @@ void StrengthLatencyTracker::on_commit(ReplicaId replica,
   if (inserted) {
     entry.created = block.created_at;
     entry.credited.assign(n_, 0);
+    entry.committed.assign(n_, 0);
     entry.latency_sum.assign(levels_.size(), 0.0);
     entry.sample_count.assign(levels_.size(), 0);
+  }
+  const bool in_window =
+      entry.created >= window_min_ && entry.created <= window_max_;
+  const SimDuration latency = now - entry.created;
+  // The replica's first notification for the block is its regular commit.
+  if (!entry.committed[replica]) {
+    entry.committed[replica] = 1;
+    if (in_window) commit_hist_.record(latency);
   }
   // Credit every level in (already-credited, strength] for this replica.
   std::uint8_t& idx = entry.credited[replica];
   while (idx < levels_.size() && levels_[idx] <= strength) {
-    entry.latency_sum[idx] += to_seconds(now - entry.created);
+    entry.latency_sum[idx] += to_seconds(latency);
     entry.sample_count[idx] += 1;
+    if (in_window) level_hist_[idx].record(latency);
     ++idx;
   }
 }
@@ -52,7 +62,8 @@ StrengthLatencyTracker::results() const {
     }
   }
   const std::uint64_t window = window_blocks();
-  for (LevelStats& stats : out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    LevelStats& stats = out[i];
     if (stats.samples > 0) {
       stats.mean_latency_s /= static_cast<double>(stats.samples);
     }
@@ -60,6 +71,7 @@ StrengthLatencyTracker::results() const {
       stats.coverage = static_cast<double>(stats.samples) /
                        (static_cast<double>(window) * n_);
     }
+    stats.hist = level_hist_[i].summary();
   }
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include "sftbft/chain/ledger.hpp"
 #include "sftbft/common/types.hpp"
+#include "sftbft/obs/metrics.hpp"
 #include "sftbft/types/block.hpp"
 
 namespace sftbft::harness {
@@ -32,7 +33,9 @@ class StrengthLatencyTracker {
                  std::uint32_t strength, SimTime now);
 
   /// Restricts aggregation to blocks created within [min_created,
-  /// max_created] (call before results()).
+  /// max_created]. Means (results()) honor a window set at any time; the
+  /// latency *histograms* record as commits stream in, so set the window
+  /// before feeding on_commit for accurate percentiles.
   void set_window(SimTime min_created, SimTime max_created);
 
   struct LevelStats {
@@ -45,6 +48,9 @@ class StrengthLatencyTracker {
     /// replicas can reach (e.g. the outcast region itself) have low
     /// coverage and are reported as not achieved.
     double coverage = 0;
+    /// Latency distribution (micros) of in-window creation->reach samples:
+    /// the percentile companion to mean_latency_s.
+    obs::HistogramSummary hist;
   };
 
   /// Aggregated per-level stats over the measurement window.
@@ -53,11 +59,19 @@ class StrengthLatencyTracker {
   /// Number of distinct blocks observed inside the window.
   [[nodiscard]] std::uint64_t window_blocks() const;
 
+  /// Distribution (micros) of each replica's *first* commit notification per
+  /// in-window block — the regular-commit latency across all replicas.
+  [[nodiscard]] const obs::Histogram& commit_histogram() const {
+    return commit_hist_;
+  }
+
  private:
   struct PerBlock {
     SimTime created = 0;
     /// Per replica: number of levels already credited (prefix of levels_).
     std::vector<std::uint8_t> credited;
+    /// Per replica: first commit notification already recorded.
+    std::vector<std::uint8_t> committed;
     /// Per level: total latency and sample count across replicas.
     std::vector<double> latency_sum;
     std::vector<std::uint64_t> sample_count;
@@ -66,6 +80,9 @@ class StrengthLatencyTracker {
   std::uint32_t n_;
   std::vector<std::uint32_t> levels_;
   std::unordered_map<types::BlockId, PerBlock> blocks_;
+  /// Per-level latency histograms (micros), window-filtered at record time.
+  std::vector<obs::Histogram> level_hist_;
+  obs::Histogram commit_hist_;
   SimTime window_min_ = 0;
   SimTime window_max_ = std::numeric_limits<SimTime>::max();
 };

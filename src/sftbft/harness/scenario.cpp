@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
+
+#include "sftbft/harness/auditor.hpp"
 
 namespace sftbft::harness {
 
@@ -202,6 +205,12 @@ engine::DeploymentConfig Scenario::to_deployment_config() const {
 
   deployment.dissem = dissem;
   deployment.dissem.enabled = dissemination;
+
+  deployment.obs = obs;
+  if (!trace_path.empty()) {
+    deployment.obs.enabled = true;
+    deployment.obs.trace = true;
+  }
   return deployment;
 }
 
@@ -217,19 +226,47 @@ std::vector<std::uint32_t> Scenario::strength_levels() const {
 
 ScenarioResult run_scenario(const Scenario& scenario) {
   StrengthLatencyTracker tracker(scenario.n, scenario.strength_levels());
-  engine::Deployment deployment(
-      scenario.to_deployment_config(),
-      [&tracker](ReplicaId replica, const types::Block& block,
-                 std::uint32_t strength, SimTime now) {
-        tracker.on_commit(replica, block, strength, now);
-      });
-  deployment.start();
-  deployment.run_for(scenario.duration);
-
+  // The window is set before the run: the tracker's latency histograms
+  // record streaming (no per-sample retention), so they need the bounds up
+  // front. results() re-applies the same filter for the means.
   tracker.set_window(scenario.warmup, scenario.duration - scenario.tail);
 
   ScenarioResult result;
+
+  std::unique_ptr<SafetyAuditor> auditor;
+  if (scenario.audit) {
+    auditor = std::make_unique<SafetyAuditor>(
+        SafetyAuditor::Config{.protocol = scenario.protocol, .n = scenario.n});
+  }
+
+  engine::Deployment deployment(
+      scenario.to_deployment_config(),
+      [&tracker, &auditor](ReplicaId replica, const types::Block& block,
+                           std::uint32_t strength, SimTime now) {
+        tracker.on_commit(replica, block, strength, now);
+        if (auditor) auditor->on_commit(replica, block, strength, now);
+      },
+      auditor ? auditor->taps() : engine::AuditTaps{});
+
+  if (auditor) {
+    // Snapshot the flight recorder the instant the first violation lands —
+    // the incriminating events are still in the rings at that moment.
+    auditor->set_violation_hook(
+        [&result, &deployment](const SafetyAuditor::Violation& violation) {
+          if (result.flight_dump.empty()) {
+            if (obs::Observer* obs = deployment.observer()) {
+              result.flight_dump =
+                  violation.describe() + "\n" + obs->flight_dump();
+            }
+          }
+        });
+  }
+
+  deployment.start();
+  deployment.run_for(scenario.duration);
+
   result.latency = tracker.results();
+  result.commit_latency = tracker.commit_histogram().summary();
   result.window_blocks = tracker.window_blocks();
   result.summary =
       summarize_ledger(deployment.ledger(0), scenario.duration,
@@ -244,10 +281,28 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.traffic_by_type = stats.by_type();
   result.egress_by_replica = stats.egress_by_replica();
   result.max_egress_bytes = stats.max_egress_bytes();
+  result.decode_drops = stats.decode_drops();
   const std::uint64_t blocks = deployment.ledger(0).committed_blocks();
   if (blocks > 0) {
     result.messages_per_block =
         static_cast<double>(result.total_messages) / static_cast<double>(blocks);
+  }
+
+  if (auditor) {
+    result.auditor_violations = auditor->violations().size();
+  }
+  if (obs::Observer* obs = deployment.observer()) {
+    result.counters = obs->merged().counter_snapshot();
+    // A run that produced no in-window blocks is the other flight-recorder
+    // trigger: dump the recent timeline so the stall is diagnosable.
+    if (result.flight_dump.empty() && result.window_blocks == 0 &&
+        obs->flight() != nullptr) {
+      result.flight_dump = "no in-window progress\n" + obs->flight_dump();
+    }
+    if (!scenario.trace_path.empty() && obs->tracing()) {
+      std::ofstream out(scenario.trace_path, std::ios::trunc);
+      out << obs->trace_json();
+    }
   }
   return result;
 }

@@ -128,6 +128,18 @@ struct Scenario {
   SimDuration tail = seconds(30);        ///< exclude blocks near the end
   std::uint64_t seed = 42;
 
+  /// Observability (sftbft::obs): metrics registry, Chrome-trace events,
+  /// flight recorder. Off by default — the deployment then builds no
+  /// Observer and the instrumented hot paths cost one null test each.
+  obs::ObsConfig obs;
+  /// When non-empty, run_scenario writes the Chrome-trace JSON here after
+  /// the run (implies obs.enabled + obs.trace).
+  std::string trace_path;
+  /// Wire a SafetyAuditor over the run; its verdicts land in
+  /// ScenarioResult::auditor_violations, and the first violation snapshots
+  /// the flight recorder into ScenarioResult::flight_dump.
+  bool audit = false;
+
   /// Per-replica faults (shared FaultSpec mechanism — the same list drives
   /// crash/Byzantine scenarios identically on both engines).
   std::vector<engine::FaultSpec> faults;
@@ -195,6 +207,11 @@ struct Scenario {
 struct ScenarioResult {
   std::vector<StrengthLatencyTracker::LevelStats> latency;
   LedgerSummary summary;
+  /// Regular-commit latency distribution (micros; creation -> each
+  /// replica's first commit) over in-window blocks — p50/p99 companions to
+  /// summary.mean_regular_latency_s. Always populated (histograms live in
+  /// the harness tracker, not behind the obs switch).
+  obs::HistogramSummary commit_latency;
   std::uint64_t window_blocks = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t total_message_bytes = 0;
@@ -216,6 +233,19 @@ struct ScenarioResult {
   /// leader-bandwidth metric the dissemination layer attacks.
   std::vector<std::uint64_t> egress_by_replica;
   std::uint64_t max_egress_bytes = 0;
+  /// Frames that passed the Envelope CRC but failed payload decode at the
+  /// engine demux (previously counted by net::MessageStats but dropped on
+  /// the floor here).
+  std::uint64_t decode_drops = 0;
+  /// Observability outputs (zero/empty unless the scenario enabled them).
+  /// Merged counter snapshot across replicas — the full metric vocabulary,
+  /// zeros included, so cross-engine key sets compare exactly.
+  std::map<std::string, std::uint64_t> counters;
+  /// SafetyAuditor verdict count (scenario.audit) and the flight-recorder
+  /// timeline captured at the first violation — or at scenario end when the
+  /// run made no progress (window_blocks == 0) with a recorder attached.
+  std::uint64_t auditor_violations = 0;
+  std::string flight_dump;
 };
 
 ScenarioResult run_scenario(const Scenario& scenario);

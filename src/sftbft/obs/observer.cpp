@@ -1,0 +1,22 @@
+#include "sftbft/obs/observer.hpp"
+
+namespace sftbft::obs {
+
+Observer::Observer(ObsConfig config, std::uint32_t n)
+    : config_(config), registries_(n) {
+  if (config_.flight_capacity > 0) {
+    flight_ = std::make_unique<FlightRecorder>(n, config_.flight_capacity);
+  }
+}
+
+Registry Observer::merged() const {
+  Registry out;
+  for (const Registry& registry : registries_) out.merge(registry);
+  return out;
+}
+
+std::string Observer::trace_json() const {
+  return chrome_trace_json(trace_.events(), n());
+}
+
+}  // namespace sftbft::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sftbft/common/codec.hpp"
+#include "sftbft/obs/observer.hpp"
+#include "sftbft/sim/scheduler.hpp"
 
 namespace sftbft::storage {
 
@@ -70,12 +72,17 @@ void merge_commit(RecoveredState& state, const chain::Ledger::Entry& entry) {
 ReplicaStore::ReplicaStore(StorageBackend& backend, ReplicaId id,
                            StoreConfig config)
     : backend_(&backend),
+      id_(id),
       config_(config),
       wal_(backend, "r" + std::to_string(id) + "/wal"),
       snapshot_name_("r" + std::to_string(id) + "/snapshot") {}
 
 void ReplicaStore::append_record(const Bytes& payload) {
   wal_.append(payload);
+  // Counter only — WAL appends are too frequent to trace individually.
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(id_, obs::Counter::kWalAppends);
+  }
   if (++unsynced_records_ >= std::max(1u, config_.wal_sync_every)) {
     flush();
   }
@@ -149,6 +156,15 @@ void ReplicaStore::write_snapshot(
   wal_.reset();
   unsynced_records_ = 0;
   last_snapshot_blocks_ = ledger.size();
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(id_, obs::Counter::kSnapshots);
+    if (obs->recording() && config_.sched != nullptr) {
+      obs->emit(obs::instant_event("storage", "snapshot", id_,
+                                   config_.sched->now(),
+                                   {"blocks", ledger.size()},
+                                   {"tip_height", tip.height}));
+    }
+  }
 }
 
 bool ReplicaStore::snapshot_due(std::uint64_t committed_blocks) const {

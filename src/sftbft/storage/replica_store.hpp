@@ -34,6 +34,13 @@
 #include "sftbft/types/block.hpp"
 #include "sftbft/types/timeout.hpp"
 
+namespace sftbft::obs {
+class Observer;
+}  // namespace sftbft::obs
+namespace sftbft::sim {
+class Scheduler;
+}  // namespace sftbft::sim
+
 namespace sftbft::storage {
 
 struct StoreConfig {
@@ -45,6 +52,11 @@ struct StoreConfig {
   /// Vote records always sync immediately regardless — the WAL-before-wire
   /// equivocation fence is non-negotiable.
   std::uint32_t wal_sync_every = 1;
+  /// Observability (WAL append / snapshot metrics, attributed to the store's
+  /// replica id); null = off. `sched` supplies sim-time trace timestamps and
+  /// must be set whenever `observer` is.
+  obs::Observer* observer = nullptr;
+  const sim::Scheduler* sched = nullptr;
 };
 
 /// One vote's durable trace: enough to restore the voted-round watermark and
@@ -141,6 +153,7 @@ class ReplicaStore {
   void flush();
 
   StorageBackend* backend_;
+  ReplicaId id_;
   StoreConfig config_;
   Wal wal_;
   std::string snapshot_name_;

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "sftbft/common/codec.hpp"
+#include "sftbft/common/logging.hpp"
+#include "sftbft/obs/observer.hpp"
 
 namespace sftbft::streamlet {
 
@@ -115,7 +117,8 @@ StreamletCore::StreamletCore(
       committer_(tree_, ledger_, pool, sched),
       sync_(core::SyncClient::Config{.id = config.id,
                                      .n = config.n,
-                                     .retry_after = 8 * config.delta_bound},
+                                     .retry_after = 8 * config.delta_bound,
+                                     .observer = config.observer},
             sched,
             [this](ReplicaId to, const SSyncRequest& req) {
               if (hooks_.send_sync_request) hooks_.send_sync_request(to, req);
@@ -138,6 +141,22 @@ StreamletCore::StreamletCore(
   committer_.set_store(store_);
   committer_.set_on_commit([this](const Block& block, std::uint32_t strength,
                                   SimTime now) {
+    if (obs::Observer* obs = config_.observer) {
+      const SimDuration latency = now - block.created_at;
+      if (strength <= config_.f()) {
+        obs->count(config_.id, obs::Counter::kCommits);
+        obs->observe(config_.id, obs::Hist::kCommitLatencyUs, latency);
+      } else {
+        obs->count(config_.id, obs::Counter::kStrongCommits);
+        obs->observe(config_.id, obs::Hist::kStrongCommitLatencyUs, latency);
+      }
+      if (obs->recording()) {
+        obs->emit(obs::span_event(
+            "block", strength <= config_.f() ? "committed" : "strong_commit",
+            config_.id, block.height, block.created_at, now,
+            {"round", block.round}, {"strength", strength}));
+      }
+    }
     if (hooks_.on_commit) hooks_.on_commit(block, strength, now);
   });
   committer_.set_snapshot_hook([this] { maybe_snapshot(); });
@@ -161,6 +180,17 @@ void StreamletCore::stop() {
 void StreamletCore::on_round_tick() {
   if (stopped_) return;
   ++round_;
+  // Lock-step round entry is Streamlet's "pacemaker": same metric keys as
+  // the chained cores' Pacemaker so cross-engine snapshots stay comparable.
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kRoundsEntered);
+    obs->gauge(config_.id, obs::Gauge::kRound,
+               static_cast<std::int64_t>(round_));
+    if (obs->recording()) {
+      obs->emit(obs::instant_event("pacemaker", "round_enter", config_.id,
+                                   sched_.now(), {"round", round_}));
+    }
+  }
   voted_this_round_ = false;
   awaiting_batches_.reset();  // a deferred vote cannot cross rounds
   if (round_ % config_.n == config_.id && !awaiting_sync_) propose();
@@ -282,6 +312,7 @@ const Block& StreamletCore::longest_certified_tip() const {
 }
 
 void StreamletCore::propose() {
+  const log::Scope log_scope(sched_.now(), config_.id);
   const Block& parent = longest_certified_tip();
   Block block;
   block.parent_id = parent.id;
@@ -301,6 +332,15 @@ void StreamletCore::propose() {
   SProposal proposal;
   proposal.block = block;
   proposal.sig = signer_.sign(proposal.signing_bytes());
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kProposalsSent);
+    if (obs->recording()) {
+      obs->emit(obs::span_event("block", "proposed", config_.id, block.height,
+                                block.created_at, sched_.now(),
+                                {"round", block.round},
+                                {"height", block.height}));
+    }
+  }
   hooks_.broadcast_proposal(proposal);
 }
 
@@ -381,6 +421,14 @@ void StreamletCore::maybe_vote(const Block& block) {
   // it and derives markers for later votes.
   history_.record_vote(block);
 
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kVotesSent);
+    if (obs->recording()) {
+      obs->emit(obs::span_event("block", "voted", config_.id, block.height,
+                                block.created_at, sched_.now(),
+                                {"round", block.round}));
+    }
+  }
   hooks_.broadcast_vote(vote);
 }
 
@@ -417,6 +465,16 @@ void StreamletCore::try_certify(const BlockId& id) {
   if (block == nullptr) return;  // wait for the proposal
 
   certified_.insert(id);
+  if (obs::Observer* obs = config_.observer) {
+    obs->count(config_.id, obs::Counter::kBlocksCertified);
+    obs->observe(config_.id, obs::Hist::kCertifyLatencyUs,
+                 sched_.now() - block->created_at);
+    if (obs->recording()) {
+      obs->emit(obs::span_event("block", "certified", config_.id,
+                                block->height, block->created_at, sched_.now(),
+                                {"round", block->round}));
+    }
+  }
   if (block->height > longest_height_) {
     longest_height_ = block->height;
     longest_tip_ = id;

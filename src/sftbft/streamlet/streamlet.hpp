@@ -70,6 +70,9 @@ struct StreamletConfig {
   bool echo = true;
   std::size_t max_batch = 100;
   bool verify_signatures = true;
+  /// Observability (metrics + trace events, attributed to `id`); null = off.
+  /// Stamped by the Deployment; the Observer outlives the core.
+  obs::Observer* observer = nullptr;
 
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
   [[nodiscard]] std::uint32_t quorum() const { return 2 * f() + 1; }

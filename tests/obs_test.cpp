@@ -1,0 +1,392 @@
+// sftbft::obs: histogram bucket/percentile correctness (merge included),
+// Chrome-trace JSON well-formedness, flight-recorder ring eviction, and the
+// cross-engine observability conformance the enum vocabulary promises —
+// identical metric key sets on DiemBFT, chained HotStuff, and Streamlet.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sftbft/harness/scenario.hpp"
+#include "sftbft/obs/metrics.hpp"
+#include "sftbft/obs/observer.hpp"
+#include "sftbft/obs/trace.hpp"
+
+namespace sftbft::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, LowValuesLandInExactUnitBuckets) {
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const std::size_t b = Histogram::bucket_for(v);
+    EXPECT_EQ(Histogram::bucket_lower(b), v);
+    EXPECT_EQ(Histogram::bucket_upper(b), v + 1);
+  }
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  for (const std::uint64_t v :
+       {16ull, 17ull, 31ull, 32ull, 1000ull, 123456789ull,
+        (1ull << 40) + 12345ull, (1ull << 61)}) {
+    const std::size_t b = Histogram::bucket_for(v);
+    EXPECT_LE(Histogram::bucket_lower(b), v) << v;
+    EXPECT_LT(v, Histogram::bucket_upper(b)) << v;
+  }
+}
+
+TEST(Histogram, RelativeQuantizationErrorIsBounded) {
+  // Bucket width / lower bound <= 2^-kSubBits for all non-unit buckets.
+  for (const std::uint64_t v : {100ull, 999ull, 65536ull, 1000000ull}) {
+    const std::size_t b = Histogram::bucket_for(v);
+    const double width = static_cast<double>(Histogram::bucket_upper(b) -
+                                             Histogram::bucket_lower(b));
+    const double lower = static_cast<double>(Histogram::bucket_lower(b));
+    EXPECT_LE(width / lower, 1.0 / Histogram::kSubBuckets) << v;
+  }
+}
+
+TEST(Histogram, SummaryOnUniformRange) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 1000);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+  // Percentiles are bucket midpoints: exact to 6.25% of the value.
+  EXPECT_NEAR(static_cast<double>(s.p50), 500.0, 500.0 / 16 + 1);
+  EXPECT_NEAR(static_cast<double>(s.p90), 900.0, 900.0 / 16 + 1);
+  EXPECT_NEAR(static_cast<double>(s.p99), 990.0, 990.0 / 16 + 1);
+  EXPECT_NEAR(static_cast<double>(s.p999), 999.0, 999.0 / 16 + 1);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0);
+  EXPECT_EQ(empty.summary().count, 0u);
+
+  Histogram one;
+  one.record(42);
+  EXPECT_EQ(one.summary().min, 42);
+  EXPECT_EQ(one.summary().max, 42);
+  // 42 sits in a linear sub-bucket of width 4: midpoint within the bound.
+  EXPECT_NEAR(static_cast<double>(one.percentile(0.5)), 42.0, 42.0 / 16 + 1);
+
+  Histogram neg;
+  neg.record(-5);  // clamps to 0 rather than UB
+  EXPECT_EQ(neg.summary().min, 0);
+  EXPECT_EQ(neg.count(), 1u);
+}
+
+TEST(Histogram, MergeMatchesSingleHistogramExactly) {
+  // Positional bucket addition: merging per-replica histograms must be
+  // bucket-identical to recording every sample into one histogram — the
+  // property cross-replica percentile aggregation rests on.
+  Histogram a, b, all;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const auto v = static_cast<std::int64_t>(x >> 34);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  const HistogramSummary merged = a.summary();
+  const HistogramSummary single = all.summary();
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_EQ(merged.min, single.min);
+  EXPECT_EQ(merged.max, single.max);
+  EXPECT_DOUBLE_EQ(merged.mean, single.mean);
+  EXPECT_EQ(merged.p50, single.p50);
+  EXPECT_EQ(merged.p90, single.p90);
+  EXPECT_EQ(merged.p99, single.p99);
+  EXPECT_EQ(merged.p999, single.p999);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, CounterSnapshotCarriesTheFullVocabulary) {
+  Registry r;
+  const auto snapshot = r.counter_snapshot();
+  EXPECT_EQ(snapshot.size(), static_cast<std::size_t>(Counter::kCount_));
+  for (const auto& [name, value] : snapshot) {
+    EXPECT_EQ(value, 0u) << name;
+    EXPECT_NE(name, "?");
+  }
+}
+
+TEST(Registry, MergeAddsCountersAndBucketMergesHistograms) {
+  Registry a, b;
+  a.add(Counter::kCommits, 3);
+  b.add(Counter::kCommits, 4);
+  a.observe(Hist::kCommitLatencyUs, 100);
+  b.observe(Hist::kCommitLatencyUs, 200);
+  a.merge(b);
+  EXPECT_EQ(a.counter(Counter::kCommits), 7u);
+  EXPECT_EQ(a.histogram(Hist::kCommitLatencyUs).count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace JSON well-formedness (minimal structural JSON parser — no library).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Trace, ChromeTraceJsonIsWellFormed) {
+  std::vector<TraceEvent> events;
+  events.push_back(span_event("block", "committed", 3, 7, 1000, 251000,
+                              {"round", 9}, {"strength", 2}));
+  events.push_back(instant_event("pacemaker", "timeout", 1, 5000,
+                                 {"round", 4}));
+  events.push_back(instant_event("dissem", "batch_packed", 0, 10));
+  const std::string json = chrome_trace_json(events, /*n=*/4);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceIsStillValidJson) {
+  const std::string json = chrome_trace_json({}, 0);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorder, RingEvictsOldestAndCountsEvictions) {
+  FlightRecorder recorder(/*n=*/2, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.append(instant_event("pacemaker", "round_enter", 0,
+                                  static_cast<SimTime>(i * 100)));
+  }
+  recorder.append(instant_event("pacemaker", "round_enter", 1, 50));
+  EXPECT_EQ(recorder.size(0), 4u);
+  EXPECT_EQ(recorder.evicted(0), 6u);
+  EXPECT_EQ(recorder.size(1), 1u);
+  EXPECT_EQ(recorder.evicted(1), 0u);
+
+  // The ring keeps the most recent events; snapshot is globally ts-sorted.
+  const std::vector<TraceEvent> snap = recorder.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  EXPECT_EQ(snap.front().ts, 50);
+  EXPECT_EQ(snap.back().ts, 900);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LE(snap[i - 1].ts, snap[i].ts);
+  }
+
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("pacemaker/round_enter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine conformance through real scenario runs
+
+harness::Scenario small_scenario(engine::Protocol protocol) {
+  harness::Scenario s;
+  s.protocol = protocol;
+  s.n = 7;
+  s.topo = harness::Scenario::Topo::Uniform;
+  s.delta = millis(20);
+  s.jitter = millis(5);
+  s.jitter_frac = 0;
+  s.leader_processing = millis(10);
+  s.streamlet_delta_bound = millis(50);
+  s.verify_signatures = false;
+  s.max_batch = 10;
+  s.txn_size_bytes = 450;
+  s.duration = seconds(12);
+  s.warmup = seconds(1);
+  s.tail = seconds(2);
+  s.seed = 7;
+  s.obs.enabled = true;
+  return s;
+}
+
+TEST(ObsConformance, AllThreeEnginesExposeIdenticalMetricKeys) {
+  std::vector<harness::ScenarioResult> results;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    results.push_back(harness::run_scenario(small_scenario(protocol)));
+  }
+  auto keys = [](const harness::ScenarioResult& r) {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : r.counters) out.push_back(name);
+    return out;
+  };
+  ASSERT_FALSE(results[0].counters.empty());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(keys(results[i]), keys(results[0]));
+  }
+  for (const harness::ScenarioResult& r : results) {
+    // The run made progress and the shared-kernel instrumentation saw it.
+    EXPECT_GT(r.counters.at("consensus.commits"), 0u);
+    EXPECT_GT(r.counters.at("consensus.strong_commits"), 0u);
+    EXPECT_GT(r.counters.at("consensus.proposals_sent"), 0u);
+    EXPECT_GT(r.counters.at("consensus.votes_sent"), 0u);
+    EXPECT_GT(r.counters.at("consensus.rounds_entered"), 0u);
+    EXPECT_GT(r.counters.at("consensus.blocks_certified"), 0u);
+    // Percentiles ride in every result (harness-side histograms).
+    EXPECT_GT(r.commit_latency.count, 0u);
+    EXPECT_GT(r.commit_latency.p50, 0);
+    EXPECT_LE(r.commit_latency.p50, r.commit_latency.p99);
+    // Satellite: decode accounting is surfaced, and clean runs drop nothing.
+    EXPECT_EQ(r.decode_drops, 0u);
+  }
+}
+
+TEST(ObsConformance, TracedRunWritesWellFormedChromeTraceJson) {
+  harness::Scenario s = small_scenario(engine::Protocol::DiemBft);
+  s.duration = seconds(5);
+  s.trace_path = "obs_test_trace.json";  // cwd = the ctest build dir
+  const harness::ScenarioResult r = harness::run_scenario(s);
+  EXPECT_GT(r.summary.committed_blocks, 0u);
+
+  std::ifstream in(s.trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_GT(json.size(), 2u);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // The block lifecycle made it into the trace.
+  EXPECT_NE(json.find("\"committed\""), std::string::npos);
+  EXPECT_NE(json.find("\"proposed\""), std::string::npos);
+  std::remove(s.trace_path.c_str());
+}
+
+TEST(ObsConformance, AuditorViolationDumpsFlightRecorder) {
+  // The Appendix-C strawman: naive indirect counting under the Fig. 9
+  // coalition produces unsound claims; the first violation must snapshot
+  // the flight recorder into the result.
+  harness::Scenario s = small_scenario(engine::Protocol::DiemBft);
+  s.counting = consensus::CountingRule::NaiveAllIndirect;
+  s.byzantine_count = 2;
+  s.byzantine.strategies = {adversary::Strategy::EquivocatingLeader,
+                            adversary::Strategy::AmnesiaVoter};
+  s.audit = true;
+  const harness::ScenarioResult r = harness::run_scenario(s);
+  EXPECT_GT(r.auditor_violations, 0u);
+  ASSERT_FALSE(r.flight_dump.empty());
+  // The dump leads with the violation verdict ("unsound claim" /
+  // "conflicting commits", both carry the claimed x), then the timeline.
+  EXPECT_NE(r.flight_dump.find("x="), std::string::npos)
+      << r.flight_dump.substr(0, 200);
+  EXPECT_NE(r.flight_dump.find("pacemaker/round_enter"), std::string::npos);
+}
+
+TEST(ObsConformance, DisabledObservabilityProducesNoOutputs) {
+  harness::Scenario s = small_scenario(engine::Protocol::DiemBft);
+  s.obs.enabled = false;
+  s.duration = seconds(5);
+  const harness::ScenarioResult r = harness::run_scenario(s);
+  EXPECT_GT(r.summary.committed_blocks, 0u);
+  EXPECT_TRUE(r.counters.empty());
+  EXPECT_TRUE(r.flight_dump.empty());
+  // Harness-side percentiles are NOT behind the switch.
+  EXPECT_GT(r.commit_latency.count, 0u);
+}
+
+}  // namespace
+}  // namespace sftbft::obs
