@@ -132,20 +132,33 @@ inline std::vector<harness::ScenarioResult> run_scenarios(
 }
 
 /// Writes the bench artifact: metadata + one named JSON section per result
-/// table (Table::render_json). Returns false (with a message) on I/O error.
+/// table (Table::render_json). `manifests` (label -> RunManifest JSON, one
+/// per distinct scenario family in the sweep) makes the artifact
+/// self-describing — bench/perf_gate refuses to compare artifacts whose
+/// manifests differ. Returns false (with a message) on I/O error.
 inline bool write_json_artifact(
     const std::string& path, const std::string& bench, std::uint64_t seed,
     bool smoke,
-    const std::vector<std::pair<std::string, harness::Table>>& sections) {
+    const std::vector<std::pair<std::string, harness::Table>>& sections,
+    const std::vector<std::pair<std::string, std::string>>& manifests = {}) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
   std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n"
-               "  \"smoke\": %s,\n  \"sections\": {",
+               "  \"smoke\": %s,\n",
                bench.c_str(), static_cast<unsigned long long>(seed),
                smoke ? "true" : "false");
+  if (!manifests.empty()) {
+    std::fprintf(out, "  \"manifests\": {");
+    for (std::size_t i = 0; i < manifests.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\": %s", i > 0 ? "," : "",
+                   manifests[i].first.c_str(), manifests[i].second.c_str());
+    }
+    std::fprintf(out, "\n  },\n");
+  }
+  std::fprintf(out, "  \"sections\": {");
   for (std::size_t i = 0; i < sections.size(); ++i) {
     std::fprintf(out, "%s\n    \"%s\": %s", i > 0 ? "," : "",
                  sections[i].first.c_str(),

@@ -1,0 +1,96 @@
+// CI perf-regression gate CLI (see src/sftbft/harness/perf_gate.hpp).
+//
+//   perf_gate --baselines bench/baselines BENCH_throughput.json ...
+//
+// Each candidate artifact is matched to <baselines>/<basename> and compared
+// under the default rule set for its "bench" field. Exit codes: 0 = all
+// gates pass, 1 = at least one violation, 2 = usage/IO/parse error (an
+// unreadable gate must fail CI loudly, not pass by accident).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sftbft/harness/perf_gate.hpp"
+
+namespace {
+
+using sftbft::harness::GateReport;
+using sftbft::harness::JsonValue;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines_dir;
+  std::vector<std::string> artifacts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      baselines_dir = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      artifacts.emplace_back(argv[i]);
+    }
+  }
+  if (baselines_dir.empty() || artifacts.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --baselines <dir> <artifact.json>...\n", argv[0]);
+    return 2;
+  }
+
+  GateReport report;
+  for (const std::string& path : artifacts) {
+    const std::string name = basename_of(path);
+    std::string cand_text;
+    if (!read_file(path, cand_text)) {
+      std::fprintf(stderr, "cannot read candidate %s\n", path.c_str());
+      return 2;
+    }
+    const std::string baseline_path = baselines_dir + "/" + name;
+    std::string base_text;
+    if (!read_file(baseline_path, base_text)) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    const auto candidate = JsonValue::parse(cand_text);
+    const auto baseline = JsonValue::parse(base_text);
+    if (!candidate || !baseline) {
+      std::fprintf(stderr, "%s: %s does not parse as JSON\n", name.c_str(),
+                   candidate ? "baseline" : "candidate");
+      return 2;
+    }
+    const JsonValue* bench = candidate->find("bench");
+    if (bench == nullptr || bench->type != JsonValue::Type::String) {
+      std::fprintf(stderr, "%s: missing \"bench\" field\n", name.c_str());
+      return 2;
+    }
+    const auto rules = sftbft::harness::default_rules(bench->string);
+    if (rules.empty()) {
+      // An ungated artifact passed to the gate is a CI wiring mistake.
+      std::fprintf(stderr, "%s: no gate rules for bench \"%s\"\n",
+                   name.c_str(), bench->string.c_str());
+      return 2;
+    }
+    compare_artifact(name, *baseline, *candidate, rules, report);
+  }
+
+  std::fputs(report.describe().c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}

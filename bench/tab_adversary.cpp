@@ -58,8 +58,9 @@ struct CellResult {
   Height tip = 0;
 };
 
-CellResult run_cell(engine::Protocol protocol, consensus::CountingRule rule,
-                    std::uint32_t c, const BenchConfig& bench) {
+harness::Scenario cell_scenario(engine::Protocol protocol,
+                                consensus::CountingRule rule, std::uint32_t c,
+                                const BenchConfig& bench) {
   harness::Scenario s;
   s.name = "tab_adversary";
   s.protocol = protocol;
@@ -84,6 +85,12 @@ CellResult run_cell(engine::Protocol protocol, consensus::CountingRule rule,
   s.byzantine_count = c;
   s.byzantine.strategies = {adversary::Strategy::EquivocatingLeader,
                             adversary::Strategy::AmnesiaVoter};
+  return s;
+}
+
+CellResult run_cell(engine::Protocol protocol, consensus::CountingRule rule,
+                    std::uint32_t c, const BenchConfig& bench) {
+  const harness::Scenario s = cell_scenario(protocol, rule, c, bench);
 
   harness::SafetyAuditor auditor({protocol, s.n});
   engine::AuditTaps taps = auditor.taps();
@@ -263,8 +270,18 @@ int main(int argc, char** argv) {
 
   const std::string json_path =
       args.json_path.empty() ? "BENCH_adversary.json" : args.json_path;
+  std::vector<std::pair<std::string, std::string>> manifests;
+  for (const CellJob& job : grid) {
+    const bool naive = job.rule == consensus::CountingRule::NaiveAllIndirect;
+    manifests.emplace_back(
+        std::string(engine::protocol_name(job.protocol)) +
+            (naive ? "_naive" : "_votehistory") + "_c" + std::to_string(job.c),
+        cell_scenario(job.protocol, job.rule, job.c, bench)
+            .manifest()
+            .render_json());
+  }
   if (!bench::write_json_artifact(json_path, "tab_adversary", bench.seed,
-                                  args.smoke, sections)) {
+                                  args.smoke, sections, manifests)) {
     ++failures;
   }
 

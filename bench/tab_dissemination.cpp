@@ -201,11 +201,19 @@ int main(int argc, char** argv) {
 
   if (!args.json_path.empty()) {
     const std::uint64_t seed = args.seed != 0 ? args.seed : 42;
+    std::vector<std::pair<std::string, std::string>> manifests;
+    for (const harness::Scenario& s : sweep) {
+      manifests.emplace_back(std::string(engine::protocol_name(s.protocol)) +
+                                 "_n" + std::to_string(s.n) +
+                                 (s.dissemination ? "_digest" : "_inline"),
+                             s.manifest().render_json());
+    }
     if (!write_json_artifact(args.json_path, "tab_dissemination", seed,
                              args.smoke,
                              {{"dissemination", table},
                               {"leader_egress_ratio", ratio_table},
-                              {"canonical_payload", payload_table}})) {
+                              {"canonical_payload", payload_table}},
+                             manifests)) {
       return 1;
     }
   }

@@ -35,6 +35,9 @@ harness::Scenario complexity_scenario(engine::Protocol protocol,
   // Streamlet is lock-step: give rounds a realistic Δ and keep the echo on
   // (its O(n^3) is the point of measuring it).
   s.streamlet_delta_bound = millis(120);
+  // Metrics (not tracing): the transport's per-WireType transit/queueing
+  // histograms feed the delay columns of the per-type wire tables.
+  s.obs.enabled = true;
   // Heterogeneity scaled to keep a comparable straggler share at every n.
   s.duration = args.smoke ? seconds(40) : seconds(90);
   s.tail = args.smoke ? seconds(10) : seconds(30);
@@ -120,9 +123,22 @@ int main(int argc, char** argv) {
         protocol == engine::Protocol::DiemBft
             ? results[2 * (sizes.size() - 1)]  // the largest SFT cell
             : results[wire_base + extra_wire++];
-    harness::Table wire_table(
-        {"type", "frames", "total bytes", "avg frame bytes"});
+    harness::Table wire_table({"type", "frames", "total bytes",
+                               "avg frame bytes", "transit p50 (ms)",
+                               "transit p99 (ms)"});
     for (const auto& [type, stats] : wire_run.traffic_by_type) {
+      // Transit percentiles (send -> delivery, micros in the histogram):
+      // self-delivered frames are not on the wire, so a type that only ever
+      // loops back (or never got delivered) reads "--".
+      std::string p50 = "--";
+      std::string p99 = "--";
+      if (const auto it = wire_run.wire_delays.find(type);
+          it != wire_run.wire_delays.end() && it->second.transit.count > 0) {
+        p50 = harness::Table::num(
+            static_cast<double>(it->second.transit.p50) / 1000.0, 1);
+        p99 = harness::Table::num(
+            static_cast<double>(it->second.transit.p99) / 1000.0, 1);
+      }
       wire_table.add_row(
           {type, std::to_string(stats.count), std::to_string(stats.bytes),
            harness::Table::num(
@@ -130,7 +146,8 @@ int main(int argc, char** argv) {
                    ? static_cast<double>(stats.bytes) /
                          static_cast<double>(stats.count)
                    : 0.0,
-               1)});
+               1),
+           std::move(p50), std::move(p99)});
     }
     broadcast_table.add_row(
         {engine::protocol_name(protocol), std::to_string(wire_n),
@@ -152,10 +169,19 @@ int main(int argc, char** argv) {
   std::printf("%s\n", broadcast_table.render().c_str());
   sections.emplace_back("broadcast", broadcast_table);
 
+  // One manifest per sweep cell, keyed engine/n/variant (FBFT cells are a
+  // different config digest than SFT at the same n — that is the point).
+  std::vector<std::pair<std::string, std::string>> manifests;
+  for (const harness::Scenario& s : sweep) {
+    manifests.emplace_back(std::string(engine::protocol_name(s.protocol)) +
+                               "_n" + std::to_string(s.n) +
+                               (s.fbft ? "_fbft" : ""),
+                           s.manifest().render_json());
+  }
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_msg_complexity",
                            args.seed != 0 ? args.seed : 42, args.smoke,
-                           sections)) {
+                           sections, manifests)) {
     return 1;
   }
   // CI archives the exact wire accounting next to BENCH_adversary.json —
@@ -165,7 +191,7 @@ int main(int argc, char** argv) {
         sections.begin() + 1, sections.end());
     if (!write_json_artifact("BENCH_wire.json", "wire",
                              args.seed != 0 ? args.seed : 42, args.smoke,
-                             wire_sections)) {
+                             wire_sections, manifests)) {
       return 1;
     }
   }

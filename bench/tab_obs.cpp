@@ -169,10 +169,16 @@ int main(int argc, char** argv) {
               latency_table.render().c_str());
   std::printf("Wrote TRACE_<engine>.json for each run — load them in "
               "Perfetto (ui.perfetto.dev) or chrome://tracing.\n");
+  std::vector<std::pair<std::string, std::string>> manifests;
+  for (const harness::Scenario& s : sweep) {
+    manifests.emplace_back(engine::protocol_name(s.protocol),
+                           s.manifest().render_json());
+  }
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_obs", seed, args.smoke,
                            {{"counters", counters_table},
-                            {"latency", latency_table}})) {
+                            {"latency", latency_table}},
+                           manifests)) {
     return 1;
   }
   return 0;

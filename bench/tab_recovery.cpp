@@ -49,7 +49,8 @@ struct RecoveryRow {
 };
 
 int run_protocol(engine::Protocol protocol, const BenchConfig& bench,
-                 std::vector<std::pair<std::string, harness::Table>>& sections) {
+                 std::vector<std::pair<std::string, harness::Table>>& sections,
+                 std::vector<std::pair<std::string, std::string>>& manifests) {
   harness::Scenario s;
   s.name = "tab_recovery";
   s.protocol = protocol;
@@ -172,6 +173,8 @@ int run_protocol(engine::Protocol protocol, const BenchConfig& bench,
               static_cast<unsigned long long>(cluster_tip),
               failures == 0 ? "all passed" : "FAILED");
   sections.emplace_back(engine::protocol_name(protocol), std::move(table));
+  manifests.emplace_back(engine::protocol_name(protocol),
+                         s.manifest().render_json());
   return failures;
 }
 
@@ -195,11 +198,12 @@ int main(int argc, char** argv) {
               args.smoke ? " [smoke]" : "");
   int failures = 0;
   std::vector<std::pair<std::string, harness::Table>> sections;
-  failures += run_protocol(engine::Protocol::DiemBft, bench, sections);
-  failures += run_protocol(engine::Protocol::Streamlet, bench, sections);
+  std::vector<std::pair<std::string, std::string>> manifests;
+  failures += run_protocol(engine::Protocol::DiemBft, bench, sections, manifests);
+  failures += run_protocol(engine::Protocol::Streamlet, bench, sections, manifests);
   if (!args.json_path.empty() &&
       !bench::write_json_artifact(args.json_path, "tab_recovery", bench.seed,
-                                  args.smoke, sections)) {
+                                  args.smoke, sections, manifests)) {
     ++failures;
   }
   return failures == 0 ? 0 : 1;

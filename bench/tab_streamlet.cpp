@@ -80,7 +80,9 @@ int main(int argc, char** argv) {
               "fork-resistance check.)\n");
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_streamlet", s.seed, args.smoke,
-                           {{"latency", table}, {"d4_attack", attack}})) {
+                           {{"latency", table}, {"d4_attack", attack}},
+                           {{engine::protocol_name(s.protocol),
+                             s.manifest().render_json()}})) {
     return 1;
   }
   return 0;

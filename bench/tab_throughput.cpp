@@ -111,10 +111,15 @@ int main(int argc, char** argv) {
               "engines (one kernel, two rule sets).\nNote: each block "
               "carries 100 txn records of 4.5 KB modelling the paper's "
               "~1000-txn / ~450 KB batches.\n");
+  std::vector<std::pair<std::string, std::string>> manifests;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    manifests.emplace_back(variants[i].name, sweep[i].manifest().render_json());
+  }
   if (!args.json_path.empty() &&
       !write_json_artifact(args.json_path, "tab_throughput", seed, args.smoke,
                            {{"throughput", table},
-                            {"strength_latency", strength_table}})) {
+                            {"strength_latency", strength_table}},
+                           manifests)) {
     return 1;
   }
   return 0;

@@ -61,6 +61,12 @@ void Pacemaker::note_round_entered(Round round) {
     obs->emit(obs::instant_event("pacemaker", "round_enter", config_.id,
                                  sched_.now(), {"round", round}));
   }
+  if (obs->tracing()) {
+    // Counter track: the round number as a per-replica time series (lagging
+    // replicas show up as a visibly lower staircase in Perfetto).
+    obs->emit_trace_only(obs::counter_event("pacemaker", "round", config_.id,
+                                            sched_.now(), {"round", round}));
+  }
 }
 
 void Pacemaker::arm_timer() {

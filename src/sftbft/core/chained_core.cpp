@@ -327,6 +327,13 @@ void ChainedCore::propose(Round round) {
                                 block.created_at, sched_.now(),
                                 {"round", round}, {"height", block.height}));
     }
+    if (obs->tracing()) {
+      // Backpressure counter track: what the leader's mempool looked like
+      // right after draining this block's batch.
+      obs->emit_trace_only(obs::counter_event(
+          "mempool", "mempool_depth", config_.id, sched_.now(),
+          {"pending", static_cast<std::uint64_t>(pool_.pending())}));
+    }
   }
   hooks_.broadcast_proposal(proposal);
 }
@@ -381,6 +388,16 @@ void ChainedCore::on_proposal(const Proposal& proposal) {
 
   const auto inserted = tree_.insert(block);
   if (inserted != chain::BlockTree::InsertResult::Inserted) return;
+
+  // Proposal arrival milestone (critical-path "proposal transit"). The
+  // proposer's own loopback delivery is excluded — it would zero the
+  // transit segment for every block.
+  if (obs::Observer* obs = config_.observer;
+      obs != nullptr && obs->recording() && block.proposer != config_.id) {
+    obs->emit(obs::span_event("block", "received", config_.id, block.height,
+                              block.created_at, sched_.now(),
+                              {"round", block.round}));
+  }
 
   // Locking rule + SFT endorsements + commit rules + Sec. 5 cache.
   observe_qc(block.qc, /*canonical=*/true);
@@ -444,7 +461,17 @@ void ChainedCore::retry_awaiting_payloads() {
   }
   // maybe_vote re-checks round/voted state itself, so a parked block whose
   // moment has passed is a silent no-op.
-  for (const types::Block& block : ready) maybe_vote(block);
+  for (const types::Block& block : ready) {
+    // Dissem availability-wait milestone: the batches this block references
+    // are finally local (critical-path "dissem wait" ends here).
+    if (obs::Observer* obs = config_.observer;
+        obs != nullptr && obs->recording()) {
+      obs->emit(obs::instant_event("dissem", "payload_ready", config_.id,
+                                   sched_.now(), {"round", block.round},
+                                   {"height", block.height}));
+    }
+    maybe_vote(block);
+  }
 }
 
 bool diembft_safe_to_vote(const Block& block, const SafetyRules& safety,
@@ -601,7 +628,15 @@ void ChainedCore::add_to_aggregator(const Vote& vote) {
     if (config_.fbft_mode) fbft_handle_late_vote(vote);
     return;
   }
-  pending.by_voter.emplace(vote.voter, vote);
+  if (pending.by_voter.emplace(vote.voter, vote).second) {
+    // Vote-arrival ordinals (the paper's strength clock): stamp the moment
+    // the (f+1)-th and (2f+1)-th distinct votes landed. The histograms are
+    // materialized at finalize_qc, when the block (and its created_at) is
+    // guaranteed known.
+    const std::size_t distinct = pending.by_voter.size();
+    if (distinct == config_.f() + 1) pending.f1_at = sched_.now();
+    if (distinct == config_.quorum()) pending.quorum_at = sched_.now();
+  }
   try_finalize_qc(vote.round, vote.block_id);
 }
 
@@ -649,6 +684,27 @@ void ChainedCore::finalize_qc(Round round, const BlockId& block_id) {
 
   const Block* block = tree_.get(block_id);
   if (block == nullptr) return;  // restored mid-flight: block no longer known
+
+  if (obs::Observer* obs = config_.observer) {
+    if (pending.f1_at > 0) {
+      obs->observe(config_.id, obs::Hist::kVoteF1LatencyUs,
+                   pending.f1_at - block->created_at);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event("block", "vote_f1", config_.id,
+                                     pending.f1_at, {"round", round},
+                                     {"height", block->height}));
+      }
+    }
+    if (pending.quorum_at > 0) {
+      obs->observe(config_.id, obs::Hist::kVoteQuorumLatencyUs,
+                   pending.quorum_at - block->created_at);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event("block", "vote_quorum", config_.id,
+                                     pending.quorum_at, {"round", round},
+                                     {"height", block->height}));
+      }
+    }
+  }
 
   QuorumCert qc;
   qc.block_id = block_id;

@@ -336,6 +336,10 @@ class ChainedCore {
     std::map<ReplicaId, types::Vote> by_voter;
     sim::TimerId extra_wait_timer = sim::kInvalidTimer;
     bool finalized = false;
+    /// Vote-arrival ordinals (the paper's strength clock): sim time when the
+    /// (f+1)-th / (2f+1)-th distinct vote landed; 0 = not reached yet.
+    SimTime f1_at = 0;
+    SimTime quorum_at = 0;
   };
   std::map<Round, std::unordered_map<types::BlockId, PendingVotes>> votes_;
 

@@ -57,6 +57,11 @@ void BatchBroadcaster::pack_and_push() {
           "dissem", "batch_packed", id_, transport_.scheduler().now(),
           {"seq", batch.seq}, {"txns", batch.txns.size()}));
     }
+    if (obs->tracing()) {
+      obs->emit_trace_only(obs::counter_event(
+          "dissem", "batch_store", id_, transport_.scheduler().now(),
+          {"batches", static_cast<std::uint64_t>(store_.size())}));
+    }
   }
   if (options_.silent || options_.withhold_push) return;
   transport_.broadcast(Envelope::pack(WireType::kBatchPush, id_,
@@ -72,12 +77,19 @@ void BatchBroadcaster::ingest(const Batch& batch, bool& any_new) {
   if (!store_.add(batch)) return;
   const bool was_missing = missing_.erase(batch.digest) > 0;
   any_new = true;
-  if (obs::Observer* obs = config_.observer; obs != nullptr && was_missing) {
-    obs->count(id_, obs::Counter::kBatchesResolved);
-    if (obs->recording()) {
-      obs->emit(obs::instant_event("dissem", "batch_resolved", id_,
-                                   transport_.scheduler().now(),
-                                   {"still_missing", missing_.size()}));
+  if (obs::Observer* obs = config_.observer; obs != nullptr) {
+    if (was_missing) {
+      obs->count(id_, obs::Counter::kBatchesResolved);
+      if (obs->recording()) {
+        obs->emit(obs::instant_event("dissem", "batch_resolved", id_,
+                                     transport_.scheduler().now(),
+                                     {"still_missing", missing_.size()}));
+      }
+    }
+    if (obs->tracing()) {
+      obs->emit_trace_only(obs::counter_event(
+          "dissem", "batch_store", id_, transport_.scheduler().now(),
+          {"batches", static_cast<std::uint64_t>(store_.size())}));
     }
   }
 }

@@ -90,6 +90,9 @@ Deployment::Deployment(DeploymentConfig config, CommitObserver observer,
                                                    config_.net, net_seed);
   if (config_.obs.enabled) {
     observer_ = std::make_unique<obs::Observer>(config_.obs, config_.n);
+    // The transport feeds per-WireType transit histograms and (when tracing)
+    // cross-replica flow arrows into the same observer the replicas use.
+    transport_->set_observer(observer_.get());
   }
   // Corrupt faults are link-level: they live in the transport, and the
   // replica itself runs the honest engine below. Corruption only acts

@@ -1,0 +1,347 @@
+#include "sftbft/harness/perf_gate.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sftbft::harness {
+
+// ----------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    std::optional<JsonValue> value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // This repo's writers never emit \u escapes; keep the parser
+          // total anyway by passing the sequence through verbatim.
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          out.append("\\u").append(text_, pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue value;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      value.type = JsonValue::Type::Object;
+      skip_ws();
+      if (consume('}')) return value;
+      while (true) {
+        std::optional<std::string> key = parse_string();
+        if (!key || !consume(':')) return std::nullopt;
+        std::optional<JsonValue> member = parse_value();
+        if (!member) return std::nullopt;
+        value.object.emplace(std::move(*key), std::move(*member));
+        if (consume(',')) continue;
+        if (consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.type = JsonValue::Type::Array;
+      skip_ws();
+      if (consume(']')) return value;
+      while (true) {
+        std::optional<JsonValue> element = parse_value();
+        if (!element) return std::nullopt;
+        value.array.push_back(std::move(*element));
+        if (consume(',')) continue;
+        if (consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> text = parse_string();
+      if (!text) return std::nullopt;
+      value.type = JsonValue::Type::String;
+      value.string = std::move(*text);
+      return value;
+    }
+    if (c == 't') {
+      if (!literal("true")) return std::nullopt;
+      value.type = JsonValue::Type::Bool;
+      value.boolean = true;
+      return value;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return std::nullopt;
+      value.type = JsonValue::Type::Bool;
+      return value;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return value;
+    }
+    // number
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double number = std::strtod(begin, &end);
+    if (end == begin) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - begin);
+    value.type = JsonValue::Type::Number;
+    value.number = number;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::Object) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------------------- rules
+
+std::vector<GateRule> default_rules(const std::string& bench) {
+  using D = GateRule::Direction;
+  if (bench == "tab_throughput") {
+    return {
+        {"throughput", "protocol", "blocks/s", D::kHigherIsBetter, 0.10},
+        {"throughput", "protocol", "commit p50 (s)", D::kLowerIsBetter, 0.15},
+        {"throughput", "protocol", "commit p99 (s)", D::kLowerIsBetter, 0.25},
+    };
+  }
+  if (bench == "tab_critical_path") {
+    return {
+        {"summary", "engine", "blocks", D::kHigherIsBetter, 0.15},
+        {"summary", "engine", "mean commit (ms)", D::kLowerIsBetter, 0.20},
+        {"summary", "engine", "p99 commit (ms)", D::kLowerIsBetter, 0.30},
+    };
+  }
+  return {};
+}
+
+// -------------------------------------------------------------- comparison
+
+namespace {
+
+const char* kind_name(GateViolation::Kind kind) {
+  switch (kind) {
+    case GateViolation::Kind::kRegression: return "REGRESSION";
+    case GateViolation::Kind::kMissingSection: return "MISSING SECTION";
+    case GateViolation::Kind::kMissingRow: return "MISSING ROW";
+    case GateViolation::Kind::kBadValue: return "BAD VALUE";
+    case GateViolation::Kind::kManifestMismatch: return "MANIFEST MISMATCH";
+    case GateViolation::Kind::kMalformed: return "MALFORMED";
+  }
+  return "?";
+}
+
+void add(GateReport& report, GateViolation::Kind kind,
+         const std::string& artifact, std::string detail) {
+  report.violations.push_back({kind, artifact, std::move(detail)});
+}
+
+/// Row lookup: the first row object whose `key_column` string equals `key`.
+const JsonValue* find_row(const JsonValue& section,
+                          const std::string& key_column,
+                          const std::string& key) {
+  for (const JsonValue& row : section.array) {
+    const JsonValue* cell = row.find(key_column);
+    if (cell != nullptr && cell->type == JsonValue::Type::String &&
+        cell->string == key) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+/// Table cells are strings ("12.34", "--"); accept raw numbers too.
+std::optional<double> cell_number(const JsonValue& row,
+                                  const std::string& column) {
+  const JsonValue* cell = row.find(column);
+  if (cell == nullptr) return std::nullopt;
+  if (cell->type == JsonValue::Type::Number) return cell->number;
+  if (cell->type != JsonValue::Type::String) return std::nullopt;
+  const char* begin = cell->string.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return std::nullopt;
+  return value;
+}
+
+/// Manifest comparability: seed, smoke mode, and the per-run manifests
+/// (engine, n, config digest) must all match — otherwise the numeric delta
+/// is a configuration diff, not a perf signal.
+void check_manifests(const std::string& name, const JsonValue& baseline,
+                     const JsonValue& candidate, GateReport& report) {
+  static const char* kKeys[] = {"seed", "smoke", "manifests"};
+  for (const char* key : kKeys) {
+    const JsonValue* base = baseline.find(key);
+    const JsonValue* cand = candidate.find(key);
+    if (base == nullptr && cand == nullptr) continue;
+    if (base != nullptr && cand != nullptr && *base == *cand) continue;
+    add(report, GateViolation::Kind::kManifestMismatch, name,
+        std::string("'") + key +
+            "' differs between baseline and candidate — the runs are not "
+            "comparable; refresh the baselines (see README, 'Refreshing "
+            "baselines') if the configuration change is intentional");
+  }
+}
+
+}  // namespace
+
+void compare_artifact(const std::string& name, const JsonValue& baseline,
+                      const JsonValue& candidate,
+                      const std::vector<GateRule>& rules, GateReport& report) {
+  const JsonValue* base_sections = baseline.find("sections");
+  const JsonValue* cand_sections = candidate.find("sections");
+  if (base_sections == nullptr || cand_sections == nullptr) {
+    add(report, GateViolation::Kind::kMalformed, name,
+        "artifact lacks a top-level \"sections\" object");
+    return;
+  }
+  check_manifests(name, baseline, candidate, report);
+
+  for (const GateRule& rule : rules) {
+    const JsonValue* base_section = base_sections->find(rule.section);
+    if (base_section == nullptr ||
+        base_section->type != JsonValue::Type::Array) {
+      // The baseline does not carry this section: nothing to gate (e.g. a
+      // rule newer than the checked-in baseline). Not a violation — the
+      // next baseline refresh picks it up.
+      continue;
+    }
+    const JsonValue* cand_section = cand_sections->find(rule.section);
+    if (cand_section == nullptr ||
+        cand_section->type != JsonValue::Type::Array) {
+      add(report, GateViolation::Kind::kMissingSection, name,
+          "section \"" + rule.section + "\" missing from candidate");
+      continue;
+    }
+    for (const JsonValue& base_row : base_section->array) {
+      const JsonValue* key_cell = base_row.find(rule.key_column);
+      if (key_cell == nullptr || key_cell->type != JsonValue::Type::String) {
+        continue;  // unkeyed baseline row: cannot match it
+      }
+      const std::string& key = key_cell->string;
+      const JsonValue* cand_row =
+          find_row(*cand_section, rule.key_column, key);
+      if (cand_row == nullptr) {
+        add(report, GateViolation::Kind::kMissingRow, name,
+            rule.section + ": row \"" + key + "\" missing from candidate");
+        continue;
+      }
+      const std::optional<double> base_value =
+          cell_number(base_row, rule.value_column);
+      if (!base_value) continue;  // baseline cell not numeric ("--")
+      const std::optional<double> cand_value =
+          cell_number(*cand_row, rule.value_column);
+      if (!cand_value) {
+        add(report, GateViolation::Kind::kBadValue, name,
+            rule.section + "/" + key + ": \"" + rule.value_column +
+                "\" is not numeric in candidate");
+        continue;
+      }
+      ++report.comparisons;
+      const double base = *base_value;
+      const double cand = *cand_value;
+      const bool worse =
+          rule.direction == GateRule::Direction::kHigherIsBetter
+              ? cand < base * (1.0 - rule.tolerance)
+              : cand > base * (1.0 + rule.tolerance);
+      if (worse) {
+        char detail[256];
+        std::snprintf(
+            detail, sizeof(detail),
+            "%s/%s: \"%s\" %s %.4g -> %.4g (tolerance %.0f%%)",
+            rule.section.c_str(), key.c_str(), rule.value_column.c_str(),
+            rule.direction == GateRule::Direction::kHigherIsBetter
+                ? "dropped"
+                : "rose",
+            base, cand, rule.tolerance * 100.0);
+        add(report, GateViolation::Kind::kRegression, name, detail);
+      }
+    }
+  }
+}
+
+std::string GateReport::describe() const {
+  std::string out;
+  for (const GateViolation& violation : violations) {
+    out += std::string("[") + kind_name(violation.kind) + "] " +
+           violation.artifact + ": " + violation.detail + "\n";
+  }
+  char summary[96];
+  std::snprintf(summary, sizeof(summary),
+                "perf gate: %zu comparison(s), %zu violation(s) -> %s\n",
+                comparisons, violations.size(), ok() ? "PASS" : "FAIL");
+  out += summary;
+  return out;
+}
+
+}  // namespace sftbft::harness

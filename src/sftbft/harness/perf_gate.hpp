@@ -1,0 +1,107 @@
+// Perf-regression gate: compares a freshly produced bench artifact (the
+// --json output of a tab_* bench) against a checked-in baseline and fails
+// on regressions beyond per-metric tolerance bands.
+//
+// The simulator is fully deterministic — same scenario + same seed -> the
+// same artifact byte for byte — so the bands do not absorb run-to-run
+// noise; they absorb *intentional* behaviour drift (a scheduling tweak that
+// legitimately moves p99 by a few percent) while still catching the
+// order-of-magnitude mistakes a refactor can smuggle in.
+//
+// Comparisons are keyed, not positional: each GateRule names a section, a
+// key column (e.g. "protocol") and a value column (e.g. "blocks/s"), so
+// reordering rows or appending new ones never trips the gate. A baseline
+// row missing from the candidate does — silently dropping an engine from a
+// sweep is itself a regression.
+//
+// Run manifests guard comparability: when both artifacts carry manifests
+// (seed, engine, n, config digest — see harness::RunManifest), any
+// difference is a hard failure with a "refresh the baselines" hint, because
+// a delta between different configurations is noise, not signal.
+//
+// JsonValue is the self-contained parser this needs (bench artifacts and
+// Chrome traces are written by this repo, so the full RFC is not): objects,
+// arrays, strings with escapes, numbers, bools, null. Tests also use it to
+// structurally inspect trace output.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sftbft::harness {
+
+/// Minimal parsed-JSON document (see file comment).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  [[nodiscard]] static std::optional<JsonValue> parse(const std::string& text);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Structural equality (object key order is irrelevant by construction).
+  [[nodiscard]] bool operator==(const JsonValue& other) const = default;
+};
+
+/// One gated metric: compare `value_column`, row-matched via `key_column`,
+/// within section `section` of the artifact.
+struct GateRule {
+  enum class Direction { kHigherIsBetter, kLowerIsBetter };
+
+  std::string section;
+  std::string key_column;
+  std::string value_column;
+  Direction direction = Direction::kLowerIsBetter;
+  /// Fractional band, e.g. 0.15 = a 15% move in the bad direction fails.
+  double tolerance = 0.15;
+};
+
+struct GateViolation {
+  enum class Kind {
+    kRegression,        ///< beyond the tolerance band
+    kMissingSection,    ///< candidate lost a gated section
+    kMissingRow,        ///< candidate lost a gated row
+    kBadValue,          ///< a gated cell does not parse as a number
+    kManifestMismatch,  ///< artifacts come from different configurations
+    kMalformed,         ///< artifact is not the expected JSON shape
+  };
+
+  Kind kind = Kind::kRegression;
+  std::string artifact;  ///< which artifact (basename or bench name)
+  std::string detail;    ///< human-readable specifics
+};
+
+struct GateReport {
+  std::size_t comparisons = 0;  ///< numeric cells actually compared
+  std::vector<GateViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// One line per violation (plus a pass/fail summary line).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The gated metrics for a known bench (`bench` = the artifact's top-level
+/// "bench" field). Empty when the bench has no gate — callers decide
+/// whether that is an error (the CLI treats it as one).
+[[nodiscard]] std::vector<GateRule> default_rules(const std::string& bench);
+
+/// Compares one candidate artifact against its baseline under `rules`,
+/// appending violations (and the comparison count) to `report`. `name`
+/// labels the artifact in violation messages.
+void compare_artifact(const std::string& name, const JsonValue& baseline,
+                      const JsonValue& candidate,
+                      const std::vector<GateRule>& rules, GateReport& report);
+
+}  // namespace sftbft::harness

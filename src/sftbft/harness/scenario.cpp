@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
@@ -9,6 +12,96 @@
 #include "sftbft/harness/auditor.hpp"
 
 namespace sftbft::harness {
+
+namespace {
+
+/// FNV-1a 64-bit over a stream of u64 words — deterministic across
+/// platforms, good enough to fingerprint a parameter set.
+struct Fnv1a {
+  std::uint64_t hash = 14695981039346656037ULL;
+  void mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  }
+  void mix_double(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+};
+
+}  // namespace
+
+std::string RunManifest::render_json() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seed\":%" PRIu64
+                ",\"engine\":\"%s\",\"n\":%u,\"config_digest\":\"%016" PRIx64
+                "\"}",
+                seed, engine.c_str(), n, config_digest);
+  return buf;
+}
+
+RunManifest Scenario::manifest() const {
+  // Every knob that changes run behaviour feeds the digest; the seed is
+  // deliberately excluded (it is its own manifest field — same config,
+  // different seed is still a comparable run family). The name is cosmetic.
+  Fnv1a digest;
+  digest.mix(static_cast<std::uint64_t>(protocol));
+  digest.mix(n);
+  digest.mix(static_cast<std::uint64_t>(mode));
+  digest.mix(static_cast<std::uint64_t>(counting));
+  digest.mix(fbft ? 1 : 0);
+  digest.mix(static_cast<std::uint64_t>(topo));
+  digest.mix(delta);
+  digest.mix(ab_delay);
+  digest.mix(intra);
+  digest.mix(asym_a);
+  digest.mix(asym_b);
+  digest.mix(asym_c);
+  digest.mix(jitter);
+  digest.mix_double(jitter_frac);
+  digest.mix(gst);
+  digest.mix(hetero_fast_max);
+  digest.mix_double(hetero_medium_fraction);
+  digest.mix(hetero_medium_lo);
+  digest.mix(hetero_medium_hi);
+  digest.mix(straggler_count);
+  digest.mix(straggler_extra);
+  digest.mix(leader_processing);
+  digest.mix(base_timeout);
+  digest.mix(extra_wait);
+  digest.mix(streamlet_delta_bound);
+  digest.mix(streamlet_echo ? 1 : 0);
+  digest.mix(max_batch);
+  digest.mix(txn_size_bytes);
+  digest.mix(mean_interarrival);
+  digest.mix(verify_signatures ? 1 : 0);
+  digest.mix(interval_window);
+  digest.mix(attach_commit_log ? 1 : 0);
+  digest.mix(dissemination ? 1 : 0);
+  digest.mix(duration);
+  digest.mix(warmup);
+  digest.mix(tail);
+  digest.mix(byzantine_count);
+  digest.mix(corrupt_count);
+  digest.mix(crash_restart_count);
+  digest.mix(crash_restart_first);
+  digest.mix(crash_restart_downtime);
+  digest.mix(crash_restart_stagger);
+  digest.mix(snapshot_interval_blocks);
+  digest.mix(persist_all ? 1 : 0);
+  digest.mix(faults.size());
+
+  RunManifest manifest;
+  manifest.seed = seed;
+  manifest.engine = engine::protocol_name(protocol);
+  manifest.n = n;
+  manifest.config_digest = digest.hash;
+  return manifest;
+}
 
 SimDuration Scenario::expected_round() const {
   SimDuration widest = intra;
@@ -293,16 +386,45 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   }
   if (obs::Observer* obs = deployment.observer()) {
     result.counters = obs->merged().counter_snapshot();
+    for (const auto& [type, stats] : obs->wire_delays()) {
+      result.wire_delays[type] = {stats.transit_us.summary(),
+                                  stats.queueing_us.summary()};
+    }
     // A run that produced no in-window blocks is the other flight-recorder
-    // trigger: dump the recent timeline so the stall is diagnosable.
+    // trigger: dump the recent timeline (plus the merged counter snapshot —
+    // which stage went quiet is usually visible there) so the stall is
+    // diagnosable.
     if (result.flight_dump.empty() && result.window_blocks == 0 &&
         obs->flight() != nullptr) {
-      result.flight_dump = "no in-window progress\n" + obs->flight_dump();
+      std::string dump = "no in-window progress\ncounter snapshot (nonzero):\n";
+      for (const auto& [key, value] : result.counters) {
+        if (value == 0) continue;
+        dump += "  " + key + " = " + std::to_string(value) + "\n";
+      }
+      dump += obs->flight_dump();
+      result.flight_dump = std::move(dump);
     }
     if (!scenario.trace_path.empty() && obs->tracing()) {
       std::ofstream out(scenario.trace_path, std::ios::trunc);
-      out << obs->trace_json();
+      out << obs->trace_json(scenario.manifest().render_json());
     }
+    if (obs->tracing()) {
+      result.critical_path =
+          obs::CriticalPathAnalyzer::analyze(obs->trace().events());
+    }
+  }
+  // Zero commits with no injected fault means the harness (not the
+  // experiment) failed — surface the dump instead of returning silently
+  // with all-zero stats.
+  const auto faults = scenario.effective_faults();
+  const bool clean_faults =
+      std::all_of(faults.begin(), faults.end(), [](const engine::FaultSpec& f) {
+        return f.kind == engine::FaultSpec::Kind::Honest;
+      });
+  if (blocks == 0 && clean_faults && !result.flight_dump.empty()) {
+    std::fprintf(stderr,
+                 "[scenario %s] zero commits under a clean fault spec:\n%s\n",
+                 scenario.name.c_str(), result.flight_dump.c_str());
   }
   return result;
 }

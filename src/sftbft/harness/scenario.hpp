@@ -24,8 +24,26 @@
 
 #include "sftbft/engine/deployment.hpp"
 #include "sftbft/harness/metrics.hpp"
+#include "sftbft/obs/critical_path.hpp"
 
 namespace sftbft::harness {
+
+/// Identity card of one scenario run: enough to decide whether two
+/// artifacts (a BENCH json, a trace, a checked-in baseline) came from
+/// comparable configurations. `config_digest` is an FNV-1a hash over the
+/// canonical parameter string — any topology/workload/fault knob change
+/// changes it, so the perf gate can refuse apples-to-oranges comparisons
+/// instead of reporting nonsense deltas.
+struct RunManifest {
+  std::uint64_t seed = 0;
+  std::string engine;  ///< protocol_name(): "diembft" | "hotstuff" | ...
+  std::uint32_t n = 0;
+  std::uint64_t config_digest = 0;
+
+  /// {"seed":..,"engine":"..","n":..,"config_digest":".."} — the digest is
+  /// rendered as a hex string (JSON numbers lose 64-bit precision).
+  [[nodiscard]] std::string render_json() const;
+};
 
 /// Spreads `count` placements over the replica id space [1, n), keeping
 /// id 0 free (the metrics/proof anchor every bench reads). Preferred ids
@@ -200,6 +218,10 @@ struct Scenario {
   /// Strength levels x = 1.0f, 1.1f, ..., 2.0f (deduplicated, ascending) —
   /// the x-axis of Fig. 7.
   [[nodiscard]] std::vector<std::uint32_t> strength_levels() const;
+
+  /// The run's identity card (see RunManifest). Deterministic: same
+  /// scenario fields -> same digest, across processes and platforms.
+  [[nodiscard]] RunManifest manifest() const;
 };
 
 /// Runs a scenario to completion and reports per-level latencies plus a
@@ -244,8 +266,24 @@ struct ScenarioResult {
   /// SafetyAuditor verdict count (scenario.audit) and the flight-recorder
   /// timeline captured at the first violation — or at scenario end when the
   /// run made no progress (window_blocks == 0) with a recorder attached.
+  /// A zero-commit run under a clean fault spec additionally prints the
+  /// dump (with the counter snapshot) to stderr — a silent stall is a
+  /// harness bug, not an experiment.
   std::uint64_t auditor_violations = 0;
   std::string flight_dump;
+  /// Per-WireType delivery-delay distributions (micros), keyed by the
+  /// stats label ("proposal", "vote", "batch_push", ...). `transit` is
+  /// send -> delivery; `queueing` is transit minus the topology's base
+  /// latency (bandwidth + jitter + heterogeneity). Populated when the
+  /// scenario enabled observability.
+  struct WireDelaySummary {
+    obs::HistogramSummary transit;
+    obs::HistogramSummary queueing;
+  };
+  std::map<std::string, WireDelaySummary> wire_delays;
+  /// Commit critical-path attribution from the trace (empty unless the
+  /// scenario enabled tracing).
+  obs::CriticalPathResult critical_path;
 };
 
 ScenarioResult run_scenario(const Scenario& scenario);

@@ -4,7 +4,16 @@
 #include <unordered_set>
 #include <utility>
 
+#include "sftbft/obs/observer.hpp"
+
 namespace sftbft::net {
+
+namespace {
+/// Net events live on dedicated per-peer lanes far above any block height:
+/// sender spans on lane (base + to), receiver spans on lane (base + from),
+/// so message traffic never interleaves with block-lifecycle tracks.
+constexpr std::uint64_t kNetLaneBase = std::uint64_t{1} << 20;
+}  // namespace
 
 SimTransport::SimTransport(sim::Scheduler& sched, Topology topology,
                            NetConfig config, std::uint64_t seed)
@@ -72,6 +81,31 @@ void SimTransport::route(ReplicaId from, ReplicaId to, const char* label,
     delay += rng_.uniform(
         0, static_cast<SimDuration>(config_.jitter_frac *
                                     static_cast<double>(base)));
+  }
+  if (obs_ != nullptr) {
+    // Delays are fixed at schedule time, so the delivery-side accounting can
+    // happen here: end-to-end transit plus its queueing share (everything
+    // beyond pure propagation — serialization, jitter, pre-GST hold).
+    const SimTime sent_at = sched_.now();
+    const SimTime arrive_at = start + delay;
+    obs_->observe_wire(label, arrive_at - sent_at, arrive_at - sent_at - base);
+    if (obs_->tracing()) {
+      // One flow arrow per delivered frame: 's' inside a sender-side
+      // in-flight span, 'f' inside a receiver-side handling span.
+      const std::uint64_t flow = next_flow_id_++;
+      const std::uint64_t send_lane = kNetLaneBase + to;
+      const std::uint64_t recv_lane = kNetLaneBase + from;
+      obs_->emit_trace_only(obs::span_event(
+          "net", label, from, send_lane, sent_at, arrive_at,
+          {"bytes", static_cast<std::uint64_t>(wire->size())}, {"to", to}));
+      obs_->emit_trace_only(
+          obs::flow_start_event("net", label, from, send_lane, sent_at, flow));
+      obs_->emit_trace_only(obs::span_event("net", label, to, recv_lane,
+                                            arrive_at, arrive_at,
+                                            {"from", from}));
+      obs_->emit_trace_only(obs::flow_finish_event("net", label, to, recv_lane,
+                                                   arrive_at, flow));
+    }
   }
   if (wire != frame) {
     // Corrupted in flight: the receiver must confront the damaged bytes.

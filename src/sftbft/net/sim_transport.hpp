@@ -34,6 +34,10 @@
 #include "sftbft/net/transport.hpp"
 #include "sftbft/sim/scheduler.hpp"
 
+namespace sftbft::obs {
+class Observer;
+}  // namespace sftbft::obs
+
 namespace sftbft::net {
 
 /// Test hook deciding per-link delivery. Return false to drop the message.
@@ -91,6 +95,13 @@ class SimTransport final : public Transport {
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
 
+  /// Wires the deployment's Observer (null = no instrumentation). With an
+  /// observer every scheduled (non-self) delivery records per-WireType
+  /// transit/queueing histograms; with tracing on it additionally emits a
+  /// Chrome flow arrow ('s' at the send site -> 'f' at the receiver-side
+  /// handling span) under a unique flow id.
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+
  private:
   /// Routes one already-encoded frame; the shared buffer is what makes
   /// broadcast encode-once (route never copies except to corrupt). `env`
@@ -116,6 +127,8 @@ class SimTransport final : public Transport {
   LinkFilter filter_;
   std::unordered_map<ReplicaId, CorruptSpec> corruption_;
   std::vector<Handler> handlers_;
+  obs::Observer* obs_ = nullptr;
+  std::uint64_t next_flow_id_ = 1;
 };
 
 }  // namespace sftbft::net

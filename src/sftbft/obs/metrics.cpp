@@ -44,6 +44,9 @@ const char* metric_name(Hist h) {
     case Hist::kStrongCommitLatencyUs:
       return "consensus.strong_commit_latency_us";
     case Hist::kCertifyLatencyUs: return "consensus.certify_latency_us";
+    case Hist::kVoteF1LatencyUs: return "consensus.vote_f1_latency_us";
+    case Hist::kVoteQuorumLatencyUs:
+      return "consensus.vote_quorum_latency_us";
     case Hist::kCount_: break;
   }
   return "?";

@@ -63,6 +63,12 @@ enum class Hist : std::uint8_t {
   kCommitLatencyUs,        ///< block creation -> regular commit
   kStrongCommitLatencyUs,  ///< block creation -> any strength raise
   kCertifyLatencyUs,       ///< block creation -> local certification
+  // The paper's strength clock: votes accumulate past the quorum and each
+  // arrival ordinal is a latency milestone. These two pin the f+1-th and
+  // 2f+1-th vote arrival per block (measured from block creation at the
+  // replica that tallies the votes).
+  kVoteF1LatencyUs,      ///< block creation -> (f+1)-th distinct vote
+  kVoteQuorumLatencyUs,  ///< block creation -> (2f+1)-th distinct vote
   kCount_,
 };
 

@@ -15,8 +15,8 @@ Registry Observer::merged() const {
   return out;
 }
 
-std::string Observer::trace_json() const {
-  return chrome_trace_json(trace_.events(), n());
+std::string Observer::trace_json(const std::string& other_data_json) const {
+  return chrome_trace_json(trace_.events(), n(), other_data_json);
 }
 
 }  // namespace sftbft::obs

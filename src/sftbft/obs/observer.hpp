@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sftbft/common/types.hpp"
@@ -27,6 +29,15 @@
 #include "sftbft/obs/trace.hpp"
 
 namespace sftbft::obs {
+
+/// Per-WireType delay distributions, recorded by the transport for every
+/// scheduled (non-self) delivery. `transit` is send -> arrival end to end;
+/// `queueing` is the share beyond pure propagation (serialization at the
+/// link's bandwidth + jitter + any pre-GST hold).
+struct WireDelayStats {
+  Histogram transit_us;
+  Histogram queueing_us;
+};
 
 struct ObsConfig {
   /// Master switch: off = the Deployment creates no Observer at all and
@@ -58,6 +69,18 @@ class Observer {
   /// All replicas folded into one Registry (histograms bucket-merged).
   [[nodiscard]] Registry merged() const;
 
+  // --- wire delays (fed by net::SimTransport, keyed by WireType label) ---
+  void observe_wire(const std::string& type, SimDuration transit_us,
+                    SimDuration queueing_us) {
+    WireDelayStats& stats = wire_[type];
+    stats.transit_us.record(transit_us);
+    stats.queueing_us.record(queueing_us);
+  }
+  [[nodiscard]] const std::map<std::string, WireDelayStats>& wire_delays()
+      const {
+    return wire_;
+  }
+
   // --- events ---
   /// True when emit() retains events (callers may skip building one).
   [[nodiscard]] bool recording() const {
@@ -67,11 +90,19 @@ class Observer {
     if (config_.trace) trace_.append(event);
     if (flight_) flight_->append(event);
   }
+  /// Trace-buffer-only append for high-rate net events (per-message flow
+  /// arrows and send/recv spans): they would churn the flight rings out of
+  /// the consensus-level timeline the post-mortem dumps exist for.
+  void emit_trace_only(const TraceEvent& event) {
+    if (config_.trace) trace_.append(event);
+  }
 
   [[nodiscard]] bool tracing() const { return config_.trace; }
   [[nodiscard]] const TraceBuffer& trace() const { return trace_; }
-  /// The full trace as Chrome trace-event JSON.
-  [[nodiscard]] std::string trace_json() const;
+  /// The full trace as Chrome trace-event JSON; a non-empty
+  /// `other_data_json` object rides along as the trace's "otherData".
+  [[nodiscard]] std::string trace_json(
+      const std::string& other_data_json = {}) const;
 
   [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
   [[nodiscard]] const FlightRecorder* flight() const { return flight_.get(); }
@@ -88,6 +119,7 @@ class Observer {
  private:
   ObsConfig config_;
   std::vector<Registry> registries_;
+  std::map<std::string, WireDelayStats> wire_;
   TraceBuffer trace_;
   std::unique_ptr<FlightRecorder> flight_;
 };

@@ -37,6 +37,49 @@ TraceEvent span_event(const char* category, const char* name,
 
 namespace {
 
+TraceEvent flow_event(char phase, const char* category, const char* name,
+                      ReplicaId replica, std::uint64_t lane, SimTime ts,
+                      std::uint64_t flow_id) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = phase;
+  event.replica = replica;
+  event.lane = lane;
+  event.ts = ts;
+  event.flow_id = flow_id;
+  return event;
+}
+
+}  // namespace
+
+TraceEvent flow_start_event(const char* category, const char* name,
+                            ReplicaId replica, std::uint64_t lane, SimTime ts,
+                            std::uint64_t flow_id) {
+  return flow_event('s', category, name, replica, lane, ts, flow_id);
+}
+
+TraceEvent flow_finish_event(const char* category, const char* name,
+                             ReplicaId replica, std::uint64_t lane, SimTime ts,
+                             std::uint64_t flow_id) {
+  return flow_event('f', category, name, replica, lane, ts, flow_id);
+}
+
+TraceEvent counter_event(const char* category, const char* name,
+                         ReplicaId replica, SimTime ts,
+                         TraceEvent::Arg value) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = 'C';
+  event.replica = replica;
+  event.ts = ts;
+  event.args = {value, {}, {}};
+  return event;
+}
+
+namespace {
+
 /// Category/name/arg-key strings are compile-time literals (identifiers and
 /// spaces), but escape defensively — a stray quote must not produce an
 /// unparseable trace.
@@ -74,6 +117,12 @@ void append_event(std::string& out, const TraceEvent& event) {
     out.append(buf);
   } else if (event.phase == 'i') {
     out.append(",\"s\":\"t\"");  // instant scope: thread
+  } else if (event.phase == 's' || event.phase == 'f') {
+    std::snprintf(buf, sizeof(buf), ",\"id\":%" PRIu64, event.flow_id);
+    out.append(buf);
+    // Bind the finish to its enclosing slice so the arrow lands on the
+    // receiver-side handling span rather than the next slice to start.
+    if (event.phase == 'f') out.append(",\"bp\":\"e\"");
   }
   bool any_args = false;
   for (const TraceEvent::Arg& arg : event.args) {
@@ -91,12 +140,20 @@ void append_event(std::string& out, const TraceEvent& event) {
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events,
-                              std::uint32_t n) {
+                              std::uint32_t n,
+                              const std::string& other_data_json) {
   std::string out;
   // ~120 bytes per event is a comfortable upper bound; one reserve avoids
   // repeated growth on multi-100k-event traces.
-  out.reserve(64 + events.size() * 120 + static_cast<std::size_t>(n) * 80);
-  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  out.reserve(64 + events.size() * 120 + static_cast<std::size_t>(n) * 80 +
+              other_data_json.size());
+  out.append("{\"displayTimeUnit\":\"ms\",");
+  if (!other_data_json.empty()) {
+    out.append("\"otherData\":");
+    out.append(other_data_json);
+    out.push_back(',');
+  }
+  out.append("\"traceEvents\":[");
   bool first = true;
   char buf[128];
   for (std::uint32_t id = 0; id < n; ++id) {

@@ -16,6 +16,15 @@
 // lifecycle, WAL/snapshot writes, admission rejections) is an "i" (instant)
 // event.
 //
+// v2 adds three more phases:
+//   * "s"/"f" flow events stitch a sender-side emit site to the receiver-side
+//     handling span across pids (Perfetto draws the arrow). Each delivered
+//     Envelope gets a unique flow id; the 'f' end binds to the enclosing
+//     slice ("bp":"e").
+//   * "C" counter events render a named per-replica time series (mempool
+//     depth, BatchStore size, current round) as a Perfetto counter track;
+//     the series values ride in args.
+//
 // TraceEvent is a POD of static-string pointers and integers: recording one
 // is a bounds-checked vector append, no allocation per event beyond the
 // buffer's amortized growth. Category and name strings MUST be string
@@ -46,11 +55,12 @@ struct TraceEvent {
 
   const char* category = "";  ///< e.g. "block", "pacemaker", "dissem"
   const char* name = "";      ///< e.g. "certified", "round_enter"
-  char phase = 'i';           ///< 'X' (complete) or 'i' (instant)
+  char phase = 'i';           ///< 'X', 'i', 's'/'f' (flow), or 'C' (counter)
   ReplicaId replica = 0;      ///< -> pid
   std::uint64_t lane = 0;     ///< -> tid (block height for lifecycle spans)
   SimTime ts = 0;             ///< microseconds
   SimDuration dur = 0;        ///< microseconds ('X' only)
+  std::uint64_t flow_id = 0;  ///< flow binding id ('s'/'f' only)
   std::array<Arg, 3> args{};  ///< numeric args, in declaration order
 };
 
@@ -66,6 +76,21 @@ struct TraceEvent {
                                     TraceEvent::Arg a0 = {},
                                     TraceEvent::Arg a1 = {},
                                     TraceEvent::Arg a2 = {});
+/// 's' (start) half of a flow arrow; must share id/category/name with its
+/// 'f' end and fall inside an 'X' span on (replica, lane).
+[[nodiscard]] TraceEvent flow_start_event(const char* category,
+                                          const char* name, ReplicaId replica,
+                                          std::uint64_t lane, SimTime ts,
+                                          std::uint64_t flow_id);
+/// 'f' (finish) half; binds to the enclosing slice ("bp":"e").
+[[nodiscard]] TraceEvent flow_finish_event(const char* category,
+                                           const char* name, ReplicaId replica,
+                                           std::uint64_t lane, SimTime ts,
+                                           std::uint64_t flow_id);
+/// 'C' counter sample: one point of the per-replica series `name`.
+[[nodiscard]] TraceEvent counter_event(const char* category, const char* name,
+                                       ReplicaId replica, SimTime ts,
+                                       TraceEvent::Arg value);
 
 /// The full-run event journal (unbounded; only populated when tracing is
 /// enabled).
@@ -83,8 +108,12 @@ class TraceBuffer {
 
 /// Serializes events as Chrome trace-event JSON ({"traceEvents": [...]}).
 /// `n` adds process_name metadata ("replica <id>") for ids [0, n).
+/// `other_data_json`, when non-empty, must be a complete JSON object (e.g.
+/// a run manifest) and is embedded verbatim as the top-level "otherData"
+/// value — the trace becomes self-describing (seed, engine, n, digest).
 [[nodiscard]] std::string chrome_trace_json(
-    const std::vector<TraceEvent>& events, std::uint32_t n);
+    const std::vector<TraceEvent>& events, std::uint32_t n,
+    const std::string& other_data_json = {});
 
 /// Bounded per-replica rings of recent events.
 class FlightRecorder {

@@ -190,6 +190,11 @@ void StreamletCore::on_round_tick() {
       obs->emit(obs::instant_event("pacemaker", "round_enter", config_.id,
                                    sched_.now(), {"round", round_}));
     }
+    if (obs->tracing()) {
+      obs->emit_trace_only(obs::counter_event("pacemaker", "round", config_.id,
+                                              sched_.now(),
+                                              {"round", round_}));
+    }
   }
   voted_this_round_ = false;
   awaiting_batches_.reset();  // a deferred vote cannot cross rounds
@@ -207,6 +212,7 @@ void StreamletCore::restore(const storage::RecoveredState& state) {
   votes_.clear();
   certified_.clear();
   triple_strength_.clear();
+  vote_clock_.clear();
   awaiting_batches_.reset();
 
   tree_ = state.tip ? chain::BlockTree::rooted_at(*state.tip)
@@ -340,6 +346,13 @@ void StreamletCore::propose() {
                                 {"round", block.round},
                                 {"height", block.height}));
     }
+    if (obs->tracing()) {
+      // Backpressure counter track: leader's mempool after draining the
+      // batch for this block.
+      obs->emit_trace_only(obs::counter_event(
+          "mempool", "mempool_depth", config_.id, sched_.now(),
+          {"pending", static_cast<std::uint64_t>(pool_.pending())}));
+    }
   }
   hooks_.broadcast_proposal(proposal);
 }
@@ -375,6 +388,14 @@ void StreamletCore::on_proposal(const SProposal& proposal) {
   }
   if (inserted == chain::BlockTree::InsertResult::Inserted) {
     if (hooks_.on_block_seen) hooks_.on_block_seen(block);
+    // Proposal arrival milestone (critical-path "proposal transit");
+    // proposer's own loopback delivery excluded.
+    if (obs::Observer* obs = config_.observer;
+        obs != nullptr && obs->recording() && block.proposer != config_.id) {
+      obs->emit(obs::span_event("block", "received", config_.id, block.height,
+                                block.created_at, sched_.now(),
+                                {"round", block.round}));
+    }
     // Votes may have arrived (via echo) before the proposal.
     try_certify(block.id);
     maybe_vote(block);
@@ -401,6 +422,14 @@ void StreamletCore::maybe_vote(const Block& block) {
     awaiting_batches_ = block;
     if (hooks_.fetch_payload) hooks_.fetch_payload(block.payload);
     return;
+  }
+  // Dissem availability-wait milestone: the gate passed (immediately, or on
+  // a retry after the missing batches landed).
+  if (obs::Observer* obs = config_.observer;
+      obs != nullptr && obs->recording() && hooks_.payload_available) {
+    obs->emit(obs::instant_event("dissem", "payload_ready", config_.id,
+                                 sched_.now(), {"round", block.round},
+                                 {"height", block.height}));
   }
   voted_this_round_ = true;
   voted_round_ = block.round;
@@ -445,6 +474,15 @@ void StreamletCore::ingest_vote(const SVote& vote, bool allow_echo) {
   }
   auto& per_voter = votes_[vote.block_id];
   if (!per_voter.emplace(vote.voter, vote).second) return;  // duplicate
+  if (config_.observer != nullptr) {
+    // Vote-arrival ordinals (strength clock); consumed at certification.
+    const std::size_t distinct = per_voter.size();
+    if (distinct == config_.f() + 1 || distinct == config_.quorum()) {
+      VoteClock& clock = vote_clock_[vote.block_id];
+      if (distinct == config_.f() + 1) clock.f1_at = sched_.now();
+      if (distinct == config_.quorum()) clock.quorum_at = sched_.now();
+    }
+  }
   if (hooks_.on_vote_seen) hooks_.on_vote_seen(vote);
   if (allow_echo && config_.echo && hooks_.echo) hooks_.echo(SMessage{vote});
   if (config_.sft) {
@@ -473,6 +511,30 @@ void StreamletCore::try_certify(const BlockId& id) {
       obs->emit(obs::span_event("block", "certified", config_.id,
                                 block->height, block->created_at, sched_.now(),
                                 {"round", block->round}));
+    }
+    if (const auto clock_it = vote_clock_.find(id);
+        clock_it != vote_clock_.end()) {
+      const VoteClock& clock = clock_it->second;
+      if (clock.f1_at > 0) {
+        obs->observe(config_.id, obs::Hist::kVoteF1LatencyUs,
+                     clock.f1_at - block->created_at);
+        if (obs->recording()) {
+          obs->emit(obs::instant_event("block", "vote_f1", config_.id,
+                                       clock.f1_at, {"round", block->round},
+                                       {"height", block->height}));
+        }
+      }
+      if (clock.quorum_at > 0) {
+        obs->observe(config_.id, obs::Hist::kVoteQuorumLatencyUs,
+                     clock.quorum_at - block->created_at);
+        if (obs->recording()) {
+          obs->emit(obs::instant_event("block", "vote_quorum", config_.id,
+                                       clock.quorum_at,
+                                       {"round", block->round},
+                                       {"height", block->height}));
+        }
+      }
+      vote_clock_.erase(clock_it);
     }
   }
   if (block->height > longest_height_) {

@@ -281,6 +281,16 @@ class StreamletCore {
   std::unordered_map<types::BlockId, std::map<ReplicaId, SVote>> votes_;
   std::unordered_set<types::BlockId> certified_;
 
+  /// Vote-arrival ordinals per block (the paper's strength clock): when the
+  /// (f+1)-th / (2f+1)-th distinct vote landed locally. Every replica
+  /// tallies in Streamlet, so every replica carries its own clock; entries
+  /// are consumed (erased) at certification.
+  struct VoteClock {
+    SimTime f1_at = 0;
+    SimTime quorum_at = 0;
+  };
+  std::unordered_map<types::BlockId, VoteClock> vote_clock_;
+
   /// Longest certified tip (ties broken by lower id for determinism).
   types::BlockId longest_tip_{};
   Height longest_height_ = 0;

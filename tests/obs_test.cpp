@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
+#include "sftbft/harness/perf_gate.hpp"
 #include "sftbft/harness/scenario.hpp"
 #include "sftbft/obs/metrics.hpp"
 #include "sftbft/obs/observer.hpp"
@@ -354,6 +357,98 @@ TEST(ObsConformance, TracedRunWritesWellFormedChromeTraceJson) {
   EXPECT_NE(json.find("\"committed\""), std::string::npos);
   EXPECT_NE(json.find("\"proposed\""), std::string::npos);
   std::remove(s.trace_path.c_str());
+}
+
+TEST(ObsConformance, FlowEventsAreWellFormedAndCounterTracksPresent) {
+  // v2 trace contract, checked through a real parser (harness::JsonValue):
+  // every 'f' flow end has exactly one matching 's' start with the same id,
+  // start ids are unique, arrows never point backwards in time, and the
+  // counter tracks (mempool depth, pacemaker round) made it into the
+  // journal. The manifest rides as "otherData".
+  harness::Scenario s = small_scenario(engine::Protocol::DiemBft);
+  s.duration = seconds(5);
+  s.trace_path = "obs_test_flow_trace.json";  // cwd = the ctest build dir
+  const harness::ScenarioResult r = harness::run_scenario(s);
+  EXPECT_GT(r.summary.committed_blocks, 0u);
+
+  std::ifstream in(s.trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = harness::JsonValue::parse(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  std::remove(s.trace_path.c_str());
+
+  // Manifest: seed/engine/n/config digest embedded in the trace itself.
+  const harness::JsonValue* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("engine"), nullptr);
+  EXPECT_EQ(other->find("engine")->string, "diembft");
+  ASSERT_NE(other->find("seed"), nullptr);
+  EXPECT_EQ(other->find("seed")->number, 7.0);
+  ASSERT_NE(other->find("config_digest"), nullptr);
+
+  const harness::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, harness::JsonValue::Type::Array);
+
+  std::map<double, double> starts;  // flow id -> ts
+  std::vector<std::pair<double, double>> finishes;
+  bool saw_mempool_counter = false;
+  bool saw_round_counter = false;
+  for (const harness::JsonValue& event : events->array) {
+    const harness::JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "s" || ph->string == "f") {
+      const harness::JsonValue* id = event.find("id");
+      ASSERT_NE(id, nullptr) << "flow event without id";
+      const harness::JsonValue* ts = event.find("ts");
+      ASSERT_NE(ts, nullptr);
+      if (ph->string == "s") {
+        // Start ids are unique (one arrow per delivered frame).
+        EXPECT_TRUE(starts.emplace(id->number, ts->number).second)
+            << "duplicate flow start id " << id->number;
+      } else {
+        finishes.emplace_back(id->number, ts->number);
+        // The finish half binds to its enclosing slice.
+        const harness::JsonValue* bp = event.find("bp");
+        ASSERT_NE(bp, nullptr);
+        EXPECT_EQ(bp->string, "e");
+      }
+    } else if (ph->string == "C") {
+      const harness::JsonValue* name = event.find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->string == "mempool_depth") saw_mempool_counter = true;
+      if (name->string == "round") saw_round_counter = true;
+    }
+  }
+  ASSERT_FALSE(starts.empty()) << "no flow events in a traced run";
+  ASSERT_EQ(starts.size(), finishes.size());
+  for (const auto& [id, ts] : finishes) {
+    const auto it = starts.find(id);
+    ASSERT_NE(it, starts.end()) << "flow finish without start, id " << id;
+    EXPECT_LE(it->second, ts) << "flow arrow points backwards, id " << id;
+  }
+  EXPECT_TRUE(saw_mempool_counter);
+  EXPECT_TRUE(saw_round_counter);
+}
+
+TEST(ObsConformance, WireDelayHistogramsCoverTheTraffic) {
+  // Satellite: per-WireType transit/queueing distributions ride in every
+  // observed run. Transit >= the 20ms uniform link floor; queueing =
+  // transit - base is bounded by jitter (0 frac, 5ms cap here).
+  harness::Scenario s = small_scenario(engine::Protocol::DiemBft);
+  s.duration = seconds(5);
+  const harness::ScenarioResult r = harness::run_scenario(s);
+  ASSERT_FALSE(r.wire_delays.empty());
+  ASSERT_TRUE(r.wire_delays.contains("proposal"));
+  ASSERT_TRUE(r.wire_delays.contains("vote"));
+  for (const auto& [type, delays] : r.wire_delays) {
+    EXPECT_GT(delays.transit.count, 0u) << type;
+    EXPECT_GE(delays.transit.min, millis(20)) << type;
+    EXPECT_EQ(delays.transit.count, delays.queueing.count) << type;
+    EXPECT_LE(delays.queueing.max, millis(5) + 1) << type;
+  }
 }
 
 TEST(ObsConformance, AuditorViolationDumpsFlightRecorder) {

@@ -1,0 +1,191 @@
+// harness::perf_gate: the JSON parser on artifact-shaped input, and the
+// gate semantics — identical artifacts pass, a synthetic regression beyond
+// the band trips kRegression, manifest drift trips kManifestMismatch, lost
+// rows/sections are violations, and non-numeric baseline cells are skipped.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sftbft/harness/perf_gate.hpp"
+
+namespace sftbft::harness {
+namespace {
+
+// A miniature BENCH_throughput.json: same writer shape as
+// bench::write_json_artifact, hand-shrunk to two engines.
+std::string throughput_artifact(const char* diembft_rate,
+                                const char* diembft_p50,
+                                const char* config_digest) {
+  std::string json = R"json({
+  "bench": "tab_throughput",
+  "seed": 42,
+  "smoke": true,
+  "manifests": {
+    "diembft": {"seed":42,"engine":"diembft","n":31,"config_digest":")json";
+  json += config_digest;
+  json += R"json("}
+  },
+  "sections": {
+    "throughput": [
+      {"protocol": "diembft", "blocks/s": ")json";
+  json += diembft_rate;
+  json += R"json(", "commit p50 (s)": ")json";
+  json += diembft_p50;
+  json += R"json(", "commit p99 (s)": "0.500"},
+      {"protocol": "hotstuff", "blocks/s": "10.1", "commit p50 (s)": "0.310", "commit p99 (s)": "0.520"}
+    ]
+  }
+})json";
+  return json;
+}
+
+JsonValue must_parse(const std::string& text) {
+  const auto parsed = JsonValue::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return parsed.value_or(JsonValue{});
+}
+
+std::size_t count_kind(const GateReport& report, GateViolation::Kind kind) {
+  std::size_t n = 0;
+  for (const GateViolation& v : report.violations) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(JsonValue, ParsesTheArtifactShape) {
+  const JsonValue doc = must_parse(throughput_artifact("9.8", "0.300", "ab"));
+  ASSERT_EQ(doc.type, JsonValue::Type::Object);
+  const JsonValue* bench = doc.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->string, "tab_throughput");
+  const JsonValue* seed = doc.find("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->number, 42.0);
+  const JsonValue* sections = doc.find("sections");
+  ASSERT_NE(sections, nullptr);
+  const JsonValue* rows = sections->find("throughput");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  const JsonValue* cell = rows->array[0].find("blocks/s");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->string, "9.8");
+}
+
+TEST(JsonValue, RejectsTrailingGarbageAndBadSyntax) {
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_TRUE(JsonValue::parse("{\"esc\": \"a\\\"b\\n\", \"neg\": -1.5e3, "
+                               "\"t\": true, \"nil\": null}")
+                  .has_value());
+}
+
+TEST(PerfGate, IdenticalArtifactsPass) {
+  const JsonValue artifact =
+      must_parse(throughput_artifact("9.8", "0.300", "deadbeef"));
+  GateReport report;
+  compare_artifact("BENCH_throughput.json", artifact, artifact,
+                   default_rules("tab_throughput"), report);
+  EXPECT_TRUE(report.ok()) << report.describe();
+  // Three gated metrics x two engine rows.
+  EXPECT_EQ(report.comparisons, 6u);
+}
+
+TEST(PerfGate, SyntheticRegressionTripsTheGate) {
+  const JsonValue baseline =
+      must_parse(throughput_artifact("9.8", "0.300", "deadbeef"));
+  // Throughput halves and p50 doubles: both far outside the 10%/15% bands.
+  const JsonValue candidate =
+      must_parse(throughput_artifact("4.9", "0.600", "deadbeef"));
+  GateReport report;
+  compare_artifact("BENCH_throughput.json", baseline, candidate,
+                   default_rules("tab_throughput"), report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(count_kind(report, GateViolation::Kind::kRegression), 2u)
+      << report.describe();
+  // The untouched hotstuff row and p99 column stay clean.
+  EXPECT_EQ(report.violations.size(), 2u);
+}
+
+TEST(PerfGate, ImprovementsAndInBandDriftPass) {
+  const JsonValue baseline =
+      must_parse(throughput_artifact("9.8", "0.300", "deadbeef"));
+  // blocks/s up (good direction), p50 +10% (inside the 15% band).
+  const JsonValue candidate =
+      must_parse(throughput_artifact("19.6", "0.330", "deadbeef"));
+  GateReport report;
+  compare_artifact("BENCH_throughput.json", baseline, candidate,
+                   default_rules("tab_throughput"), report);
+  EXPECT_TRUE(report.ok()) << report.describe();
+}
+
+TEST(PerfGate, ManifestDriftIsAHardFailure) {
+  const JsonValue baseline =
+      must_parse(throughput_artifact("9.8", "0.300", "deadbeef"));
+  const JsonValue candidate =
+      must_parse(throughput_artifact("9.8", "0.300", "0ddba11"));
+  GateReport report;
+  compare_artifact("BENCH_throughput.json", baseline, candidate,
+                   default_rules("tab_throughput"), report);
+  ASSERT_EQ(count_kind(report, GateViolation::Kind::kManifestMismatch), 1u)
+      << report.describe();
+  // The refresh procedure is documented; the message must point at it.
+  EXPECT_NE(report.violations[0].detail.find("refresh the baselines"),
+            std::string::npos)
+      << report.violations[0].detail;
+}
+
+TEST(PerfGate, LostRowsAndSectionsAreViolations) {
+  const JsonValue baseline =
+      must_parse(throughput_artifact("9.8", "0.300", "deadbeef"));
+  const JsonValue no_row = must_parse(R"json({
+    "bench": "tab_throughput", "seed": 42, "smoke": true,
+    "manifests": {"diembft": {"seed":42,"engine":"diembft","n":31,"config_digest":"deadbeef"}},
+    "sections": {"throughput": [
+      {"protocol": "diembft", "blocks/s": "9.8", "commit p50 (s)": "0.300", "commit p99 (s)": "0.500"}
+    ]}
+  })json");
+  GateReport row_report;
+  compare_artifact("BENCH_throughput.json", baseline, no_row,
+                   default_rules("tab_throughput"), row_report);
+  // The hotstuff row vanished: one kMissingRow per gated metric.
+  EXPECT_EQ(count_kind(row_report, GateViolation::Kind::kMissingRow), 3u)
+      << row_report.describe();
+
+  const JsonValue no_section = must_parse(R"json({
+    "bench": "tab_throughput", "seed": 42, "smoke": true,
+    "manifests": {"diembft": {"seed":42,"engine":"diembft","n":31,"config_digest":"deadbeef"}},
+    "sections": {}
+  })json");
+  GateReport section_report;
+  compare_artifact("BENCH_throughput.json", baseline, no_section,
+                   default_rules("tab_throughput"), section_report);
+  EXPECT_GE(count_kind(section_report, GateViolation::Kind::kMissingSection),
+            1u)
+      << section_report.describe();
+}
+
+TEST(PerfGate, NonNumericBaselineCellsAreSkipped) {
+  // "--" is the writer's no-data cell (e.g. a latency level with no
+  // coverage); a baseline gap must not gate the candidate.
+  const JsonValue baseline =
+      must_parse(throughput_artifact("--", "0.300", "deadbeef"));
+  const JsonValue candidate =
+      must_parse(throughput_artifact("4.9", "0.300", "deadbeef"));
+  GateReport report;
+  compare_artifact("BENCH_throughput.json", baseline, candidate,
+                   default_rules("tab_throughput"), report);
+  EXPECT_TRUE(report.ok()) << report.describe();
+  EXPECT_EQ(report.comparisons, 5u);  // one cell skipped
+}
+
+TEST(PerfGate, UnknownBenchHasNoRules) {
+  EXPECT_TRUE(default_rules("tab_unknown").empty());
+  EXPECT_FALSE(default_rules("tab_throughput").empty());
+  EXPECT_FALSE(default_rules("tab_critical_path").empty());
+}
+
+}  // namespace
+}  // namespace sftbft::harness
