@@ -10,6 +10,7 @@
 #include "sftbft/core/vote_history.hpp"
 #include "sftbft/crypto/sha256.hpp"
 #include "sftbft/crypto/signature.hpp"
+#include "sftbft/crypto/verify_cache.hpp"
 #include "sftbft/net/envelope.hpp"
 #include "sftbft/types/proposal.hpp"
 
@@ -135,8 +136,10 @@ void BM_EndorsementProcessQc(benchmark::State& state) {
     vote.voter = voter;
     vote.mode = types::VoteMode::Marker;
     vote.marker = 0;
-    qc.votes.push_back(vote);
+    vote.sig = registry.signer_for(voter).sign(vote.signing_bytes());
+    qc.add_vote(vote);
   }
+  qc.canonicalize();
   for (auto _ : state) {
     state.PauseTiming();
     core::StrengthTracker tracker(tree, n, f);
@@ -147,14 +150,15 @@ void BM_EndorsementProcessQc(benchmark::State& state) {
 BENCHMARK(BM_EndorsementProcessQc);
 
 types::QuorumCert make_wide_qc() {
-  chain::BlockTree tree = make_chain(4);
   types::QuorumCert qc;
   qc.round = 4;
+  // Digest benches only look at voter + meta, so structural assembly
+  // (no signatures) keeps the setup cheap.
   for (ReplicaId voter = 0; voter < 67; ++voter) {
-    types::Vote vote;
-    vote.voter = voter;
-    qc.votes.push_back(vote);
+    qc.votes.push_back({voter, types::VoteMeta{}});
+    qc.agg.signers.set(voter);
   }
+  qc.canonicalize();
   return qc;
 }
 
@@ -182,6 +186,114 @@ void BM_QcDigestMemoized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QcDigestMemoized);
+
+/// A quorum-sized signed QC at scale n, plus the standalone per-vote
+/// signatures the pre-aggregate scheme would have shipped alongside it.
+struct SignedQcFixture {
+  crypto::KeyRegistry registry;
+  types::QuorumCert qc;
+  std::vector<types::Vote> votes;  // quorum's worth, fully signed
+  std::uint32_t quorum;
+
+  explicit SignedQcFixture(std::uint32_t n)
+      : registry(n, 1), quorum(2 * ((n - 1) / 3) + 1) {
+    qc.round = 7;
+    for (ReplicaId voter = 0; voter < quorum; ++voter) {
+      types::Vote vote;
+      vote.round = 7;
+      vote.voter = voter;
+      vote.mode = types::VoteMode::Marker;
+      vote.marker = 2;
+      vote.sig = registry.signer_for(voter).sign(vote.signing_bytes());
+      votes.push_back(vote);
+      qc.add_vote(vote);
+    }
+    qc.canonicalize();
+  }
+};
+
+/// Per-vote certificates, encode side: the 2f+1 x 36 B signature vector the
+/// old wire format carried (signer u32 + 32 B MAC each) — the "before" of
+/// the aggregate-signature tentpole. Arg = n.
+void BM_CertEncodePerVote(benchmark::State& state) {
+  const SignedQcFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t sig_bytes = 0;
+  for (auto _ : state) {
+    Encoder enc;
+    for (const types::Vote& vote : fx.votes) vote.sig.encode(enc);
+    sig_bytes = enc.data().size();
+    benchmark::DoNotOptimize(enc.data().data());
+  }
+  state.counters["sig_bytes"] = static_cast<double>(sig_bytes);
+}
+BENCHMARK(BM_CertEncodePerVote)->Arg(16)->Arg(31)->Arg(100);
+
+/// ...and the aggregate "after": one ⌈n/8⌉-byte bitmap + one 32 B tag,
+/// regardless of quorum size.
+void BM_CertEncodeAggregate(benchmark::State& state) {
+  const SignedQcFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t sig_bytes = 0;
+  for (auto _ : state) {
+    Encoder enc;
+    fx.qc.agg.encode(enc);
+    sig_bytes = enc.data().size();
+    benchmark::DoNotOptimize(enc.data().data());
+  }
+  state.counters["sig_bytes"] = static_cast<double>(sig_bytes);
+}
+BENCHMARK(BM_CertEncodeAggregate)->Arg(16)->Arg(31)->Arg(100);
+
+/// Verify side, per-vote scheme: 2f+1 independent MAC recomputations, the
+/// cost every receiver paid per certificate before aggregation.
+void BM_CertVerifyPerVote(benchmark::State& state) {
+  const SignedQcFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = true;
+    for (const types::Vote& vote : fx.votes) {
+      ok &= fx.registry.verify(vote.sig, vote.signing_bytes());
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CertVerifyPerVote)->Arg(16)->Arg(31)->Arg(100);
+
+/// Aggregate verify, cold: the full refold (one MAC recomputation per
+/// bitmap signer) a receiver pays the first time it sees a certificate.
+void BM_CertVerifyAggregateCold(benchmark::State& state) {
+  const SignedQcFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.qc.verify(fx.registry, fx.quorum));
+  }
+}
+BENCHMARK(BM_CertVerifyAggregateCold)->Arg(16)->Arg(31)->Arg(100);
+
+/// ...and memoized: the VerifyCache hit path for a certificate this replica
+/// has already verified (the chained pipeline re-verifies the same QC on
+/// proposal validation, sync, and commit paths).
+void BM_CertVerifyAggregateMemoized(benchmark::State& state) {
+  const SignedQcFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  crypto::VerifyCache cache(nullptr, 0);
+  benchmark::DoNotOptimize(fx.qc.verify(fx.registry, fx.quorum, &cache));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.qc.verify(fx.registry, fx.quorum, &cache));
+  }
+}
+BENCHMARK(BM_CertVerifyAggregateMemoized)->Arg(16)->Arg(31)->Arg(100);
+
+/// Vote admission with a warm vote-MAC memo: the dedupe/revalidate path
+/// when the same vote arrives again (gossip, retransmit).
+void BM_VoteVerifyMemoized(benchmark::State& state) {
+  const SignedQcFixture fx(31);
+  crypto::VerifyCache cache(nullptr, 0);
+  const types::Vote& vote = fx.votes.front();
+  benchmark::DoNotOptimize(
+      fx.registry.verify(vote.sig, vote.signing_bytes(), &cache));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.registry.verify(vote.sig, vote.signing_bytes(), &cache));
+  }
+}
+BENCHMARK(BM_VoteVerifyMemoized);
 
 /// A paper-calibrated proposal: 100 transactions x 4.5 KB -> ~450 KB frame.
 types::Proposal make_block_proposal() {

@@ -14,13 +14,43 @@
 // for CI to archive. Sweep cells are independent deterministic runs;
 // --jobs N executes them on a thread pool with stable output ordering.
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.hpp"
+#include "sftbft/types/quorum_cert.hpp"
+#include "sftbft/types/timeout.hpp"
 
 using namespace sftbft;
 using namespace sftbft::bench;
 
 namespace {
+
+/// Exact per-certificate wire bytes at scale n (quorum = 2f+1 signers):
+/// one aggregate-signature QC and one TimeoutCert (which carries a single
+/// high QC, not one per sender). Structural assembly is enough — encoded
+/// size depends only on the certificate's shape, not its MACs. These are
+/// the bytes the perf gate pins: a change that reintroduces O(n)
+/// signature vectors shows up here before it shows up in traffic.
+std::pair<std::size_t, std::size_t> certificate_bytes(std::uint32_t n) {
+  const std::uint32_t quorum = 2 * ((n - 1) / 3) + 1;
+  types::QuorumCert qc;
+  for (ReplicaId voter = 0; voter < quorum; ++voter) {
+    qc.votes.push_back({voter, types::VoteMeta{}});
+    qc.agg.signers.set(voter);
+  }
+  qc.canonicalize();
+  Encoder qc_enc;
+  qc.encode(qc_enc);
+  types::TimeoutCert tc;
+  tc.high_qc = qc;
+  for (ReplicaId sender = 0; sender < quorum; ++sender) {
+    tc.hqc_rounds.push_back(0);
+    tc.agg.signers.set(sender);
+  }
+  Encoder tc_enc;
+  tc.encode(tc_enc);
+  return {qc_enc.data().size(), tc_enc.data().size()};
+}
 
 harness::Scenario complexity_scenario(engine::Protocol protocol,
                                       std::uint32_t n, bool fbft,
@@ -76,6 +106,33 @@ int main(int argc, char** argv) {
     if (protocol == engine::Protocol::DiemBft) continue;  // reuse SFT cell
     sweep.push_back(complexity_scenario(protocol, wire_n, false, args));
   }
+  // One digest-mode cell at n = 100 (always, smoke included): the dissem
+  // data plane turns proposals into digest references, so certificate bytes
+  // dominate the remaining traffic — the configuration where the aggregate
+  // signature collapse is most visible on the wire. SFT-DiemBFT only (the
+  // paper's linear engine): a Streamlet n = 100 cell is O(n^3) echo
+  // traffic and would dominate the whole smoke run's wall clock.
+  const std::size_t digest_index = sweep.size();
+  constexpr std::uint32_t kDigestN = 100;
+  {
+    harness::Scenario s =
+        complexity_scenario(engine::Protocol::DiemBft, kDigestN, false, args);
+    s.dissemination = true;
+    // This cell accounts certificate bytes, not batch throughput — at
+    // n = 100 the saturating default data plane (64 clients, 250x4.5 KB
+    // batches every 20 ms, each pushed to 99 peers) swamps a single-core
+    // CI runner's memory and wall clock. Trim the payload side so the
+    // control-plane frames (proposal/vote/timeout + certificates) dominate
+    // the table, which is the point of digest mode here.
+    s.txn_size_bytes = 450;
+    s.max_batch = 25;
+    s.dissem.clients = 8;
+    s.dissem.batch_max_txns = 25;
+    s.dissem.batch_interval = millis(100);
+    s.duration = args.smoke ? seconds(20) : seconds(60);
+    s.tail = seconds(5);
+    sweep.push_back(std::move(s));
+  }
   const std::vector<harness::ScenarioResult> results =
       run_scenarios(sweep, args.jobs);
 
@@ -112,17 +169,13 @@ int main(int argc, char** argv) {
   sections.emplace_back("complexity", table);
   // decode_drops must read 0 on every clean run: any frame a replica could
   // not decode back to the message it encoded is a codec bug, not noise.
-  harness::Table broadcast_table({"engine", "n", "charged bytes",
-                                  "encode-once saved bytes", "saved/charged",
-                                  "decode drops"});
-  std::printf("\n== On-wire bytes (exact, SFT n=%u, all engines) ==\n",
-              wire_n);
-  std::size_t extra_wire = 0;
-  for (const engine::Protocol protocol : engine::kAllProtocols) {
-    const harness::ScenarioResult& wire_run =
-        protocol == engine::Protocol::DiemBft
-            ? results[2 * (sizes.size() - 1)]  // the largest SFT cell
-            : results[wire_base + extra_wire++];
+  harness::Table broadcast_table({"engine", "n", "charged bytes", "qc bytes",
+                                  "tc bytes", "encode-once saved bytes",
+                                  "saved/charged", "decode drops"});
+  // Adds one per-type section + one broadcast row for a wire cell. `label`
+  // doubles as the gate's row key, so each cell needs a distinct one.
+  const auto add_wire_cell = [&](const std::string& label, std::uint32_t n,
+                                 const harness::ScenarioResult& wire_run) {
     harness::Table wire_table({"type", "frames", "total bytes",
                                "avg frame bytes", "transit p50 (ms)",
                                "transit p99 (ms)"});
@@ -149,9 +202,11 @@ int main(int argc, char** argv) {
                1),
            std::move(p50), std::move(p99)});
     }
+    const auto [qc_bytes, tc_bytes] = certificate_bytes(n);
     broadcast_table.add_row(
-        {engine::protocol_name(protocol), std::to_string(wire_n),
+        {label, std::to_string(n),
          std::to_string(wire_run.total_message_bytes),
+         std::to_string(qc_bytes), std::to_string(tc_bytes),
          std::to_string(wire_run.broadcast_saved_bytes),
          harness::Table::num(
              wire_run.total_message_bytes > 0
@@ -160,12 +215,25 @@ int main(int argc, char** argv) {
                  : 0.0,
              3),
          std::to_string(wire_run.decode_drops)});
-    std::printf("-- %s --\n%s\n", engine::protocol_name(protocol),
-                wire_table.render().c_str());
-    sections.emplace_back(
-        std::string("per_type_") + engine::protocol_name(protocol),
-        std::move(wire_table));
+    std::printf("-- %s --\n%s\n", label.c_str(), wire_table.render().c_str());
+    sections.emplace_back("per_type_" + label, std::move(wire_table));
+  };
+
+  std::printf("\n== On-wire bytes (exact, SFT n=%u, all engines) ==\n",
+              wire_n);
+  std::size_t extra_wire = 0;
+  for (const engine::Protocol protocol : engine::kAllProtocols) {
+    const harness::ScenarioResult& wire_run =
+        protocol == engine::Protocol::DiemBft
+            ? results[2 * (sizes.size() - 1)]  // the largest SFT cell
+            : results[wire_base + extra_wire++];
+    add_wire_cell(engine::protocol_name(protocol), wire_n, wire_run);
   }
+  std::printf("\n== Digest-mode wire bytes (dissem data plane, n=%u) ==\n",
+              kDigestN);
+  add_wire_cell(
+      std::string(engine::protocol_name(engine::Protocol::DiemBft)) + "+digest",
+      kDigestN, results[digest_index]);
   std::printf("%s\n", broadcast_table.render().c_str());
   sections.emplace_back("broadcast", broadcast_table);
 

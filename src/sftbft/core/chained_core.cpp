@@ -26,6 +26,7 @@ ChainedCore::ChainedCore(CoreConfig config, sim::Scheduler& sched,
     : config_(config),
       sched_(sched),
       registry_(std::move(registry)),
+      cache_(config.observer, config.id),
       signer_(registry_->signer_for(config.id)),
       pool_(pool),
       hooks_(std::move(hooks)),
@@ -220,7 +221,7 @@ void ChainedCore::on_sync_response(const types::SyncResponse& resp) {
                                  : resp.high_qc;
     if (cert.block_id != block.id) return;
     if (config_.verify_signatures &&
-        !cert.verify(*registry_, config_.quorum())) {
+        !cert.verify(*registry_, config_.quorum(), &cache_)) {
       return;
     }
   }
@@ -248,7 +249,7 @@ void ChainedCore::on_sync_response(const types::SyncResponse& resp) {
   // any peer forge qc_high / lock state onto a replica.
   if (!resp.high_qc.is_genesis() && tree_.contains(resp.high_qc.block_id)) {
     if (config_.verify_signatures &&
-        !resp.high_qc.verify(*registry_, config_.quorum())) {
+        !resp.high_qc.verify(*registry_, config_.quorum(), &cache_)) {
       return;
     }
     observe_qc(resp.high_qc, /*canonical=*/false);
@@ -602,7 +603,7 @@ void ChainedCore::on_vote(const Vote& vote) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (vote.voter != vote.sig.signer ||
-       !registry_->verify(vote.sig, vote.signing_bytes()))) {
+       !registry_->verify(vote.sig, vote.signing_bytes(), &cache_))) {
     return;
   }
   if (election_.leader_of(vote.round + 1) != config_.id) {
@@ -711,8 +712,9 @@ void ChainedCore::finalize_qc(Round round, const BlockId& block_id) {
   qc.round = round;
   qc.parent_id = block->parent_id;
   qc.parent_round = block->qc.round;
-  qc.votes.reserve(pending.by_voter.size());
-  for (const auto& [voter, vote] : pending.by_voter) qc.votes.push_back(vote);
+  // by_voter iterates in ascending voter order, so the folds land already
+  // canonical; canonicalize() still runs to seal the digest-memo contract.
+  for (const auto& [voter, vote] : pending.by_voter) qc.add_vote(vote);
   qc.canonicalize();
 
   // The leader processes the QC it formed (it will embed it in its next
@@ -752,12 +754,12 @@ void ChainedCore::on_timeout_msg(const TimeoutMsg& msg) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (msg.sender != msg.sig.signer ||
-       !registry_->verify(msg.sig, msg.signing_bytes()))) {
+       !registry_->verify(msg.sig, msg.signing_bytes(), &cache_))) {
     return;
   }
   if (!msg.high_qc.is_genesis()) {
     if (config_.verify_signatures &&
-        !msg.high_qc.verify(*registry_, config_.quorum())) {
+        !msg.high_qc.verify(*registry_, config_.quorum(), &cache_)) {
       return;
     }
     // Timeout-borne QCs update locking/qc_high/round but not endorsements
@@ -776,10 +778,9 @@ void ChainedCore::add_timeout(const TimeoutMsg& msg) {
   if (per_sender.size() == config_.quorum()) {
     TimeoutCert tc;
     tc.round = msg.round;
-    tc.timeouts.reserve(per_sender.size());
-    for (const auto& [sender, timeout] : per_sender) {
-      tc.timeouts.push_back(timeout);
-    }
+    // per_sender iterates in ascending sender order — the canonical
+    // (bitmap-bit) order the aggregate fold requires.
+    for (const auto& [sender, timeout] : per_sender) tc.add_timeout(timeout);
     last_tc_ = tc;
     if (store_) store_->record_high_tc(tc);
     timeouts_.erase(timeouts_.begin(), timeouts_.upper_bound(msg.round));
@@ -801,11 +802,12 @@ bool ChainedCore::validate_proposal(const Proposal& proposal) const {
   }
   if (config_.verify_signatures) {
     if (proposal.sig.signer != block.proposer) return false;
-    if (!registry_->verify(proposal.sig, proposal.signing_bytes())) {
+    if (!registry_->verify(proposal.sig, proposal.signing_bytes(), &cache_)) {
       return false;
     }
-    if (!block.qc.verify(*registry_, config_.quorum())) return false;
-    if (proposal.tc && !proposal.tc->verify(*registry_, config_.quorum())) {
+    if (!block.qc.verify(*registry_, config_.quorum(), &cache_)) return false;
+    if (proposal.tc &&
+        !proposal.tc->verify(*registry_, config_.quorum(), &cache_)) {
       return false;
     }
   }

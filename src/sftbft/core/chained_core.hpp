@@ -49,6 +49,7 @@
 #include "sftbft/core/strength.hpp"
 #include "sftbft/core/vote_history.hpp"
 #include "sftbft/crypto/signature.hpp"
+#include "sftbft/crypto/verify_cache.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/sim/scheduler.hpp"
 #include "sftbft/storage/replica_store.hpp"
@@ -301,6 +302,9 @@ class ChainedCore {
   CoreConfig config_;
   sim::Scheduler& sched_;
   std::shared_ptr<const crypto::KeyRegistry> registry_;
+  /// Verification memo for inbound votes and certificates (mutable: memo
+  /// lookups happen on const validation paths and never change semantics).
+  mutable crypto::VerifyCache cache_;
   crypto::Signer signer_;
   mempool::Mempool& pool_;
   Hooks hooks_;

@@ -20,8 +20,8 @@ std::vector<StrengthUpdate> StrengthTracker::process_qc(const QuorumCert& qc) {
   if (!seen_qcs_.insert(qc.digest()).second) return updates;  // idempotent
 
   std::vector<BlockId> touched;
-  for (const Vote& vote : qc.votes) {
-    ingest_chain_vote(vote, touched);
+  for (const types::QcVote& vote : qc.votes) {
+    ingest_chain_vote(qc.block_id, qc.round, vote.voter, vote.meta, touched);
   }
 
   // Deduplicate before re-evaluating (votes often touch the same ancestors).
@@ -37,7 +37,8 @@ std::vector<StrengthUpdate> StrengthTracker::process_extra_vote(
     const Vote& vote) {
   std::vector<StrengthUpdate> updates;
   std::vector<BlockId> touched;
-  ingest_chain_vote(vote, touched);
+  ingest_chain_vote(vote.block_id, vote.round, vote.voter, vote.meta(),
+                    touched);
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   for (const BlockId& id : touched) {
@@ -46,9 +47,11 @@ std::vector<StrengthUpdate> StrengthTracker::process_extra_vote(
   return updates;
 }
 
-void StrengthTracker::ingest_chain_vote(const Vote& vote,
+void StrengthTracker::ingest_chain_vote(const BlockId& block_id,
+                                        Round voted_round, ReplicaId voter,
+                                        const types::VoteMeta& meta,
                                         std::vector<BlockId>& touched) {
-  const Block* block = tree_->get(vote.block_id);
+  const Block* block = tree_->get(block_id);
   // QCs are processed after their certified block is linked into the tree;
   // an unknown block here means the caller violated that ordering, and the
   // vote is conservatively ignored (under-counting never harms safety).
@@ -57,7 +60,7 @@ void StrengthTracker::ingest_chain_vote(const Vote& vote,
   // Direct endorsement of the voted block itself (marker 0: endorses every
   // threshold).
   auto& own = min_marker_[block->id];
-  auto [own_it, own_fresh] = own.try_emplace(vote.voter, 0);
+  auto [own_it, own_fresh] = own.try_emplace(voter, 0);
   if (!own_fresh) {
     own_it->second = 0;
   } else {
@@ -77,16 +80,16 @@ void StrengthTracker::ingest_chain_vote(const Vote& vote,
         endorses = true;  // Appendix C strawman — provably unsafe
         break;
       case CountingRule::Sft:
-        endorses = vote.endorses_round(ancestor->round);
+        endorses = meta.endorses(voted_round, ancestor->round);
         break;
     }
     if (endorses) {
       const std::uint64_t marker =
-          (rule_ == CountingRule::Sft && vote.mode == types::VoteMode::Marker)
-              ? vote.marker
+          (rule_ == CountingRule::Sft && meta.mode == types::VoteMode::Marker)
+              ? meta.marker
               : 0;
       auto& markers = min_marker_[ancestor->id];
-      if (!markers.try_emplace(vote.voter, marker).second) {
+      if (!markers.try_emplace(voter, marker).second) {
         // The voter already endorsed this ancestor through an earlier vote.
         // A voter's endorsement power only shrinks over time (markers grow,
         // intervals narrow), so that earlier — at least as permissive —
@@ -100,14 +103,14 @@ void StrengthTracker::ingest_chain_vote(const Vote& vote,
     }
     // Marker mode: rounds strictly decrease toward genesis, so once
     // ancestor.round <= marker every deeper ancestor fails too.
-    if (vote.mode == types::VoteMode::Marker) break;
+    if (meta.mode == types::VoteMode::Marker) break;
     // Interval mode: gaps are possible, but nothing below the smallest
     // endorsed round can match.
-    if (vote.mode == types::VoteMode::Intervals &&
-        (vote.endorsed.empty() || ancestor->round < vote.endorsed.min())) {
+    if (meta.mode == types::VoteMode::Intervals &&
+        (meta.endorsed.empty() || ancestor->round < meta.endorsed.min())) {
       break;
     }
-    if (vote.mode == types::VoteMode::Plain) break;  // no indirect power
+    if (meta.mode == types::VoteMode::Plain) break;  // no indirect power
   }
 }
 

@@ -115,9 +115,11 @@ class StrengthTracker {
   [[nodiscard]] CountingRule rule() const { return rule_; }
 
  private:
-  /// Adds `voter`'s endorsements from a chain vote for `vote.block_id`;
+  /// Adds `voter`'s endorsements from a chain vote for `block_id` cast at
+  /// `voted_round`, carrying `meta` — the per-voter shape certificates keep;
   /// records every block whose endorser set actually grew into `touched`.
-  void ingest_chain_vote(const types::Vote& vote,
+  void ingest_chain_vote(const types::BlockId& block_id, Round voted_round,
+                         ReplicaId voter, const types::VoteMeta& meta,
                          std::vector<types::BlockId>& touched);
 
   /// Re-evaluates 3-chains around a block whose count changed.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "sftbft/common/rng.hpp"
+#include "sftbft/crypto/aggregate.hpp"
+#include "sftbft/crypto/verify_cache.hpp"
 
 namespace sftbft::crypto {
 
@@ -46,10 +48,42 @@ Signer KeyRegistry::signer_for(ReplicaId id) const {
   return Signer(id, secrets_[id]);
 }
 
-bool KeyRegistry::verify(const Signature& sig, BytesView message) const {
+bool KeyRegistry::verify(const Signature& sig, BytesView message,
+                         VerifyCache* cache) const {
   if (sig.signer >= secrets_.size()) return false;
-  const Sha256Digest expected = hmac_sha256(secrets_[sig.signer], message);
+  const Sha256Digest expected = expected_mac(sig.signer, message, cache);
   return ct_equal(expected.bytes, sig.mac);
+}
+
+Sha256Digest KeyRegistry::expected_mac(ReplicaId signer, BytesView message,
+                                       VerifyCache* cache) const {
+  if (signer >= secrets_.size()) {
+    throw std::out_of_range("KeyRegistry::expected_mac: unknown replica");
+  }
+  if (cache == nullptr) return hmac_sha256(secrets_[signer], message);
+  const Sha256Digest msg_digest = Sha256::hash(message);
+  if (const Sha256Digest* hit = cache->lookup_mac(signer, msg_digest)) {
+    return *hit;
+  }
+  const Sha256Digest mac = hmac_sha256(secrets_[signer], message);
+  cache->store_mac(signer, msg_digest, mac);
+  return mac;
+}
+
+bool KeyRegistry::verify_aggregate(
+    const AggregateSignature& agg,
+    const std::function<Bytes(ReplicaId)>& message_for,
+    VerifyCache* cache) const {
+  const std::vector<ReplicaId> ids = agg.signers.ids();
+  if (ids.empty()) return false;
+  if (ids.back() >= secrets_.size()) return false;
+  std::array<std::uint8_t, 32> fold{};
+  for (const ReplicaId id : ids) {
+    const Bytes message = message_for(id);
+    const Sha256Digest mac = expected_mac(id, BytesView(message), cache);
+    for (std::size_t i = 0; i < fold.size(); ++i) fold[i] ^= mac.bytes[i];
+  }
+  return ct_equal(fold, agg.tag);
 }
 
 }  // namespace sftbft::crypto

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,9 @@
 #include "sftbft/crypto/sha256.hpp"
 
 namespace sftbft::crypto {
+
+struct AggregateSignature;
+class VerifyCache;
 
 /// A signature over a message digest, tagged with the signer identity.
 struct Signature {
@@ -68,7 +72,24 @@ class KeyRegistry {
   [[nodiscard]] Signer signer_for(ReplicaId id) const;
 
   /// True iff `sig` is a valid signature by `sig.signer` over `message`.
-  [[nodiscard]] bool verify(const Signature& sig, BytesView message) const;
+  /// With a cache, the recomputed MAC for (signer, message) is memoized —
+  /// the presented MAC is still compared against the known-good one, so a
+  /// forgery can never be laundered through a hit (see verify_cache.hpp).
+  [[nodiscard]] bool verify(const Signature& sig, BytesView message,
+                            VerifyCache* cache = nullptr) const;
+
+  /// The correct MAC for (signer, message) — what a Signature by `signer`
+  /// over `message` must carry. Cache-aware; `signer` must be in range.
+  [[nodiscard]] Sha256Digest expected_mac(ReplicaId signer, BytesView message,
+                                          VerifyCache* cache = nullptr) const;
+
+  /// True iff `agg.tag` is the fold of every bitmap member's MAC, each over
+  /// `message_for(member)` — the member's own canonical signing bytes. An
+  /// empty signer set never verifies.
+  [[nodiscard]] bool verify_aggregate(
+      const AggregateSignature& agg,
+      const std::function<Bytes(ReplicaId)>& message_for,
+      VerifyCache* cache = nullptr) const;
 
  private:
   std::vector<std::array<std::uint8_t, 32>> secrets_;

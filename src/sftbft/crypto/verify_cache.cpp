@@ -1,0 +1,59 @@
+#include "sftbft/crypto/verify_cache.hpp"
+
+#include "sftbft/obs/observer.hpp"
+
+namespace sftbft::crypto {
+
+const Sha256Digest* VerifyCache::lookup_mac(ReplicaId signer,
+                                            const Sha256Digest& message_digest) {
+  const auto it = macs_.find(message_digest);
+  if (it == macs_.end() || it->second.signer != signer) {
+    bump_vote(false);
+    return nullptr;
+  }
+  bump_vote(true);
+  return &it->second.mac;
+}
+
+void VerifyCache::store_mac(ReplicaId signer, const Sha256Digest& message_digest,
+                            const Sha256Digest& mac) {
+  if (macs_.size() >= kMaxEntries) macs_.clear();
+  macs_[message_digest] = MacEntry{signer, mac};
+}
+
+bool VerifyCache::seen_cert(const Sha256Digest& key) {
+  const bool hit = certs_.contains(key);
+  bump_cert(hit);
+  return hit;
+}
+
+void VerifyCache::note_cert(const Sha256Digest& key) {
+  if (certs_.size() >= kMaxEntries) certs_.clear();
+  certs_.insert(key);
+}
+
+void VerifyCache::bump_vote(bool hit) {
+  if (hit) {
+    ++vote_hits_;
+  } else {
+    ++vote_misses_;
+  }
+  if (obs_ != nullptr) {
+    obs_->count(replica_, hit ? obs::Counter::kVoteVerifyHits
+                              : obs::Counter::kVoteVerifyMisses);
+  }
+}
+
+void VerifyCache::bump_cert(bool hit) {
+  if (hit) {
+    ++cert_hits_;
+  } else {
+    ++cert_misses_;
+  }
+  if (obs_ != nullptr) {
+    obs_->count(replica_, hit ? obs::Counter::kCertVerifyHits
+                              : obs::Counter::kCertVerifyMisses);
+  }
+}
+
+}  // namespace sftbft::crypto

@@ -182,6 +182,20 @@ std::vector<GateRule> default_rules(const std::string& bench) {
         {"summary", "engine", "p99 commit (ms)", D::kLowerIsBetter, 0.30},
     };
   }
+  if (bench == "wire") {
+    // BENCH_wire.json (tab_msg_complexity --smoke). The certificate-byte
+    // cells are exact analytic encodes — zero tolerance, so reintroducing
+    // O(n) signature vectors into QCs or TCs fails CI on the first run.
+    // Charged traffic is deterministic per seed but shifts with intentional
+    // protocol changes; 10% covers drift without masking a format
+    // regression (per-vote signatures would be a >6x jump).
+    return {
+        {"broadcast", "engine", "qc bytes", D::kLowerIsBetter, 0.0},
+        {"broadcast", "engine", "tc bytes", D::kLowerIsBetter, 0.0},
+        {"broadcast", "engine", "charged bytes", D::kLowerIsBetter, 0.10},
+        {"broadcast", "engine", "decode drops", D::kLowerIsBetter, 0.0},
+    };
+  }
   return {};
 }
 

@@ -24,6 +24,10 @@ const char* metric_name(Counter c) {
     case Counter::kAdmissionDuplicate: return "admission.duplicate";
     case Counter::kAdmissionRateLimited: return "admission.rate_limited";
     case Counter::kAdmissionBackpressure: return "admission.backpressure";
+    case Counter::kVoteVerifyHits: return "sig.vote_verify_hits";
+    case Counter::kVoteVerifyMisses: return "sig.vote_verify_misses";
+    case Counter::kCertVerifyHits: return "sig.cert_verify_hits";
+    case Counter::kCertVerifyMisses: return "sig.cert_verify_misses";
     case Counter::kCount_: break;
   }
   return "?";

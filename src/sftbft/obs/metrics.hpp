@@ -47,6 +47,10 @@ enum class Counter : std::uint8_t {
   kAdmissionDuplicate,
   kAdmissionRateLimited,
   kAdmissionBackpressure,
+  kVoteVerifyHits,        ///< vote-MAC memo hits (crypto::VerifyCache)...
+  kVoteVerifyMisses,      ///< ...and recomputations
+  kCertVerifyHits,        ///< whole-certificate memo hits...
+  kCertVerifyMisses,      ///< ...and full aggregate verifications
   kCount_,
 };
 

@@ -33,6 +33,11 @@ SProposal SProposal::decode(Decoder& dec) {
 }
 
 Bytes SVote::signing_bytes() const {
+  return signing_bytes_for(block_id, round, height, voter, marker);
+}
+
+Bytes SVote::signing_bytes_for(const BlockId& block_id, Round round,
+                               Height height, ReplicaId voter, Height marker) {
   Encoder enc;
   enc.str("sftbft/streamlet/vote");
   enc.raw(block_id.bytes);
@@ -64,11 +69,71 @@ SVote SVote::decode(Decoder& dec) {
   return vote;
 }
 
+bool SCert::add_vote(const SVote& vote) {
+  if (!agg.fold(vote.sig)) return false;
+  markers.push_back(vote.marker);
+  return true;
+}
+
+bool SCert::verify(const crypto::KeyRegistry& registry, std::size_t quorum,
+                   crypto::VerifyCache* cache) const {
+  if (markers.size() < quorum) return false;
+  const std::vector<ReplicaId> voters = agg.signers.ids();
+  if (voters.size() != markers.size()) return false;
+  crypto::Sha256Digest memo_key;
+  if (cache != nullptr) {
+    Encoder enc;
+    enc.str("sftbft/scert-verified");
+    encode(enc);
+    memo_key = crypto::Sha256::hash(enc.data());
+    if (cache->seen_cert(memo_key)) return true;
+  }
+  const bool ok = registry.verify_aggregate(
+      agg,
+      [this, &voters](ReplicaId voter) {
+        const std::size_t i = static_cast<std::size_t>(
+            std::lower_bound(voters.begin(), voters.end(), voter) -
+            voters.begin());
+        return SVote::signing_bytes_for(block_id, round, height, voter,
+                                        markers[i]);
+      },
+      cache);
+  if (ok && cache != nullptr) cache->note_cert(memo_key);
+  return ok;
+}
+
+void SCert::encode(Encoder& enc) const {
+  enc.raw(block_id.bytes);
+  enc.u64(round);
+  enc.u64(height);
+  enc.u32(static_cast<std::uint32_t>(markers.size()));
+  for (const Height marker : markers) enc.u64(marker);
+  agg.encode(enc);
+}
+
+SCert SCert::decode(Decoder& dec) {
+  SCert cert;
+  const Bytes raw = dec.raw(32);
+  std::copy(raw.begin(), raw.end(), cert.block_id.bytes.begin());
+  cert.round = dec.u64();
+  cert.height = dec.u64();
+  const std::uint32_t count = dec.count(8);
+  cert.markers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cert.markers.push_back(dec.u64());
+  }
+  cert.agg = crypto::AggregateSignature::decode(dec);
+  if (cert.agg.signers.popcount() != cert.markers.size()) {
+    throw CodecError("SCert: marker count does not match signer bitmap");
+  }
+  return cert;
+}
+
 void SSyncResponse::encode(Encoder& enc) const {
   enc.u32(static_cast<std::uint32_t>(blocks.size()));
   for (const types::Block& block : blocks) block.encode(enc);
-  enc.u32(static_cast<std::uint32_t>(votes.size()));
-  for (const SVote& vote : votes) vote.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(certs.size()));
+  for (const SCert& cert : certs) cert.encode(enc);
 }
 
 net::Envelope to_envelope(ReplicaId sender, const SMessage& msg) {
@@ -94,10 +159,10 @@ SSyncResponse SSyncResponse::decode(Decoder& dec) {
   for (std::uint32_t i = 0; i < block_count; ++i) {
     resp.blocks.push_back(types::Block::decode(dec));
   }
-  const std::uint32_t vote_count = dec.count(SVote::kEncodedBytes);
-  resp.votes.reserve(vote_count);
-  for (std::uint32_t i = 0; i < vote_count; ++i) {
-    resp.votes.push_back(SVote::decode(dec));
+  const std::uint32_t cert_count = dec.count(SCert::kMinEncodedBytes);
+  resp.certs.reserve(cert_count);
+  for (std::uint32_t i = 0; i < cert_count; ++i) {
+    resp.certs.push_back(SCert::decode(dec));
   }
   return resp;
 }
@@ -138,6 +203,7 @@ StreamletCore::StreamletCore(
               return !awaiting_sync_ && tip != nullptr &&
                      tip->round + 8 >= round_;
             }) {
+  cache_ = crypto::VerifyCache(config_.observer, config_.id);
   committer_.set_store(store_);
   committer_.set_on_commit([this](const Block& block, std::uint32_t strength,
                                   SimTime now) {
@@ -211,6 +277,7 @@ void StreamletCore::schedule_tick(SimTime at) {
 void StreamletCore::restore(const storage::RecoveredState& state) {
   votes_.clear();
   certified_.clear();
+  certs_.clear();
   triple_strength_.clear();
   vote_clock_.clear();
   awaiting_batches_.reset();
@@ -261,13 +328,28 @@ void StreamletCore::on_sync_request(const SSyncRequest& req) {
   }
   SSyncResponse resp;
   for (const Block& b : *chain_blocks) {
-    auto it = votes_.find(b.id);
-    if (it == votes_.end()) continue;
-    std::uint32_t sent = 0;
-    for (const auto& [voter, vote] : it->second) {
-      resp.votes.push_back(vote);
-      if (++sent >= config_.quorum()) break;  // quorum re-certifies; enough
+    // Prefer a stored certificate (this replica may itself have recovered
+    // via sync and hold no individual votes); else fold one from the vote
+    // map — ascending voter order by construction, a quorum is enough.
+    if (const auto cert_it = certs_.find(b.id); cert_it != certs_.end()) {
+      resp.certs.push_back(cert_it->second);
+      continue;
     }
+    auto it = votes_.find(b.id);
+    if (it == votes_.end() || it->second.size() < config_.quorum()) continue;
+    SCert cert;
+    cert.block_id = b.id;
+    cert.round = b.round;
+    cert.height = b.height;
+    for (const auto& [voter, vote] : it->second) {
+      // A Byzantine vote naming this block under a different round/height
+      // would poison the fold (its signing bytes differ); skip it.
+      if (vote.round != b.round || vote.height != b.height) continue;
+      cert.add_vote(vote);
+      if (cert.markers.size() >= config_.quorum()) break;
+    }
+    if (cert.markers.size() < config_.quorum()) continue;
+    resp.certs.push_back(std::move(cert));
   }
   resp.blocks = std::move(*chain_blocks);
   hooks_.send_sync_response(req.requester, resp);
@@ -289,13 +371,53 @@ void StreamletCore::on_sync_response(const SSyncResponse& resp) {
       }
     }
   }
-  for (const SVote& vote : resp.votes) {
-    ingest_vote(vote, /*allow_echo=*/false);
+  for (const SCert& cert : resp.certs) {
+    const Block* block = tree_.get(cert.block_id);
+    // The cert must certify one of the blocks just inserted (or already
+    // held) under exactly its round/height — the fields the votes signed.
+    if (block == nullptr || block->round != cert.round ||
+        block->height != cert.height) {
+      continue;
+    }
+    // Structural sanity independent of signature checking: bitmap and
+    // marker list aligned, quorum-sized.
+    if (cert.markers.size() != cert.agg.signers.popcount() ||
+        cert.markers.size() < config_.quorum()) {
+      continue;
+    }
+    if (config_.verify_signatures &&
+        !cert.verify(*registry_, config_.quorum(), &cache_)) {
+      continue;
+    }
+    // Feed the per-voter markers to the audit tap and the endorser
+    // accounting exactly as live votes would have (synthesized votes carry
+    // no signature — the aggregate already attested them).
+    const std::vector<ReplicaId> voters = cert.agg.signers.ids();
+    for (std::size_t i = 0; i < voters.size(); ++i) {
+      SVote vote;
+      vote.block_id = cert.block_id;
+      vote.round = cert.round;
+      vote.height = cert.height;
+      vote.voter = voters[i];
+      vote.marker = cert.markers[i];
+      if (hooks_.on_vote_seen) hooks_.on_vote_seen(vote);
+      if (config_.sft) {
+        endorsements_->ingest_height_vote(vote.block_id, vote.voter,
+                                          vote.marker);
+      }
+    }
+    certs_[cert.block_id] = cert;
+    if (!certified_.contains(cert.block_id)) {
+      certified_.insert(cert.block_id);
+      mark_certified(*block);
+    } else if (config_.sft) {
+      // Already certified: the markers may still raise triple strengths.
+      check_commits(cert.block_id);
+    }
   }
   // A mid-run sync (orphan repair under an equivocating leader) can deliver
-  // blocks whose quorum of votes this replica already held — ingest_vote
-  // dedupes those, so certification must be re-checked explicitly now that
-  // the blocks exist.
+  // blocks whose quorum of votes this replica already held — so
+  // certification must be re-checked explicitly now that the blocks exist.
   for (const Block& block : resp.blocks) {
     try_certify(block.id);
   }
@@ -364,7 +486,7 @@ void StreamletCore::on_proposal(const SProposal& proposal) {
   if (!block.id_is_valid()) return;
   if (config_.verify_signatures &&
       (proposal.sig.signer != block.proposer ||
-       !registry_->verify(proposal.sig, proposal.signing_bytes()))) {
+       !registry_->verify(proposal.sig, proposal.signing_bytes(), &cache_))) {
     return;
   }
   const bool unseen = !tree_.contains(block.id);
@@ -469,7 +591,7 @@ void StreamletCore::ingest_vote(const SVote& vote, bool allow_echo) {
   if (stopped_) return;
   if (config_.verify_signatures &&
       (vote.voter != vote.sig.signer ||
-       !registry_->verify(vote.sig, vote.signing_bytes()))) {
+       !registry_->verify(vote.sig, vote.signing_bytes(), &cache_))) {
     return;
   }
   auto& per_voter = votes_[vote.block_id];
@@ -503,6 +625,12 @@ void StreamletCore::try_certify(const BlockId& id) {
   if (block == nullptr) return;  // wait for the proposal
 
   certified_.insert(id);
+  mark_certified(*block);
+}
+
+void StreamletCore::mark_certified(const Block& block_ref) {
+  const Block* block = &block_ref;
+  const BlockId id = block->id;
   if (obs::Observer* obs = config_.observer) {
     obs->count(config_.id, obs::Counter::kBlocksCertified);
     obs->observe(config_.id, obs::Hist::kCertifyLatencyUs,

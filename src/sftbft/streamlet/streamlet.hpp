@@ -44,7 +44,9 @@
 #include "sftbft/core/committer.hpp"
 #include "sftbft/core/strength.hpp"
 #include "sftbft/core/vote_history.hpp"
+#include "sftbft/crypto/aggregate.hpp"
 #include "sftbft/crypto/signature.hpp"
+#include "sftbft/crypto/verify_cache.hpp"
 #include "sftbft/mempool/mempool.hpp"
 #include "sftbft/net/envelope.hpp"
 #include "sftbft/sim/scheduler.hpp"
@@ -105,30 +107,71 @@ struct SVote {
 
   [[nodiscard]] Bytes signing_bytes() const;
 
+  /// The signed bytes rebuilt from certificate parts — what an aggregate
+  /// verifier recomputes per bitmap member.
+  [[nodiscard]] static Bytes signing_bytes_for(const types::BlockId& block_id,
+                                               Round round, Height height,
+                                               ReplicaId voter, Height marker);
+
   void encode(Encoder& enc) const;
   static SVote decode(Decoder& dec);
 
   /// Exact encoded size (SVote is fixed-width): bounds untrusted vote
-  /// counts while decoding sync responses.
+  /// counts while decoding vote containers.
   static constexpr std::size_t kEncodedBytes = 32 + 8 + 8 + 4 + 8 + (4 + 32);
 
   friend bool operator==(const SVote&, const SVote&) = default;
+};
+
+/// A Streamlet certificate: one block's certifying vote quorum, collapsed
+/// to a voter bitmap + per-voter height markers (bit order, voters
+/// implicit) + a single aggregate signature. Streamlet has no chain-embedded
+/// QCs — this object exists for the sync path, where a responder used to
+/// ship a quorum of full votes per block.
+struct SCert {
+  types::BlockId block_id{};
+  Round round = 0;
+  Height height = 0;
+  /// Per-voter height markers, in bitmap-bit (voter id) order.
+  std::vector<Height> markers;
+  /// One aggregate over every voter's own vote signing-bytes.
+  crypto::AggregateSignature agg;
+
+  /// Folds a signed vote in (marker + signature); votes must be folded in
+  /// ascending voter order and match (block_id, round, height). Returns
+  /// false (no-op) on a duplicate voter.
+  bool add_vote(const SVote& vote);
+
+  /// >= quorum distinct voters and the aggregate refolds from every
+  /// voter's recomputed MAC. Cache semantics as QuorumCert::verify.
+  [[nodiscard]] bool verify(const crypto::KeyRegistry& registry,
+                            std::size_t quorum,
+                            crypto::VerifyCache* cache = nullptr) const;
+
+  void encode(Encoder& enc) const;
+  static SCert decode(Decoder& dec);
+
+  /// Minimum encoded size (no voters): bounds untrusted cert counts while
+  /// decoding sync responses.
+  static constexpr std::size_t kMinEncodedBytes =
+      32 + 8 + 8 + 4 + crypto::AggregateSignature::kMinEncodedBytes;
+
+  friend bool operator==(const SCert&, const SCert&) = default;
 };
 
 /// Crash-recovery block sync (storage layer; not part of Appendix D): the
 /// restarted replica asks peers for the certified chain above its durable
 /// tip. The request is the kernel's shared types::SyncRequest (travelling
 /// under the Streamlet wire tag); Streamlet has no chain-embedded QCs, so
-/// the *response* carries the responder's stored votes for the blocks —
-/// individually signature-checked, 2f + 1 of them re-certify each block, so
-/// the responder needs no trust.
+/// the *response* carries one aggregate certificate per block — verified
+/// whole, it re-certifies the block, so the responder needs no trust.
 using SSyncRequest = types::SyncRequest;
 
 struct SSyncResponse {
   /// Longest-certified-chain blocks above from_height, oldest first.
   std::vector<types::Block> blocks;
-  /// The responder's stored votes for those blocks (quorum per block).
-  std::vector<SVote> votes;
+  /// One certifying aggregate per block (any order; matched by block_id).
+  std::vector<SCert> certs;
 
   void encode(Encoder& enc) const;
   static SSyncResponse decode(Decoder& dec);
@@ -241,6 +284,9 @@ class StreamletCore {
   /// them would flood the network with stale traffic).
   void ingest_vote(const SVote& vote, bool allow_echo);
   void try_certify(const types::BlockId& id);
+  /// Marks a block certified (obs, longest-tip update, commit checks) —
+  /// shared by the vote-quorum path and the sync certificate path.
+  void mark_certified(const types::Block& block);
   void check_commits(const types::BlockId& id);
   void evaluate_triple(const types::Block& middle);
   void maybe_snapshot();
@@ -277,9 +323,15 @@ class StreamletCore {
   std::optional<types::Block> awaiting_batches_;
   sim::TimerId tick_timer_ = sim::kInvalidTimer;
 
+  /// Verified-vote / certificate memo (obs-instrumented); one per replica.
+  crypto::VerifyCache cache_;
+
   /// votes per block (by voter), and the certified set.
   std::unordered_map<types::BlockId, std::map<ReplicaId, SVote>> votes_;
   std::unordered_set<types::BlockId> certified_;
+  /// Verified certificates received via sync, kept so this replica can
+  /// re-serve sync even though it never saw the individual votes.
+  std::unordered_map<types::BlockId, SCert> certs_;
 
   /// Vote-arrival ordinals per block (the paper's strength clock): when the
   /// (f+1)-th / (2f+1)-th distinct vote landed locally. Every replica

@@ -1,19 +1,23 @@
 #include "sftbft/types/timeout.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <unordered_set>
 
 #include "sftbft/crypto/signature.hpp"
+#include "sftbft/crypto/verify_cache.hpp"
 
 namespace sftbft::types {
 
 Bytes TimeoutMsg::signing_bytes() const {
+  return signing_bytes_for(round, sender, high_qc.round);
+}
+
+Bytes TimeoutMsg::signing_bytes_for(Round round, ReplicaId sender,
+                                    Round high_qc_round) {
   Encoder enc;
   enc.str("sftbft/timeout");
   enc.u64(round);
   enc.u32(sender);
-  enc.raw(high_qc.digest().bytes);
+  enc.u64(high_qc_round);
   return enc.take();
 }
 
@@ -33,41 +37,71 @@ TimeoutMsg TimeoutMsg::decode(Decoder& dec) {
   return msg;
 }
 
-const QuorumCert& TimeoutCert::highest_qc() const {
-  assert(!timeouts.empty());
-  const TimeoutMsg* best = &timeouts.front();
-  for (const TimeoutMsg& msg : timeouts) {
-    if (msg.high_qc.round > best->high_qc.round) best = &msg;
-  }
-  return best->high_qc;
-}
-
-bool TimeoutCert::verify(const crypto::KeyRegistry& registry,
-                         std::size_t quorum) const {
-  if (timeouts.size() < quorum) return false;
-  std::unordered_set<ReplicaId> senders;
-  for (const TimeoutMsg& msg : timeouts) {
-    if (msg.round != round) return false;
-    if (msg.sender != msg.sig.signer) return false;
-    if (!senders.insert(msg.sender).second) return false;
-    if (!registry.verify(msg.sig, msg.signing_bytes())) return false;
+bool TimeoutCert::add_timeout(const TimeoutMsg& msg) {
+  if (!agg.fold(msg.sig)) return false;
+  hqc_rounds.push_back(msg.high_qc.round);
+  if (hqc_rounds.size() == 1 ||
+      ranks_higher(msg.high_qc, high_qc)) {
+    high_qc = msg.high_qc;
   }
   return true;
 }
 
+bool TimeoutCert::verify(const crypto::KeyRegistry& registry,
+                         std::size_t quorum,
+                         crypto::VerifyCache* cache) const {
+  if (hqc_rounds.size() < quorum) return false;
+  const std::vector<ReplicaId> senders = agg.signers.ids();
+  if (senders.size() != hqc_rounds.size()) return false;
+  // The representative QC must be exactly the members' max: a lower one
+  // would let a Byzantine leader hide the quorum's progress.
+  const Round max_round =
+      *std::max_element(hqc_rounds.begin(), hqc_rounds.end());
+  if (high_qc.round != max_round) return false;
+  crypto::Sha256Digest memo_key;
+  if (cache != nullptr) {
+    Encoder enc;
+    enc.str("sftbft/tc-verified");
+    encode(enc);
+    memo_key = crypto::Sha256::hash(enc.data());
+    if (cache->seen_cert(memo_key)) return true;
+  }
+  const bool ok =
+      registry.verify_aggregate(
+          agg,
+          [this, &senders](ReplicaId sender) {
+            const std::size_t i = static_cast<std::size_t>(
+                std::lower_bound(senders.begin(), senders.end(), sender) -
+                senders.begin());
+            return TimeoutMsg::signing_bytes_for(round, sender,
+                                                 hqc_rounds[i]);
+          },
+          cache) &&
+      high_qc.verify(registry, quorum, cache);
+  if (ok && cache != nullptr) cache->note_cert(memo_key);
+  return ok;
+}
+
 void TimeoutCert::encode(Encoder& enc) const {
   enc.u64(round);
-  enc.u32(static_cast<std::uint32_t>(timeouts.size()));
-  for (const TimeoutMsg& msg : timeouts) msg.encode(enc);
+  high_qc.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(hqc_rounds.size()));
+  for (const Round r : hqc_rounds) enc.u64(r);
+  agg.encode(enc);
 }
 
 TimeoutCert TimeoutCert::decode(Decoder& dec) {
   TimeoutCert tc;
   tc.round = dec.u64();
-  const std::uint32_t count = dec.count(TimeoutMsg::kMinEncodedBytes);
-  tc.timeouts.reserve(count);
+  tc.high_qc = QuorumCert::decode(dec);
+  const std::uint32_t count = dec.count(8);
+  tc.hqc_rounds.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    tc.timeouts.push_back(TimeoutMsg::decode(dec));
+    tc.hqc_rounds.push_back(dec.u64());
+  }
+  tc.agg = crypto::AggregateSignature::decode(dec);
+  if (tc.agg.signers.popcount() != tc.hqc_rounds.size()) {
+    throw CodecError("TimeoutCert: round count does not match signer bitmap");
   }
   return tc;
 }

@@ -9,6 +9,11 @@
 // The endorsement predicate implemented by `endorses_round()` is the paper's:
 // a strong-vote for B' endorses a round-r block B iff B = B', or B' extends B
 // and (marker < r | r ∈ I).
+//
+// The SFT history a vote carries (mode/marker/intervals) is split out as
+// `VoteMeta`: certificates keep one compact meta per voter — the strength
+// tracker needs it per voter — while their signature portion collapses to a
+// single aggregate (see quorum_cert.hpp).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,29 @@ enum class VoteMode : std::uint8_t {
   Intervals = 2,    ///< SFT with an endorsed-interval set (Sec. 3.4)
 };
 
+/// The SFT metadata of one vote — everything the strength tracker reads,
+/// and everything a certificate must keep per voter.
+struct VoteMeta {
+  VoteMode mode = VoteMode::Plain;
+  /// Largest conflicting voted round (Marker mode); 0 if none.
+  Round marker = 0;
+  /// Endorsed rounds (Intervals mode); empty otherwise.
+  IntervalSet endorsed;
+
+  /// The paper's endorsement predicate for a vote cast at `voted_round`
+  /// (see file comment; the caller established the chain relationship).
+  [[nodiscard]] bool endorses(Round voted_round, Round ancestor_round) const;
+
+  void encode(Encoder& enc) const;
+  static VoteMeta decode(Decoder& dec);
+
+  /// Minimum encoded size (empty interval set): bounds untrusted per-voter
+  /// meta counts while decoding certificates.
+  static constexpr std::size_t kMinEncodedBytes = 1 + 8 + 4;
+
+  friend bool operator==(const VoteMeta&, const VoteMeta&) = default;
+};
+
 struct Vote {
   BlockId block_id{};
   Round round = 0;
@@ -43,6 +71,9 @@ struct Vote {
   IntervalSet endorsed;
   crypto::Signature sig{};
 
+  /// This vote's SFT metadata, as certificates carry it.
+  [[nodiscard]] VoteMeta meta() const { return {mode, marker, endorsed}; }
+
   /// Canonical bytes covered by the signature (everything except `sig`).
   /// Deliberately NOT memoized: signature verification must re-derive the
   /// bytes from the fields actually present, or an in-process tamper (the
@@ -51,6 +82,12 @@ struct Vote {
   /// the identity digests (QuorumCert::digest, Payload::records_digest)
   /// where no signature check depends on it.
   [[nodiscard]] Bytes signing_bytes() const;
+
+  /// The same canonical bytes rebuilt from certificate parts — what an
+  /// aggregate verifier recomputes per bitmap member.
+  [[nodiscard]] static Bytes signing_bytes_for(const BlockId& block_id,
+                                               Round round, ReplicaId voter,
+                                               const VoteMeta& meta);
 
   /// Whether this vote endorses an ancestor block at `ancestor_round`.
   /// Precondition: the caller has established that the voted block extends
@@ -61,9 +98,9 @@ struct Vote {
   static Vote decode(Decoder& dec);
 
   /// Minimum encoded size (empty interval set): used to bound untrusted
-  /// vote counts while decoding certificates.
+  /// vote counts while decoding vote containers.
   static constexpr std::size_t kMinEncodedBytes =
-      32 + 8 + 4 + 1 + 8 + 4 + (4 + 32);
+      32 + 8 + 4 + VoteMeta::kMinEncodedBytes + (4 + 32);
 
   friend bool operator==(const Vote&, const Vote&) = default;
 };

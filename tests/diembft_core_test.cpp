@@ -87,7 +87,7 @@ class DiemBftCoreTest : public ::testing::Test {
       vote.mode = VoteMode::Marker;
       vote.marker = 0;
       vote.sig = registry_->signer_for(voter).sign(vote.signing_bytes());
-      qc.votes.push_back(vote);
+      qc.add_vote(vote);
     }
     qc.canonicalize();
     return qc;

@@ -48,7 +48,12 @@ QuorumCert qc_for(const Block& block, std::vector<Vote> votes) {
   qc.round = block.round;
   qc.parent_id = block.parent_id;
   qc.parent_round = block.qc.round;
-  qc.votes = std::move(votes);
+  // Structural assembly (no signatures): the tracker consumes voter + meta
+  // and never checks the aggregate, so the bitmap is set directly.
+  for (const Vote& vote : votes) {
+    qc.votes.push_back({vote.voter, vote.meta()});
+    qc.agg.signers.set(vote.voter);
+  }
   qc.canonicalize();
   return qc;
 }

@@ -179,7 +179,8 @@ TEST_F(LightClientTest, RejectsAdversaryForgedCommitLog) {
 
   // Even rebuilding the carrier block around the forged Log fails: the new
   // block id voids the original QC, and the f + 1 colluding replicas cannot
-  // produce 2f + 1 distinct valid votes for the rebuilt block.
+  // produce 2f + 1 distinct valid votes for the rebuilt block — their
+  // refolded aggregate is genuine but its signer bitmap is sub-quorum.
   forged.carrier.block.log_digest =
       types::commit_log_digest(forged.carrier.commit_log);
   forged.carrier.block.seal();
@@ -187,14 +188,95 @@ TEST_F(LightClientTest, RejectsAdversaryForgedCommitLog) {
                            ->signer_for(proposer)
                            .sign(forged.carrier.signing_bytes());
   forged.carrier_qc.block_id = forged.carrier.block.id;
-  for (auto& vote : forged.carrier_qc.votes) {
+  forged.carrier_qc.votes.clear();
+  forged.carrier_qc.agg = {};
+  for (ReplicaId colluder = 0; colluder <= kF; ++colluder) {  // only f+1 keys
+    types::Vote vote;
     vote.block_id = forged.carrier.block.id;
-    const ReplicaId colluder = vote.voter % (kF + 1);  // only f+1 keys
+    vote.round = forged.carrier_qc.round;
     vote.voter = colluder;
+    vote.mode = types::VoteMode::Marker;
     vote.sig = cluster_->registry()->signer_for(colluder).sign(
         vote.signing_bytes());
+    forged.carrier_qc.add_vote(vote);
   }
+  forged.carrier_qc.canonicalize();
   EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsForgedAggregateTag) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  auto forged = *proof;
+  forged.carrier_qc.agg.tag[11] ^= 0x40;  // forged aggregate tag
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, RejectsBitmapMetadataLengthMismatch) {
+  const auto target = strong_block();
+  auto proof =
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  // One more meta than the bitmap names (and the mirror image).
+  auto forged = *proof;
+  forged.carrier_qc.votes.push_back(forged.carrier_qc.votes.back());
+  forged.carrier_qc.votes.back().voter = kN - 1;
+  EXPECT_FALSE(client.verify(forged));
+
+  forged = *proof;
+  forged.carrier_qc.votes.pop_back();
+  EXPECT_FALSE(client.verify(forged));
+}
+
+TEST_F(LightClientTest, MemoBypassTamperFailsFreshVerification) {
+  // The client memoizes successful certificate verifications by the digest
+  // of the certificate's full canonical encoding. Mutating *any* byte after
+  // a successful verification must miss the memo and fail a fresh check —
+  // the memo can never be used to launder a tampered certificate.
+  const auto target = strong_block();
+  const auto proof =
+      lightclient::build_proof(cluster_->diem_core(0), target, 2 * kF);
+  ASSERT_TRUE(proof.has_value());
+  lightclient::LightClient client(cluster_->registry(), kN);
+
+  ASSERT_TRUE(client.verify(*proof));  // warms the client's memo
+
+  auto tampered = *proof;
+  tampered.carrier_qc.agg.tag[3] ^= 0x80;
+  EXPECT_FALSE(client.verify(tampered));
+
+  auto meta_tampered = *proof;
+  ASSERT_FALSE(meta_tampered.carrier_qc.votes.empty());
+  meta_tampered.carrier_qc.votes[0].meta.marker += 1;
+  EXPECT_FALSE(client.verify(meta_tampered));
+
+  auto bitmap_tampered = *proof;
+  // Swap one voter identity in both the bitmap and the meta list: lengths
+  // still align, but the folded MACs belong to the original voter set.
+  const ReplicaId absent = [&] {
+    for (ReplicaId id = 0; id < kN; ++id) {
+      if (!bitmap_tampered.carrier_qc.agg.signers.test(id)) return id;
+    }
+    return kNoReplica;
+  }();
+  if (absent != kNoReplica) {
+    auto& qc = bitmap_tampered.carrier_qc;
+    const ReplicaId swapped_out = qc.votes.back().voter;
+    qc.agg.signers.clear(swapped_out);
+    qc.agg.signers.set(absent);
+    qc.votes.back().voter = absent;
+    qc.canonicalize();
+    EXPECT_FALSE(client.verify(bitmap_tampered));
+  }
+
+  // The untampered proof still verifies after all the failed attempts.
+  EXPECT_TRUE(client.verify(*proof));
 }
 
 TEST_F(LightClientTest, RejectsTruncatedBlockPath) {

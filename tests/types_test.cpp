@@ -113,7 +113,8 @@ TEST(QuorumCert, VerifyAcceptsValidQuorum) {
   qc.parent_id = genesis.id;
   qc.parent_round = 0;
   for (ReplicaId voter = 0; voter < 5; ++voter) {
-    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+    EXPECT_TRUE(
+        qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker)));
   }
   qc.canonicalize();
   EXPECT_TRUE(qc.verify(registry(), 5));
@@ -125,19 +126,38 @@ TEST(QuorumCert, VerifyRejectsBelowQuorum) {
   qc.block_id = block.id;
   qc.round = 1;
   for (ReplicaId voter = 0; voter < 4; ++voter) {
-    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
   }
+  qc.canonicalize();
   EXPECT_FALSE(qc.verify(registry(), 5));
 }
 
-TEST(QuorumCert, VerifyRejectsDuplicateVoter) {
+TEST(QuorumCert, DuplicateVoterCannotFoldTwice) {
+  // The aggregate refuses a second fold of the same signer (XOR would cancel
+  // the first), so a duplicate voter is unrepresentable through the builder.
   const Block block = make_block(Block::genesis(), 1);
   QuorumCert qc;
   qc.block_id = block.id;
   qc.round = 1;
-  for (int i = 0; i < 5; ++i) {
-    qc.votes.push_back(make_signed_vote(2, block.id, 1, VoteMode::Marker));
+  const Vote vote = make_signed_vote(2, block.id, 1, VoteMode::Marker);
+  EXPECT_TRUE(qc.add_vote(vote));
+  EXPECT_FALSE(qc.add_vote(vote));
+  EXPECT_EQ(qc.votes.size(), 1u);
+  EXPECT_EQ(qc.agg.signers.popcount(), 1u);
+}
+
+TEST(QuorumCert, VerifyRejectsMetaBitmapMisalignment) {
+  // A hand-crafted votes list that disagrees with the signer bitmap (here: a
+  // duplicate-voter meta smuggled in past the aggregate) must not verify.
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
   }
+  qc.votes.push_back(qc.votes[2]);  // bitmap still has 5 bits
+  qc.canonicalize();
   EXPECT_FALSE(qc.verify(registry(), 5));
 }
 
@@ -148,9 +168,12 @@ TEST(QuorumCert, VerifyRejectsWrongBlock) {
   qc.block_id = block.id;
   qc.round = 1;
   for (ReplicaId voter = 0; voter < 4; ++voter) {
-    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
   }
-  qc.votes.push_back(make_signed_vote(4, other.id, 1, VoteMode::Marker));
+  // Voter 4 signed a different block: the recomputed MAC over *this* QC's
+  // block id cannot match what got folded into the tag.
+  qc.add_vote(make_signed_vote(4, other.id, 1, VoteMode::Marker));
+  qc.canonicalize();
   EXPECT_FALSE(qc.verify(registry(), 5));
 }
 
@@ -160,10 +183,24 @@ TEST(QuorumCert, VerifyRejectsTamperedMarker) {
   qc.block_id = block.id;
   qc.round = 1;
   for (ReplicaId voter = 0; voter < 5; ++voter) {
-    qc.votes.push_back(
-        make_signed_vote(voter, block.id, 1, VoteMode::Marker, 2));
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker, 2));
   }
-  qc.votes[3].marker = 0;  // lie about history without re-signing
+  qc.votes[3].meta.marker = 0;  // lie about history without re-signing
+  qc.canonicalize();
+  EXPECT_FALSE(qc.verify(registry(), 5));
+}
+
+TEST(QuorumCert, VerifyRejectsForgedAggregateTag) {
+  const Block block = make_block(Block::genesis(), 1);
+  QuorumCert qc;
+  qc.block_id = block.id;
+  qc.round = 1;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+  }
+  qc.canonicalize();
+  ASSERT_TRUE(qc.verify(registry(), 5));
+  qc.agg.tag[7] ^= 0x20;
   EXPECT_FALSE(qc.verify(registry(), 5));
 }
 
@@ -177,7 +214,7 @@ TEST(QuorumCert, CanonicalizeSortsByVoter) {
   const Block block = make_block(Block::genesis(), 1);
   QuorumCert qc;
   for (ReplicaId voter : {4u, 1u, 3u}) {
-    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Plain));
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Plain));
   }
   qc.canonicalize();
   EXPECT_EQ(qc.votes[0].voter, 1u);
@@ -191,18 +228,18 @@ TEST(QuorumCert, DigestBindsVoterSet) {
   qc.block_id = block.id;
   qc.round = 1;
   for (ReplicaId voter = 0; voter < 5; ++voter) {
-    qc.votes.push_back(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
+    qc.add_vote(make_signed_vote(voter, block.id, 1, VoteMode::Marker));
   }
   const auto base = qc.digest();
   // The digest is memoized per object and survives copies; editing a copy
   // requires the documented canonicalize() refresh before digest() speaks
   // for the new content again.
   QuorumCert more = qc;
-  more.votes.push_back(make_signed_vote(5, block.id, 1, VoteMode::Marker));
+  more.add_vote(make_signed_vote(5, block.id, 1, VoteMode::Marker));
   more.canonicalize();
   EXPECT_NE(more.digest(), base);
   QuorumCert tampered = qc;
-  tampered.votes[0].marker = 7;
+  tampered.votes[0].meta.marker = 7;
   EXPECT_EQ(tampered.digest(), base);  // stale memo until the refresh point
   tampered.canonicalize();
   EXPECT_NE(tampered.digest(), base);
@@ -262,21 +299,63 @@ TEST(Block, GenesisIsStable) {
 // --------------------------------------------------------------- timeouts
 
 TEST(TimeoutCert, VerifyAndHighestQc) {
+  // A real certified QC at round 3, held by two of the timing-out senders;
+  // the rest still sit on the genesis QC.
+  const Block block = make_block(Block::genesis(), 3);
+  QuorumCert high;
+  high.block_id = block.id;
+  high.round = 3;
+  high.parent_id = block.parent_id;
+  for (ReplicaId voter = 0; voter < 5; ++voter) {
+    high.add_vote(make_signed_vote(voter, block.id, 3, VoteMode::Marker));
+  }
+  high.canonicalize();
+
   TimeoutCert tc;
   tc.round = 5;
   for (ReplicaId sender = 0; sender < 5; ++sender) {
     TimeoutMsg msg;
     msg.round = 5;
     msg.sender = sender;
-    msg.high_qc.round = sender;  // varied high QCs
+    if (sender >= 3) msg.high_qc = high;
     msg.sig = registry().signer_for(sender).sign(msg.signing_bytes());
-    tc.timeouts.push_back(msg);
+    EXPECT_TRUE(tc.add_timeout(msg));
   }
   EXPECT_TRUE(tc.verify(registry(), 5));
-  EXPECT_EQ(tc.highest_qc().round, 4u);
+  EXPECT_EQ(tc.highest_qc().round, 3u);
 
-  tc.timeouts[2].round = 6;  // mismatched round
-  EXPECT_FALSE(tc.verify(registry(), 5));
+  // A member's claimed high-QC round cannot be rewritten: the claim is
+  // signed, so the refolded aggregate no longer matches.
+  TimeoutCert lied = tc;
+  lied.hqc_rounds[4] = 2;
+  EXPECT_FALSE(lied.verify(registry(), 5));
+
+  // Nor can the representative QC be swapped below the members' max.
+  TimeoutCert hidden = tc;
+  hidden.high_qc = QuorumCert{};
+  EXPECT_FALSE(hidden.verify(registry(), 5));
+
+  // Forged aggregate tag.
+  TimeoutCert forged = tc;
+  forged.agg.tag[0] ^= 1;
+  EXPECT_FALSE(forged.verify(registry(), 5));
+}
+
+TEST(TimeoutCert, RoundTrip) {
+  TimeoutCert tc;
+  tc.round = 7;
+  for (ReplicaId sender = 1; sender < 6; ++sender) {
+    TimeoutMsg msg;
+    msg.round = 7;
+    msg.sender = sender;
+    msg.sig = registry().signer_for(sender).sign(msg.signing_bytes());
+    tc.add_timeout(msg);
+  }
+  Encoder enc;
+  tc.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(TimeoutCert::decode(dec), tc);
+  EXPECT_TRUE(dec.exhausted());
 }
 
 TEST(TimeoutMsg, RoundTrip) {
@@ -302,7 +381,7 @@ TEST(Proposal, RoundTripWithTcAndLog) {
   msg.round = 1;
   msg.sender = 0;
   msg.sig = registry().signer_for(0).sign(msg.signing_bytes());
-  tc.timeouts.push_back(msg);
+  tc.add_timeout(msg);
   proposal.tc = tc;
   proposal.commit_log.push_back(
       {.block_id = proposal.block.parent_id, .round = 1, .strength = 3});
@@ -345,9 +424,9 @@ TEST_P(RandomizedRoundTrip, QuorumCert) {
   const auto voters = 1 + rng.uniform(0, 6);
   for (std::int64_t i = 0; i < voters; ++i) {
     const auto mode = static_cast<VoteMode>(rng.uniform(0, 2));
-    qc.votes.push_back(make_signed_vote(static_cast<ReplicaId>(i), block.id,
-                                        block.round, mode,
-                                        rng.uniform(0, block.round - 1)));
+    qc.add_vote(make_signed_vote(static_cast<ReplicaId>(i), block.id,
+                                 block.round, mode,
+                                 rng.uniform(0, block.round - 1)));
   }
   qc.canonicalize();
   Encoder enc;
